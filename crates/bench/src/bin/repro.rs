@@ -1,0 +1,122 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p wavefuse-bench --bin repro --release -- all
+//! cargo run -p wavefuse-bench --bin repro --release -- fig9a fig10
+//! ```
+//!
+//! Subcommands: `fig2`, `table1`, `fig9a`, `fig9b`, `fig9c`, `fig10`,
+//! `crossover`, `adaptive`, `ablation`, `quality`, `hybrid`, `levels`, `throughput`, `timeline`, `all`.
+
+use std::process::ExitCode;
+
+use wavefuse_bench::experiments::{self, Quantity};
+use wavefuse_bench::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|all]..."
+        );
+        return ExitCode::from(2);
+    }
+
+    let wants = |name: &str| args.iter().any(|a| a == name || a == "all");
+    let needs_matrix = ["fig9a", "fig9b", "fig9c", "fig10", "all"]
+        .iter()
+        .any(|n| args.iter().any(|a| a == n));
+
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        if wants("fig2") {
+            let phases = experiments::fig2_profile()?;
+            println!("{}", report::render_profile(&phases));
+        }
+        if wants("table1") {
+            let t12 = experiments::table1_resources(12);
+            let t20 = experiments::table1_resources(20);
+            println!("{}", report::render_table1(&t12, &t20));
+        }
+        if needs_matrix {
+            eprintln!("collecting evaluation matrix (5 sizes x 3 backends x 10 frames)...");
+            let matrix = experiments::collect_matrix()?;
+            if wants("fig9a") {
+                let s = experiments::fig9_series(&matrix, Quantity::Forward);
+                println!(
+                    "{}",
+                    report::render_series("Fig. 9a — forward DT-CWT time", "seconds", &s)
+                );
+            }
+            if wants("fig9b") {
+                let s = experiments::fig9_series(&matrix, Quantity::Total);
+                println!(
+                    "{}",
+                    report::render_series("Fig. 9b — total time taken", "seconds", &s)
+                );
+            }
+            if wants("fig9c") {
+                let s = experiments::fig9_series(&matrix, Quantity::Inverse);
+                println!(
+                    "{}",
+                    report::render_series("Fig. 9c — inverse DT-CWT time", "seconds", &s)
+                );
+            }
+            if wants("fig10") {
+                let s = experiments::fig9_series(&matrix, Quantity::Energy);
+                println!(
+                    "{}",
+                    report::render_series("Fig. 10 — total energy used", "millijoules", &s)
+                );
+            }
+        }
+        if wants("crossover") {
+            let c = experiments::crossover_report()?;
+            println!("{}", report::render_crossovers(&c));
+        }
+        if wants("adaptive") {
+            eprintln!("running adaptive-policy comparison (6 policies x 20 frames)...");
+            let a = experiments::adaptive_comparison()?;
+            println!("{}", report::render_adaptive(&a));
+        }
+        if wants("ablation") {
+            let rows = experiments::ablation_report()?;
+            println!("{}", report::render_ablation(&rows));
+        }
+        if wants("hybrid") {
+            eprintln!("running hybrid routing study...");
+            let rows = experiments::hybrid_comparison()?;
+            println!("{}", report::render_hybrid(&rows));
+        }
+        if wants("levels") {
+            eprintln!("running decomposition-level sweep...");
+            let rows = experiments::levels_sweep()?;
+            println!("{}", report::render_levels(&rows));
+        }
+        if wants("throughput") {
+            eprintln!("running throughput report...");
+            let rows = experiments::throughput_report()?;
+            println!("{}", report::render_throughput(&rows));
+        }
+        if wants("timeline") {
+            use wavefuse_zynq::{timeline, ZynqConfig};
+            let cfg = ZynqConfig::default();
+            println!("## PS/PL activity, five 88-sample rows through the double-buffered path (Fig. 5)");
+            let events = timeline::double_buffer_timeline(5, 88, &cfg);
+            println!("{}", timeline::render_ascii(&events, 100));
+        }
+        if wants("quality") {
+            eprintln!("running fusion-quality comparison...");
+            let rows = experiments::quality_comparison(88, 72)?;
+            println!("{}", report::render_quality(&rows));
+        }
+        Ok(())
+    };
+
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

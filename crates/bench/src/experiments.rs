@@ -1,0 +1,694 @@
+//! Experiment runners.
+//!
+//! Every function actually *executes* the system — frames are rendered by
+//! the synthetic scene, captured through the camera models, transformed by
+//! the real kernels (the FPGA times come from the cycle-level simulator's
+//! ledger) — and returns the series the corresponding paper artifact plots.
+
+use serde::Serialize;
+
+use wavefuse_core::adaptive::{AdaptiveScheduler, Objective, Policy};
+use wavefuse_core::baseline::{average_fusion, dwt_fusion, laplacian_fusion, swt_fusion};
+use wavefuse_core::cost::{CostModel, Direction, TransformPlan};
+use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::profile::profile_fusion;
+use wavefuse_core::rules::{FusionRule, LowpassRule};
+use wavefuse_core::{Backend, FusionEngine, FusionError};
+use wavefuse_dtcwt::{FilterBank, Image};
+use wavefuse_video::scene::ScenePair;
+use wavefuse_zynq::bus::gp_port_ps_cycles;
+use wavefuse_zynq::resources::{estimate, XC7Z020};
+
+use crate::paper::{FRAMES_PER_RUN, LEVELS, PAPER_SIZES};
+
+/// Scene seed used by every experiment (reproducibility).
+pub const SCENE_SEED: u64 = 2016;
+
+/// One run of the evaluation matrix: a frame size crossed with a backend.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixEntry {
+    /// Frame geometry.
+    pub size: (usize, usize),
+    /// Backend label (paper naming).
+    pub backend: String,
+    /// Ten-frame forward-phase seconds.
+    pub forward_s: f64,
+    /// Ten-frame fusion-phase seconds.
+    pub fusion_s: f64,
+    /// Ten-frame inverse-phase seconds.
+    pub inverse_s: f64,
+    /// Ten-frame total seconds.
+    pub total_s: f64,
+    /// Ten-frame energy, millijoules.
+    pub energy_mj: f64,
+}
+
+/// Runs the full 5-sizes x 3-backends matrix of the paper's §VII: ten
+/// frames captured, decomposed, fused and reconstructed per cell.
+///
+/// # Errors
+///
+/// Propagates pipeline errors (none occur for the paper's geometries).
+pub fn collect_matrix() -> Result<Vec<MatrixEntry>, FusionError> {
+    let mut rows = Vec::new();
+    for &(w, h) in &PAPER_SIZES {
+        for backend in Backend::ALL {
+            let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+                frame_size: (w, h),
+                levels: LEVELS,
+                backend: BackendChoice::Fixed(backend),
+                scene_seed: SCENE_SEED,
+            })?;
+            let stats = pipe.run(FRAMES_PER_RUN)?;
+            rows.push(MatrixEntry {
+                size: (w, h),
+                backend: backend.label().to_string(),
+                forward_s: stats.timing.forward_s,
+                fusion_s: stats.timing.fusion_s,
+                inverse_s: stats.timing.inverse_s,
+                total_s: stats.timing.total_seconds(),
+                energy_mj: stats.energy_mj,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Which quantity of the matrix a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantity {
+    /// Fig. 9a: forward-phase seconds.
+    Forward,
+    /// Fig. 9c: inverse-phase seconds.
+    Inverse,
+    /// Fig. 9b: total seconds.
+    Total,
+    /// Fig. 10: energy in millijoules.
+    Energy,
+}
+
+/// One per-size row of a Fig. 9/10 series: the three modes' values.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesRow {
+    /// Frame geometry.
+    pub size: (usize, usize),
+    /// ARM-only value.
+    pub arm: f64,
+    /// ARM+NEON value.
+    pub neon: f64,
+    /// ARM+FPGA value.
+    pub fpga: f64,
+}
+
+/// Extracts a figure's series from the collected matrix.
+pub fn fig9_series(matrix: &[MatrixEntry], quantity: Quantity) -> Vec<SeriesRow> {
+    let value = |e: &MatrixEntry| match quantity {
+        Quantity::Forward => e.forward_s,
+        Quantity::Inverse => e.inverse_s,
+        Quantity::Total => e.total_s,
+        Quantity::Energy => e.energy_mj,
+    };
+    PAPER_SIZES
+        .iter()
+        .map(|&size| {
+            let get = |label: &str| {
+                matrix
+                    .iter()
+                    .find(|e| e.size == size && e.backend == label)
+                    .map(value)
+                    .expect("matrix covers all cells")
+            };
+            SeriesRow {
+                size,
+                arm: get("ARM Only"),
+                neon: get("ARM+NEON"),
+                fpga: get("ARM+FPGA"),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 2: phase-level profile of fusing two captured 88x72 frames on the
+/// ARM, as percentages.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn fig2_profile() -> Result<Vec<(String, f64)>, FusionError> {
+    let scene = ScenePair::new(SCENE_SEED);
+    let a = scene.render_visible(88, 72, 0.0);
+    let b = scene.render_thermal(88, 72, 0.0);
+    let mut engine = FusionEngine::new(LEVELS)?;
+    let report = profile_fusion(&mut engine, &a, &b, Backend::Arm)?;
+    Ok(report
+        .percentages()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect())
+}
+
+/// One Table I row: resource, used, available, percent.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResourceRow {
+    /// Resource name.
+    pub resource: String,
+    /// Units used.
+    pub used: u64,
+    /// Units available on the xc7z020.
+    pub available: u64,
+    /// Rounded percentage.
+    pub percent: u64,
+}
+
+/// Table I: estimated utilization of the wavelet engine, for the paper's
+/// 12-tap geometry and for this reproduction's deployed 20-tap engine.
+pub fn table1_resources(taps: usize) -> Vec<ResourceRow> {
+    let u = estimate(taps);
+    let p = u.percentages(&XC7Z020);
+    [
+        ("Registers", u.registers, XC7Z020.registers, p[0]),
+        ("LUTs", u.luts, XC7Z020.luts, p[1]),
+        ("Slices", u.slices, XC7Z020.slices, p[2]),
+        ("BUFG", u.bufg, XC7Z020.bufg, p[3]),
+    ]
+    .into_iter()
+    .map(|(r, used, avail, pct)| ResourceRow {
+        resource: r.to_string(),
+        used,
+        available: avail,
+        percent: pct,
+    })
+    .collect()
+}
+
+/// Crossover ("breaking point") analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossoverReport {
+    /// Smallest square edge where the FPGA's forward phase beats NEON's.
+    pub forward_edge: Option<usize>,
+    /// Smallest square edge where the FPGA's inverse phase beats NEON's.
+    pub inverse_edge: Option<usize>,
+    /// Smallest square edge where the FPGA wins on total frame time.
+    pub total_edge: Option<usize>,
+    /// Smallest square edge where the FPGA wins on energy.
+    pub energy_edge: Option<usize>,
+}
+
+/// Sweeps square frame sizes to locate all four breaking points.
+///
+/// # Errors
+///
+/// Propagates model errors for unsupported geometries.
+pub fn crossover_report() -> Result<CrossoverReport, FusionError> {
+    let model = CostModel::calibrated();
+    let sched = AdaptiveScheduler::new(Policy::Model(Objective::Time), LEVELS);
+    let phase_edge = |dir: Direction| -> Option<usize> {
+        (24..=96).find(|&e| {
+            let plan = TransformPlan::dtcwt(e, e, LEVELS).expect("supported");
+            model.fpga_seconds(&plan, dir) < model.neon_seconds(&plan, dir)
+        })
+    };
+    Ok(CrossoverReport {
+        forward_edge: phase_edge(Direction::Forward),
+        inverse_edge: phase_edge(Direction::Inverse),
+        total_edge: sched.crossover_edge(Objective::Time, 24, 96)?,
+        energy_edge: sched.crossover_edge(Objective::Energy, 24, 96)?,
+    })
+}
+
+/// Result of running one backend policy over the mixed-size workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyOutcome {
+    /// Policy label.
+    pub policy: String,
+    /// Total modeled seconds over the workload.
+    pub total_s: f64,
+    /// Total modeled energy, millijoules.
+    pub energy_mj: f64,
+    /// Frames per backend (`[ARM, NEON, FPGA, Hybrid]`).
+    pub backend_usage: [u64; 4],
+}
+
+/// The adaptive-execution experiment (the paper's §VIII future work): a
+/// workload whose frame size varies (as decomposition level and sensor
+/// windowing do in practice), run under fixed-NEON, fixed-FPGA, and the
+/// model-driven and online adaptive policies.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn adaptive_comparison() -> Result<Vec<PolicyOutcome>, FusionError> {
+    let sizes: Vec<(usize, usize)> = PAPER_SIZES
+        .iter()
+        .cycle()
+        .take(PAPER_SIZES.len() * 4)
+        .copied()
+        .collect();
+    let scene = ScenePair::new(SCENE_SEED);
+
+    let mut outcomes = Vec::new();
+    let policies: Vec<(String, Option<Policy>, Option<Backend>)> = vec![
+        ("fixed ARM".into(), None, Some(Backend::Arm)),
+        ("fixed NEON".into(), None, Some(Backend::Neon)),
+        ("fixed FPGA".into(), None, Some(Backend::Fpga)),
+        (
+            "adaptive (model, time)".into(),
+            Some(Policy::Model(Objective::Time)),
+            None,
+        ),
+        (
+            "adaptive (model, energy)".into(),
+            Some(Policy::Model(Objective::Energy)),
+            None,
+        ),
+        (
+            "adaptive (online, time)".into(),
+            Some(Policy::Online(Objective::Time)),
+            None,
+        ),
+    ];
+
+    for (label, policy, fixed) in policies {
+        let mut engine = FusionEngine::new(LEVELS)?;
+        let mut sched = policy.map(|p| AdaptiveScheduler::new(p, LEVELS));
+        let mut total_s = 0.0;
+        let mut energy = 0.0;
+        let mut usage = [0u64; 4];
+        for (i, &(w, h)) in sizes.iter().enumerate() {
+            let t = i as f64 / 30.0;
+            let a = scene.render_visible(w, h, t);
+            let b = scene.render_thermal(w, h, t);
+            let backend = match (&mut sched, fixed) {
+                (Some(s), _) => s.choose(w, h)?,
+                (None, Some(b)) => b,
+                _ => unreachable!("policy xor fixed"),
+            };
+            let out = engine.fuse(&a, &b, backend)?;
+            if let Some(s) = &mut sched {
+                s.observe(w, h, backend, out.timing.total_seconds(), out.energy_mj);
+            }
+            total_s += out.timing.total_seconds();
+            energy += out.energy_mj;
+            usage[backend.index()] += 1;
+        }
+        outcomes.push(PolicyOutcome {
+            policy: label,
+            total_s,
+            energy_mj: energy,
+            backend_usage: usage,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// One ablation row: a design choice toggled, with resulting ten-frame
+/// 88x72 forward-phase time.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub configuration: String,
+    /// Ten-frame forward-phase seconds at 88x72.
+    pub forward_s: f64,
+    /// Slowdown versus the full design.
+    pub slowdown: f64,
+}
+
+/// Ablates the paper's §V design choices on the FPGA path: the ACP
+/// hardware `memcpy` (vs. CPU-driven general-purpose port transfers) and
+/// the Fig. 5 double buffering (vs. serial copy-then-process).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn ablation_report() -> Result<Vec<AblationRow>, FusionError> {
+    let model = CostModel::calibrated();
+    let plan = TransformPlan::dtcwt(88, 72, LEVELS)?;
+    let frames = FRAMES_PER_RUN as f64;
+    let full = 2.0 * frames * model.fpga_seconds(&plan, Direction::Forward);
+
+    // (a) No double buffering: copy and engine run serialize.
+    let ps_t = 1.0 / model.zynq.ps_clk_hz;
+    let pl_t = 1.0 / model.zynq.pl_clk_hz;
+    let mut no_overlap = 0.0;
+    let mut gp_port = 0.0;
+    for op in plan.forward_ops() {
+        let copy_words = op.words_in + op.words_out;
+        let copy_s = copy_words as f64 * model.zynq.user_memcpy_ps_cycles_per_word * ps_t;
+        let pl = wavefuse_zynq::bus::acp_burst_pl_cycles(op.words_in, &model.zynq)
+            + model.zynq.pipeline_flush_pl_cycles
+            + op.iterations as u64
+            + wavefuse_zynq::bus::acp_burst_pl_cycles(op.words_out, &model.zynq);
+        let fixed = (model.zynq.call_overhead_ps_cycles_forward
+            + 6 * model.zynq.axil_write_ps_cycles) as f64
+            * ps_t;
+        no_overlap += op.count as f64 * (fixed + copy_s + pl as f64 * pl_t);
+        // (b) GP port: the CPU moves every word itself at ~25 cycles/word,
+        // and the pipeline still runs, serially.
+        let gp_s = gp_port_ps_cycles(copy_words) as f64 * ps_t;
+        let pipe_only = (model.zynq.pipeline_flush_pl_cycles + op.iterations as u64) as f64 * pl_t;
+        gp_port += op.count as f64 * (fixed + gp_s + pipe_only);
+    }
+    no_overlap *= 2.0 * frames;
+    gp_port *= 2.0 * frames;
+
+    Ok(vec![
+        AblationRow {
+            configuration: "full design (ACP DMA + double buffering)".into(),
+            forward_s: full,
+            slowdown: 1.0,
+        },
+        AblationRow {
+            configuration: "no double buffering (serial copy/process)".into(),
+            forward_s: no_overlap,
+            slowdown: no_overlap / full,
+        },
+        AblationRow {
+            configuration: "GP-port transfers (CPU moves the data)".into(),
+            forward_s: gp_port,
+            slowdown: gp_port / full,
+        },
+    ])
+}
+
+/// One row of the decomposition-level sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct LevelsRow {
+    /// Decomposition depth.
+    pub levels: usize,
+    /// ARM per-frame seconds.
+    pub arm_s: f64,
+    /// NEON per-frame seconds.
+    pub neon_s: f64,
+    /// FPGA per-frame seconds.
+    pub fpga_s: f64,
+    /// Hybrid per-frame seconds.
+    pub hybrid_s: f64,
+    /// Coarsest-level LL dimensions.
+    pub ll_dims: (usize, usize),
+}
+
+/// Varies the decomposition depth at the paper's full 88x72 frame size
+/// ("the decomposition level of the DT-CWT was varied", §VII). Deeper
+/// levels add geometrically less work, but their rows shrink below the
+/// FPGA's profitability threshold — which is why the hybrid backend's
+/// advantage grows with depth.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn levels_sweep() -> Result<Vec<LevelsRow>, FusionError> {
+    let scene = ScenePair::new(SCENE_SEED);
+    let a = scene.render_visible(88, 72, 0.0);
+    let b = scene.render_thermal(88, 72, 0.0);
+    let mut rows = Vec::new();
+    for levels in 1..=5 {
+        let mut engine = FusionEngine::new(levels)?;
+        let time = |engine: &mut FusionEngine, backend: Backend| -> Result<f64, FusionError> {
+            Ok(engine.fuse(&a, &b, backend)?.timing.total_seconds())
+        };
+        let arm_s = time(&mut engine, Backend::Arm)?;
+        let neon_s = time(&mut engine, Backend::Neon)?;
+        let fpga_s = time(&mut engine, Backend::Fpga)?;
+        let hybrid_s = time(&mut engine, Backend::Hybrid)?;
+        let pyr = wavefuse_dtcwt::Dtcwt::new(levels)?.forward(&a)?;
+        let ll_dims = pyr.lowpass()[0].dims();
+        rows.push(LevelsRow {
+            levels,
+            arm_s,
+            neon_s,
+            fpga_s,
+            hybrid_s,
+            ll_dims,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the hybrid-backend study: per-frame time at a size, for the
+/// two pure accelerators and the per-row-routed hybrid.
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridRow {
+    /// Frame geometry.
+    pub size: (usize, usize),
+    /// NEON per-frame seconds.
+    pub neon_s: f64,
+    /// FPGA per-frame seconds.
+    pub fpga_s: f64,
+    /// Hybrid per-frame seconds.
+    pub hybrid_s: f64,
+    /// Rows routed to SIMD inside one hybrid forward transform.
+    pub rows_simd: u64,
+    /// Rows routed to the FPGA.
+    pub rows_fpga: u64,
+}
+
+/// The hybrid per-row routing study (extension of the paper's §VIII): at
+/// every size, fuse one captured frame pair on pure NEON, pure FPGA and
+/// the hybrid backend.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn hybrid_comparison() -> Result<Vec<HybridRow>, FusionError> {
+    let scene = ScenePair::new(SCENE_SEED);
+    let mut engine = FusionEngine::new(LEVELS)?;
+    let mut rows = Vec::new();
+    for &(w, h) in &PAPER_SIZES {
+        let a = scene.render_visible(w, h, 0.0);
+        let b = scene.render_thermal(w, h, 0.0);
+        let neon_s = engine.fuse(&a, &b, Backend::Neon)?.timing.total_seconds();
+        let fpga_s = engine.fuse(&a, &b, Backend::Fpga)?.timing.total_seconds();
+        let hybrid_s = engine.fuse(&a, &b, Backend::Hybrid)?.timing.total_seconds();
+        // Row-routing census via a fresh kernel on one forward transform.
+        let mut k = wavefuse_core::hybrid::HybridKernel::new();
+        let t = wavefuse_dtcwt::Dtcwt::new(LEVELS)?;
+        let _ = t.forward_with(&mut k, &a)?;
+        rows.push(HybridRow {
+            size: (w, h),
+            neon_s,
+            fpga_s,
+            hybrid_s,
+            rows_simd: k.rows_on_simd(),
+            rows_fpga: k.rows_on_fpga(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the throughput report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRow {
+    /// Frame geometry.
+    pub size: (usize, usize),
+    /// Achieved frames/second per backend `[ARM, NEON, FPGA, Hybrid]`
+    /// under the modeled platform.
+    pub fps: [f64; 4],
+}
+
+/// Modeled fusion throughput (frames per second) per backend and size —
+/// the figure of merit the related work (paper §II: 25-30 fps at VGA)
+/// reports.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn throughput_report() -> Result<Vec<ThroughputRow>, FusionError> {
+    let scene = ScenePair::new(SCENE_SEED);
+    let mut engine = FusionEngine::new(LEVELS)?;
+    let mut rows = Vec::new();
+    for &(w, h) in &PAPER_SIZES {
+        let a = scene.render_visible(w, h, 0.0);
+        let b = scene.render_thermal(w, h, 0.0);
+        let mut fps = [0.0f64; 4];
+        for backend in Backend::ALL_EXTENDED {
+            let t = engine.fuse(&a, &b, backend)?.timing.total_seconds();
+            fps[backend.index()] = 1.0 / t;
+        }
+        rows.push(ThroughputRow { size: (w, h), fps });
+    }
+    Ok(rows)
+}
+
+/// Fusion-quality comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct QualityRow {
+    /// Method label.
+    pub method: String,
+    /// Shannon entropy of the fused frame, bits.
+    pub entropy: f64,
+    /// Spatial frequency.
+    pub spatial_frequency: f64,
+    /// Petrović `Q^{AB/F}` edge preservation.
+    pub qabf: f64,
+    /// Fusion mutual information `I(A;F) + I(B;F)`, bits.
+    pub mutual_information: f64,
+}
+
+/// Compares DT-CWT fusion against the baselines on a captured scene pair
+/// (the paper's §I claim that DT-CWT fusion quality motivates the system).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn quality_comparison(w: usize, h: usize) -> Result<Vec<QualityRow>, FusionError> {
+    let scene = ScenePair::new(SCENE_SEED);
+    let a = scene.render_visible(w, h, 0.0);
+    let b = scene.render_thermal(w, h, 0.0);
+
+    let mut engine = FusionEngine::with_rules(
+        LEVELS,
+        FusionRule::WindowEnergy { radius: 1 },
+        LowpassRule::Average,
+    )?;
+    let dtcwt_img = engine.fuse(&a, &b, Backend::Neon)?.image;
+    let mut engine_max =
+        FusionEngine::with_rules(LEVELS, FusionRule::MaxMagnitude, LowpassRule::Average)?;
+    let dtcwt_max_img = engine_max.fuse(&a, &b, Backend::Neon)?.image;
+    let mut engine_act = FusionEngine::with_rules(
+        LEVELS,
+        FusionRule::ActivityGuided {
+            radius: 1,
+            match_threshold: 0.75,
+        },
+        LowpassRule::Average,
+    )?;
+    let dtcwt_act_img = engine_act.fuse(&a, &b, Backend::Neon)?.image;
+    let avg = average_fusion(&a, &b);
+    let dwt = dwt_fusion(&a, &b, FilterBank::cdf_9_7()?, LEVELS)?;
+    let swt = swt_fusion(&a, &b, FilterBank::cdf_9_7()?, LEVELS)?;
+    let lap = laplacian_fusion(&a, &b, LEVELS)?;
+
+    let row = |method: &str, img: &Image| QualityRow {
+        method: method.to_string(),
+        entropy: wavefuse_metrics::entropy(img),
+        spatial_frequency: wavefuse_metrics::spatial_frequency(img),
+        qabf: wavefuse_metrics::petrovic_qabf(&a, &b, img),
+        mutual_information: wavefuse_metrics::fusion_mutual_information(&a, &b, img),
+    };
+    Ok(vec![
+        row("averaging", &avg),
+        row("laplacian pyramid", &lap),
+        row("dwt (cdf 9/7), max-abs", &dwt),
+        row("swt (cdf 9/7, undecimated)", &swt),
+        row("dt-cwt, max-magnitude", &dtcwt_max_img),
+        row("dt-cwt, activity-guided", &dtcwt_act_img),
+        row("dt-cwt, window-energy (ours)", &dtcwt_img),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let m = collect_matrix().unwrap();
+        assert_eq!(m.len(), PAPER_SIZES.len() * 3);
+        let s = fig9_series(&m, Quantity::Total);
+        assert_eq!(s.len(), PAPER_SIZES.len());
+        // Times grow with frame size for every mode.
+        for w in s.windows(2) {
+            assert!(w[1].arm > w[0].arm);
+        }
+    }
+
+    #[test]
+    fn crossovers_land_in_paper_intervals() {
+        let c = crossover_report().unwrap();
+        let f = c.forward_edge.unwrap();
+        assert!(f > 35 && f <= 40, "forward edge {f}");
+        let t = c.total_edge.unwrap();
+        assert!(t > 40 && t <= 64, "total edge {t}");
+        let e = c.energy_edge.unwrap();
+        assert!(e > 40 && e <= 64, "energy edge {e}");
+    }
+
+    #[test]
+    fn adaptive_beats_both_fixed_accelerators() {
+        let outcomes = adaptive_comparison().unwrap();
+        let get = |label: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.policy.starts_with(label))
+                .expect("policy present")
+        };
+        let neon = get("fixed NEON").total_s;
+        let fpga = get("fixed FPGA").total_s;
+        let adaptive = get("adaptive (model, time)").total_s;
+        assert!(adaptive <= neon + 1e-9, "{adaptive} vs neon {neon}");
+        assert!(adaptive <= fpga + 1e-9, "{adaptive} vs fpga {fpga}");
+        // And it genuinely mixes both accelerators.
+        let usage = get("adaptive (model, time)").backend_usage;
+        assert!(usage[1] > 0 && usage[2] > 0, "usage {usage:?}");
+    }
+
+    #[test]
+    fn ablations_show_the_design_choices_pay() {
+        let rows = ablation_report().unwrap();
+        assert!((rows[0].slowdown - 1.0).abs() < 1e-12);
+        assert!(rows[1].slowdown > 1.0, "double buffering must help");
+        assert!(
+            rows[2].slowdown > rows[1].slowdown,
+            "GP port must be the worst"
+        );
+    }
+
+    #[test]
+    fn deeper_levels_cost_geometrically_less() {
+        let rows = levels_sweep().unwrap();
+        assert_eq!(rows.len(), 5);
+        // Marginal cost of each extra level shrinks on every backend.
+        for w in rows.windows(2) {
+            assert!(w[1].arm_s > w[0].arm_s, "more levels, more work");
+        }
+        let d12 = rows[1].arm_s - rows[0].arm_s;
+        let d45 = rows[4].arm_s - rows[3].arm_s;
+        assert!(d45 < 0.5 * d12, "marginal level cost must decay: {d12} vs {d45}");
+        // The LL band shrinks by half per level.
+        assert_eq!(rows[0].ll_dims, (44, 36));
+        assert_eq!(rows[2].ll_dims, (11, 9));
+    }
+
+    #[test]
+    fn throughput_ordering_and_scale() {
+        let rows = throughput_report().unwrap();
+        // At the paper's 88x72 full frames, the FPGA sustains ~11 fps and
+        // the hybrid slightly more; ARM manages ~6.
+        let full = rows.last().unwrap();
+        assert!(full.fps[0] > 3.0 && full.fps[0] < 10.0, "ARM {}", full.fps[0]);
+        assert!(full.fps[2] > full.fps[1], "FPGA beats NEON at 88x72");
+        assert!(full.fps[3] >= full.fps[2], "hybrid at least matches FPGA");
+        // Small frames run far faster than large ones everywhere.
+        assert!(rows[0].fps[1] > 2.0 * full.fps[1]);
+    }
+
+    #[test]
+    fn hybrid_dominates_both_pure_accelerators() {
+        for row in hybrid_comparison().unwrap() {
+            assert!(
+                row.hybrid_s <= row.neon_s + 1e-9 && row.hybrid_s <= row.fpga_s + 1e-9,
+                "{:?}: hybrid {} vs neon {} fpga {}",
+                row.size,
+                row.hybrid_s,
+                row.neon_s,
+                row.fpga_s
+            );
+            assert!(row.rows_simd > 0, "{:?}: no SIMD rows", row.size);
+        }
+    }
+
+    #[test]
+    fn quality_ranking_favors_dtcwt() {
+        let rows = quality_comparison(88, 72).unwrap();
+        let get = |m: &str| {
+            rows.iter()
+                .find(|r| r.method.starts_with(m))
+                .expect("method present")
+                .clone()
+        };
+        let avg = get("averaging");
+        let ours = get("dt-cwt, window-energy");
+        assert!(ours.qabf > avg.qabf, "{} vs {}", ours.qabf, avg.qabf);
+        assert!(ours.spatial_frequency > avg.spatial_frequency);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§VII) from the wavefuse implementation.
+//!
+//! Each experiment has a function here returning structured rows; the
+//! `repro` binary renders them next to the paper's reported values. The
+//! Criterion benches in `benches/` measure the *host-side* performance of
+//! the real kernels over the same workload matrix.
+//!
+//! | experiment | paper artifact | function |
+//! |------------|----------------|----------|
+//! | Phase profile | Fig. 2 | [`experiments::fig2_profile`] |
+//! | Engine complexity | Table I | [`experiments::table1_resources`] |
+//! | Forward DT-CWT time | Fig. 9a | [`experiments::collect_matrix`] + [`experiments::fig9_series`] |
+//! | Total time | Fig. 9b | same matrix |
+//! | Inverse DT-CWT time | Fig. 9c | same matrix |
+//! | Total energy | Fig. 10 | same matrix |
+//! | Breaking points | §VII text | [`experiments::crossover_report`] |
+//! | Adaptive selection | §VIII future work | [`experiments::adaptive_comparison`] |
+//! | Transfer/buffering ablations | §V design choices | [`experiments::ablation_report`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;

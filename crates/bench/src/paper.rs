@@ -1,0 +1,65 @@
+//! The paper's reported reference values, for side-by-side comparison.
+//!
+//! Exact numbers come from the text of §VII; per-size series values are not
+//! tabulated in the paper (only plotted), so the series comparisons are
+//! against the stated ratios and crossover intervals.
+
+/// The five evaluation frame sizes of Figs. 9–10.
+pub const PAPER_SIZES: [(usize, usize); 5] = [(32, 24), (35, 35), (40, 40), (64, 48), (88, 72)];
+
+/// Frames per profiled run ("10 input frames were decomposed, fused and
+/// reconstructed continuously").
+pub const FRAMES_PER_RUN: usize = 10;
+
+/// Decomposition depth used throughout the evaluation.
+pub const LEVELS: usize = 3;
+
+/// Paper: forward DT-CWT enhancement at 88x72, FPGA vs ARM (55.6 %).
+pub const FWD_FPGA_ENHANCEMENT: f64 = 0.556;
+/// Paper: forward enhancement at 88x72, NEON vs ARM (10 %).
+pub const FWD_NEON_ENHANCEMENT: f64 = 0.10;
+/// Paper: inverse enhancement at 88x72, FPGA vs ARM (60.6 %).
+pub const INV_FPGA_ENHANCEMENT: f64 = 0.606;
+/// Paper: inverse enhancement at 88x72, NEON vs ARM (16 %).
+pub const INV_NEON_ENHANCEMENT: f64 = 0.16;
+/// Paper: total-time enhancement at 88x72, FPGA vs ARM (48.1 %).
+pub const TOTAL_FPGA_ENHANCEMENT: f64 = 0.481;
+/// Paper: total-time enhancement at 88x72, NEON vs ARM (8 %).
+pub const TOTAL_NEON_ENHANCEMENT: f64 = 0.08;
+/// Paper: total-energy saving at 88x72, FPGA vs ARM (46.3 %).
+pub const ENERGY_FPGA_SAVING: f64 = 0.463;
+/// Paper: total-energy saving at 88x72, NEON vs ARM (8 %).
+pub const ENERGY_NEON_SAVING: f64 = 0.08;
+/// Paper: FPGA forward degradation vs NEON at 32x24 (36.4 %).
+pub const FWD_FPGA_DEGRADATION_32X24: f64 = 0.364;
+/// Paper: extra board power with the PL engine active (+19.2 mW, +3.6 %).
+pub const FPGA_POWER_INCREMENT_W: f64 = 0.0192;
+
+/// Paper: forward-time breaking point lies strictly between these square
+/// frame edges.
+pub const FWD_CROSSOVER_EDGES: (usize, usize) = (35, 40);
+/// Paper: total-time and energy breaking points lie strictly between these
+/// square frame edges ("between 40x40 and 64x48").
+pub const TOTAL_CROSSOVER_EDGES: (usize, usize) = (40, 64);
+
+/// Paper Table I: wavelet-engine utilization on the xc7z020.
+pub const TABLE1_UTILIZATION: [(&str, u64, u64, u64); 4] = [
+    ("Registers", 23_412, 106_400, 22),
+    ("LUTs", 17_405, 53_200, 32),
+    ("Slices", 7_890, 13_300, 59),
+    ("BUFG", 3, 32, 9),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_internally_consistent() {
+        // Energy saving ≈ 1 - (1 - total saving) * (1 + power increment).
+        let implied = 1.0 - (1.0 - TOTAL_FPGA_ENHANCEMENT) * 1.036;
+        assert!((implied - ENERGY_FPGA_SAVING).abs() < 0.03, "implied {implied}");
+        assert_eq!(PAPER_SIZES.len(), 5);
+        assert!(FWD_CROSSOVER_EDGES.0 < FWD_CROSSOVER_EDGES.1);
+    }
+}

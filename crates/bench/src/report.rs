@@ -1,0 +1,262 @@
+//! Plain-text table rendering for the `repro` binary.
+
+use crate::experiments::{
+    AblationRow, CrossoverReport, HybridRow, LevelsRow, PolicyOutcome, QualityRow, ResourceRow,
+    SeriesRow, ThroughputRow,
+};
+
+/// Renders a Fig. 9/10-style series table with per-size mode ratios.
+pub fn render_series(title: &str, unit: &str, rows: &[SeriesRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>9} {:>9}\n",
+        "size", "ARM", "ARM+NEON", "ARM+FPGA", "NEON/ARM", "FPGA/ARM"
+    ));
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} | {:>10.4} {:>10.4} {:>10.4} | {:>9.3} {:>9.3}\n",
+            format!("{}x{}", r.size.0, r.size.1),
+            r.arm,
+            r.neon,
+            r.fpga,
+            r.neon / r.arm,
+            r.fpga / r.arm
+        ));
+    }
+    out.push_str(&format!("(values in {unit}, ten fused frames per cell)\n"));
+    out
+}
+
+/// Renders the Fig. 2 profile bars.
+pub fn render_profile(phases: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("## Fig. 2 — profile of fusing two input images (ARM only)\n");
+    for (name, pct) in phases {
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        out.push_str(&format!("{name:>18} {pct:5.1}% {bar}\n"));
+    }
+    out
+}
+
+/// Renders Table I next to the paper's reported values.
+pub fn render_table1(ours_12: &[ResourceRow], deployed_20: &[ResourceRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Table I — wavelet engine complexity (xc7z020clg484-1)\n");
+    out.push_str(&format!(
+        "{:>10} | {:>9} {:>9} {:>4} | {:>9} {:>4} | {:>16}\n",
+        "resource", "available", "12-tap", "%", "20-tap", "%", "paper (12-tap)"
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    for (row12, row20) in ours_12.iter().zip(deployed_20) {
+        let paper = crate::paper::TABLE1_UTILIZATION
+            .iter()
+            .find(|(n, _, _, _)| *n == row12.resource)
+            .expect("paper row");
+        out.push_str(&format!(
+            "{:>10} | {:>9} {:>9} {:>3}% | {:>9} {:>3}% | {:>10} ({:>2}%)\n",
+            row12.resource,
+            row12.available,
+            row12.used,
+            row12.percent,
+            row20.used,
+            row20.percent,
+            paper.1,
+            paper.3
+        ));
+    }
+    out
+}
+
+/// Renders the crossover report with the paper's intervals.
+pub fn render_crossovers(c: &CrossoverReport) -> String {
+    let fmt = |e: Option<usize>| e.map_or("none".into(), |v| format!("{v}x{v}"));
+    format!(
+        "## Breaking points (smallest square frame where ARM+FPGA beats ARM+NEON)\n\
+         forward transform : {:>7}   (paper: between 35x35 and 40x40)\n\
+         inverse transform : {:>7}   (paper: above 40x40)\n\
+         total time        : {:>7}   (paper: between 40x40 and 64x48)\n\
+         total energy      : {:>7}   (paper: between 40x40 and 64x48)\n",
+        fmt(c.forward_edge),
+        fmt(c.inverse_edge),
+        fmt(c.total_edge),
+        fmt(c.energy_edge),
+    )
+}
+
+/// Renders the adaptive-policy comparison.
+pub fn render_adaptive(outcomes: &[PolicyOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("## Adaptive execution over a mixed-size workload (20 frames, 5 sizes)\n");
+    out.push_str(&format!(
+        "{:>26} | {:>9} {:>11} | {:>14}\n",
+        "policy", "time (s)", "energy (mJ)", "ARM/NEON/FPGA"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:>26} | {:>9.4} {:>11.2} | {:>4}/{:>4}/{:>4}\n",
+            o.policy,
+            o.total_s,
+            o.energy_mj,
+            o.backend_usage[0],
+            o.backend_usage[1],
+            o.backend_usage[2]
+        ));
+    }
+    out
+}
+
+/// Renders the design-choice ablations.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Ablation — FPGA path design choices (ten-frame 88x72 forward phase)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>45} : {:>8.4} s  ({:.2}x)\n",
+            r.configuration, r.forward_s, r.slowdown
+        ));
+    }
+    out
+}
+
+/// Renders the decomposition-level sweep.
+pub fn render_levels(rows: &[LevelsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Decomposition-level sweep at 88x72 (seconds per fused frame)\n");
+    out.push_str(&format!(
+        "{:>6} | {:>9} {:>9} {:>9} {:>9} | {:>8}\n",
+        "levels", "ARM", "NEON", "FPGA", "hybrid", "LL size"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>9.5} {:>9.5} {:>9.5} {:>9.5} | {:>8}\n",
+            r.levels,
+            r.arm_s,
+            r.neon_s,
+            r.fpga_s,
+            r.hybrid_s,
+            format!("{}x{}", r.ll_dims.0, r.ll_dims.1)
+        ));
+    }
+    out
+}
+
+/// Renders the hybrid per-row routing study.
+pub fn render_hybrid(rows: &[HybridRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Hybrid per-row NEON/FPGA routing (extension; seconds per fused frame)\n");
+    out.push_str(&format!(
+        "{:>8} | {:>9} {:>9} {:>9} | {:>7} | rows simd/fpga\n",
+        "size", "NEON", "FPGA", "hybrid", "winner"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for r in rows {
+        let best = r.neon_s.min(r.fpga_s).min(r.hybrid_s);
+        let winner = if best == r.hybrid_s {
+            "hybrid"
+        } else if best == r.fpga_s {
+            "FPGA"
+        } else {
+            "NEON"
+        };
+        out.push_str(&format!(
+            "{:>8} | {:>9.5} {:>9.5} {:>9.5} | {:>7} | {}/{}\n",
+            format!("{}x{}", r.size.0, r.size.1),
+            r.neon_s,
+            r.fpga_s,
+            r.hybrid_s,
+            winner,
+            r.rows_simd,
+            r.rows_fpga
+        ));
+    }
+    out
+}
+
+/// Renders the throughput report.
+pub fn render_throughput(rows: &[ThroughputRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Modeled fusion throughput (frames/second)\n");
+    out.push_str(&format!(
+        "{:>8} | {:>8} {:>8} {:>8} {:>8}\n",
+        "size", "ARM", "NEON", "FPGA", "hybrid"
+    ));
+    out.push_str(&"-".repeat(48));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} | {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+            format!("{}x{}", r.size.0, r.size.1),
+            r.fps[0],
+            r.fps[1],
+            r.fps[2],
+            r.fps[3]
+        ));
+    }
+    out
+}
+
+/// Renders the fusion-quality comparison.
+pub fn render_quality(rows: &[QualityRow]) -> String {
+    let mut out = String::new();
+    out.push_str("## Fusion quality at 88x72 (higher is better)\n");
+    out.push_str(&format!(
+        "{:>30} | {:>8} {:>8} {:>8} {:>8}\n",
+        "method", "entropy", "spatial", "Q^AB/F", "MI"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:>30} | {:>8.3} {:>8.4} {:>8.3} {:>8.3}\n",
+            r.method, r.entropy, r.spatial_frequency, r.qabf, r.mutual_information
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render_contains_all_sizes() {
+        let rows = vec![
+            SeriesRow {
+                size: (32, 24),
+                arm: 0.2,
+                neon: 0.18,
+                fpga: 0.25,
+            },
+            SeriesRow {
+                size: (88, 72),
+                arm: 1.7,
+                neon: 1.5,
+                fpga: 0.9,
+            },
+        ];
+        let s = render_series("Fig. 9a", "seconds", &rows);
+        assert!(s.contains("32x24") && s.contains("88x72"));
+        assert!(s.contains("0.529"), "ratio column rendered: {s}");
+    }
+
+    #[test]
+    fn crossover_render_handles_none() {
+        let s = render_crossovers(&CrossoverReport {
+            forward_edge: Some(39),
+            inverse_edge: None,
+            total_edge: Some(41),
+            energy_edge: Some(41),
+        });
+        assert!(s.contains("39x39"));
+        assert!(s.contains("none"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Comparison fusion baselines.
+//!
+//! The paper positions DT-CWT fusion against simpler schemes: plain-DWT
+//! fusion (its reference \[12\] compares the two), Laplacian-pyramid fusion
+//! (the FPGA systems of its references \[6\]\[8\]), and naive averaging. All
+//! three are implemented here so the quality claims can be measured with
+//! `wavefuse-metrics` (see the `quality_comparison` example and the
+//! integration tests).
+
+use wavefuse_dtcwt::swt::Swt2d;
+use wavefuse_dtcwt::{Dwt2d, FilterBank, Image};
+use wavefuse_video::scaler::resize_bilinear;
+
+use crate::FusionError;
+
+/// Pixel averaging — the weakest baseline.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn average_fusion(a: &Image, b: &Image) -> Image {
+    assert_eq!(a.dims(), b.dims(), "inputs must share dimensions");
+    let (w, h) = a.dims();
+    Image::from_fn(w, h, |x, y| 0.5 * (a.get(x, y) + b.get(x, y)))
+}
+
+/// Plain decimated-DWT fusion: per-subband choose-max-absolute detail
+/// coefficients, averaged approximation band.
+///
+/// # Errors
+///
+/// Returns [`FusionError::DimensionMismatch`] for unequal inputs and
+/// propagates transform errors for unsupported depths.
+pub fn dwt_fusion(
+    a: &Image,
+    b: &Image,
+    bank: FilterBank,
+    levels: usize,
+) -> Result<Image, FusionError> {
+    if a.dims() != b.dims() {
+        return Err(FusionError::DimensionMismatch {
+            a: a.dims(),
+            b: b.dims(),
+        });
+    }
+    let dwt = Dwt2d::new(bank, levels)?;
+    let pa = dwt.forward(a)?;
+    let pb = dwt.forward(b)?;
+    let mut fused = pa.clone();
+    for level in 0..levels {
+        let da = pa.detail(level);
+        let db = pb.detail(level);
+        let df = fused.detail_mut(level);
+        for (out, (ia, ib)) in [&mut df.lh, &mut df.hl, &mut df.hh]
+            .into_iter()
+            .zip([(&da.lh, &db.lh), (&da.hl, &db.hl), (&da.hh, &db.hh)])
+        {
+            let (w, h) = ia.dims();
+            *out = Image::from_fn(w, h, |x, y| {
+                let (va, vb) = (ia.get(x, y), ib.get(x, y));
+                if va.abs() >= vb.abs() {
+                    va
+                } else {
+                    vb
+                }
+            });
+        }
+    }
+    let (w, h) = pa.ll().dims();
+    *fused.ll_mut() = Image::from_fn(w, h, |x, y| 0.5 * (pa.ll().get(x, y) + pb.ll().get(x, y)));
+    Ok(dwt.inverse(&fused)?)
+}
+
+/// Stationary-wavelet (undecimated) fusion: the exactly shift-invariant
+/// transform baseline — better temporal stability than the decimated DWT
+/// but several times the compute of the DT-CWT (see
+/// [`wavefuse_dtcwt::swt::Swt2d::forward_macs`]).
+///
+/// # Errors
+///
+/// Returns [`FusionError::DimensionMismatch`] for unequal inputs and
+/// propagates transform errors.
+pub fn swt_fusion(
+    a: &Image,
+    b: &Image,
+    bank: FilterBank,
+    levels: usize,
+) -> Result<Image, FusionError> {
+    if a.dims() != b.dims() {
+        return Err(FusionError::DimensionMismatch {
+            a: a.dims(),
+            b: b.dims(),
+        });
+    }
+    let swt = Swt2d::new(bank, levels)?;
+    let pa = swt.forward(a);
+    let pb = swt.forward(b);
+    let mut fused = pa.clone();
+    let max_abs = |ia: &Image, ib: &Image| {
+        let (w, h) = ia.dims();
+        Image::from_fn(w, h, |x, y| {
+            let (va, vb) = (ia.get(x, y), ib.get(x, y));
+            if va.abs() >= vb.abs() {
+                va
+            } else {
+                vb
+            }
+        })
+    };
+    for level in 0..levels {
+        let da = pa.detail(level);
+        let db = pb.detail(level);
+        let df = fused.detail_mut(level);
+        df.dh = max_abs(&da.dh, &db.dh);
+        df.dv = max_abs(&da.dv, &db.dv);
+        df.dd = max_abs(&da.dd, &db.dd);
+    }
+    let (w, h) = pa.approx().dims();
+    *fused.approx_mut() =
+        Image::from_fn(w, h, |x, y| 0.5 * (pa.approx().get(x, y) + pb.approx().get(x, y)));
+    Ok(swt.inverse(&fused)?)
+}
+
+/// One REDUCE step of the Gaussian pyramid: 5-tap binomial blur then 2x
+/// decimation (edges clamped).
+fn reduce(img: &Image) -> Image {
+    const K: [f32; 5] = [0.0625, 0.25, 0.375, 0.25, 0.0625];
+    let (w, h) = img.dims();
+    // Horizontal blur.
+    let hx = Image::from_fn(w, h, |x, y| {
+        K.iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let sx = (x as isize + i as isize - 2).clamp(0, w as isize - 1) as usize;
+                k * img.get(sx, y)
+            })
+            .sum()
+    });
+    // Vertical blur.
+    let blurred = Image::from_fn(w, h, |x, y| {
+        K.iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let sy = (y as isize + i as isize - 2).clamp(0, h as isize - 1) as usize;
+                k * hx.get(x, sy)
+            })
+            .sum()
+    });
+    Image::from_fn(w.div_ceil(2), h.div_ceil(2), |x, y| {
+        blurred.get((2 * x).min(w - 1), (2 * y).min(h - 1))
+    })
+}
+
+/// Laplacian-pyramid fusion (Burt–Adelson style): choose-max-absolute on
+/// the band-pass levels, averaged base level.
+///
+/// # Errors
+///
+/// Returns [`FusionError::DimensionMismatch`] for unequal inputs and
+/// [`FusionError::Video`] if a pyramid level degenerates to zero size.
+pub fn laplacian_fusion(a: &Image, b: &Image, levels: usize) -> Result<Image, FusionError> {
+    if a.dims() != b.dims() {
+        return Err(FusionError::DimensionMismatch {
+            a: a.dims(),
+            b: b.dims(),
+        });
+    }
+    let lap_a = build_laplacian(a, levels)?;
+    let lap_b = build_laplacian(b, levels)?;
+
+    // Fuse: max-abs on band-pass levels, average on the base.
+    let mut fused: Vec<Image> = Vec::with_capacity(levels + 1);
+    for (la, lb) in lap_a.iter().zip(&lap_b).take(levels) {
+        let (w, h) = la.dims();
+        fused.push(Image::from_fn(w, h, |x, y| {
+            let (va, vb) = (la.get(x, y), lb.get(x, y));
+            if va.abs() >= vb.abs() {
+                va
+            } else {
+                vb
+            }
+        }));
+    }
+    let base_a = &lap_a[levels];
+    let base_b = &lap_b[levels];
+    let (bw, bh) = base_a.dims();
+    fused.push(Image::from_fn(bw, bh, |x, y| {
+        0.5 * (base_a.get(x, y) + base_b.get(x, y))
+    }));
+
+    // Collapse.
+    let mut cur = fused.pop().expect("base level present");
+    while let Some(band) = fused.pop() {
+        let (w, h) = band.dims();
+        let mut up = resize_bilinear(&cur, w, h)?;
+        up.add_scaled(&band, 1.0);
+        cur = up;
+    }
+    Ok(cur)
+}
+
+/// Builds `levels` band-pass images plus the final base (lowest) level.
+fn build_laplacian(img: &Image, levels: usize) -> Result<Vec<Image>, FusionError> {
+    let mut out = Vec::with_capacity(levels + 1);
+    let mut cur = img.clone();
+    for _ in 0..levels {
+        let next = reduce(&cur);
+        let (w, h) = cur.dims();
+        let up = resize_bilinear(&next, w, h)?;
+        let mut band = cur.clone();
+        band.add_scaled(&up, -1.0);
+        out.push(band);
+        cur = next;
+    }
+    out.push(cur);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(w: usize, h: usize) -> (Image, Image) {
+        (
+            Image::from_fn(w, h, |x, y| if (x / 4 + y / 4) % 2 == 0 { 0.9 } else { 0.1 }),
+            Image::from_fn(w, h, |x, y| ((x + 2 * y) % 16) as f32 / 15.0),
+        )
+    }
+
+    #[test]
+    fn average_fusion_is_the_mean() {
+        let (a, b) = inputs(16, 16);
+        let f = average_fusion(&a, &b);
+        assert!((f.get(3, 5) - 0.5 * (a.get(3, 5) + b.get(3, 5))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dwt_fusion_of_identical_inputs_is_identity() {
+        let (a, _) = inputs(32, 32);
+        let f = dwt_fusion(&a, &a, FilterBank::cdf_9_7().unwrap(), 3).unwrap();
+        assert!(f.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn laplacian_fusion_of_identical_inputs_is_identity() {
+        let (a, _) = inputs(32, 32);
+        let f = laplacian_fusion(&a, &a, 3).unwrap();
+        assert!(f.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn swt_fusion_of_identical_inputs_is_identity() {
+        let (a, _) = inputs(32, 32);
+        let f = swt_fusion(&a, &a, FilterBank::cdf_9_7().unwrap(), 3).unwrap();
+        assert!(f.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn swt_fusion_is_exactly_shift_consistent() {
+        // Fusing circularly shifted inputs and unshifting reproduces the
+        // unshifted fusion bit-for-bit-close — the SWT's defining property.
+        use wavefuse_dtcwt::analysis::circular_shift;
+        let (a, b) = inputs(32, 32);
+        let base = swt_fusion(&a, &b, FilterBank::cdf_9_7().unwrap(), 2).unwrap();
+        let sa = circular_shift(&a, 5, 3);
+        let sb = circular_shift(&b, 5, 3);
+        let fused = swt_fusion(&sa, &sb, FilterBank::cdf_9_7().unwrap(), 2).unwrap();
+        let unshifted = circular_shift(&fused, -5, -3);
+        assert!(unshifted.max_abs_diff(&base) < 1e-4);
+    }
+
+    #[test]
+    fn reduce_halves_dimensions() {
+        let img = Image::filled(9, 6, 1.0);
+        let r = reduce(&img);
+        assert_eq!(r.dims(), (5, 3));
+        for &v in r.as_slice() {
+            assert!((v - 1.0).abs() < 1e-5, "constant preserved, got {v}");
+        }
+    }
+
+    #[test]
+    fn fusions_keep_strong_features_from_both() {
+        // Source A has high contrast on the left, B on the right; any
+        // sensible detail-selecting fusion beats averaging in spatial
+        // frequency on both halves.
+        let w = 64;
+        let a = Image::from_fn(w, w, |x, y| {
+            if x < w / 2 {
+                if (x / 2 + y / 2) % 2 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                0.5
+            }
+        });
+        let b = Image::from_fn(w, w, |x, y| {
+            if x >= w / 2 {
+                if (x / 2 + y / 2) % 2 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                0.5
+            }
+        });
+        let avg = average_fusion(&a, &b);
+        let dwt = dwt_fusion(&a, &b, FilterBank::cdf_9_7().unwrap(), 3).unwrap();
+        let lap = laplacian_fusion(&a, &b, 3).unwrap();
+        let activity = |img: &Image| -> f64 {
+            let mut acc = 0.0;
+            for y in 0..w {
+                for x in 1..w {
+                    acc += (img.get(x, y) - img.get(x - 1, y)).abs() as f64;
+                }
+            }
+            acc
+        };
+        assert!(activity(&dwt) > 1.3 * activity(&avg));
+        assert!(activity(&lap) > 1.3 * activity(&avg));
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (a, _) = inputs(16, 16);
+        let (_, b) = inputs(16, 18);
+        assert!(matches!(
+            dwt_fusion(&a, &b, FilterBank::haar().unwrap(), 2),
+            Err(FusionError::DimensionMismatch { .. })
+        ));
+        assert!(laplacian_fusion(&a, &b, 2).is_err());
+    }
+}

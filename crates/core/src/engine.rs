@@ -1,0 +1,389 @@
+//! The fusion engine: decompose → fuse → reconstruct on a chosen backend.
+
+use wavefuse_dtcwt::{Dtcwt, FilterKernel, Image, ScalarKernel};
+use wavefuse_power::PowerModel;
+use wavefuse_simd::SimdKernel;
+use wavefuse_zynq::FpgaKernel;
+
+use crate::backend::Backend;
+use crate::cost::{CostModel, Direction, TransformPlan};
+use crate::hybrid::HybridKernel;
+use crate::rules::{fuse_pyramids, FusionRule, LowpassRule};
+use crate::FusionError;
+
+/// Modeled time of one fused frame, split into the paper's Fig. 2 phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTiming {
+    /// Forward DT-CWT of both inputs.
+    pub forward_s: f64,
+    /// Coefficient fusion (always on the PS).
+    pub fusion_s: f64,
+    /// Inverse DT-CWT of the fused pyramid.
+    pub inverse_s: f64,
+    /// Capture/conversion/display overhead.
+    pub overhead_s: f64,
+}
+
+impl PhaseTiming {
+    /// Sum of all phases, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.forward_s + self.fusion_s + self.inverse_s + self.overhead_s
+    }
+
+    /// Adds another frame's phases into this accumulator.
+    pub fn accumulate(&mut self, other: &PhaseTiming) {
+        self.forward_s += other.forward_s;
+        self.fusion_s += other.fusion_s;
+        self.inverse_s += other.inverse_s;
+        self.overhead_s += other.overhead_s;
+    }
+}
+
+/// Result of fusing one frame pair.
+#[derive(Debug, Clone)]
+pub struct FusionOutput {
+    /// The fused frame.
+    pub image: Image,
+    /// Modeled per-phase time.
+    pub timing: PhaseTiming,
+    /// Backend that executed the transforms.
+    pub backend: Backend,
+    /// Modeled energy, millijoules.
+    pub energy_mj: f64,
+}
+
+/// The complete fusion engine.
+///
+/// Owns one kernel instance per backend (so the FPGA engine's coefficient
+/// registers stay warm across frames, as on the real platform), the
+/// transform configuration, the fusion rule, and the calibrated models.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct FusionEngine {
+    dtcwt: Dtcwt,
+    levels: usize,
+    rule: FusionRule,
+    lowpass_rule: LowpassRule,
+    cost: CostModel,
+    power: PowerModel,
+    scalar: ScalarKernel,
+    simd: SimdKernel,
+    fpga: FpgaKernel,
+    hybrid: HybridKernel,
+}
+
+impl FusionEngine {
+    /// Creates an engine with the standard configuration: `levels`-deep
+    /// DT-CWT, 3x3 window-energy detail rule, averaged lowpass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Transform`] for `levels == 0`.
+    pub fn new(levels: usize) -> Result<Self, FusionError> {
+        FusionEngine::with_rules(
+            levels,
+            FusionRule::WindowEnergy { radius: 1 },
+            LowpassRule::Average,
+        )
+    }
+
+    /// Creates an engine with explicit fusion rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Transform`] for `levels == 0`.
+    pub fn with_rules(
+        levels: usize,
+        rule: FusionRule,
+        lowpass_rule: LowpassRule,
+    ) -> Result<Self, FusionError> {
+        Ok(FusionEngine {
+            dtcwt: Dtcwt::new(levels)?,
+            levels,
+            rule,
+            lowpass_rule,
+            cost: CostModel::calibrated(),
+            power: PowerModel::zc702(),
+            scalar: ScalarKernel::new(),
+            simd: SimdKernel::new(),
+            fpga: FpgaKernel::new(),
+            hybrid: HybridKernel::new(),
+        })
+    }
+
+    /// Decomposition depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The detail fusion rule.
+    pub fn rule(&self) -> FusionRule {
+        self.rule
+    }
+
+    /// The calibrated cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The platform power model in use.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The DT-CWT this engine runs.
+    pub fn transform(&self) -> &Dtcwt {
+        &self.dtcwt
+    }
+
+    /// Fuses one frame pair on the given backend.
+    ///
+    /// Functionally, all backends produce the same fused image (within
+    /// `f32` rounding); they differ in the modeled time and energy.
+    ///
+    /// # Errors
+    ///
+    /// * [`FusionError::DimensionMismatch`] if the frames differ in size.
+    /// * [`FusionError::Transform`] if the frames cannot support the
+    ///   configured decomposition depth.
+    pub fn fuse(
+        &mut self,
+        a: &Image,
+        b: &Image,
+        backend: Backend,
+    ) -> Result<FusionOutput, FusionError> {
+        if a.dims() != b.dims() {
+            return Err(FusionError::DimensionMismatch {
+                a: a.dims(),
+                b: b.dims(),
+            });
+        }
+        let (w, h) = a.dims();
+        let plan = TransformPlan::dtcwt(w, h, self.levels)?;
+
+        // Forward both inputs on the selected backend; for the FPGA the
+        // cycle-level ledger provides the elapsed time directly.
+        let (image, forward_s, inverse_s) = match backend {
+            Backend::Arm | Backend::Neon => {
+                let kernel: &mut dyn FilterKernel = match backend {
+                    Backend::Arm => &mut self.scalar,
+                    _ => &mut self.simd,
+                };
+                let pyr_a = self.dtcwt.forward_with(kernel, a)?;
+                let pyr_b = self.dtcwt.forward_with(kernel, b)?;
+                let fused = fuse_pyramids(&pyr_a, &pyr_b, self.rule, self.lowpass_rule);
+                let image = self.dtcwt.inverse_with(kernel, &fused)?;
+                let dir_t = |m: &CostModel, d| match backend {
+                    Backend::Arm => m.arm_seconds(&plan, d),
+                    _ => m.neon_seconds(&plan, d),
+                };
+                let fwd = 2.0 * dir_t(&self.cost, Direction::Forward);
+                let inv = dir_t(&self.cost, Direction::Inverse);
+                (image, fwd, inv)
+            }
+            Backend::Fpga => {
+                self.fpga.reset_ledger();
+                let pyr_a = self.dtcwt.forward_with(&mut self.fpga, a)?;
+                let pyr_b = self.dtcwt.forward_with(&mut self.fpga, b)?;
+                let fwd = self.fpga.ledger().elapsed_seconds;
+                let fused = fuse_pyramids(&pyr_a, &pyr_b, self.rule, self.lowpass_rule);
+                self.fpga.reset_ledger();
+                let image = self.dtcwt.inverse_with(&mut self.fpga, &fused)?;
+                let inv = self.fpga.ledger().elapsed_seconds;
+                (image, fwd, inv)
+            }
+            Backend::Hybrid => {
+                self.hybrid.reset();
+                let pyr_a = self.dtcwt.forward_with(&mut self.hybrid, a)?;
+                let pyr_b = self.dtcwt.forward_with(&mut self.hybrid, b)?;
+                let fwd = self.hybrid.elapsed_seconds();
+                let fused = fuse_pyramids(&pyr_a, &pyr_b, self.rule, self.lowpass_rule);
+                self.hybrid.reset();
+                let image = self.dtcwt.inverse_with(&mut self.hybrid, &fused)?;
+                let inv = self.hybrid.elapsed_seconds();
+                (image, fwd, inv)
+            }
+        };
+
+        let timing = PhaseTiming {
+            forward_s,
+            fusion_s: self.cost.fusion_seconds(&plan, self.rule),
+            inverse_s,
+            overhead_s: self.cost.frame_overhead_seconds(&plan),
+        };
+        let energy_mj = self
+            .power
+            .energy_mj(backend.execution_mode(), timing.total_seconds());
+        Ok(FusionOutput {
+            image,
+            timing,
+            backend,
+            energy_mj,
+        })
+    }
+
+    /// Modeled per-phase time for one fused frame of the given geometry on
+    /// a backend, *without* executing the transforms — the prediction the
+    /// adaptive scheduler uses. For the FPGA this is the validated analytic
+    /// approximation of the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Transform`] if the geometry cannot support
+    /// the configured depth.
+    pub fn predict(
+        &self,
+        width: usize,
+        height: usize,
+        backend: Backend,
+    ) -> Result<PhaseTiming, FusionError> {
+        let plan = TransformPlan::dtcwt(width, height, self.levels)?;
+        let (fwd1, inv1) = match backend {
+            Backend::Arm => (
+                self.cost.arm_seconds(&plan, Direction::Forward),
+                self.cost.arm_seconds(&plan, Direction::Inverse),
+            ),
+            Backend::Neon => (
+                self.cost.neon_seconds(&plan, Direction::Forward),
+                self.cost.neon_seconds(&plan, Direction::Inverse),
+            ),
+            Backend::Fpga => (
+                self.cost.fpga_seconds(&plan, Direction::Forward),
+                self.cost.fpga_seconds(&plan, Direction::Inverse),
+            ),
+            Backend::Hybrid => {
+                let th = self.cost.hybrid_row_threshold();
+                (
+                    self.cost.hybrid_seconds(&plan, Direction::Forward, th),
+                    self.cost.hybrid_seconds(&plan, Direction::Inverse, th),
+                )
+            }
+        };
+        Ok(PhaseTiming {
+            forward_s: 2.0 * fwd1,
+            fusion_s: self.cost.fusion_seconds(&plan, self.rule),
+            inverse_s: inv1,
+            overhead_s: self.cost.frame_overhead_seconds(&plan),
+        })
+    }
+
+    /// Modeled energy (millijoules) for one fused frame on a backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`FusionEngine::predict`].
+    pub fn predict_energy_mj(
+        &self,
+        width: usize,
+        height: usize,
+        backend: Backend,
+    ) -> Result<f64, FusionError> {
+        let t = self.predict(width, height, backend)?;
+        Ok(self
+            .power
+            .energy_mj(backend.execution_mode(), t.total_seconds()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(w: usize, h: usize) -> (Image, Image) {
+        (
+            Image::from_fn(w, h, |x, y| ((x * 5 + y * 2) % 17) as f32 / 16.0),
+            Image::from_fn(w, h, |x, y| ((x + y * y) % 23) as f32 / 22.0),
+        )
+    }
+
+    #[test]
+    fn all_backends_produce_the_same_image() {
+        let (a, b) = inputs(40, 40);
+        let mut eng = FusionEngine::new(3).unwrap();
+        let arm = eng.fuse(&a, &b, Backend::Arm).unwrap();
+        let neon = eng.fuse(&a, &b, Backend::Neon).unwrap();
+        let fpga = eng.fuse(&a, &b, Backend::Fpga).unwrap();
+        assert!(arm.image.max_abs_diff(&neon.image) < 1e-3);
+        assert!(arm.image.max_abs_diff(&fpga.image) < 1e-3);
+    }
+
+    #[test]
+    fn fused_image_combines_complementary_content() {
+        // A carries a left-half feature, B a right-half feature; the fused
+        // image must carry both.
+        let w = 48;
+        let a = Image::from_fn(w, w, |x, y| {
+            if x < w / 2 && (x / 3 + y / 3) % 2 == 0 {
+                1.0
+            } else {
+                0.3
+            }
+        });
+        let b = Image::from_fn(w, w, |x, y| {
+            if x >= w / 2 && (x / 3 + y / 3) % 2 == 1 {
+                1.0
+            } else {
+                0.3
+            }
+        });
+        let mut eng = FusionEngine::new(2).unwrap();
+        let out = eng.fuse(&a, &b, Backend::Neon).unwrap().image;
+        // Variance on each half should be comparable to the active source's.
+        let var = |img: &Image, x0: usize, x1: usize| -> f64 {
+            let vals: Vec<f64> = (x0..x1)
+                .flat_map(|x| (0..w).map(move |y| (x, y)))
+                .map(|(x, y)| img.get(x, y) as f64)
+                .collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(var(&out, 0, w / 2) > 0.5 * var(&a, 0, w / 2));
+        assert!(var(&out, w / 2, w) > 0.5 * var(&b, w / 2, w));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (a, _) = inputs(32, 24);
+        let (_, b) = inputs(40, 24);
+        let mut eng = FusionEngine::new(2).unwrap();
+        assert!(matches!(
+            eng.fuse(&a, &b, Backend::Arm),
+            Err(FusionError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn timing_ordering_large_frames() {
+        // At the paper's full frame size: FPGA < NEON < ARM total time.
+        let (a, b) = inputs(88, 72);
+        let mut eng = FusionEngine::new(3).unwrap();
+        let t_arm = eng.fuse(&a, &b, Backend::Arm).unwrap().timing.total_seconds();
+        let t_neon = eng.fuse(&a, &b, Backend::Neon).unwrap().timing.total_seconds();
+        let t_fpga = eng.fuse(&a, &b, Backend::Fpga).unwrap().timing.total_seconds();
+        assert!(t_fpga < t_neon && t_neon < t_arm, "{t_fpga} {t_neon} {t_arm}");
+    }
+
+    #[test]
+    fn prediction_matches_execution_for_fpga() {
+        let (a, b) = inputs(64, 48);
+        let mut eng = FusionEngine::new(3).unwrap();
+        let measured = eng.fuse(&a, &b, Backend::Fpga).unwrap().timing;
+        let predicted = eng.predict(64, 48, Backend::Fpga).unwrap();
+        let err = (measured.forward_s - predicted.forward_s).abs() / measured.forward_s;
+        assert!(err < 0.05, "forward prediction off by {:.1}%", err * 100.0);
+        let err_i = (measured.inverse_s - predicted.inverse_s).abs() / measured.inverse_s;
+        assert!(err_i < 0.05, "inverse prediction off by {:.1}%", err_i * 100.0);
+    }
+
+    #[test]
+    fn energy_uses_mode_power() {
+        let (a, b) = inputs(64, 48);
+        let mut eng = FusionEngine::new(3).unwrap();
+        let out = eng.fuse(&a, &b, Backend::Neon).unwrap();
+        let expect = eng
+            .power_model()
+            .energy_mj(Backend::Neon.execution_mode(), out.timing.total_seconds());
+        assert!((out.energy_mj - expect).abs() < 1e-12);
+    }
+}

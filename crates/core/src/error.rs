@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the fusion engine and pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FusionError {
+    /// The two input frames have different dimensions.
+    DimensionMismatch {
+        /// Dimensions of the first input.
+        a: (usize, usize),
+        /// Dimensions of the second input.
+        b: (usize, usize),
+    },
+    /// A wavelet transform failed.
+    Transform(wavefuse_dtcwt::DtcwtError),
+    /// A capture-path component failed.
+    Video(wavefuse_video::VideoError),
+    /// The simulated platform rejected an operation.
+    Platform(wavefuse_zynq::ZynqError),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::DimensionMismatch { a, b } => write!(
+                f,
+                "input frames differ in size: {}x{} vs {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+            FusionError::Transform(e) => write!(f, "wavelet transform failed: {e}"),
+            FusionError::Video(e) => write!(f, "capture path failed: {e}"),
+            FusionError::Platform(e) => write!(f, "platform rejected operation: {e}"),
+        }
+    }
+}
+
+impl Error for FusionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FusionError::Transform(e) => Some(e),
+            FusionError::Video(e) => Some(e),
+            FusionError::Platform(e) => Some(e),
+            FusionError::DimensionMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<wavefuse_dtcwt::DtcwtError> for FusionError {
+    fn from(e: wavefuse_dtcwt::DtcwtError) -> Self {
+        FusionError::Transform(e)
+    }
+}
+
+impl From<wavefuse_video::VideoError> for FusionError {
+    fn from(e: wavefuse_video::VideoError) -> Self {
+        FusionError::Video(e)
+    }
+}
+
+impl From<wavefuse_zynq::ZynqError> for FusionError {
+    fn from(e: wavefuse_zynq::ZynqError) -> Self {
+        FusionError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_chains() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FusionError>();
+        let e = FusionError::from(wavefuse_dtcwt::DtcwtError::BadLevels {
+            requested: 9,
+            max_supported: 3,
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("transform"));
+    }
+}

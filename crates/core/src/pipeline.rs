@@ -1,0 +1,266 @@
+//! The end-to-end video-fusion pipeline (paper §VI, Fig. 7).
+//!
+//! Couples the two camera models to the fusion engine: the visible stream
+//! arrives through the USB/PS path, the thermal stream through the BT.656
+//! decode → scale path, both gated through the depth-1 frame gate (the
+//! paper's output FIFO), then fused frame by frame on a fixed or
+//! adaptively chosen backend, accumulating modeled time and energy.
+
+use wavefuse_video::camera::{ThermalCamera, WebCamera};
+use wavefuse_video::fifo::FrameGate;
+use wavefuse_video::scene::ScenePair;
+use wavefuse_video::Frame;
+
+use crate::adaptive::AdaptiveScheduler;
+use crate::backend::Backend;
+use crate::engine::{FusionEngine, FusionOutput, PhaseTiming};
+use crate::FusionError;
+
+/// How the pipeline picks a backend per frame.
+#[derive(Debug)]
+pub enum BackendChoice {
+    /// Always the same backend.
+    Fixed(Backend),
+    /// Per-frame decision by an [`AdaptiveScheduler`] (with observation
+    /// feedback for the online policy).
+    Adaptive(Box<AdaptiveScheduler>),
+}
+
+/// Pipeline configuration.
+#[derive(Debug)]
+pub struct PipelineConfig {
+    /// Fused frame geometry (both streams are delivered at this size).
+    pub frame_size: (usize, usize),
+    /// DT-CWT decomposition depth.
+    pub levels: usize,
+    /// Backend selection.
+    pub backend: BackendChoice,
+    /// Scene seed (reproducibility).
+    pub scene_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    /// The paper's evaluation default: 88x72 frames, 3 levels, fixed NEON.
+    fn default() -> Self {
+        PipelineConfig {
+            frame_size: (88, 72),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 1,
+        }
+    }
+}
+
+/// Accumulated statistics of a pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Fused frames produced.
+    pub frames: u64,
+    /// Accumulated per-phase modeled time.
+    pub timing: PhaseTiming,
+    /// Accumulated modeled energy, millijoules.
+    pub energy_mj: f64,
+    /// Frames executed per backend (`[ARM, NEON, FPGA, Hybrid]`).
+    pub backend_usage: [u64; 4],
+    /// Thermal frames dropped at the frame gate.
+    pub gate_drops: u64,
+}
+
+/// The dual-camera fusion pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_core::pipeline::{PipelineConfig, VideoFusionPipeline};
+///
+/// let mut pipe = VideoFusionPipeline::new(PipelineConfig::default())?;
+/// let fused = pipe.step()?;
+/// assert_eq!(fused.image.dims(), (88, 72));
+/// assert_eq!(pipe.stats().frames, 1);
+/// # Ok::<(), wavefuse_core::FusionError>(())
+/// ```
+#[derive(Debug)]
+pub struct VideoFusionPipeline {
+    engine: FusionEngine,
+    web: WebCamera,
+    thermal: ThermalCamera,
+    gate: FrameGate<Frame>,
+    backend: BackendChoice,
+    stats: PipelineStats,
+}
+
+impl VideoFusionPipeline {
+    /// Builds the pipeline: scene, cameras, engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Transform`] if the configured geometry cannot
+    /// support the decomposition depth.
+    pub fn new(config: PipelineConfig) -> Result<Self, FusionError> {
+        let (w, h) = config.frame_size;
+        let scene = ScenePair::new(config.scene_seed);
+        Ok(VideoFusionPipeline {
+            engine: FusionEngine::new(config.levels)?,
+            web: WebCamera::new(scene.clone(), w, h),
+            thermal: ThermalCamera::new(scene, w, h),
+            gate: FrameGate::new(),
+            backend: config.backend,
+            stats: PipelineStats::default(),
+        })
+    }
+
+    /// Captures one frame pair and fuses it.
+    ///
+    /// The thermal path models the paper's FIFO gating: the camera offers
+    /// its field to the gate; the fusion step takes it. (At one offer per
+    /// step nothing drops — drops appear when the producer outpaces the
+    /// consumer, see [`VideoFusionPipeline::step_with_burst`].)
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and transform errors.
+    pub fn step(&mut self) -> Result<FusionOutput, FusionError> {
+        self.step_with_burst(1)
+    }
+
+    /// Like [`step`](Self::step), but the thermal camera produces `burst`
+    /// fields while only one is consumed — excess fields drop at the gate
+    /// exactly as in the paper's hardware FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and transform errors.
+    pub fn step_with_burst(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
+        for _ in 0..burst.max(1) {
+            let field = self.thermal.capture()?;
+            self.gate.offer(field);
+        }
+        let thermal = self.gate.take().expect("gate holds at least one field");
+        let visible = self.web.capture();
+
+        let (w, h) = visible.image().dims();
+        let backend = match &mut self.backend {
+            BackendChoice::Fixed(b) => *b,
+            BackendChoice::Adaptive(s) => s.choose(w, h)?,
+        };
+        let out = self
+            .engine
+            .fuse(visible.image(), thermal.image(), backend)?;
+        if let BackendChoice::Adaptive(s) = &mut self.backend {
+            s.observe(w, h, backend, out.timing.total_seconds(), out.energy_mj);
+        }
+
+        self.stats.frames += 1;
+        self.stats.timing.accumulate(&out.timing);
+        self.stats.energy_mj += out.energy_mj;
+        self.stats.backend_usage[backend.index()] += 1;
+        self.stats.gate_drops = self.gate.dropped();
+        Ok(out)
+    }
+
+    /// Runs `n` fused frames (the paper profiles runs of 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first frame error encountered.
+    pub fn run(&mut self, n: usize) -> Result<PipelineStats, FusionError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// The engine (e.g. for prediction queries).
+    pub fn engine(&self) -> &FusionEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::{Objective, Policy};
+
+    #[test]
+    fn ten_frame_run_accumulates() {
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 3,
+        })
+        .unwrap();
+        let stats = pipe.run(10).unwrap();
+        assert_eq!(stats.frames, 10);
+        assert_eq!(stats.backend_usage, [0, 10, 0, 0]);
+        assert!(stats.timing.total_seconds() > 0.0);
+        assert!(stats.energy_mj > 0.0);
+        assert_eq!(stats.gate_drops, 0);
+    }
+
+    #[test]
+    fn bursty_thermal_source_drops_at_gate() {
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (32, 24),
+            levels: 2,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 1,
+        })
+        .unwrap();
+        pipe.step_with_burst(3).unwrap();
+        assert_eq!(pipe.stats().gate_drops, 2);
+    }
+
+    #[test]
+    fn adaptive_pipeline_uses_both_accelerators() {
+        // Large frames: the model policy must route to the FPGA.
+        let mut big = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (88, 72),
+            levels: 3,
+            backend: BackendChoice::Adaptive(Box::new(AdaptiveScheduler::new(
+                Policy::Model(Objective::Time),
+                3,
+            ))),
+            scene_seed: 5,
+        })
+        .unwrap();
+        big.run(2).unwrap();
+        assert_eq!(big.stats().backend_usage[2], 2, "large frames -> FPGA");
+
+        let mut small = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (32, 24),
+            levels: 3,
+            backend: BackendChoice::Adaptive(Box::new(AdaptiveScheduler::new(
+                Policy::Model(Objective::Time),
+                3,
+            ))),
+            scene_seed: 5,
+        })
+        .unwrap();
+        small.run(2).unwrap();
+        assert_eq!(small.stats().backend_usage[1], 2, "small frames -> NEON");
+    }
+
+    #[test]
+    fn fused_output_keeps_thermal_hotspots_and_visible_texture() {
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (64, 48),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 9,
+        })
+        .unwrap();
+        let out = pipe.step().unwrap();
+        // The lamp (hot in thermal, dim in visible) must be present in the
+        // fused frame: compare the lamp spot against the image mean.
+        let img = &out.image;
+        let lamp = img.get((0.72 * 64.0) as usize, (0.22 * 48.0) as usize);
+        let mean: f32 = img.as_slice().iter().sum::<f32>() / img.len() as f32;
+        assert!(lamp > mean, "lamp {lamp} vs mean {mean}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution profiling (the paper's Fig. 2).
+//!
+//! The paper profiles the fusion of two input images and finds the forward
+//! and inverse DT-CWT to be the most compute- and energy-intensive phases —
+//! the justification for accelerating exactly those. [`profile_fusion`]
+//! reproduces that measurement on the modeled platform, splitting one fused
+//! frame into the same functional phases.
+
+use wavefuse_dtcwt::Image;
+
+use crate::backend::Backend;
+use crate::engine::FusionEngine;
+use crate::FusionError;
+
+/// A per-phase time attribution for one fused frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    phases: Vec<(&'static str, f64)>,
+}
+
+impl ProfileReport {
+    /// Phase names and seconds, in pipeline order.
+    pub fn phases(&self) -> &[(&'static str, f64)] {
+        &self.phases
+    }
+
+    /// Total profiled time, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Phase shares as percentages (the y-axis of Fig. 2).
+    pub fn percentages(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total_seconds();
+        self.phases
+            .iter()
+            .map(|&(name, s)| (name, if total > 0.0 { 100.0 * s / total } else { 0.0 }))
+            .collect()
+    }
+
+    /// The most expensive phase.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        self.phases
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .expect("report has phases")
+    }
+}
+
+/// Profiles the fusion of two input images on a backend, phase by phase.
+///
+/// # Errors
+///
+/// Propagates [`FusionEngine::fuse`] errors.
+pub fn profile_fusion(
+    engine: &mut FusionEngine,
+    a: &Image,
+    b: &Image,
+    backend: Backend,
+) -> Result<ProfileReport, FusionError> {
+    let out = engine.fuse(a, b, backend)?;
+    let t = out.timing;
+    Ok(ProfileReport {
+        phases: vec![
+            ("capture & decode", t.overhead_s * 0.6),
+            ("forward dt-cwt", t.forward_s),
+            ("fusion rule", t.fusion_s),
+            ("inverse dt-cwt", t.inverse_s),
+            ("display & misc", t.overhead_s * 0.4),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> (Image, Image) {
+        (
+            Image::from_fn(88, 72, |x, y| ((x + y) % 9) as f32 / 8.0),
+            Image::from_fn(88, 72, |x, y| ((x * y) % 11) as f32 / 10.0),
+        )
+    }
+
+    #[test]
+    fn transforms_dominate_on_arm() {
+        // The paper's Fig. 2 finding: forward + inverse DT-CWT are the most
+        // compute-intensive tasks (together well over half the time).
+        let (a, b) = inputs();
+        let mut eng = FusionEngine::new(3).unwrap();
+        let rep = profile_fusion(&mut eng, &a, &b, Backend::Arm).unwrap();
+        let pct = rep.percentages();
+        let get = |name: &str| {
+            pct.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| *p)
+                .expect("phase present")
+        };
+        let fwd = get("forward dt-cwt");
+        let inv = get("inverse dt-cwt");
+        assert!(fwd + inv > 60.0, "transforms only {:.1}%", fwd + inv);
+        assert!(fwd > 30.0 && fwd < 60.0, "forward {fwd:.1}%");
+        assert_eq!(rep.dominant().0, "forward dt-cwt");
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let (a, b) = inputs();
+        let mut eng = FusionEngine::new(3).unwrap();
+        let rep = profile_fusion(&mut eng, &a, &b, Backend::Neon).unwrap();
+        let sum: f64 = rep.percentages().iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(rep.phases().len(), 5);
+    }
+
+    #[test]
+    fn acceleration_shrinks_transform_share() {
+        let (a, b) = inputs();
+        let mut eng = FusionEngine::new(3).unwrap();
+        let arm = profile_fusion(&mut eng, &a, &b, Backend::Arm).unwrap();
+        let fpga = profile_fusion(&mut eng, &a, &b, Backend::Fpga).unwrap();
+        let share = |r: &ProfileReport| {
+            let p = r.percentages();
+            p.iter()
+                .filter(|(n, _)| n.contains("dt-cwt"))
+                .map(|(_, v)| v)
+                .sum::<f64>()
+        };
+        assert!(share(&fpga) < share(&arm));
+    }
+}

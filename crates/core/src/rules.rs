@@ -1,0 +1,407 @@
+//! Pixel-level fusion rules on DT-CWT pyramids.
+//!
+//! The paper's algorithm (§I, §III) applies the forward DT-CWT to both
+//! frames, "combines the obtained coefficients using a fusion rule", and
+//! inverse-transforms the result. The standard rules from the DT-CWT fusion
+//! literature are implemented on the complex coefficients:
+//!
+//! * [`FusionRule::MaxMagnitude`] — per coefficient, keep the complex
+//!   coefficient with the larger magnitude (the classic choose-max rule);
+//! * [`FusionRule::WindowEnergy`] — choose by local energy in a
+//!   `(2r+1)²` window, more robust to sensor noise;
+//! * [`FusionRule::Weighted`] — a fixed linear blend (degenerates to
+//!   averaging at `alpha = 0.5`), the conservative baseline;
+//! * [`FusionRule::ActivityGuided`] — the Burt–Kolczynski salience/match
+//!   rule: select where the sources disagree, blend where they agree.
+//!
+//! The lowpass residuals are fused separately ([`LowpassRule`]), averaging
+//! by default as is standard for DT-CWT fusion.
+
+use wavefuse_dtcwt::{ComplexImage, CwtPyramid, Image};
+
+/// Rule for combining oriented complex detail coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusionRule {
+    /// Keep the coefficient of larger magnitude.
+    MaxMagnitude,
+    /// Keep the coefficient whose `(2*radius+1)²` neighborhood has more
+    /// energy.
+    WindowEnergy {
+        /// Window radius in coefficients (1 → 3x3).
+        radius: usize,
+    },
+    /// Fixed blend `alpha * A + (1 - alpha) * B`.
+    Weighted {
+        /// Weight of the first input, in `[0, 1]`.
+        alpha: f32,
+    },
+    /// Burt–Kolczynski salience/match fusion: where the sources disagree
+    /// (low local match measure) select the locally stronger one; where
+    /// they agree, blend with salience-dependent weights. More robust than
+    /// pure selection on correlated content.
+    ActivityGuided {
+        /// Window radius for salience and match (1 → 3x3).
+        radius: usize,
+        /// Match measure below which pure selection is used, in `[0, 1]`.
+        match_threshold: f32,
+    },
+}
+
+/// Rule for combining the lowpass residuals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LowpassRule {
+    /// Mean of both inputs (the standard choice).
+    Average,
+    /// Keep the larger-magnitude sample.
+    MaxAbs,
+    /// Fixed blend with the given weight of the first input.
+    Weighted {
+        /// Weight of the first input, in `[0, 1]`.
+        alpha: f32,
+    },
+}
+
+/// Fuses two DT-CWT pyramids coefficient-wise.
+///
+/// The pyramids must come from equal-sized inputs and the same transform
+/// configuration.
+///
+/// # Panics
+///
+/// Panics if the pyramids disagree in level count or subband shapes (they
+/// always agree when produced by the same [`wavefuse_dtcwt::Dtcwt`] on
+/// equal-sized frames; the engine validates inputs before transforming).
+pub fn fuse_pyramids(
+    a: &CwtPyramid,
+    b: &CwtPyramid,
+    rule: FusionRule,
+    lowpass: LowpassRule,
+) -> CwtPyramid {
+    assert_eq!(a.levels(), b.levels(), "pyramid depths differ");
+    let mut out = a.clone();
+    for level in 0..a.levels() {
+        let sa = a.subbands(level);
+        let sb = b.subbands(level);
+        let so = out.subbands_mut(level);
+        for (o, (ca, cb)) in so.iter_mut().zip(sa.iter().zip(sb)) {
+            *o = fuse_subband(ca, cb, rule);
+        }
+    }
+    for (o, (la, lb)) in out
+        .lowpass_mut()
+        .iter_mut()
+        .zip(a.lowpass().iter().zip(b.lowpass()))
+    {
+        *o = fuse_lowpass(la, lb, lowpass);
+    }
+    out
+}
+
+/// Fuses one oriented complex subband.
+pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> ComplexImage {
+    assert_eq!(a.dims(), b.dims(), "subband shapes differ");
+    let (w, h) = a.dims();
+    let mut out = ComplexImage::zeros(w, h);
+    match rule {
+        FusionRule::MaxMagnitude => {
+            for y in 0..h {
+                for x in 0..w {
+                    let (src_re, src_im) = if a.magnitude_at(x, y) >= b.magnitude_at(x, y) {
+                        (a.re.get(x, y), a.im.get(x, y))
+                    } else {
+                        (b.re.get(x, y), b.im.get(x, y))
+                    };
+                    out.re.set(x, y, src_re);
+                    out.im.set(x, y, src_im);
+                }
+            }
+        }
+        FusionRule::WindowEnergy { radius } => {
+            let ea = local_energy(a, radius);
+            let eb = local_energy(b, radius);
+            for y in 0..h {
+                for x in 0..w {
+                    let pick_a = ea.get(x, y) >= eb.get(x, y);
+                    let (src_re, src_im) = if pick_a {
+                        (a.re.get(x, y), a.im.get(x, y))
+                    } else {
+                        (b.re.get(x, y), b.im.get(x, y))
+                    };
+                    out.re.set(x, y, src_re);
+                    out.im.set(x, y, src_im);
+                }
+            }
+        }
+        FusionRule::Weighted { alpha } => {
+            let beta = 1.0 - alpha;
+            for y in 0..h {
+                for x in 0..w {
+                    out.re
+                        .set(x, y, alpha * a.re.get(x, y) + beta * b.re.get(x, y));
+                    out.im
+                        .set(x, y, alpha * a.im.get(x, y) + beta * b.im.get(x, y));
+                }
+            }
+        }
+        FusionRule::ActivityGuided {
+            radius,
+            match_threshold,
+        } => {
+            let sa = local_energy(a, radius);
+            let sb = local_energy(b, radius);
+            let cross = local_cross_energy(a, b, radius);
+            for y in 0..h {
+                for x in 0..w {
+                    let (ea, eb) = (sa.get(x, y), sb.get(x, y));
+                    let denom = ea + eb;
+                    // Match measure in [-1, 1]; 1 = locally identical.
+                    let m = if denom > 1e-20 {
+                        2.0 * cross.get(x, y) / denom
+                    } else {
+                        1.0
+                    };
+                    let a_stronger = ea >= eb;
+                    let (w_a, w_b) = if m < match_threshold {
+                        // Sources disagree: pure selection of the stronger.
+                        if a_stronger {
+                            (1.0, 0.0)
+                        } else {
+                            (0.0, 1.0)
+                        }
+                    } else {
+                        // Sources agree: salience-weighted blend.
+                        let w_max =
+                            0.5 + 0.5 * (1.0 - m) / (1.0 - match_threshold).max(1e-6);
+                        let w_min = 1.0 - w_max;
+                        if a_stronger {
+                            (w_max, w_min)
+                        } else {
+                            (w_min, w_max)
+                        }
+                    };
+                    out.re
+                        .set(x, y, w_a * a.re.get(x, y) + w_b * b.re.get(x, y));
+                    out.im
+                        .set(x, y, w_a * a.im.get(x, y) + w_b * b.im.get(x, y));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fuses one lowpass residual image.
+pub fn fuse_lowpass(a: &Image, b: &Image, rule: LowpassRule) -> Image {
+    assert_eq!(a.dims(), b.dims(), "lowpass shapes differ");
+    let (w, h) = a.dims();
+    Image::from_fn(w, h, |x, y| {
+        let (va, vb) = (a.get(x, y), b.get(x, y));
+        match rule {
+            LowpassRule::Average => 0.5 * (va + vb),
+            LowpassRule::MaxAbs => {
+                if va.abs() >= vb.abs() {
+                    va
+                } else {
+                    vb
+                }
+            }
+            LowpassRule::Weighted { alpha } => alpha * va + (1.0 - alpha) * vb,
+        }
+    })
+}
+
+/// Clamped local cross-energy `Σ (a·b̄).re` over a `(2r+1)²` window — the
+/// numerator of the Burt–Kolczynski match measure.
+fn local_cross_energy(a: &ComplexImage, b: &ComplexImage, radius: usize) -> Image {
+    let (w, h) = a.dims();
+    let r = radius as isize;
+    Image::from_fn(w, h, |x, y| {
+        let mut acc = 0.0f32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                acc += a.re.get(sx, sy) * b.re.get(sx, sy)
+                    + a.im.get(sx, sy) * b.im.get(sx, sy);
+            }
+        }
+        acc
+    })
+}
+
+/// Clamped local energy sum over a `(2r+1)²` window.
+fn local_energy(c: &ComplexImage, radius: usize) -> Image {
+    let (w, h) = c.dims();
+    let r = radius as isize;
+    Image::from_fn(w, h, |x, y| {
+        let mut acc = 0.0f32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                let re = c.re.get(sx, sy);
+                let im = c.im.get(sx, sy);
+                acc += re * re + im * im;
+            }
+        }
+        acc
+    })
+}
+
+/// Approximate size-proportional work of applying a rule to one coefficient
+/// (used by the cost model; MAC-equivalent units).
+pub fn rule_macs_per_coefficient(rule: FusionRule) -> u64 {
+    match rule {
+        FusionRule::MaxMagnitude => 4,
+        FusionRule::WindowEnergy { radius } => {
+            let side = 2 * radius as u64 + 1;
+            2 * side * side + 2
+        }
+        FusionRule::Weighted { .. } => 4,
+        FusionRule::ActivityGuided { radius, .. } => {
+            let side = 2 * radius as u64 + 1;
+            // Two salience windows plus the cross-energy window.
+            3 * side * side + 6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefuse_dtcwt::Dtcwt;
+
+    fn pyramids() -> (CwtPyramid, CwtPyramid) {
+        let t = Dtcwt::new(2).unwrap();
+        let a = Image::from_fn(32, 24, |x, y| ((x * 3 + y) % 11) as f32);
+        let b = Image::from_fn(32, 24, |x, y| ((x + 7 * y) % 13) as f32);
+        (t.forward(&a).unwrap(), t.forward(&b).unwrap())
+    }
+
+    #[test]
+    fn max_magnitude_picks_stronger_source() {
+        let mut a = ComplexImage::zeros(2, 1);
+        let mut b = ComplexImage::zeros(2, 1);
+        a.re.set(0, 0, 3.0); // |a| = 3 at (0,0)
+        b.im.set(0, 0, 1.0); // |b| = 1
+        a.re.set(1, 0, 0.5);
+        b.re.set(1, 0, -2.0); // |b| = 2 at (1,0)
+        let f = fuse_subband(&a, &b, FusionRule::MaxMagnitude);
+        assert_eq!(f.re.get(0, 0), 3.0);
+        assert_eq!(f.re.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn weighted_half_is_average() {
+        let (pa, pb) = pyramids();
+        let f = fuse_pyramids(&pa, &pb, FusionRule::Weighted { alpha: 0.5 }, LowpassRule::Average);
+        let s = f.subbands(0)[0].re.get(3, 3);
+        let expect = 0.5 * (pa.subbands(0)[0].re.get(3, 3) + pb.subbands(0)[0].re.get(3, 3));
+        assert!((s - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fusing_identical_pyramids_is_identity() {
+        let (pa, _) = pyramids();
+        for rule in [
+            FusionRule::MaxMagnitude,
+            FusionRule::WindowEnergy { radius: 1 },
+            FusionRule::Weighted { alpha: 0.5 },
+        ] {
+            let f = fuse_pyramids(&pa, &pa, rule, LowpassRule::Average);
+            for level in 0..pa.levels() {
+                for (x, y) in pa.subbands(level).iter().zip(f.subbands(level)) {
+                    assert!(x.re.max_abs_diff(&y.re) < 1e-6);
+                    assert!(x.im.max_abs_diff(&y.im) < 1e-6);
+                }
+            }
+            for (x, y) in pa.lowpass().iter().zip(f.lowpass()) {
+                assert!(x.max_abs_diff(y) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn window_energy_is_noise_robust() {
+        // A single spurious strong coefficient in B amid strong A region:
+        // the 3x3 energy rule should still choose A there.
+        let mut a = ComplexImage::zeros(5, 5);
+        let mut b = ComplexImage::zeros(5, 5);
+        for y in 0..5 {
+            for x in 0..5 {
+                a.re.set(x, y, 2.0);
+            }
+        }
+        b.re.set(2, 2, 3.0); // isolated spike
+        let point = fuse_subband(&a, &b, FusionRule::MaxMagnitude);
+        assert_eq!(point.re.get(2, 2), 3.0, "point rule takes the spike");
+        let windowed = fuse_subband(&a, &b, FusionRule::WindowEnergy { radius: 1 });
+        assert_eq!(windowed.re.get(2, 2), 2.0, "window rule rejects it");
+    }
+
+    #[test]
+    fn activity_guided_selects_on_disagreement() {
+        // Disjoint content (zero match): behaves like window-energy select.
+        let mut a = ComplexImage::zeros(6, 6);
+        let mut b = ComplexImage::zeros(6, 6);
+        for y in 0..6 {
+            for x in 0..3 {
+                a.re.set(x, y, 2.0);
+            }
+            for x in 3..6 {
+                b.im.set(x, y, 1.5);
+            }
+        }
+        let f = fuse_subband(
+            &a,
+            &b,
+            FusionRule::ActivityGuided {
+                radius: 1,
+                match_threshold: 0.75,
+            },
+        );
+        assert_eq!(f.re.get(0, 3), 2.0, "A side keeps A");
+        assert_eq!(f.im.get(5, 3), 1.5, "B side keeps B");
+    }
+
+    #[test]
+    fn activity_guided_blends_on_agreement() {
+        // Identical content (match = 1): the blend must reproduce it.
+        let mut a = ComplexImage::zeros(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                a.re.set(x, y, 1.0 + (x + y) as f32 * 0.1);
+            }
+        }
+        let f = fuse_subband(
+            &a,
+            &a,
+            FusionRule::ActivityGuided {
+                radius: 1,
+                match_threshold: 0.75,
+            },
+        );
+        assert!(f.re.max_abs_diff(&a.re) < 1e-5);
+        assert!(f.im.max_abs_diff(&a.im) < 1e-5);
+    }
+
+    #[test]
+    fn lowpass_rules() {
+        let a = Image::filled(2, 2, 1.0);
+        let b = Image::filled(2, 2, -3.0);
+        assert_eq!(fuse_lowpass(&a, &b, LowpassRule::Average).get(0, 0), -1.0);
+        assert_eq!(fuse_lowpass(&a, &b, LowpassRule::MaxAbs).get(0, 0), -3.0);
+        assert_eq!(
+            fuse_lowpass(&a, &b, LowpassRule::Weighted { alpha: 0.75 }).get(0, 0),
+            0.75 - 0.75
+        );
+    }
+
+    #[test]
+    fn rule_cost_ordering() {
+        assert!(
+            rule_macs_per_coefficient(FusionRule::WindowEnergy { radius: 1 })
+                > rule_macs_per_coefficient(FusionRule::MaxMagnitude)
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Wavelet filter design.
+//!
+//! Two designers live here:
+//!
+//! * [`daubechies`] constructs the orthonormal Daubechies-*N* lowpass filter
+//!   by spectral factorization of the maximally flat half-band product
+//!   filter (binomial polynomial roots via Durand–Kerner, minimum-phase
+//!   zero selection).
+//! * [`design_dual_lowpass`] completes a biorthogonal bank: given an
+//!   odd-length symmetric analysis lowpass, it solves the linear system of
+//!   perfect-reconstruction half-band conditions (plus vanishing-moment
+//!   constraints) for the symmetric synthesis lowpass. This is how the
+//!   19-tap dual of the Kingsbury 13-tap near-sym filter is produced,
+//!   avoiding any reliance on transcribed coefficient tables.
+//!
+//! Every designed filter is validated by the bank constructors in
+//! [`crate::filters`]; the tests at the bottom verify orthonormality and the
+//! half-band property directly.
+
+use crate::DtcwtError;
+use wavefuse_numerics::complex::Complex64;
+use wavefuse_numerics::conv::convolve;
+use wavefuse_numerics::linalg::Matrix;
+use wavefuse_numerics::poly::Polynomial;
+
+/// Designs the Daubechies orthonormal lowpass filter with `n` vanishing
+/// moments (filter length `2n`), normalized so the taps sum to `sqrt(2)`.
+///
+/// `n = 1` gives the Haar filter.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::InvalidFilterBank`] for `n == 0` or `n > 16`
+/// (beyond which double-precision root finding of the binomial polynomial
+/// degrades), and propagates root-finding failures.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_dtcwt::design::daubechies;
+///
+/// let db2 = daubechies(2)?;
+/// assert_eq!(db2.len(), 4);
+/// let sum: f64 = db2.iter().sum();
+/// assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// # Ok::<(), wavefuse_dtcwt::DtcwtError>(())
+/// ```
+pub fn daubechies(n: usize) -> Result<Vec<f64>, DtcwtError> {
+    if n == 0 || n > 16 {
+        return Err(DtcwtError::InvalidFilterBank(format!(
+            "daubechies order must be in 1..=16, got {n}"
+        )));
+    }
+    if n == 1 {
+        let v = std::f64::consts::FRAC_1_SQRT_2;
+        return Ok(vec![v, v]);
+    }
+
+    // Binomial half-band remainder: Q(y) = sum_{k=0}^{n-1} C(n-1+k, k) y^k.
+    let q = Polynomial::new(
+        (0..n)
+            .map(|k| binomial(n - 1 + k, k))
+            .collect::<Vec<f64>>(),
+    );
+
+    // Map each root y of Q to the z-plane zero inside the unit circle via
+    // y = (2 - z - z^{-1}) / 4  =>  z^2 - (2 - 4y) z + 1 = 0.
+    let mut zeros: Vec<Complex64> = Vec::with_capacity(2 * n - 1);
+    for y in q.roots()? {
+        let b = Complex64::from_real(2.0) - y * 4.0;
+        let disc = (b * b - Complex64::from_real(4.0)).sqrt();
+        let z1 = (b + disc) / 2.0;
+        let z2 = (b - disc) / 2.0;
+        zeros.push(if z1.abs() < 1.0 { z1 } else { z2 });
+    }
+    // n zeros at z = -1 provide the vanishing moments.
+    for _ in 0..n {
+        zeros.push(Complex64::from_real(-1.0));
+    }
+
+    let poly = Polynomial::from_roots(&zeros);
+    let taps: Vec<f64> = poly.coeffs().to_vec();
+    debug_assert_eq!(taps.len(), 2 * n);
+
+    // Normalize to sum sqrt(2) (equivalently unit energy for orthonormal h).
+    let s: f64 = taps.iter().sum();
+    Ok(taps
+        .iter()
+        .map(|t| t * std::f64::consts::SQRT_2 / s)
+        .collect())
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k.min(n));
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Designs the symmetric synthesis (dual) lowpass `g0` of length `dual_len`
+/// for a given odd-length symmetric analysis lowpass `h0`, such that
+/// `conv(h0, g0)` is a half-band filter (the biorthogonal
+/// perfect-reconstruction condition).
+///
+/// Leftover degrees of freedom beyond the half-band equations are spent on
+/// vanishing moments of the dual highpass, i.e. even-order zero conditions
+/// of `g0` at `z = -1`.
+///
+/// The normalization is fixed by demanding a reconstruction gain of exactly
+/// one (`conv(h0, g0)[center] = 1`); when `h0` sums to `sqrt(2)` the
+/// designed dual also sums to `sqrt(2)`.
+///
+/// # Errors
+///
+/// * [`DtcwtError::InvalidFilterBank`] if `h0` or `dual_len` is even-length,
+///   if `h0.len() + dual_len` is not a multiple of 4 (the half-band center
+///   would land on an even lag), or if `h0` is not symmetric.
+/// * [`DtcwtError::Numerics`] if the design system is singular.
+pub fn design_dual_lowpass(h0: &[f64], dual_len: usize) -> Result<Vec<f64>, DtcwtError> {
+    let lh = h0.len();
+    if lh % 2 == 0 || dual_len % 2 == 0 {
+        return Err(DtcwtError::InvalidFilterBank(
+            "dual design requires odd-length symmetric filters".into(),
+        ));
+    }
+    if (lh + dual_len) % 4 != 0 {
+        return Err(DtcwtError::InvalidFilterBank(format!(
+            "h0 length {lh} plus dual length {dual_len} must be a multiple of 4"
+        )));
+    }
+    for i in 0..lh / 2 {
+        if (h0[i] - h0[lh - 1 - i]).abs() > 1e-9 * h0[i].abs().max(1.0) {
+            return Err(DtcwtError::InvalidFilterBank(
+                "h0 is not symmetric".into(),
+            ));
+        }
+    }
+
+    let m = (dual_len + 1) / 2; // free symmetric coefficients g[0..m], center at m-1
+    let center = (lh + dual_len) / 2 - 1; // half-band center lag (odd)
+    let k_max = (lh + dual_len - 2 - center) / 2;
+
+    // Build rows: each condition is linear in the m free coefficients.
+    // expand(c)[j] maps free coeffs c[0..m] to the full dual filter:
+    // g[j] = c[min(j, dual_len-1-j)].
+    let coeff_index = |j: usize| -> usize { j.min(dual_len - 1 - j) };
+
+    // Half-band conditions: p[center + 2k] = sum_j h0'[center + 2k - j] g[j].
+    // where h0' indexes into h0 (zero outside).
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut rhs: Vec<f64> = Vec::new();
+    let h_at = |i: isize| -> f64 {
+        if i >= 0 && (i as usize) < lh {
+            h0[i as usize]
+        } else {
+            0.0
+        }
+    };
+
+    for k in 0..=k_max {
+        let lag = center + 2 * k;
+        let mut row = vec![0.0; m];
+        for j in 0..dual_len {
+            row[coeff_index(j)] += h_at(lag as isize - j as isize);
+        }
+        rows.push(row);
+        // The reconstruction gain is exactly p[center]; demanding 1 here
+        // fixes the dual's normalization (for h0 summing to sqrt(2), the
+        // resulting g0 also sums to sqrt(2)).
+        rhs.push(if k == 0 { 1.0 } else { 0.0 });
+    }
+
+    // Moment conditions at z = -1 for the remaining freedom: even moments
+    // 0, 2, 4, ... of (-1)^n g0[n] vanish.
+    let n_moments = m.saturating_sub(k_max + 1);
+    let gc = (dual_len - 1) as f64 / 2.0;
+    for p in 0..n_moments {
+        let mut row = vec![0.0; m];
+        for j in 0..dual_len {
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            let w = (j as f64 - gc).powi(2 * p as i32);
+            row[coeff_index(j)] += sign * w;
+        }
+        rows.push(row);
+        rhs.push(0.0);
+    }
+
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let a = Matrix::from_rows(&row_refs)?;
+    let c = if a.rows() == m {
+        a.solve(&rhs)?
+    } else {
+        a.solve_least_squares(&rhs)?
+    };
+
+    // Expand symmetric representation to the full filter.
+    Ok((0..dual_len).map(|j| c[coeff_index(j)]).collect())
+}
+
+/// Verifies the biorthogonal half-band condition `conv(h0, g0)[center ± 2k] = δ`
+/// and returns the maximum violation. Used by the bank constructors and
+/// tests.
+pub fn halfband_violation(h0: &[f64], g0: &[f64]) -> f64 {
+    let p = convolve(h0, g0);
+    let center = (h0.len() + g0.len()) / 2 - 1;
+    let mut worst = (p[center] - 1.0).abs();
+    let mut k = 1;
+    loop {
+        let hi = center + 2 * k;
+        let lo = center as isize - 2 * k as isize;
+        let mut any = false;
+        if hi < p.len() {
+            worst = worst.max(p[hi].abs());
+            any = true;
+        }
+        if lo >= 0 {
+            worst = worst.max(p[lo as usize].abs());
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        k += 1;
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefuse_numerics::conv::autocorrelation_even_lags;
+
+    fn orthonormality_violation(h: &[f64]) -> f64 {
+        let r = autocorrelation_even_lags(h);
+        let mut worst = (r[0] - 1.0).abs();
+        for v in &r[1..] {
+            worst = worst.max(v.abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn db1_is_haar() {
+        let h = daubechies(1).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!((h[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn db2_matches_published_coefficients() {
+        // Published D4 coefficients (Daubechies 1988).
+        let h = daubechies(2).unwrap();
+        let s3 = 3.0f64.sqrt();
+        let d = 4.0 * std::f64::consts::SQRT_2;
+        let expect = [
+            (1.0 + s3) / d,
+            (3.0 + s3) / d,
+            (3.0 - s3) / d,
+            (1.0 - s3) / d,
+        ];
+        // The designer may return the min-phase filter in either time order;
+        // accept the published order or its reverse.
+        let fwd: f64 = h
+            .iter()
+            .zip(expect.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let rev: f64 = h
+            .iter()
+            .rev()
+            .zip(expect.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(fwd.min(rev) < 1e-10, "db2 mismatch: {h:?}");
+    }
+
+    #[test]
+    fn daubechies_family_is_orthonormal() {
+        for n in 1..=10 {
+            let h = daubechies(n).unwrap();
+            assert_eq!(h.len(), 2 * n);
+            let viol = orthonormality_violation(&h);
+            assert!(viol < 1e-8, "db{n} orthonormality violated by {viol:e}");
+            let sum: f64 = h.iter().sum();
+            assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn daubechies_vanishing_moments() {
+        // The highpass h1[n] = (-1)^n h0[L-1-n] must annihilate polynomials
+        // of degree < n: sum (-1)^k k^p h0[L-1-k] = 0 for p < n.
+        for n in 2..=6 {
+            let h = daubechies(n).unwrap();
+            let l = h.len();
+            for p in 0..n {
+                let m: f64 = (0..l)
+                    .map(|k| {
+                        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                        sign * (k as f64).powi(p as i32) * h[l - 1 - k]
+                    })
+                    .sum();
+                assert!(m.abs() < 1e-7, "db{n} moment {p} = {m:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn daubechies_rejects_bad_orders() {
+        assert!(daubechies(0).is_err());
+        assert!(daubechies(17).is_err());
+    }
+
+    #[test]
+    fn dual_of_legall_lowpass_is_halfband() {
+        // LeGall 5/3 analysis lowpass (sqrt2 normalization).
+        let s = std::f64::consts::SQRT_2;
+        let h0: Vec<f64> = [-0.125, 0.25, 0.75, 0.25, -0.125]
+            .iter()
+            .map(|c| c * s)
+            .collect();
+        let g0 = design_dual_lowpass(&h0, 3).unwrap();
+        // Known dual: [1/2, 1, 1/2] / sqrt(2) * ... => proportional to [0.5, 1.0, 0.5].
+        assert!((g0[0] / g0[1] - 0.5).abs() < 1e-12, "{g0:?}");
+        assert!(halfband_violation(&h0, &g0) < 1e-12);
+    }
+
+    #[test]
+    fn dual_design_validates_inputs() {
+        assert!(design_dual_lowpass(&[0.5, 0.5], 3).is_err()); // even h0
+        assert!(design_dual_lowpass(&[0.25, 0.5, 0.25], 4).is_err()); // even dual
+        assert!(design_dual_lowpass(&[0.25, 0.5, 0.25], 3).is_err()); // 3+3 % 4 != 0
+        assert!(design_dual_lowpass(&[0.1, 0.5, 0.3], 5).is_err()); // asymmetric
+    }
+
+    #[test]
+    fn dual_design_longer_filters() {
+        // Design a 9/7-like pair from the CDF 9-tap analysis filter and check
+        // the half-band property of the result.
+        let s = std::f64::consts::SQRT_2;
+        let h0: Vec<f64> = [
+            0.026748757411,
+            -0.016864118443,
+            -0.078223266529,
+            0.266864118443,
+            0.602949018236,
+            0.266864118443,
+            -0.078223266529,
+            -0.016864118443,
+            0.026748757411,
+        ]
+        .iter()
+        .map(|c| c * s)
+        .collect();
+        let g0 = design_dual_lowpass(&h0, 7).unwrap();
+        assert!(halfband_violation(&h0, &g0) < 1e-9, "{g0:?}");
+        // And it should reproduce the known CDF 9/7 synthesis filter.
+        let known: Vec<f64> = [
+            -0.091271763114,
+            -0.057543526229,
+            0.591271763114,
+            1.115087052457,
+            0.591271763114,
+            -0.057543526229,
+            -0.091271763114,
+        ]
+        .iter()
+        .map(|c| c / s)
+        .collect();
+        for (a, b) in g0.iter().zip(&known) {
+            assert!((a - b).abs() < 1e-7, "designed {g0:?} vs known {known:?}");
+        }
+    }
+}

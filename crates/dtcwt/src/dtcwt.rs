@@ -1,0 +1,785 @@
+//! The Dual-Tree Complex Wavelet Transform.
+//!
+//! Kingsbury's DT-CWT runs four parallel separable DWTs — every combination
+//! of two filter *trees* along rows and columns — and combines their detail
+//! bands into complex coefficients with six orientation-selective subbands
+//! per level (±15°, ±45°, ±75°). Tree B of level 1 is the same bank as tree
+//! A sampled at the opposite polyphase; trees at levels ≥ 2 use the
+//! quarter-shift bank and its time reverse. Because each of the four
+//! constituent transforms is perfectly reconstructing on its own, the
+//! dual-tree inverse (average of the four per-tree inverses) is exact too.
+//!
+//! The redundancy (4:1) buys the two properties the fusion literature cares
+//! about: approximate shift invariance and directional selectivity that
+//! distinguishes +45° from −45° (a plain DWT cannot).
+
+use crate::dwt1d::{BankTaps, Phase};
+use crate::dwt2d::{analyze_level, synthesize_level, AxisSpec, Dwt2d, OneLevel, Subbands};
+use crate::filters::FilterBank;
+use crate::image::{ComplexImage, Image};
+use crate::kernel::{FilterKernel, ScalarKernel};
+use crate::DtcwtError;
+
+/// The six orientation-selective subbands of each DT-CWT level.
+///
+/// Angles follow Kingsbury's convention: positive angles rotate
+/// counter-clockwise from the horizontal axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// +15° (near-horizontal features).
+    Pos15,
+    /// +45° (diagonal features).
+    Pos45,
+    /// +75° (near-vertical features).
+    Pos75,
+    /// −75°.
+    Neg75,
+    /// −45° (anti-diagonal features).
+    Neg45,
+    /// −15°.
+    Neg15,
+}
+
+impl Orientation {
+    /// All six orientations in subband-index order.
+    pub const ALL: [Orientation; 6] = [
+        Orientation::Pos15,
+        Orientation::Pos45,
+        Orientation::Pos75,
+        Orientation::Neg75,
+        Orientation::Neg45,
+        Orientation::Neg15,
+    ];
+
+    /// Subband index (0..6) of this orientation.
+    pub fn index(self) -> usize {
+        Orientation::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("orientation present in ALL")
+    }
+
+    /// Nominal orientation angle in degrees.
+    pub fn angle_degrees(self) -> f64 {
+        match self {
+            Orientation::Pos15 => 15.0,
+            Orientation::Pos45 => 45.0,
+            Orientation::Pos75 => 75.0,
+            Orientation::Neg75 => -75.0,
+            Orientation::Neg45 => -45.0,
+            Orientation::Neg15 => -15.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Orientation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+}deg", self.angle_degrees())
+    }
+}
+
+/// A multi-level DT-CWT pyramid: six complex subbands per level plus the
+/// four per-tree lowpass residuals.
+#[derive(Debug, Clone)]
+pub struct CwtPyramid {
+    /// `subbands[level][orientation]`.
+    subbands: Vec<[ComplexImage; 6]>,
+    /// Lowpass residual of each tree combination, indexed
+    /// `row_tree * 2 + col_tree` (A = 0, B = 1).
+    lowpass: [Image; 4],
+    /// Input dimensions entering each level, pre-padding.
+    pre_pad_dims: Vec<(usize, usize)>,
+}
+
+impl CwtPyramid {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.subbands.len()
+    }
+
+    /// The six oriented complex subbands of `level` (0 = finest), indexed by
+    /// [`Orientation::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn subbands(&self, level: usize) -> &[ComplexImage; 6] {
+        &self.subbands[level]
+    }
+
+    /// Mutable access to the oriented subbands of `level` (for fusion rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn subbands_mut(&mut self, level: usize) -> &mut [ComplexImage; 6] {
+        &mut self.subbands[level]
+    }
+
+    /// One oriented subband.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn subband(&self, level: usize, orientation: Orientation) -> &ComplexImage {
+        &self.subbands[level][orientation.index()]
+    }
+
+    /// The four per-tree lowpass residual images.
+    pub fn lowpass(&self) -> &[Image; 4] {
+        &self.lowpass
+    }
+
+    /// Mutable lowpass residuals (for fusion rules).
+    pub fn lowpass_mut(&mut self) -> &mut [Image; 4] {
+        &mut self.lowpass
+    }
+
+    /// Original input dimensions.
+    pub fn input_dims(&self) -> (usize, usize) {
+        self.pre_pad_dims[0]
+    }
+
+    /// Total coefficient energy of one level's oriented subbands.
+    pub fn level_energy(&self, level: usize) -> f64 {
+        self.subbands[level].iter().map(|c| c.energy()).sum()
+    }
+}
+
+/// Tree selector along one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tree {
+    A,
+    B,
+}
+
+const COMBOS: [(Tree, Tree); 4] = [
+    (Tree::A, Tree::A),
+    (Tree::A, Tree::B),
+    (Tree::B, Tree::A),
+    (Tree::B, Tree::B),
+];
+
+/// The Dual-Tree Complex Wavelet Transform.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_dtcwt::{Dtcwt, Image, Orientation};
+///
+/// let img = Image::from_fn(64, 48, |x, y| ((x + 2 * y) % 9) as f32);
+/// let t = Dtcwt::new(3)?;
+/// let pyr = t.forward(&img)?;
+/// let mag = pyr.subband(0, Orientation::Pos45).magnitude();
+/// assert_eq!(mag.dims(), (32, 24));
+/// let back = t.inverse(&pyr)?;
+/// assert!(back.max_abs_diff(&img) < 1e-3);
+/// # Ok::<(), wavefuse_dtcwt::DtcwtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dtcwt {
+    level1: FilterBank,
+    qshift: FilterBank,
+    level1_taps: BankTaps,
+    qshift_fwd_taps: BankTaps,
+    qshift_rev_taps: BankTaps,
+    levels: usize,
+}
+
+impl Dtcwt {
+    /// Creates a DT-CWT with the standard banks: `near_sym_b` (13,19) at
+    /// level 1 and `qshift_b` (14-tap) at levels ≥ 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::BadLevels`] if `levels == 0`, or a filter
+    /// construction error (which for the built-in banks cannot occur).
+    pub fn new(levels: usize) -> Result<Self, DtcwtError> {
+        Dtcwt::with_banks(FilterBank::near_sym_b()?, FilterBank::qshift_b()?, levels)
+    }
+
+    /// Creates a DT-CWT with explicit level-1 and quarter-shift banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::BadLevels`] if `levels == 0`.
+    pub fn with_banks(
+        level1: FilterBank,
+        qshift: FilterBank,
+        levels: usize,
+    ) -> Result<Self, DtcwtError> {
+        if levels == 0 {
+            return Err(DtcwtError::BadLevels {
+                requested: 0,
+                max_supported: usize::MAX,
+            });
+        }
+        let level1_taps = BankTaps::new(&level1);
+        let qshift_fwd_taps = BankTaps::new(&qshift);
+        let qshift_rev_taps = BankTaps::new(&qshift.time_reverse());
+        Ok(Dtcwt {
+            level1,
+            qshift,
+            level1_taps,
+            qshift_fwd_taps,
+            qshift_rev_taps,
+            levels,
+        })
+    }
+
+    /// The level-1 filter bank.
+    pub fn level1_bank(&self) -> &FilterBank {
+        &self.level1
+    }
+
+    /// The quarter-shift bank used at levels ≥ 2 (tree A; tree B is its time
+    /// reverse).
+    pub fn qshift_bank(&self) -> &FilterBank {
+        &self.qshift
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn axis_spec(&self, level: usize, tree: Tree) -> AxisSpec<'_> {
+        if level == 0 {
+            AxisSpec {
+                taps: &self.level1_taps,
+                phase: match tree {
+                    Tree::A => Phase::A,
+                    Tree::B => Phase::B,
+                },
+            }
+        } else {
+            // Tree B's level-1 samples sit one input sample later than tree
+            // A's, so to keep the cumulative tree delay difference at half an
+            // output sample per level, tree A takes the *time-reversed*
+            // quarter-shift bank (group delay L/2 + 1/4) and tree B the
+            // original (L/2 - 1/4). With the opposite assignment the offsets
+            // cancel and orientation selectivity collapses.
+            AxisSpec {
+                taps: match tree {
+                    Tree::A => &self.qshift_rev_taps,
+                    Tree::B => &self.qshift_fwd_taps,
+                },
+                phase: Phase::A,
+            }
+        }
+    }
+
+    /// Forward transform with the default scalar kernel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dtcwt::forward_with`].
+    pub fn forward(&self, img: &Image) -> Result<CwtPyramid, DtcwtError> {
+        self.forward_with(&mut ScalarKernel::new(), img)
+    }
+
+    /// Forward transform through a caller-supplied kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::BadLevels`] if the image cannot support the
+    /// configured depth, and [`DtcwtError::BadDimensions`] for empty images.
+    pub fn forward_with(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        img: &Image,
+    ) -> Result<CwtPyramid, DtcwtError> {
+        self.check_levels(img)?;
+        // Run the four tree combinations.
+        let mut per_combo: Vec<(Vec<Subbands>, Image)> = Vec::with_capacity(4);
+        for &(rt, ct) in COMBOS.iter() {
+            per_combo.push(self.analyze_combo(kernel, img, rt, ct)?);
+        }
+        self.assemble_pyramid(img, per_combo)
+    }
+
+    /// Forward transform with the four tree combinations executed on
+    /// scoped worker threads, one kernel per thread (host-side
+    /// parallelism; the modeled platform timing is unaffected — the paper's
+    /// single-A9 system has no such option, but a library user's host
+    /// does).
+    ///
+    /// `kernel_factory` builds one kernel per worker.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_with`].
+    pub fn forward_parallel<K, F>(
+        &self,
+        kernel_factory: F,
+        img: &Image,
+    ) -> Result<CwtPyramid, DtcwtError>
+    where
+        K: FilterKernel,
+        F: Fn() -> K + Sync,
+    {
+        self.check_levels(img)?;
+        let results: Vec<Result<(Vec<Subbands>, Image), DtcwtError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = COMBOS
+                    .iter()
+                    .map(|&(rt, ct)| {
+                        let factory = &kernel_factory;
+                        scope.spawn(move || {
+                            let mut kernel = factory();
+                            self.analyze_combo(&mut kernel, img, rt, ct)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker does not panic"))
+                    .collect()
+            });
+        let mut per_combo = Vec::with_capacity(4);
+        for r in results {
+            per_combo.push(r?);
+        }
+        self.assemble_pyramid(img, per_combo)
+    }
+
+    fn check_levels(&self, img: &Image) -> Result<(), DtcwtError> {
+        let (w, h) = img.dims();
+        let max = Dwt2d::max_levels(w, h);
+        if self.levels > max {
+            return Err(DtcwtError::BadLevels {
+                requested: self.levels,
+                max_supported: max,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one tree combination's full multi-level analysis.
+    fn analyze_combo(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        img: &Image,
+        rt: Tree,
+        ct: Tree,
+    ) -> Result<(Vec<Subbands>, Image), DtcwtError> {
+        let mut detail = Vec::with_capacity(self.levels);
+        let mut cur = img.clone();
+        for level in 0..self.levels {
+            let padded = cur.pad_to_even();
+            let rows = self.axis_spec(level, rt);
+            let cols = self.axis_spec(level, ct);
+            let one = analyze_level(kernel, &rows, &cols, &padded)?;
+            detail.push(one.detail);
+            cur = one.ll;
+        }
+        Ok((detail, cur))
+    }
+
+    fn assemble_pyramid(
+        &self,
+        img: &Image,
+        per_combo: Vec<(Vec<Subbands>, Image)>,
+    ) -> Result<CwtPyramid, DtcwtError> {
+        // Reconstruct the per-level pre-padding dimensions.
+        let mut pre_pad_dims = Vec::with_capacity(self.levels);
+        let (mut w, mut h) = img.dims();
+        for _ in 0..self.levels {
+            pre_pad_dims.push((w, h));
+            w = (w + w % 2) / 2;
+            h = (h + h % 2) / 2;
+        }
+
+        // Combine the four real detail quadruples into complex subbands.
+        let mut subbands = Vec::with_capacity(self.levels);
+        for level in 0..self.levels {
+            let quad = |f: &dyn Fn(&Subbands) -> &Image| -> [&Image; 4] {
+                [
+                    f(&per_combo[0].0[level]),
+                    f(&per_combo[1].0[level]),
+                    f(&per_combo[2].0[level]),
+                    f(&per_combo[3].0[level]),
+                ]
+            };
+            let hl = quad_to_complex(quad(&|s| &s.hl));
+            let lh = quad_to_complex(quad(&|s| &s.lh));
+            let hh = quad_to_complex(quad(&|s| &s.hh));
+            // Orientation assignment: HL bands carry near-horizontal spatial
+            // frequencies (±15°), LH near-vertical (±75°), HH diagonals
+            // (±45°); the z1/z2 split separates the sign of the angle.
+            subbands.push([
+                hl.0, // +15
+                hh.0, // +45
+                lh.0, // +75
+                lh.1, // -75
+                hh.1, // -45
+                hl.1, // -15
+            ]);
+        }
+
+        let mut it = per_combo.into_iter().map(|(_, ll)| ll);
+        let lowpass = [
+            it.next().expect("four combos"),
+            it.next().expect("four combos"),
+            it.next().expect("four combos"),
+            it.next().expect("four combos"),
+        ];
+        Ok(CwtPyramid {
+            subbands,
+            lowpass,
+            pre_pad_dims,
+        })
+    }
+
+    /// Inverse transform with the default scalar kernel.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dtcwt::inverse_with`].
+    pub fn inverse(&self, pyr: &CwtPyramid) -> Result<Image, DtcwtError> {
+        self.inverse_with(&mut ScalarKernel::new(), pyr)
+    }
+
+    /// Inverse transform through a caller-supplied kernel.
+    ///
+    /// Each of the four tree combinations is inverted independently and the
+    /// results averaged; for an unmodified pyramid this reproduces the input
+    /// exactly (up to `f32` rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::MalformedPyramid`] on level-count mismatch and
+    /// [`DtcwtError::BadDimensions`] on inconsistent subband shapes.
+    pub fn inverse_with(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        pyr: &CwtPyramid,
+    ) -> Result<Image, DtcwtError> {
+        self.check_pyramid(pyr)?;
+        let mut sum: Option<Image> = None;
+        for (ci, &(rt, ct)) in COMBOS.iter().enumerate() {
+            let cur = self.synthesize_combo(kernel, pyr, ci, rt, ct)?;
+            match &mut sum {
+                None => sum = Some(cur),
+                Some(acc) => acc.add_scaled(&cur, 1.0),
+            }
+        }
+        let mut out = sum.expect("at least one combo");
+        out.scale_in_place(0.25);
+        Ok(out)
+    }
+
+    /// Inverse transform with the four tree combinations inverted on
+    /// scoped worker threads (see [`Dtcwt::forward_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::inverse_with`].
+    pub fn inverse_parallel<K, F>(
+        &self,
+        kernel_factory: F,
+        pyr: &CwtPyramid,
+    ) -> Result<Image, DtcwtError>
+    where
+        K: FilterKernel,
+        F: Fn() -> K + Sync,
+    {
+        self.check_pyramid(pyr)?;
+        let results: Vec<Result<Image, DtcwtError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = COMBOS
+                .iter()
+                .enumerate()
+                .map(|(ci, &(rt, ct))| {
+                    let factory = &kernel_factory;
+                    scope.spawn(move || {
+                        let mut kernel = factory();
+                        self.synthesize_combo(&mut kernel, pyr, ci, rt, ct)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect()
+        });
+        let mut sum: Option<Image> = None;
+        for r in results {
+            let cur = r?;
+            match &mut sum {
+                None => sum = Some(cur),
+                Some(acc) => acc.add_scaled(&cur, 1.0),
+            }
+        }
+        let mut out = sum.expect("at least one combo");
+        out.scale_in_place(0.25);
+        Ok(out)
+    }
+
+    fn check_pyramid(&self, pyr: &CwtPyramid) -> Result<(), DtcwtError> {
+        if pyr.levels() != self.levels {
+            return Err(DtcwtError::MalformedPyramid(format!(
+                "pyramid has {} levels, transform expects {}",
+                pyr.levels(),
+                self.levels
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inverts one tree combination of the pyramid.
+    fn synthesize_combo(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        pyr: &CwtPyramid,
+        ci: usize,
+        rt: Tree,
+        ct: Tree,
+    ) -> Result<Image, DtcwtError> {
+        let mut cur = pyr.lowpass[ci].clone();
+        for level in (0..self.levels).rev() {
+            let s = &pyr.subbands[level];
+            let detail = Subbands {
+                hl: complex_to_quad_member(
+                    &s[Orientation::Pos15.index()],
+                    &s[Orientation::Neg15.index()],
+                    ci,
+                ),
+                hh: complex_to_quad_member(
+                    &s[Orientation::Pos45.index()],
+                    &s[Orientation::Neg45.index()],
+                    ci,
+                ),
+                lh: complex_to_quad_member(
+                    &s[Orientation::Pos75.index()],
+                    &s[Orientation::Neg75.index()],
+                    ci,
+                ),
+            };
+            let rows = self.axis_spec(level, rt);
+            let cols = self.axis_spec(level, ct);
+            let one = OneLevel { ll: cur, detail };
+            let padded = synthesize_level(kernel, &rows, &cols, &one)?;
+            let (ow, oh) = pyr.pre_pad_dims[level];
+            cur = if padded.dims() == (ow, oh) {
+                padded
+            } else {
+                padded.crop(0, 0, ow, oh)
+            };
+        }
+        Ok(cur)
+    }
+}
+
+/// Combines the four per-tree real subbands `[aa, ab, ba, bb]` into the two
+/// oppositely-oriented complex subbands:
+/// `z1 = ((aa − bb) + i(ab + ba)) / 2`, `z2 = ((aa + bb) + i(ab − ba)) / 2`.
+fn quad_to_complex(q: [&Image; 4]) -> (ComplexImage, ComplexImage) {
+    let (w, h) = q[0].dims();
+    let mut z1 = ComplexImage::zeros(w, h);
+    let mut z2 = ComplexImage::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (a, b, c, d) = (
+                q[0].get(x, y),
+                q[1].get(x, y),
+                q[2].get(x, y),
+                q[3].get(x, y),
+            );
+            z1.re.set(x, y, 0.5 * (a - d));
+            z1.im.set(x, y, 0.5 * (b + c));
+            z2.re.set(x, y, 0.5 * (a + d));
+            z2.im.set(x, y, 0.5 * (b - c));
+        }
+    }
+    (z1, z2)
+}
+
+/// Inverse of [`quad_to_complex`] for one tree combination `ci`
+/// (`aa = 0, ab = 1, ba = 2, bb = 3`).
+fn complex_to_quad_member(z1: &ComplexImage, z2: &ComplexImage, ci: usize) -> Image {
+    let (w, h) = z1.dims();
+    Image::from_fn(w, h, |x, y| {
+        let (r1, i1) = (z1.re.get(x, y), z1.im.get(x, y));
+        let (r2, i2) = (z2.re.get(x, y), z2.im.get(x, y));
+        match ci {
+            0 => r1 + r2, // aa
+            1 => i1 + i2, // ab
+            2 => i1 - i2, // ba
+            3 => r2 - r1, // bb
+            _ => unreachable!("tree combination index is 0..4"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: usize, h: usize) -> Image {
+        Image::from_fn(w, h, |x, y| {
+            ((x as f32 * 0.31).sin() * (y as f32 * 0.17).cos()) * 8.0
+                + ((3 * x + 5 * y) % 11) as f32 * 0.4
+        })
+    }
+
+    #[test]
+    fn quad_complex_round_trip() {
+        let imgs: Vec<Image> = (0..4)
+            .map(|s| Image::from_fn(6, 4, |x, y| (s * 100 + y * 6 + x) as f32 * 0.1))
+            .collect();
+        let (z1, z2) = quad_to_complex([&imgs[0], &imgs[1], &imgs[2], &imgs[3]]);
+        for ci in 0..4 {
+            let back = complex_to_quad_member(&z1, &z2, ci);
+            assert!(
+                back.max_abs_diff(&imgs[ci]) < 1e-5,
+                "combo {ci} not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_paper_sizes() {
+        for (w, h) in [(32, 24), (35, 35), (40, 40), (64, 48), (88, 72)] {
+            let img = test_image(w, h);
+            let levels = 3.min(Dwt2d::max_levels(w, h));
+            let t = Dtcwt::new(levels).unwrap();
+            let pyr = t.forward(&img).unwrap();
+            let back = t.inverse(&pyr).unwrap();
+            let err = back.max_abs_diff(&img);
+            assert!(err < 2e-3, "{w}x{h}: err {err}");
+        }
+    }
+
+    #[test]
+    fn subband_count_and_dims() {
+        let t = Dtcwt::new(2).unwrap();
+        let pyr = t.forward(&test_image(64, 48)).unwrap();
+        assert_eq!(pyr.levels(), 2);
+        assert_eq!(pyr.subbands(0).len(), 6);
+        assert_eq!(pyr.subbands(0)[0].dims(), (32, 24));
+        assert_eq!(pyr.subbands(1)[0].dims(), (16, 12));
+        for ll in pyr.lowpass() {
+            assert_eq!(ll.dims(), (16, 12));
+        }
+        assert_eq!(pyr.input_dims(), (64, 48));
+    }
+
+    #[test]
+    fn zero_levels_rejected() {
+        assert!(Dtcwt::new(0).is_err());
+    }
+
+    #[test]
+    fn level_mismatch_rejected() {
+        let t2 = Dtcwt::new(2).unwrap();
+        let t3 = Dtcwt::new(3).unwrap();
+        let pyr = t2.forward(&test_image(64, 64)).unwrap();
+        assert!(matches!(
+            t3.inverse(&pyr),
+            Err(DtcwtError::MalformedPyramid(_))
+        ));
+    }
+
+    #[test]
+    fn orientation_metadata() {
+        assert_eq!(Orientation::ALL.len(), 6);
+        for (i, o) in Orientation::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+        assert_eq!(Orientation::Pos45.angle_degrees(), 45.0);
+        assert_eq!(Orientation::Neg75.to_string(), "-75deg");
+    }
+
+    /// Diagonal gratings must excite the matching ±45° subband much more
+    /// strongly than its mirror — the defining DT-CWT property a real DWT
+    /// lacks.
+    #[test]
+    fn diagonal_orientation_selectivity() {
+        let n = 64;
+        // Wave vector along (1, 1): crests along the -45° direction...
+        // what matters here is that the two diagonal gratings separate.
+        let grating_pos = Image::from_fn(n, n, |x, y| {
+            ((x as f32 + y as f32) * 0.9).sin()
+        });
+        let grating_neg = Image::from_fn(n, n, |x, y| {
+            ((x as f32 - y as f32) * 0.9).sin()
+        });
+        let t = Dtcwt::new(2).unwrap();
+        let e = |img: &Image, o: Orientation| -> f64 {
+            let pyr = t.forward(img).unwrap();
+            (0..2).map(|l| pyr.subband(l, o).energy()).sum()
+        };
+        let p_pos45 = e(&grating_pos, Orientation::Pos45);
+        let p_neg45 = e(&grating_pos, Orientation::Neg45);
+        let n_pos45 = e(&grating_neg, Orientation::Pos45);
+        let n_neg45 = e(&grating_neg, Orientation::Neg45);
+        // Each grating prefers one diagonal band by a wide margin, and they
+        // prefer opposite bands.
+        let ratio_a = p_pos45.max(p_neg45) / p_pos45.min(p_neg45);
+        let ratio_b = n_pos45.max(n_neg45) / n_pos45.min(n_neg45);
+        assert!(ratio_a > 4.0, "grating(+) ratio {ratio_a}");
+        assert!(ratio_b > 4.0, "grating(-) ratio {ratio_b}");
+        assert_eq!(
+            p_pos45 > p_neg45,
+            n_pos45 < n_neg45,
+            "gratings must prefer opposite diagonal bands"
+        );
+    }
+
+    #[test]
+    fn parallel_paths_match_serial() {
+        let img = test_image(88, 72);
+        let t = Dtcwt::new(3).unwrap();
+        let serial = t.forward(&img).unwrap();
+        let parallel = t
+            .forward_parallel(crate::kernel::ScalarKernel::new, &img)
+            .unwrap();
+        for level in 0..3 {
+            for (a, b) in serial.subbands(level).iter().zip(parallel.subbands(level)) {
+                assert!(a.re.max_abs_diff(&b.re) < 1e-6);
+                assert!(a.im.max_abs_diff(&b.im) < 1e-6);
+            }
+        }
+        for (a, b) in serial.lowpass().iter().zip(parallel.lowpass()) {
+            assert!(a.max_abs_diff(b) < 1e-6);
+        }
+        assert_eq!(serial.input_dims(), parallel.input_dims());
+        let inv_serial = t.inverse(&serial).unwrap();
+        let inv_parallel = t
+            .inverse_parallel(crate::kernel::ScalarKernel::new, &parallel)
+            .unwrap();
+        assert!(inv_serial.max_abs_diff(&inv_parallel) < 1e-6);
+        assert!(inv_parallel.max_abs_diff(&img) < 2e-3);
+    }
+
+    #[test]
+    fn parallel_rejects_bad_inputs_like_serial() {
+        let t = Dtcwt::new(6).unwrap();
+        let img = test_image(16, 16);
+        assert!(matches!(
+            t.forward_parallel(crate::kernel::ScalarKernel::new, &img),
+            Err(DtcwtError::BadLevels { .. })
+        ));
+        let t2 = Dtcwt::new(2).unwrap();
+        let t3 = Dtcwt::new(3).unwrap();
+        let pyr = t2.forward(&test_image(32, 32)).unwrap();
+        assert!(matches!(
+            t3.inverse_parallel(crate::kernel::ScalarKernel::new, &pyr),
+            Err(DtcwtError::MalformedPyramid(_))
+        ));
+    }
+
+    #[test]
+    fn constant_image_energy_in_lowpass_only() {
+        let img = Image::filled(32, 32, 4.0);
+        let t = Dtcwt::new(2).unwrap();
+        let pyr = t.forward(&img).unwrap();
+        for l in 0..2 {
+            assert!(pyr.level_energy(l) < 1e-6, "level {l} leaked");
+        }
+        for ll in pyr.lowpass() {
+            // Gain sqrt(2)^2 per level on the lowpass path.
+            assert!((ll.get(4, 4) - 16.0).abs() < 1e-3);
+        }
+    }
+}

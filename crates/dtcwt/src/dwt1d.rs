@@ -1,0 +1,314 @@
+//! One-dimensional decimated wavelet transform (single level).
+//!
+//! Implements the circular (periodized) two-channel transform on top of a
+//! [`FilterKernel`]. Circular extension gives *exact* perfect reconstruction
+//! for every validated [`FilterBank`], including the even-length quarter-shift
+//! banks the DT-CWT needs — which symmetric extension cannot offer without
+//! special-casing.
+//!
+//! The decimation `phase` parameter selects which polyphase component the
+//! analysis keeps; the two trees of the DT-CWT's first level are exactly the
+//! `phase = 0` and `phase = 1` versions of the same bank.
+
+use crate::filters::FilterBank;
+use crate::kernel::FilterKernel;
+use crate::DtcwtError;
+
+/// Decimation phase of a single-level transform. `A` keeps even-indexed
+/// filter outputs, `B` keeps odd-indexed outputs (a half-sample delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Even polyphase component (tree A of the DT-CWT level 1).
+    A,
+    /// Odd polyphase component (tree B of the DT-CWT level 1).
+    B,
+}
+
+impl Phase {
+    /// Numeric offset (0 or 1).
+    #[inline]
+    pub fn offset(self) -> usize {
+        match self {
+            Phase::A => 0,
+            Phase::B => 1,
+        }
+    }
+}
+
+/// `f32` filter taps of a bank, cached so per-row calls avoid re-conversion.
+#[derive(Debug, Clone)]
+pub struct BankTaps {
+    /// Analysis lowpass.
+    pub h0: Vec<f32>,
+    /// Analysis highpass.
+    pub h1: Vec<f32>,
+    /// Synthesis lowpass.
+    pub g0: Vec<f32>,
+    /// Synthesis highpass.
+    pub g1: Vec<f32>,
+    /// Analysis extension margin.
+    analysis_left: usize,
+    /// Synthesis extension margin (on the decimated channels).
+    synthesis_left: usize,
+    /// Delay-compensating rotation applied after synthesis.
+    delay: usize,
+}
+
+impl BankTaps {
+    /// Extracts and caches the `f32` taps of a validated bank.
+    pub fn new(bank: &FilterBank) -> Self {
+        let (h0, h1) = bank.analysis_f32();
+        let (g0, g1) = bank.synthesis_f32();
+        let analysis_left = h0.len().max(h1.len());
+        // The extra slack beyond the polyphase reach lets SIMD kernels use
+        // front-padded lane-aligned tap vectors without underrunning.
+        let synthesis_left = g0.len().max(g1.len()) / 2 + 5;
+        let delay = (h0.len() + g0.len()) / 2 - 1;
+        BankTaps {
+            h0,
+            h1,
+            g0,
+            g1,
+            analysis_left,
+            synthesis_left,
+            delay,
+        }
+    }
+
+    /// Total end-to-end delay (analysis + synthesis), an odd number of
+    /// samples compensated by [`synthesize`].
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+}
+
+/// Circularly extends `x` with `left` wrapped samples before and `right`
+/// after, into `out` (cleared first).
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn extend_circular_into(x: &[f32], left: usize, right: usize, out: &mut Vec<f32>) {
+    assert!(!x.is_empty(), "cannot extend an empty signal");
+    let n = x.len();
+    out.clear();
+    out.reserve(n + left + right);
+    for i in 0..left {
+        // index -(left - i) mod n
+        out.push(x[(n - 1) - ((left - 1 - i) % n)]);
+    }
+    out.extend_from_slice(x);
+    for i in 0..right {
+        out.push(x[i % n]);
+    }
+}
+
+/// Single-level decimating analysis of an even-length signal.
+///
+/// Returns `(lowpass, highpass)`, each of length `x.len() / 2`.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if `x` is empty or of odd length.
+pub fn analyze(
+    kernel: &mut dyn FilterKernel,
+    taps: &BankTaps,
+    x: &[f32],
+    phase: Phase,
+) -> Result<(Vec<f32>, Vec<f32>), DtcwtError> {
+    if x.is_empty() || x.len() % 2 != 0 {
+        return Err(DtcwtError::BadDimensions {
+            width: x.len(),
+            height: 1,
+            reason: "1-d analysis requires even non-zero length",
+        });
+    }
+    let half = x.len() / 2;
+    let mut ext = Vec::new();
+    extend_circular_into(x, taps.analysis_left, taps.analysis_left, &mut ext);
+    let mut lo = vec![0.0f32; half];
+    let mut hi = vec![0.0f32; half];
+    kernel.analyze_row(
+        &ext,
+        taps.analysis_left,
+        &taps.h0,
+        &taps.h1,
+        phase.offset(),
+        &mut lo,
+        &mut hi,
+    );
+    Ok((lo, hi))
+}
+
+/// Single-level interpolating synthesis; exact inverse of [`analyze`] for
+/// the same bank and phase.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if the channels are empty or of
+/// different lengths.
+pub fn synthesize(
+    kernel: &mut dyn FilterKernel,
+    taps: &BankTaps,
+    lo: &[f32],
+    hi: &[f32],
+    phase: Phase,
+) -> Result<Vec<f32>, DtcwtError> {
+    if lo.is_empty() || lo.len() != hi.len() {
+        return Err(DtcwtError::BadDimensions {
+            width: lo.len(),
+            height: hi.len(),
+            reason: "synthesis channels must be non-empty and equal-length",
+        });
+    }
+    let n = lo.len() * 2;
+    let mut lo_ext = Vec::new();
+    let mut hi_ext = Vec::new();
+    extend_circular_into(lo, taps.synthesis_left, 0, &mut lo_ext);
+    extend_circular_into(hi, taps.synthesis_left, 0, &mut hi_ext);
+    let mut raw = vec![0.0f32; n];
+    kernel.synthesize_row(
+        &lo_ext,
+        &hi_ext,
+        taps.synthesis_left,
+        &taps.g0,
+        &taps.g1,
+        phase.offset(),
+        &mut raw,
+    );
+    // The analysis/synthesis cascade delays the signal by `delay` samples
+    // (circularly); rotate left to compensate.
+    let d = taps.delay % n;
+    let mut out = vec![0.0f32; n];
+    for (m, o) in out.iter_mut().enumerate() {
+        *o = raw[(m + d) % n];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ScalarKernel;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7919) % 64) as f32 / 8.0 - 3.5).collect()
+    }
+
+    fn max_err(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    fn roundtrip(bank: &FilterBank, n: usize, phase: Phase) -> f32 {
+        let taps = BankTaps::new(bank);
+        let x = ramp(n);
+        let mut k = ScalarKernel::new();
+        let (lo, hi) = analyze(&mut k, &taps, &x, phase).unwrap();
+        assert_eq!(lo.len(), n / 2);
+        let back = synthesize(&mut k, &taps, &lo, &hi, phase).unwrap();
+        max_err(&x, &back)
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_banks_both_phases() {
+        let banks = [
+            FilterBank::haar().unwrap(),
+            FilterBank::daubechies(2).unwrap(),
+            FilterBank::daubechies(4).unwrap(),
+            FilterBank::legall_5_3().unwrap(),
+            FilterBank::cdf_9_7().unwrap(),
+            FilterBank::near_sym_a().unwrap(),
+            FilterBank::near_sym_b().unwrap(),
+            FilterBank::qshift_b().unwrap(),
+            FilterBank::qshift_b().unwrap().time_reverse(),
+        ];
+        for bank in &banks {
+            for phase in [Phase::A, Phase::B] {
+                for n in [8usize, 16, 22, 36, 88] {
+                    let err = roundtrip(bank, n, phase);
+                    assert!(
+                        err < 2e-5,
+                        "PR failed: bank {} n {} phase {:?} err {:e}",
+                        bank.name(),
+                        n,
+                        phase,
+                        err
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        let taps = BankTaps::new(&FilterBank::haar().unwrap());
+        let mut k = ScalarKernel::new();
+        assert!(analyze(&mut k, &taps, &[1.0, 2.0, 3.0], Phase::A).is_err());
+        assert!(analyze(&mut k, &taps, &[], Phase::A).is_err());
+    }
+
+    #[test]
+    fn mismatched_channels_rejected() {
+        let taps = BankTaps::new(&FilterBank::haar().unwrap());
+        let mut k = ScalarKernel::new();
+        assert!(synthesize(&mut k, &taps, &[1.0], &[1.0, 2.0], Phase::A).is_err());
+        assert!(synthesize(&mut k, &taps, &[], &[], Phase::A).is_err());
+    }
+
+    #[test]
+    fn lowpass_of_constant_is_constant_highpass_zero() {
+        // A constant signal must land entirely in the lowpass channel
+        // (vanishing moments of h1).
+        let bank = FilterBank::near_sym_b().unwrap();
+        let taps = BankTaps::new(&bank);
+        let x = vec![2.5f32; 32];
+        let mut k = ScalarKernel::new();
+        let (lo, hi) = analyze(&mut k, &taps, &x, Phase::A).unwrap();
+        for v in &hi {
+            assert!(v.abs() < 1e-5, "highpass leaked {v}");
+        }
+        let expect = 2.5 * std::f64::consts::SQRT_2 as f32;
+        for v in &lo {
+            assert!((v - expect).abs() < 1e-4, "lowpass {v} != {expect}");
+        }
+    }
+
+    #[test]
+    fn phases_differ_by_one_sample_shift() {
+        // Analyzing x at phase B equals analyzing shift(x, -1)... verified
+        // via reconstruction consistency: both phases reconstruct the same x.
+        let bank = FilterBank::qshift_b().unwrap();
+        let taps = BankTaps::new(&bank);
+        let x = ramp(24);
+        let mut k = ScalarKernel::new();
+        let (lo_a, _) = analyze(&mut k, &taps, &x, Phase::A).unwrap();
+        let (lo_b, _) = analyze(&mut k, &taps, &x, Phase::B).unwrap();
+        assert!(max_err(&lo_a, &lo_b) > 1e-4, "phases should differ");
+    }
+
+    #[test]
+    fn extension_wraps_correctly() {
+        let mut out = Vec::new();
+        extend_circular_into(&[1.0, 2.0, 3.0], 2, 2, &mut out);
+        assert_eq!(out, vec![2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0]);
+        // Margin longer than the signal must keep wrapping.
+        extend_circular_into(&[1.0, 2.0], 5, 3, &mut out);
+        assert_eq!(out, vec![2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn energy_preserved_by_orthonormal_banks() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let taps = BankTaps::new(&bank);
+        let x = ramp(64);
+        let mut k = ScalarKernel::new();
+        let (lo, hi) = analyze(&mut k, &taps, &x, Phase::A).unwrap();
+        let ein: f64 = x.iter().map(|v| (*v as f64) * (*v as f64)).sum();
+        let eout: f64 = lo
+            .iter()
+            .chain(&hi)
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum();
+        assert!((ein - eout).abs() < 1e-3 * ein, "{ein} vs {eout}");
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for wavelet transforms and filter construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DtcwtError {
+    /// The requested image dimensions are unusable (zero-sized, or too small
+    /// for the requested decomposition depth).
+    BadDimensions {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+    /// The requested number of decomposition levels is invalid for the
+    /// input size.
+    BadLevels {
+        /// Levels requested.
+        requested: usize,
+        /// Maximum levels supported for the given input.
+        max_supported: usize,
+    },
+    /// A filter bank failed its construction-time validation (e.g. the
+    /// perfect-reconstruction half-band condition).
+    InvalidFilterBank(String),
+    /// A pyramid passed to the inverse transform is structurally
+    /// inconsistent (wrong level count, mismatched subband shapes).
+    MalformedPyramid(String),
+    /// An underlying numerical routine failed.
+    Numerics(wavefuse_numerics::NumericsError),
+}
+
+impl fmt::Display for DtcwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtcwtError::BadDimensions {
+                width,
+                height,
+                reason,
+            } => write!(f, "unusable image dimensions {width}x{height}: {reason}"),
+            DtcwtError::BadLevels {
+                requested,
+                max_supported,
+            } => write!(
+                f,
+                "requested {requested} decomposition levels but input supports at most {max_supported}"
+            ),
+            DtcwtError::InvalidFilterBank(why) => write!(f, "invalid filter bank: {why}"),
+            DtcwtError::MalformedPyramid(why) => write!(f, "malformed pyramid: {why}"),
+            DtcwtError::Numerics(e) => write!(f, "numerical routine failed: {e}"),
+        }
+    }
+}
+
+impl Error for DtcwtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DtcwtError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wavefuse_numerics::NumericsError> for DtcwtError {
+    fn from(e: wavefuse_numerics::NumericsError) -> Self {
+        DtcwtError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DtcwtError>();
+    }
+
+    #[test]
+    fn source_chains_numerics() {
+        let e = DtcwtError::from(wavefuse_numerics::NumericsError::SingularMatrix);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+}

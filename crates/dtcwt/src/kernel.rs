@@ -1,0 +1,253 @@
+//! The pluggable inner-loop compute kernel.
+//!
+//! All decimated filtering in this workspace — the plain DWT, the DT-CWT and
+//! the fusion pipeline built on them — funnels through two primitive row
+//! operations: a decimating dual-filter *analysis* and an interpolating
+//! dual-filter *synthesis*. [`FilterKernel`] abstracts those primitives so
+//! that each of the paper's compute engines can provide its own
+//! implementation:
+//!
+//! * [`ScalarKernel`] (here) — the reference ARM-style scalar code.
+//! * `SimdKernel` in `wavefuse-simd` — the NEON-style 4-lane vectorized code.
+//! * `FpgaKernel` in `wavefuse-zynq` — the simulated PL wavelet engine,
+//!   which also accounts bus transfers and pipeline cycles.
+//!
+//! # Data layout contract
+//!
+//! Rows are passed *pre-extended*: the caller materializes the circular
+//! boundary extension so kernels only ever perform contiguous, in-bounds
+//! reads — exactly the access pattern of the paper's shift-register FPGA
+//! datapath and of aligned NEON loads.
+//!
+//! For **analysis**, `ext` holds the extended signal with the original
+//! sample `x[i]` at `ext[left + i]`; output `k` is the dot product of the
+//! *reversed* filter with the window starting at
+//! `left + 2k + phase - (taps - 1)`.
+//!
+//! For **synthesis**, the decimated `lo`/`hi` channels arrive left-extended
+//! and the kernel computes the two polyphase dot products per output sample.
+
+/// Decimating/interpolating dual-filter row kernel.
+///
+/// Implementations must be numerically equivalent to [`ScalarKernel`] within
+/// `f32` rounding; the integration test suite enforces this for every
+/// backend.
+pub trait FilterKernel {
+    /// Human-readable kernel name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Decimating analysis of one row.
+    ///
+    /// * `ext` — circularly extended input; `x[i]` lives at `ext[left + i]`.
+    /// * `left` — extension margin (must be ≥ `h0.len().max(h1.len()) - 1`).
+    /// * `h0`, `h1` — analysis lowpass/highpass taps in natural order.
+    /// * `phase` — decimation phase (0 or 1); the dual-tree level-1 trees
+    ///   differ only in this value.
+    /// * `lo`, `hi` — outputs, each of length `n/2` for an original row of
+    ///   even length `n`.
+    ///
+    /// Semantics: `lo[k] = Σ_j h0[j] · x[(2k + phase − j) mod n]`, and the
+    /// same for `hi` with `h1`.
+    fn analyze_row(
+        &mut self,
+        ext: &[f32],
+        left: usize,
+        h0: &[f32],
+        h1: &[f32],
+        phase: usize,
+        lo: &mut [f32],
+        hi: &mut [f32],
+    );
+
+    /// Interpolating synthesis of one row (inverse of [`analyze_row`]).
+    ///
+    /// * `lo_ext`, `hi_ext` — circularly left-extended decimated channels;
+    ///   channel sample `k` lives at index `left + k`.
+    /// * `g0`, `g1` — synthesis lowpass/highpass taps in natural order.
+    /// * `phase` — must match the analysis phase.
+    /// * `out` — output row of length `2 * (channel length)`.
+    ///
+    /// Semantics: `out[m] = Σ_k g0[m − 2k − phase] · lo[k] + Σ_k g1[m − 2k −
+    /// phase] · hi[k]` (circular in `k`). The caller applies the final
+    /// delay-compensating rotation.
+    ///
+    /// [`analyze_row`]: FilterKernel::analyze_row
+    #[allow(clippy::too_many_arguments)]
+    fn synthesize_row(
+        &mut self,
+        lo_ext: &[f32],
+        hi_ext: &[f32],
+        left: usize,
+        g0: &[f32],
+        g1: &[f32],
+        phase: usize,
+        out: &mut [f32],
+    );
+}
+
+/// Reference scalar implementation, modeling plain ARM Cortex-A9 execution.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_dtcwt::{FilterKernel, ScalarKernel};
+///
+/// let mut k = ScalarKernel::new();
+/// assert_eq!(k.name(), "arm-scalar");
+/// // Haar analysis of [1, 3]: lo = (1+3)/sqrt(2), hi = (3-1)/sqrt(2)
+/// let h = std::f32::consts::FRAC_1_SQRT_2;
+/// let ext = [3.0f32, 1.0, 3.0, 1.0]; // circular extension, left = 1
+/// let (mut lo, mut hi) = ([0.0f32], [0.0f32]);
+/// k.analyze_row(&ext, 1, &[h, h], &[h, -h], 1, &mut lo, &mut hi);
+/// assert!((lo[0] - 4.0 * h).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScalarKernel {
+    rev0: Vec<f32>,
+    rev1: Vec<f32>,
+}
+
+impl ScalarKernel {
+    /// Creates a new scalar kernel.
+    pub fn new() -> Self {
+        ScalarKernel::default()
+    }
+
+    fn load_reversed(cache: &mut Vec<f32>, taps: &[f32]) {
+        cache.clear();
+        cache.extend(taps.iter().rev());
+    }
+}
+
+impl FilterKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "arm-scalar"
+    }
+
+    fn analyze_row(
+        &mut self,
+        ext: &[f32],
+        left: usize,
+        h0: &[f32],
+        h1: &[f32],
+        phase: usize,
+        lo: &mut [f32],
+        hi: &mut [f32],
+    ) {
+        debug_assert_eq!(lo.len(), hi.len());
+        // Reversing once turns each output into a contiguous ascending dot
+        // product — the same windowing the FPGA shift register performs.
+        Self::load_reversed(&mut self.rev0, h0);
+        Self::load_reversed(&mut self.rev1, h1);
+        let (l0, l1) = (h0.len(), h1.len());
+        for k in 0..lo.len() {
+            let center = left + 2 * k + phase;
+            let w0 = &ext[center + 1 - l0..=center];
+            let mut acc0 = 0.0f32;
+            for (c, x) in self.rev0.iter().zip(w0) {
+                acc0 += c * x;
+            }
+            lo[k] = acc0;
+            let w1 = &ext[center + 1 - l1..=center];
+            let mut acc1 = 0.0f32;
+            for (c, x) in self.rev1.iter().zip(w1) {
+                acc1 += c * x;
+            }
+            hi[k] = acc1;
+        }
+    }
+
+    fn synthesize_row(
+        &mut self,
+        lo_ext: &[f32],
+        hi_ext: &[f32],
+        left: usize,
+        g0: &[f32],
+        g1: &[f32],
+        phase: usize,
+        out: &mut [f32],
+    ) {
+        for (m, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            // Lowpass branch: taps j with j ≡ (m - phase) (mod 2).
+            acc += polyphase_dot(lo_ext, left, g0, m, phase);
+            acc += polyphase_dot(hi_ext, left, g1, m, phase);
+            *o = acc;
+        }
+        fn polyphase_dot(ch_ext: &[f32], left: usize, g: &[f32], m: usize, phase: usize) -> f32 {
+            // out[m] += Σ_j g[j] ch[(m - phase - j)/2] over j with matching
+            // parity; k may go negative, absorbed by the left extension.
+            let mp = m as isize - phase as isize;
+            let j0 = (mp & 1).unsigned_abs(); // parity of (m - phase)
+            let mut acc = 0.0f32;
+            let mut j = j0 as isize;
+            while (j as usize) < g.len() {
+                let k = (mp - j) / 2;
+                acc += g[j as usize] * ch_ext[(left as isize + k) as usize];
+                j += 2;
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_analysis_by_hand() {
+        let h = std::f32::consts::FRAC_1_SQRT_2;
+        // x = [1, 2, 3, 4], circular ext with left margin 1.
+        let ext = [4.0f32, 1.0, 2.0, 3.0, 4.0, 1.0];
+        let (mut lo, mut hi) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+        let mut k = ScalarKernel::new();
+        // phase 1: lo[k] = h*(x[2k+1] + x[2k])
+        k.analyze_row(&ext, 1, &[h, h], &[-h, h], 1, &mut lo, &mut hi);
+        assert!((lo[0] - h * 3.0).abs() < 1e-6);
+        assert!((lo[1] - h * 7.0).abs() < 1e-6);
+        // h1 = [-h, h]: hi[k] = h1[0]*x[2k+1] + h1[1]*x[2k] = h*(x[2k] - x[2k+1])
+        assert!((hi[0] + h * 1.0).abs() < 1e-6);
+        assert!((hi[1] + h * 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn analysis_phase_zero_wraps() {
+        let h = std::f32::consts::FRAC_1_SQRT_2;
+        let ext = [4.0f32, 1.0, 2.0, 3.0, 4.0, 1.0];
+        let (mut lo, mut hi) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+        let mut k = ScalarKernel::new();
+        // phase 0: lo[0] = h*(x[0] + x[-1 mod 4]) = h*(1 + 4)
+        k.analyze_row(&ext, 1, &[h, h], &[-h, h], 0, &mut lo, &mut hi);
+        assert!((lo[0] - h * 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn synthesis_reconstructs_haar_by_hand() {
+        // Analyze then synthesize a length-4 signal with Haar at phase 1 and
+        // verify the raw (unrotated) output is the input delayed by c = 1.
+        let h = std::f32::consts::FRAC_1_SQRT_2;
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let ext = [4.0f32, 1.0, 2.0, 3.0, 4.0, 1.0];
+        let (mut lo, mut hi) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+        let mut k = ScalarKernel::new();
+        let (h0, h1) = ([h, h], [-h, h]);
+        k.analyze_row(&ext, 1, &h0, &h1, 1, &mut lo, &mut hi);
+        // Orthonormal synthesis: g = reversed analysis.
+        let g0 = [h, h];
+        let g1 = [h, -h];
+        // Left-extend channels circularly by 2.
+        let lo_ext = [lo[0], lo[1], lo[0], lo[1]];
+        let hi_ext = [hi[0], hi[1], hi[0], hi[1]];
+        let mut out = vec![0.0f32; 4];
+        k.synthesize_row(&lo_ext, &hi_ext, 2, &g0, &g1, 1, &mut out);
+        // Delay c = (2 + 2)/2 - 1 = 1: out[m] == x[(m - 1) mod 4].
+        for m in 0..4 {
+            let expect = x[(m + 4 - 1) % 4];
+            assert!(
+                (out[m] - expect).abs() < 1e-5,
+                "m = {m}: {out:?} vs delayed {x:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the wavelet substrate.
+
+use proptest::prelude::*;
+use wavefuse_dtcwt::design::{daubechies, design_dual_lowpass, halfband_violation};
+use wavefuse_dtcwt::dwt1d::{analyze, synthesize, BankTaps, Phase};
+use wavefuse_dtcwt::{Dtcwt, Dwt2d, FilterBank, Image, ScalarKernel};
+
+fn arb_even_signal() -> impl Strategy<Value = Vec<f32>> {
+    (2usize..=64).prop_flat_map(|half| {
+        proptest::collection::vec(-50.0f32..50.0, half * 2)
+    })
+}
+
+fn bank_from_index(i: usize) -> FilterBank {
+    match i % 6 {
+        0 => FilterBank::haar(),
+        1 => FilterBank::daubechies(2),
+        2 => FilterBank::daubechies(5),
+        3 => FilterBank::legall_5_3(),
+        4 => FilterBank::cdf_9_7(),
+        _ => FilterBank::qshift_b(),
+    }
+    .expect("built-in banks validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn one_d_perfect_reconstruction(
+        x in arb_even_signal(),
+        bank_idx in 0usize..6,
+        phase_b in proptest::bool::ANY,
+    ) {
+        let bank = bank_from_index(bank_idx);
+        let taps = BankTaps::new(&bank);
+        let phase = if phase_b { Phase::B } else { Phase::A };
+        let mut k = ScalarKernel::new();
+        let (lo, hi) = analyze(&mut k, &taps, &x, phase).unwrap();
+        let back = synthesize(&mut k, &taps, &lo, &hi, phase).unwrap();
+        let scale = x.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 2e-4 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn analysis_is_linear(
+        x in arb_even_signal(),
+        k_scale in -3.0f32..3.0,
+    ) {
+        let bank = FilterBank::cdf_9_7().unwrap();
+        let taps = BankTaps::new(&bank);
+        let mut k = ScalarKernel::new();
+        let (lo, _) = analyze(&mut k, &taps, &x, Phase::A).unwrap();
+        let scaled: Vec<f32> = x.iter().map(|v| v * k_scale).collect();
+        let (lo_s, _) = analyze(&mut k, &taps, &scaled, Phase::A).unwrap();
+        let scale = x.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in lo.iter().zip(&lo_s) {
+            prop_assert!((a * k_scale - b).abs() < 1e-3 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn orthonormal_banks_preserve_energy(x in arb_even_signal(), n in 1usize..=8) {
+        let bank = FilterBank::daubechies(n).unwrap();
+        let taps = BankTaps::new(&bank);
+        let mut k = ScalarKernel::new();
+        let (lo, hi) = analyze(&mut k, &taps, &x, Phase::A).unwrap();
+        let ein: f64 = x.iter().map(|v| (*v as f64) * (*v as f64)).sum();
+        let eout: f64 = lo.iter().chain(&hi).map(|v| (*v as f64) * (*v as f64)).sum();
+        prop_assert!((ein - eout).abs() < 1e-2 * ein.max(1.0), "{ein} vs {eout}");
+    }
+
+    #[test]
+    fn daubechies_family_is_halfband(n in 1usize..=12) {
+        let h = daubechies(n).unwrap();
+        let g: Vec<f64> = h.iter().rev().copied().collect();
+        prop_assert!(halfband_violation(&h, &g) < 1e-7);
+    }
+
+    #[test]
+    fn dual_design_always_yields_pr(extra in 0usize..3) {
+        // Dual lengths 3, 7, 11 for the LeGall 5-tap primal.
+        let s = std::f64::consts::SQRT_2;
+        let h0: Vec<f64> = [-0.125, 0.25, 0.75, 0.25, -0.125].iter().map(|c| c * s).collect();
+        let dual_len = 3 + 4 * extra;
+        let g0 = design_dual_lowpass(&h0, dual_len).unwrap();
+        prop_assert!(halfband_violation(&h0, &g0) < 1e-9);
+    }
+
+    #[test]
+    fn dtcwt_reconstruction_arbitrary_shapes(
+        w in 8usize..=48,
+        h in 8usize..=48,
+        seed in 0u32..1000,
+    ) {
+        let img = Image::from_fn(w, h, |x, y| {
+            let v = (x as u32).wrapping_mul(2654435761)
+                .wrapping_add((y as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            (v % 211) as f32 / 210.0 - 0.5
+        });
+        let levels = 2.min(Dwt2d::max_levels(w, h));
+        prop_assume!(levels >= 1);
+        let t = Dtcwt::new(levels).unwrap();
+        let pyr = t.forward(&img).unwrap();
+        let back = t.inverse(&pyr).unwrap();
+        prop_assert!(back.max_abs_diff(&img) < 5e-3);
+    }
+
+    #[test]
+    fn transform_commutes_with_scaling(
+        seed in 0u32..500,
+        k_scale in 0.1f32..4.0,
+    ) {
+        let img = Image::from_fn(24, 24, |x, y| {
+            ((x * 7 + y * 13 + seed as usize) % 31) as f32 * 0.1
+        });
+        let t = Dtcwt::new(2).unwrap();
+        let p1 = t.forward(&img).unwrap();
+        let mut scaled = img.clone();
+        scaled.scale_in_place(k_scale);
+        let p2 = t.forward(&scaled).unwrap();
+        for level in 0..2 {
+            let e1 = p1.level_energy(level);
+            let e2 = p2.level_energy(level);
+            let expect = e1 * (k_scale as f64).powi(2);
+            prop_assert!((e2 - expect).abs() < 1e-2 * expect.max(1e-9), "{e2} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Fusion-quality and image-quality metrics.
+//!
+//! The paper motivates the DT-CWT by its fusion quality ("better signal to
+//! noise ratios and improved perception with no blocking artefacts", §I);
+//! this crate provides the standard metrics the image-fusion literature
+//! (and the paper's references \[9\], \[12\]) uses to substantiate such claims:
+//!
+//! * [`entropy`] — information content of the fused image;
+//! * [`spatial_frequency`] — overall activity/sharpness;
+//! * [`mutual_information`] — how much source information the fused image
+//!   retains (the MI-based fusion metric);
+//! * [`petrovic_qabf`] — the Xydeas–Petrović edge-preservation metric
+//!   `Q^{AB/F}`;
+//! * [`psnr`] and [`ssim`] — reference-based fidelity metrics used to
+//!   validate the transform paths themselves.
+//!
+//! # Examples
+//!
+//! ```
+//! use wavefuse_dtcwt::Image;
+//! use wavefuse_metrics::{entropy, psnr};
+//!
+//! let img = Image::from_fn(32, 32, |x, y| ((x * y) % 16) as f32 / 15.0);
+//! assert!(entropy(&img) > 2.0); // textured image carries information
+//! assert_eq!(psnr(&img, &img), f64::INFINITY);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wavefuse_dtcwt::Image;
+use wavefuse_numerics::stats::Histogram;
+
+/// Number of gray levels assumed by the histogram-based metrics.
+pub const GRAY_LEVELS: usize = 256;
+
+/// Shannon entropy of the gray-level distribution, in bits (0–8 for 256
+/// levels). Pixel values are clamped to `[0, 1]`.
+pub fn entropy(img: &Image) -> f64 {
+    let mut h = Histogram::new(0.0, 1.0, GRAY_LEVELS);
+    for &v in img.as_slice() {
+        h.add(v.clamp(0.0, 1.0) as f64);
+    }
+    h.entropy_bits()
+}
+
+/// Spatial frequency: RMS of horizontal and vertical first differences, a
+/// standard activity measure for fused images.
+pub fn spatial_frequency(img: &Image) -> f64 {
+    let (w, h) = img.dims();
+    if w < 2 || h < 2 {
+        return 0.0;
+    }
+    let mut row_acc = 0.0f64;
+    let mut col_acc = 0.0f64;
+    for y in 0..h {
+        for x in 1..w {
+            let d = (img.get(x, y) - img.get(x - 1, y)) as f64;
+            row_acc += d * d;
+        }
+    }
+    for y in 1..h {
+        for x in 0..w {
+            let d = (img.get(x, y) - img.get(x, y - 1)) as f64;
+            col_acc += d * d;
+        }
+    }
+    let n = (w * h) as f64;
+    (row_acc / n + col_acc / n).sqrt()
+}
+
+/// Mutual information `I(A; F)` between a source image and the fused image,
+/// in bits, from a 64x64-bin joint histogram. Inputs are clamped to
+/// `[0, 1]` and must share dimensions.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn mutual_information(a: &Image, f: &Image) -> f64 {
+    assert_eq!(a.dims(), f.dims(), "images must share dimensions");
+    const BINS: usize = 64;
+    let mut joint = vec![0u64; BINS * BINS];
+    let bin = |v: f32| -> usize {
+        ((v.clamp(0.0, 1.0) * BINS as f32) as usize).min(BINS - 1)
+    };
+    for (&va, &vf) in a.as_slice().iter().zip(f.as_slice()) {
+        joint[bin(va) * BINS + bin(vf)] += 1;
+    }
+    let total = a.len() as f64;
+    let mut pa = [0.0f64; BINS];
+    let mut pf = [0.0f64; BINS];
+    for i in 0..BINS {
+        for j in 0..BINS {
+            let p = joint[i * BINS + j] as f64 / total;
+            pa[i] += p;
+            pf[j] += p;
+        }
+    }
+    let mut mi = 0.0;
+    for i in 0..BINS {
+        for j in 0..BINS {
+            let p = joint[i * BINS + j] as f64 / total;
+            if p > 0.0 && pa[i] > 0.0 && pf[j] > 0.0 {
+                mi += p * (p / (pa[i] * pf[j])).log2();
+            }
+        }
+    }
+    mi
+}
+
+/// The fusion MI metric `M^{AB}_F = I(A;F) + I(B;F)`.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn fusion_mutual_information(a: &Image, b: &Image, fused: &Image) -> f64 {
+    mutual_information(a, fused) + mutual_information(b, fused)
+}
+
+/// Sobel gradient magnitude and orientation at every interior pixel.
+fn sobel(img: &Image) -> (Image, Image) {
+    let (w, h) = img.dims();
+    let mut mag = Image::zeros(w, h);
+    let mut ang = Image::zeros(w, h);
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w.saturating_sub(1) {
+            let p = |dx: isize, dy: isize| {
+                img.get((x as isize + dx) as usize, (y as isize + dy) as usize)
+            };
+            let gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1))
+                - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+            let gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1))
+                - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+            mag.set(x, y, gx.hypot(gy));
+            ang.set(x, y, gy.atan2(gx));
+        }
+    }
+    (mag, ang)
+}
+
+/// The Xydeas–Petrović edge-preservation fusion metric `Q^{AB/F}` in
+/// `[0, 1]`: how faithfully the fused image preserves the edge strength and
+/// orientation information of the two sources, weighted by source edge
+/// strength. Higher is better.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn petrovic_qabf(a: &Image, b: &Image, fused: &Image) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "sources must share dimensions");
+    assert_eq!(a.dims(), fused.dims(), "fused must match sources");
+    let (ga, aa) = sobel(a);
+    let (gb, ab) = sobel(b);
+    let (gf, af) = sobel(fused);
+
+    // Standard constants from Xydeas & Petrović (2000).
+    const GAMMA_G: f64 = 0.9994;
+    const KAPPA_G: f64 = -15.0;
+    const SIGMA_G: f64 = 0.5;
+    const GAMMA_A: f64 = 0.9879;
+    const KAPPA_A: f64 = -22.0;
+    const SIGMA_A: f64 = 0.8;
+    const L: f64 = 1.0;
+
+    let q_edge = |gs: f32, as_: f32, gfv: f32, afv: f32| -> f64 {
+        if gs == 0.0 && gfv == 0.0 {
+            return 1.0;
+        }
+        let g = if gs > gfv {
+            (gfv / gs) as f64
+        } else if gfv > 0.0 {
+            (gs / gfv) as f64
+        } else {
+            0.0
+        };
+        let dalpha = 1.0 - ((as_ - afv).abs() as f64) / std::f64::consts::PI;
+        let qg = GAMMA_G / (1.0 + (KAPPA_G * (g - SIGMA_G)).exp());
+        let qa = GAMMA_A / (1.0 + (KAPPA_A * (dalpha - SIGMA_A)).exp());
+        qg * qa
+    };
+
+    let (w, h) = a.dims();
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w.saturating_sub(1) {
+            let (gav, gbv) = (ga.get(x, y), gb.get(x, y));
+            let qaf = q_edge(gav, aa.get(x, y), gf.get(x, y), af.get(x, y));
+            let qbf = q_edge(gbv, ab.get(x, y), gf.get(x, y), af.get(x, y));
+            let wa = (gav as f64).powf(L);
+            let wb = (gbv as f64).powf(L);
+            num += qaf * wa + qbf * wb;
+            den += wa + wb;
+        }
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Peak signal-to-noise ratio in dB between a reference and a test image,
+/// with peak value 1.0. Identical images give `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn psnr(reference: &Image, test: &Image) -> f64 {
+    assert_eq!(reference.dims(), test.dims(), "images must share dimensions");
+    let mse: f64 = reference
+        .as_slice()
+        .iter()
+        .zip(test.as_slice())
+        .map(|(a, b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (1.0 / mse).log10()
+    }
+}
+
+/// Mean structural similarity (SSIM) over 8x8 windows with the standard
+/// constants (`K1 = 0.01`, `K2 = 0.03`, dynamic range 1.0). Returns a value
+/// in `[-1, 1]`; 1 means identical structure.
+///
+/// # Panics
+///
+/// Panics if the images differ in size or are smaller than 8x8.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "images must share dimensions");
+    let (w, h) = a.dims();
+    const WIN: usize = 8;
+    assert!(w >= WIN && h >= WIN, "images must be at least 8x8");
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+
+    let mut acc = 0.0f64;
+    let mut windows = 0u64;
+    let mut y = 0;
+    while y + WIN <= h {
+        let mut x = 0;
+        while x + WIN <= w {
+            let mut sa = 0.0f64;
+            let mut sb = 0.0f64;
+            let mut saa = 0.0f64;
+            let mut sbb = 0.0f64;
+            let mut sab = 0.0f64;
+            for dy in 0..WIN {
+                for dx in 0..WIN {
+                    let va = a.get(x + dx, y + dy) as f64;
+                    let vb = b.get(x + dx, y + dy) as f64;
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                }
+            }
+            let n = (WIN * WIN) as f64;
+            let ma = sa / n;
+            let mb = sb / n;
+            let va = saa / n - ma * ma;
+            let vb = sbb / n - mb * mb;
+            let cov = sab / n - ma * mb;
+            acc += ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            windows += 1;
+            x += WIN;
+        }
+        y += WIN;
+    }
+    acc / windows as f64
+}
+
+/// Temporal instability of a video: the mean squared frame-to-frame
+/// difference, averaged over the sequence. For fused video this measures
+/// *flicker* — selection rules on shift-variant transforms flip
+/// coefficients between frames even under smooth motion, which this
+/// statistic exposes (lower is better).
+///
+/// Returns 0 for sequences shorter than two frames.
+///
+/// # Panics
+///
+/// Panics if frames differ in size.
+pub fn temporal_instability(frames: &[Image]) -> f64 {
+    if frames.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for pair in frames.windows(2) {
+        assert_eq!(pair[0].dims(), pair[1].dims(), "frames must share dimensions");
+        let mse: f64 = pair[0]
+            .as_slice()
+            .iter()
+            .zip(pair[1].as_slice())
+            .map(|(a, b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / pair[0].len() as f64;
+        acc += mse;
+    }
+    acc / (frames.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize, seed: u32) -> Image {
+        Image::from_fn(w, h, |x, y| {
+            let v = (x as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((y as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            (v % 251) as f32 / 250.0
+        })
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&Image::filled(16, 16, 0.5)), 0.0);
+        let e = entropy(&textured(64, 64, 1));
+        assert!(e > 6.0 && e <= 8.0, "entropy {e}");
+    }
+
+    #[test]
+    fn spatial_frequency_orders_sharpness() {
+        let flat = Image::filled(32, 32, 0.5);
+        let smooth = Image::from_fn(32, 32, |x, _| x as f32 / 64.0);
+        let busy = textured(32, 32, 2);
+        assert_eq!(spatial_frequency(&flat), 0.0);
+        assert!(spatial_frequency(&smooth) < spatial_frequency(&busy));
+        assert_eq!(spatial_frequency(&Image::filled(1, 1, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn mutual_information_properties() {
+        let a = textured(64, 64, 3);
+        // A structurally unrelated texture (different mixing function), not
+        // just a shifted copy of `a`.
+        let b = Image::from_fn(64, 64, |x, y| {
+            let v = (x as u32)
+                .wrapping_mul(97)
+                .wrapping_mul((y as u32).wrapping_add(13))
+                .wrapping_add(0xdead_beef);
+            ((v >> 3) % 239) as f32 / 238.0
+        });
+        // Self-information is large; unrelated images share little.
+        let self_mi = mutual_information(&a, &a);
+        let cross_mi = mutual_information(&a, &b);
+        assert!(self_mi > 4.0, "self MI {self_mi}");
+        assert!(cross_mi < 0.5 * self_mi, "cross MI {cross_mi}");
+        assert!(cross_mi >= 0.0);
+    }
+
+    #[test]
+    fn fusion_mi_sums_sources() {
+        let a = textured(32, 32, 1);
+        let b = textured(32, 32, 2);
+        let f = a.clone();
+        let m = fusion_mutual_information(&a, &b, &f);
+        assert!((m - mutual_information(&a, &f) - mutual_information(&b, &f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qabf_perfect_when_fused_equals_sources() {
+        // If both sources are identical and the fused image equals them,
+        // every edge is perfectly preserved.
+        let a = Image::from_fn(32, 32, |x, y| ((x / 4 + y / 4) % 2) as f32);
+        let q = petrovic_qabf(&a, &a, &a);
+        assert!(q > 0.95, "Q^AB/F = {q}");
+    }
+
+    #[test]
+    fn qabf_penalizes_lost_edges() {
+        let a = Image::from_fn(32, 32, |x, _| ((x / 4) % 2) as f32);
+        let b = Image::from_fn(32, 32, |_, y| ((y / 4) % 2) as f32);
+        let fused_good = Image::from_fn(32, 32, |x, y| {
+            (((x / 4) % 2) as f32 + ((y / 4) % 2) as f32) * 0.5
+        });
+        let fused_bad = Image::filled(32, 32, 0.5);
+        let qg = petrovic_qabf(&a, &b, &fused_good);
+        let qb = petrovic_qabf(&a, &b, &fused_bad);
+        assert!(qg > qb + 0.2, "good {qg} vs bad {qb}");
+    }
+
+    #[test]
+    fn psnr_basics() {
+        let a = textured(32, 32, 7);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        let mut noisy = a.clone();
+        for v in noisy.as_mut_slice().iter_mut() {
+            *v += 0.01;
+        }
+        let p = psnr(&a, &noisy);
+        assert!((p - 40.0).abs() < 0.1, "uniform 0.01 error -> 40 dB, got {p}");
+    }
+
+    #[test]
+    fn ssim_basics() {
+        let a = textured(32, 32, 11);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+        let b = textured(32, 32, 555);
+        assert!(ssim(&a, &b) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn dimension_mismatch_panics() {
+        let _ = psnr(&Image::zeros(4, 4), &Image::zeros(5, 4));
+    }
+
+    #[test]
+    fn temporal_instability_basics() {
+        let a = Image::filled(4, 4, 0.5);
+        assert_eq!(temporal_instability(&[a.clone()]), 0.0);
+        assert_eq!(temporal_instability(&[a.clone(), a.clone(), a.clone()]), 0.0);
+        let b = Image::filled(4, 4, 0.6);
+        let inst = temporal_instability(&[a.clone(), b, a]);
+        // Two transitions of uniform 0.1 difference: MSE 0.01 each.
+        assert!((inst - 0.01).abs() < 1e-6, "{inst}");
+        // Faster change, more instability.
+        let c = Image::filled(4, 4, 0.9);
+        let fast = temporal_instability(&[Image::filled(4, 4, 0.5), c]);
+        assert!(fast > inst);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the quality metrics.
+
+use proptest::prelude::*;
+use wavefuse_dtcwt::Image;
+use wavefuse_metrics::{
+    entropy, mutual_information, petrovic_qabf, psnr, spatial_frequency, ssim,
+    temporal_instability,
+};
+
+fn arb_image(min_edge: usize, max_edge: usize) -> impl Strategy<Value = Image> {
+    (min_edge..=max_edge, min_edge..=max_edge).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..1.0, w * h)
+            .prop_map(move |data| Image::from_vec(w, h, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn entropy_is_permutation_invariant(img in arb_image(4, 24)) {
+        let mut data = img.as_slice().to_vec();
+        data.reverse();
+        let permuted = Image::from_vec(img.width(), img.height(), data).unwrap();
+        prop_assert!((entropy(&img) - entropy(&permuted)).abs() < 1e-12);
+        prop_assert!(entropy(&img) >= 0.0 && entropy(&img) <= 8.0);
+    }
+
+    #[test]
+    fn mutual_information_is_symmetric_and_bounded(
+        a in arb_image(8, 24),
+    ) {
+        let b = Image::from_fn(a.width(), a.height(), |x, y| {
+            (a.get(x, y) * 0.7 + ((x + y) % 5) as f32 * 0.06).clamp(0.0, 1.0)
+        });
+        let ab = mutual_information(&a, &b);
+        let ba = mutual_information(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "MI must be symmetric: {ab} vs {ba}");
+        prop_assert!(ab >= -1e-12);
+        // Self-information dominates any cross-information.
+        prop_assert!(mutual_information(&a, &a) + 1e-9 >= ab);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise_amplitude(img in arb_image(8, 20)) {
+        let perturb = |amp: f32| {
+            Image::from_fn(img.width(), img.height(), |x, y| {
+                img.get(x, y) + amp * if (x + y) % 2 == 0 { 1.0 } else { -1.0 }
+            })
+        };
+        let p_small = psnr(&img, &perturb(0.01));
+        let p_large = psnr(&img, &perturb(0.05));
+        prop_assert!(p_small > p_large);
+        prop_assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn ssim_is_symmetric_and_maximal_on_identity(a in arb_image(8, 20)) {
+        let b = Image::from_fn(a.width(), a.height(), |x, y| {
+            (a.get(x, y) * 0.9 + 0.05).clamp(0.0, 1.0)
+        });
+        let ab = ssim(&a, &b);
+        let ba = ssim(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ssim(&a, &a) > ab - 1e-9);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&ab));
+    }
+
+    #[test]
+    fn qabf_is_bounded(a in arb_image(8, 20)) {
+        let b = Image::from_fn(a.width(), a.height(), |x, y| {
+            ((x * 3 + y) % 7) as f32 / 6.0
+        });
+        let fused = Image::from_fn(a.width(), a.height(), |x, y| {
+            0.5 * (a.get(x, y) + b.get(x, y))
+        });
+        let q = petrovic_qabf(&a, &b, &fused);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&q), "Q^AB/F {q}");
+    }
+
+    #[test]
+    fn spatial_frequency_scales_with_contrast(img in arb_image(8, 20), k in 0.1f32..3.0) {
+        let scaled = Image::from_fn(img.width(), img.height(), |x, y| img.get(x, y) * k);
+        let base = spatial_frequency(&img);
+        let s = spatial_frequency(&scaled);
+        prop_assert!((s - base * k as f64).abs() < 1e-3 * (1.0 + s));
+    }
+
+    #[test]
+    fn temporal_instability_is_shift_free_for_static_video(img in arb_image(4, 16)) {
+        let frames = vec![img.clone(), img.clone(), img];
+        prop_assert_eq!(temporal_instability(&frames), 0.0);
+    }
+}

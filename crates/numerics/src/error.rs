@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for numerical routines in this crate.
+///
+/// All fallible public functions in `wavefuse-numerics` return this type,
+/// so callers can uniformly propagate failures with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed (e.g. `"durand-kerner"`).
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A linear system was singular (or numerically singular) and cannot be
+    /// solved.
+    SingularMatrix,
+    /// Matrix/vector dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Dimension that was expected.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// The input was empty or otherwise degenerate (e.g. a zero polynomial).
+    DegenerateInput(&'static str),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
+            NumericsError::SingularMatrix => write!(f, "matrix is singular to working precision"),
+            NumericsError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericsError::DegenerateInput(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            NumericsError::NoConvergence {
+                algorithm: "durand-kerner",
+                iterations: 100,
+            }
+            .to_string(),
+            NumericsError::SingularMatrix.to_string(),
+            NumericsError::DimensionMismatch {
+                expected: 3,
+                actual: 4,
+            }
+            .to_string(),
+            NumericsError::DegenerateInput("zero polynomial").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message ends with period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

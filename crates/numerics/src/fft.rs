@@ -1,0 +1,286 @@
+//! Fast Fourier transforms.
+//!
+//! Provides an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths
+//! and a Bluestein chirp-z fallback for arbitrary lengths, plus helpers for
+//! real signals and filter frequency responses. Used by the DT-CWT analysis
+//! tooling (shift-invariance measurements, filter spectra) and by the
+//! quality metrics.
+
+use crate::complex::Complex64;
+use crate::NumericsError;
+
+/// Direction of a Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Time domain to frequency domain (negative exponent).
+    Forward,
+    /// Frequency domain to time domain (positive exponent, scaled by `1/n`).
+    Inverse,
+}
+
+/// Computes an in-place FFT of `data`.
+///
+/// Power-of-two lengths use the radix-2 algorithm; other lengths fall back
+/// to Bluestein's algorithm. The inverse transform includes the `1/n`
+/// normalization, so `fft(Inverse) ∘ fft(Forward)` is the identity.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DegenerateInput`] when `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_numerics::complex::Complex64;
+/// use wavefuse_numerics::fft::{fft, Direction};
+///
+/// let mut x = vec![Complex64::ONE; 4];
+/// fft(&mut x, Direction::Forward)?;
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin carries the sum
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok::<(), wavefuse_numerics::NumericsError>(())
+/// ```
+pub fn fft(data: &mut [Complex64], dir: Direction) -> Result<(), NumericsError> {
+    let n = data.len();
+    if n == 0 {
+        return Err(NumericsError::DegenerateInput("empty fft input"));
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    if n.is_power_of_two() {
+        fft_radix2(data, dir);
+    } else {
+        bluestein(data, dir)?;
+    }
+    Ok(())
+}
+
+fn fft_radix2(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = *z * inv_n;
+        }
+    }
+}
+
+/// Bluestein chirp-z transform for arbitrary lengths.
+fn bluestein(data: &mut [Complex64], dir: Direction) -> Result<(), NumericsError> {
+    let n = data.len();
+    let m = (2 * n - 1).next_power_of_two();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    // chirp[k] = exp(sign * i * pi * k^2 / n)
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let k2 = (k as u64 * k as u64) % (2 * n as u64);
+            Complex64::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_radix2(&mut a, Direction::Forward);
+    fft_radix2(&mut b, Direction::Forward);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    fft_radix2(&mut a, Direction::Inverse);
+
+    for k in 0..n {
+        data[k] = a[k] * chirp[k];
+    }
+    if dir == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = *z * inv_n;
+        }
+    }
+    Ok(())
+}
+
+/// Computes the FFT of a real signal, returning the full complex spectrum.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DegenerateInput`] when `signal` is empty.
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, NumericsError> {
+    let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_real(x)).collect();
+    fft(&mut data, Direction::Forward)?;
+    Ok(data)
+}
+
+/// Evaluates the DTFT magnitude response `|H(e^{jw})|` of an FIR filter at
+/// `points` uniformly spaced frequencies in `[0, pi]`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DegenerateInput`] when `taps` is empty or
+/// `points == 0`.
+pub fn magnitude_response(taps: &[f64], points: usize) -> Result<Vec<f64>, NumericsError> {
+    if taps.is_empty() || points == 0 {
+        return Err(NumericsError::DegenerateInput(
+            "magnitude response needs taps and points",
+        ));
+    }
+    Ok((0..points)
+        .map(|k| {
+            let w = std::f64::consts::PI * k as f64 / (points - 1).max(1) as f64;
+            taps.iter()
+                .enumerate()
+                .map(|(n, &h)| Complex64::cis(-w * n as f64) * h)
+                .sum::<Complex64>()
+                .abs()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize) {
+        let signal: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()))
+            .collect();
+        let mut data = signal.clone();
+        fft(&mut data, Direction::Forward).unwrap();
+        fft(&mut data, Direction::Inverse).unwrap();
+        for (a, b) in data.iter().zip(&signal) {
+            assert!((*a - *b).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        for n in [1, 2, 4, 8, 64, 256] {
+            roundtrip(n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_length() {
+        for n in [3, 5, 6, 7, 12, 35, 88, 100] {
+            roundtrip(n);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut empty: Vec<Complex64> = vec![];
+        assert!(fft(&mut empty, Direction::Forward).is_err());
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x, Direction::Forward).unwrap();
+        for z in &x {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let f = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::cis(std::f64::consts::TAU * f as f64 * k as f64 / n as f64))
+            .collect();
+        fft(&mut x, Direction::Forward).unwrap();
+        for (k, z) in x.iter().enumerate() {
+            if k == f {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leak at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 128;
+        let sig: Vec<f64> = (0..n).map(|k| ((k * k) as f64 * 0.01).sin()).collect();
+        let spec = fft_real(&sig).unwrap();
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn bluestein_matches_radix2_on_power_of_two() {
+        let n = 16;
+        let sig: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new(k as f64, -(k as f64) * 0.5))
+            .collect();
+        let mut a = sig.clone();
+        fft(&mut a, Direction::Forward).unwrap();
+        let mut b = sig;
+        bluestein(&mut b, Direction::Forward).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn magnitude_response_of_moving_average() {
+        // 2-tap moving average: |H| = |cos(w/2)| * 2 at normalization used.
+        let resp = magnitude_response(&[0.5, 0.5], 5).unwrap();
+        assert!((resp[0] - 1.0).abs() < 1e-12); // DC gain 1
+        assert!(resp[4].abs() < 1e-12); // null at Nyquist
+    }
+}

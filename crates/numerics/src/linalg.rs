@@ -1,0 +1,339 @@
+//! Dense linear algebra: matrices, Gaussian elimination, least squares.
+//!
+//! The biorthogonal dual-filter designer in `wavefuse-dtcwt` assembles the
+//! perfect-reconstruction conditions into a small dense system and solves it
+//! here. Sizes are tiny (≤ ~40 unknowns), so a straightforward partial-pivot
+//! LU-style elimination is both adequate and easy to audit.
+
+use crate::NumericsError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_numerics::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if rows have unequal
+    /// lengths, or [`NumericsError::DegenerateInput`] if `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericsError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(NumericsError::DegenerateInput("matrix with no rows"));
+        }
+        let c = rows[0].len();
+        if c == 0 {
+            return Err(NumericsError::DegenerateInput("matrix with no columns"));
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: c,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NumericsError> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if v.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.cols,
+                actual: v.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Solves the square system `A x = b` by Gaussian elimination with
+    /// partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if `A` is not square or `b` has
+    ///   the wrong length.
+    /// * [`NumericsError::SingularMatrix`] if a pivot is smaller than
+    ///   `1e-12` times the largest element, i.e. the system is numerically
+    ///   singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        let scale = a.data.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = a[(col, col)].abs();
+            for r in col + 1..n {
+                let v = a[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 * scale {
+                return Err(NumericsError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                x.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            for r in col + 1..n {
+                let f = a[(r, col)] / a[(col, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[(r, j)] -= f * a[(col, j)];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in col + 1..n {
+                s -= a[(col, j)] * x[j];
+            }
+            x[col] = s / a[(col, col)];
+        }
+        Ok(x)
+    }
+
+    /// Solves the overdetermined system `A x ≈ b` in the least-squares sense
+    /// via the normal equations `AᵀA x = Aᵀb`.
+    ///
+    /// Adequate for the small, well-conditioned design systems in this
+    /// workspace; not intended for ill-conditioned regression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Matrix::solve`]; in particular a rank-deficient
+    /// `A` yields [`NumericsError::SingularMatrix`].
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let at = self.transpose();
+        let ata = at.matmul(self)?;
+        let atb = at.matvec(b)?;
+        ata.solve(&atb)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_eq!(x, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(NumericsError::SingularMatrix));
+    }
+
+    #[test]
+    fn non_square_solve_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[0.0, 0.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let ab = a.matmul(&b).unwrap();
+        assert_eq!(ab, Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+        assert_eq!(
+            a.transpose(),
+            Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = 2x + 1 through noisy-free points; LS must recover exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let sol = a.solve_least_squares(&b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-12);
+        assert!((sol[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[1.0][..]]).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { .. }));
+    }
+}

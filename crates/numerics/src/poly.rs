@@ -1,0 +1,298 @@
+//! Dense univariate polynomials and root finding.
+//!
+//! The Daubechies filter designer in `wavefuse-dtcwt` factors the half-band
+//! product filter by finding all roots of a small (degree ≤ ~30) polynomial.
+//! The Durand–Kerner (Weierstrass) simultaneous iteration implemented here is
+//! simple, derivative-free and robust at these degrees.
+
+use crate::complex::Complex64;
+use crate::NumericsError;
+
+/// A dense univariate polynomial with real coefficients.
+///
+/// Coefficients are stored in ascending-power order:
+/// `coeffs[k]` multiplies `x^k`.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_numerics::poly::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, 0.0, -1.0]); // 1 - x^2
+/// assert_eq!(p.eval(2.0), -3.0);
+/// assert_eq!(p.degree(), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-power order.
+    ///
+    /// Trailing zero coefficients are trimmed so that `degree` reflects the
+    /// true degree.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Creates the monomial `c * x^k`.
+    pub fn monomial(c: f64, k: usize) -> Self {
+        let mut coeffs = vec![0.0; k + 1];
+        coeffs[k] = c;
+        Polynomial::new(coeffs)
+    }
+
+    /// Constructs the monic polynomial with the given roots:
+    /// `prod_k (x - roots[k])`.
+    ///
+    /// Complex roots should come in conjugate pairs if a real-coefficient
+    /// result is expected; the imaginary residue is dropped.
+    pub fn from_roots(roots: &[Complex64]) -> Self {
+        let mut c = vec![Complex64::ONE];
+        for &r in roots {
+            // multiply by (x - r)
+            let mut next = vec![Complex64::ZERO; c.len() + 1];
+            for (k, &ck) in c.iter().enumerate() {
+                next[k + 1] += ck;
+                next[k] -= ck * r;
+            }
+            c = next;
+        }
+        Polynomial::new(c.into_iter().map(|z| z.re).collect())
+    }
+
+    /// Borrows the coefficients in ascending-power order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Returns the degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.len() == 1 && self.coeffs[0] == 0.0 {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Evaluates the polynomial at a real point by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates the polynomial at a complex point by Horner's rule.
+    pub fn eval_complex(&self, z: Complex64) -> Complex64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &c| acc * z + Complex64::from_real(c))
+    }
+
+    /// Multiplies two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.coeffs.get(k).copied().unwrap_or(0.0)
+                + other.coeffs.get(k).copied().unwrap_or(0.0);
+        }
+        Polynomial::new(out)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Finds all complex roots with the Durand–Kerner iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DegenerateInput`] for constant or zero
+    /// polynomials, and [`NumericsError::NoConvergence`] if the iteration
+    /// does not settle within its internal budget (10 000 sweeps), which for
+    /// well-scaled polynomials of degree ≤ 50 does not occur in practice.
+    pub fn roots(&self) -> Result<Vec<Complex64>, NumericsError> {
+        let n = match self.degree() {
+            None | Some(0) => {
+                return Err(NumericsError::DegenerateInput(
+                    "root finding needs degree >= 1",
+                ))
+            }
+            Some(n) => n,
+        };
+
+        // Normalize to a monic polynomial for stability.
+        let lead = self.coeffs[n];
+        let monic: Vec<f64> = self.coeffs.iter().map(|c| c / lead).collect();
+        let poly = Polynomial {
+            coeffs: monic.clone(),
+        };
+
+        // Cauchy bound on root magnitude guides the initial ring radius.
+        let bound = 1.0
+            + monic[..n]
+                .iter()
+                .fold(0.0f64, |m, c| m.max(c.abs()));
+
+        // Standard Durand–Kerner start: points on a ring with an irrational
+        // angle offset so no starting point is a root of unity symmetry axis.
+        let mut z: Vec<Complex64> = (0..n)
+            .map(|k| {
+                Complex64::cis(0.4 + k as f64 * std::f64::consts::TAU / n as f64) * (bound * 0.7)
+            })
+            .collect();
+
+        const MAX_SWEEPS: usize = 10_000;
+        // The achievable step size is limited by rounding noise in the
+        // polynomial evaluation, which scales with the root magnitudes —
+        // an absolute tolerance stalls on well-conditioned inputs.
+        let tol = 1e-12 * bound.max(1.0);
+        for sweep in 0..MAX_SWEEPS {
+            let mut max_step = 0.0f64;
+            for i in 0..n {
+                let mut denom = Complex64::ONE;
+                for j in 0..n {
+                    if i != j {
+                        denom *= z[i] - z[j];
+                    }
+                }
+                let step = poly.eval_complex(z[i]) / denom;
+                z[i] -= step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < tol {
+                return Ok(z);
+            }
+            if z.iter().any(|zi| zi.is_nan()) {
+                return Err(NumericsError::NoConvergence {
+                    algorithm: "durand-kerner",
+                    iterations: sweep,
+                });
+            }
+        }
+        Err(NumericsError::NoConvergence {
+            algorithm: "durand-kerner",
+            iterations: MAX_SWEEPS,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_roots(p: &Polynomial) -> Vec<f64> {
+        let mut r: Vec<f64> = p
+            .roots()
+            .unwrap()
+            .into_iter()
+            .filter(|z| z.im.abs() < 1e-8)
+            .map(|z| z.re)
+            .collect();
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        r
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]); // 1 - 2x + 3x^2
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 9.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_polynomial_has_no_degree() {
+        assert_eq!(Polynomial::new(vec![0.0]).degree(), None);
+        assert!(Polynomial::new(vec![0.0]).roots().is_err());
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        // (x-1)(x-2) = 2 - 3x + x^2
+        let p = Polynomial::new(vec![2.0, -3.0, 1.0]);
+        let r = sorted_real_roots(&p);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!((r[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        // x^2 + 1
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let roots = p.roots().unwrap();
+        let mut ims: Vec<f64> = roots.iter().map(|z| z.im).collect();
+        ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ims[0] + 1.0).abs() < 1e-9 && (ims[1] - 1.0).abs() < 1e-9);
+        assert!(roots.iter().all(|z| z.re.abs() < 1e-9));
+    }
+
+    #[test]
+    fn from_roots_round_trip() {
+        let roots = [
+            Complex64::new(0.5, 0.0),
+            Complex64::new(-1.5, 0.0),
+            Complex64::new(0.2, 0.7),
+            Complex64::new(0.2, -0.7),
+        ];
+        let p = Polynomial::from_roots(&roots);
+        for &r in &roots {
+            assert!(p.eval_complex(r).abs() < 1e-10);
+        }
+        assert_eq!(p.degree(), Some(4));
+    }
+
+    #[test]
+    fn high_degree_chebyshev_like_roots_converge() {
+        // (x - k/10) for k = -5..=5 gives clustered roots, a stress case.
+        let roots: Vec<Complex64> = (-5..=5)
+            .map(|k| Complex64::from_real(k as f64 / 10.0))
+            .collect();
+        let p = Polynomial::from_roots(&roots);
+        let found = sorted_real_roots(&p);
+        assert_eq!(found.len(), 11);
+        for (f, k) in found.iter().zip(-5..=5) {
+            assert!(
+                (f - k as f64 / 10.0).abs() < 1e-6,
+                "root {f} vs {}",
+                k as f64 / 10.0
+            );
+        }
+    }
+
+    #[test]
+    fn mul_add_scale() {
+        let a = Polynomial::new(vec![1.0, 1.0]); // 1 + x
+        let b = Polynomial::new(vec![-1.0, 1.0]); // -1 + x
+        assert_eq!(a.mul(&b).coeffs(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(a.add(&b).coeffs(), &[0.0, 2.0]);
+        assert_eq!(a.scale(3.0).coeffs(), &[3.0, 3.0]);
+        assert_eq!(Polynomial::monomial(2.0, 3).coeffs(), &[0.0, 0.0, 0.0, 2.0]);
+    }
+}

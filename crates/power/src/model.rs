@@ -1,0 +1,149 @@
+//! The calibrated platform power model.
+
+/// Which engines participate in the fusion computation — the paper's three
+/// execution configurations of §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Software only, on the ARM Cortex-A9.
+    ArmOnly,
+    /// ARM plus the NEON SIMD engine.
+    ArmNeon,
+    /// ARM plus the PL wavelet engine.
+    ArmFpga,
+}
+
+impl ExecutionMode {
+    /// All three modes, in the paper's reporting order.
+    pub const ALL: [ExecutionMode; 3] = [
+        ExecutionMode::ArmOnly,
+        ExecutionMode::ArmNeon,
+        ExecutionMode::ArmFpga,
+    ];
+
+    /// Display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::ArmOnly => "ARM Only",
+            ExecutionMode::ArmNeon => "ARM+NEON",
+            ExecutionMode::ArmFpga => "ARM+FPGA",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Platform power in each execution mode.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_power::{ExecutionMode, PowerModel};
+///
+/// let pm = PowerModel::zc702();
+/// let p_arm = pm.power_w(ExecutionMode::ArmOnly);
+/// let p_fpga = pm.power_w(ExecutionMode::ArmFpga);
+/// // The paper: +19.2 mW, a 3.6 % increment.
+/// assert!((p_fpga - p_arm - 0.0192).abs() < 1e-12);
+/// assert!(((p_fpga / p_arm - 1.0) * 100.0 - 3.6).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Board power while the fusion process runs on the PS (ARM, with or
+    /// without NEON), in watts.
+    ps_active_w: f64,
+    /// Net extra power with the PL wavelet engine active, in watts
+    /// (the paper's +19.2 mW: PL dynamic power minus the PS load relief).
+    pl_increment_w: f64,
+}
+
+impl PowerModel {
+    /// The ZC702 model calibrated to the paper: 19.2 mW = 3.6 % of the
+    /// baseline, so the baseline is 19.2 / 0.036 ≈ 533 mW.
+    pub fn zc702() -> Self {
+        PowerModel {
+            ps_active_w: 0.0192 / 0.036,
+            pl_increment_w: 0.0192,
+        }
+    }
+
+    /// A custom model.
+    pub fn new(ps_active_w: f64, pl_increment_w: f64) -> Self {
+        PowerModel {
+            ps_active_w,
+            pl_increment_w,
+        }
+    }
+
+    /// Board power in the given mode, watts.
+    pub fn power_w(&self, mode: ExecutionMode) -> f64 {
+        match mode {
+            // The NEON engine is part of the A9: same board power.
+            ExecutionMode::ArmOnly | ExecutionMode::ArmNeon => self.ps_active_w,
+            ExecutionMode::ArmFpga => self.ps_active_w + self.pl_increment_w,
+        }
+    }
+
+    /// Energy for a run of `seconds` in the given mode, in millijoules.
+    pub fn energy_mj(&self, mode: ExecutionMode, seconds: f64) -> f64 {
+        self.power_w(mode) * seconds * 1e3
+    }
+
+    /// The PS-side active power, watts.
+    pub fn ps_active_w(&self) -> f64 {
+        self.ps_active_w
+    }
+
+    /// The PL increment, watts.
+    pub fn pl_increment_w(&self) -> f64 {
+        self.pl_increment_w
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::zc702()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neon_draws_same_power_as_arm() {
+        let pm = PowerModel::zc702();
+        assert_eq!(
+            pm.power_w(ExecutionMode::ArmOnly),
+            pm.power_w(ExecutionMode::ArmNeon)
+        );
+    }
+
+    #[test]
+    fn fpga_increment_matches_paper() {
+        let pm = PowerModel::zc702();
+        let inc = pm.power_w(ExecutionMode::ArmFpga) - pm.power_w(ExecutionMode::ArmOnly);
+        assert!((inc - 0.0192).abs() < 1e-12);
+        let pct = inc / pm.power_w(ExecutionMode::ArmOnly) * 100.0;
+        assert!((pct - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time() {
+        let pm = PowerModel::zc702();
+        let e1 = pm.energy_mj(ExecutionMode::ArmOnly, 1.0);
+        let e2 = pm.energy_mj(ExecutionMode::ArmOnly, 2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        // ~533 mJ per second.
+        assert!((e1 - 533.333).abs() < 0.5);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ExecutionMode::ArmOnly.to_string(), "ARM Only");
+        assert_eq!(ExecutionMode::ALL.len(), 3);
+    }
+}

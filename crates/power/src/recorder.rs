@@ -1,0 +1,150 @@
+//! The power-recording software model.
+//!
+//! The paper obtains its energy numbers from power samples logged by a
+//! recorder running alongside the fusion process, multiplied by the total
+//! time of Fig. 9b. [`PowerRecorder`] reproduces that pipeline: timestamped
+//! samples, trapezoidal integration to energy, and mean-power reporting.
+
+/// One timestamped power sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Seconds since the start of the recording.
+    pub t: f64,
+    /// Instantaneous board power, watts.
+    pub watts: f64,
+}
+
+/// A power-sample log with energy integration.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_power::PowerRecorder;
+///
+/// let mut rec = PowerRecorder::new();
+/// rec.record(0.0, 0.5);
+/// rec.record(1.0, 0.5);
+/// rec.record(2.0, 0.7);
+/// // Trapezoids: 0.5 J over [0,1], 0.6 J over [1,2].
+/// assert!((rec.energy_joules() - 1.1).abs() < 1e-12);
+/// assert!((rec.mean_power_w() - 0.55).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerRecorder {
+    samples: Vec<PowerSample>,
+}
+
+impl PowerRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        PowerRecorder::default()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous sample (the recorder's
+    /// clock is monotonic).
+    pub fn record(&mut self, t: f64, watts: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(t >= last.t, "samples must be time-ordered");
+        }
+        self.samples.push(PowerSample { t, watts });
+    }
+
+    /// Records a constant-power phase of `duration` seconds at `sample_hz`,
+    /// continuing from the last timestamp — how a constant-load fusion run
+    /// appears in the log.
+    pub fn record_phase(&mut self, duration: f64, watts: f64, sample_hz: f64) {
+        let t0 = self.samples.last().map_or(0.0, |s| s.t);
+        let n = (duration * sample_hz).ceil().max(1.0) as usize;
+        for i in 0..=n {
+            self.record(t0 + duration * i as f64 / n as f64, watts);
+        }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Recording span in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Trapezoidal energy integral over the recording, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (w[0].watts + w[1].watts) * (w[1].t - w[0].t))
+            .sum()
+    }
+
+    /// Energy in millijoules (the unit of the paper's Fig. 10).
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_joules() * 1e3
+    }
+
+    /// Time-weighted mean power, watts (0 for fewer than two samples).
+    pub fn mean_power_w(&self) -> f64 {
+        let d = self.duration();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.energy_joules() / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let rec = PowerRecorder::new();
+        assert_eq!(rec.energy_joules(), 0.0);
+        assert_eq!(rec.mean_power_w(), 0.0);
+        assert_eq!(rec.duration(), 0.0);
+    }
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        let mut rec = PowerRecorder::new();
+        rec.record_phase(2.0, 0.533, 100.0);
+        assert!((rec.energy_joules() - 1.066).abs() < 1e-9);
+        assert!((rec.mean_power_w() - 0.533).abs() < 1e-9);
+        assert!((rec.duration() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut rec = PowerRecorder::new();
+        rec.record_phase(1.0, 0.5, 10.0);
+        rec.record_phase(1.0, 0.7, 10.0); // e.g. the FPGA phase
+        assert!((rec.energy_joules() - 1.2).abs() < 1e-6);
+        assert!((rec.duration() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn non_monotonic_time_panics() {
+        let mut rec = PowerRecorder::new();
+        rec.record(1.0, 0.5);
+        rec.record(0.5, 0.5);
+    }
+
+    #[test]
+    fn ramp_integrates_as_trapezoid() {
+        let mut rec = PowerRecorder::new();
+        rec.record(0.0, 0.0);
+        rec.record(1.0, 1.0);
+        assert!((rec.energy_joules() - 0.5).abs() < 1e-12);
+        assert!((rec.energy_mj() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! A portable 4-lane `f32` vector modeling a NEON quad register.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Four `f32` lanes with elementwise arithmetic — the software model of a
+/// NEON `float32x4_t` quad register.
+///
+/// All operations are plain IEEE-754 single-precision lane ops (no fused
+/// multiply-add), so results are bit-identical to scalar code evaluating the
+/// same expression tree, on every target. Release builds lower these to
+/// native SIMD instructions.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_simd::F32x4;
+///
+/// let a = F32x4::new([1.0, 2.0, 3.0, 4.0]);
+/// let b = F32x4::splat(10.0);
+/// assert_eq!((a * b).horizontal_sum(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F32x4([f32; 4]);
+
+impl F32x4 {
+    /// All-zero vector.
+    pub const ZERO: F32x4 = F32x4([0.0; 4]);
+
+    /// Creates a vector from four lanes.
+    #[inline(always)]
+    pub const fn new(lanes: [f32; 4]) -> Self {
+        F32x4(lanes)
+    }
+
+    /// Broadcasts one value to all four lanes (`vdupq_n_f32`).
+    #[inline(always)]
+    pub const fn splat(v: f32) -> Self {
+        F32x4([v; 4])
+    }
+
+    /// Loads four consecutive values from a slice (`vld1q_f32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < 4`.
+    #[inline(always)]
+    pub fn load(src: &[f32]) -> Self {
+        F32x4([src[0], src[1], src[2], src[3]])
+    }
+
+    /// Stores the four lanes to the head of a slice (`vst1q_f32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < 4`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f32]) {
+        dst[..4].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise multiply-accumulate `self + a * b` (`vmlaq_f32`).
+    ///
+    /// Evaluated as separate multiply then add (no FMA), matching the
+    /// Cortex-A9 NEON behavior and the scalar reference.
+    #[inline(always)]
+    pub fn mul_add(self, a: F32x4, b: F32x4) -> Self {
+        self + a * b
+    }
+
+    /// Sum of the four lanes (`vpadd` reduction), folded pairwise the way
+    /// the paper's manual code reduces its accumulator register.
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f32 {
+        let [a, b, c, d] = self.0;
+        (a + c) + (b + d)
+    }
+
+    /// Borrows the lanes.
+    #[inline(always)]
+    pub fn lanes(&self) -> &[f32; 4] {
+        &self.0
+    }
+}
+
+impl From<[f32; 4]> for F32x4 {
+    fn from(lanes: [f32; 4]) -> Self {
+        F32x4(lanes)
+    }
+}
+
+impl Add for F32x4 {
+    type Output = F32x4;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        F32x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl Sub for F32x4 {
+    type Output = F32x4;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        F32x4([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl Mul for F32x4 {
+    type Output = F32x4;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        F32x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+impl AddAssign for F32x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = F32x4::new([1.0, 2.0, 3.0, 4.0]);
+        let b = F32x4::new([0.5, 0.5, 0.5, 0.5]);
+        assert_eq!((a + b).lanes(), &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!((a - b).lanes(), &[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!((a * b).lanes(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn splat_and_zero() {
+        assert_eq!(F32x4::splat(2.0).lanes(), &[2.0; 4]);
+        assert_eq!(F32x4::ZERO.horizontal_sum(), 0.0);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [9.0f32, 8.0, 7.0, 6.0, 5.0];
+        let v = F32x4::load(&src[1..]);
+        let mut dst = [0.0f32; 4];
+        v.store(&mut dst);
+        assert_eq!(dst, [8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_load_panics() {
+        let _ = F32x4::load(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mul_add_matches_scalar_expression() {
+        let acc = F32x4::new([1.0, -1.0, 0.25, 8.0]);
+        let a = F32x4::new([3.0, 5.0, 7.0, 11.0]);
+        let b = F32x4::splat(0.1);
+        let r = acc.mul_add(a, b);
+        for i in 0..4 {
+            assert_eq!(r.lanes()[i], acc.lanes()[i] + a.lanes()[i] * 0.1);
+        }
+    }
+
+    #[test]
+    fn horizontal_sum_order_is_pairwise() {
+        // (a + c) + (b + d): check against that exact association.
+        let v = F32x4::new([1e8, 1.0, -1e8, 1.0]);
+        assert_eq!(v.horizontal_sum(), (1e8 + -1e8) + (1.0 + 1.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the SIMD engine.
+
+use proptest::prelude::*;
+use wavefuse_simd::F32x4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lane_ops_match_scalar(
+        a in proptest::array::uniform4(-1e6f32..1e6),
+        b in proptest::array::uniform4(-1e6f32..1e6),
+    ) {
+        let va = F32x4::new(a);
+        let vb = F32x4::new(b);
+        for i in 0..4 {
+            prop_assert_eq!((va + vb).lanes()[i], a[i] + b[i]);
+            prop_assert_eq!((va - vb).lanes()[i], a[i] - b[i]);
+            prop_assert_eq!((va * vb).lanes()[i], a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_unfused(
+        acc in proptest::array::uniform4(-1e3f32..1e3),
+        a in proptest::array::uniform4(-1e3f32..1e3),
+        b in proptest::array::uniform4(-1e3f32..1e3),
+    ) {
+        // The model promises separate multiply-then-add rounding (the
+        // Cortex-A9 NEON has no fused MAC for this pattern), bit for bit.
+        let r = F32x4::new(acc).mul_add(F32x4::new(a), F32x4::new(b));
+        for i in 0..4 {
+            let expect = acc[i] + a[i] * b[i];
+            prop_assert_eq!(r.lanes()[i].to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn horizontal_sum_is_the_documented_tree(
+        a in proptest::array::uniform4(-1e6f32..1e6),
+    ) {
+        let v = F32x4::new(a);
+        let expect = (a[0] + a[2]) + (a[1] + a[3]);
+        prop_assert_eq!(v.horizontal_sum().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn load_store_round_trip(data in proptest::collection::vec(-1e6f32..1e6, 4..32)) {
+        let v = F32x4::load(&data);
+        let mut out = [0.0f32; 4];
+        v.store(&mut out);
+        prop_assert_eq!(&out[..], &data[..4]);
+    }
+
+    #[test]
+    fn splat_broadcasts(x in -1e6f32..1e6) {
+        let v = F32x4::splat(x);
+        prop_assert!(v.lanes().iter().all(|&l| l == x));
+        prop_assert_eq!(v.horizontal_sum(), (x + x) + (x + x));
+    }
+}

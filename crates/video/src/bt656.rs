@@ -1,0 +1,417 @@
+//! ITU-R BT.656 stream encoder and decoder.
+//!
+//! The paper's thermal camera delivers its video as a BT.656 byte stream
+//! over an FMC connector, decoded by a custom block on the PL (Fig. 7).
+//! This module implements the wire format: every line is framed by timing
+//! reference codes `FF 00 00 XY`, where the `XY` byte carries the field bit
+//! `F`, vertical-blanking bit `V` and horizontal bit `H` (0 = SAV, start of
+//! active video; 1 = EAV, end of active video) plus four Hamming protection
+//! bits. Active lines carry packed YUV 4:2:2 payload (`Cb Y Cr Y`).
+//!
+//! The decoder is a small state machine that hunts for sync words, checks
+//! the protection bits, skips blanking, and reassembles the active field —
+//! faithfully rejecting corrupted streams.
+
+use crate::{PixelFormat, RawFrame, VideoError};
+
+/// Number of vertical-blanking lines the encoder emits before the active
+/// field (compact stand-in for the analog blanking interval).
+pub const VBLANK_LINES: usize = 20;
+
+/// Horizontal-blanking words between EAV and SAV (`0x80 0x10` pairs).
+pub const HBLANK_WORDS: usize = 8;
+
+/// Builds the timing-reference `XY` byte for the given flags, including the
+/// standard protection bits.
+pub fn xy_byte(f: bool, v: bool, h: bool) -> u8 {
+    let (fb, vb, hb) = (f as u8, v as u8, h as u8);
+    let p3 = vb ^ hb;
+    let p2 = fb ^ hb;
+    let p1 = fb ^ vb;
+    let p0 = fb ^ vb ^ hb;
+    0x80 | (fb << 6) | (vb << 5) | (hb << 4) | (p3 << 3) | (p2 << 2) | (p1 << 1) | p0
+}
+
+/// Validates an `XY` byte's protection bits and extracts `(F, V, H)`.
+pub fn parse_xy(xy: u8) -> Option<(bool, bool, bool)> {
+    if xy & 0x80 == 0 {
+        return None;
+    }
+    let f = xy & 0x40 != 0;
+    let v = xy & 0x20 != 0;
+    let h = xy & 0x10 != 0;
+    if xy == xy_byte(f, v, h) {
+        Some((f, v, h))
+    } else {
+        None
+    }
+}
+
+/// Encodes a YUV 4:2:2 frame into a BT.656 byte stream (single progressive
+/// field, `F = 0`).
+///
+/// # Panics
+///
+/// Panics if the frame is not [`PixelFormat::Yuv422`] (encoder contract).
+pub fn encode(frame: &RawFrame) -> Vec<u8> {
+    assert_eq!(
+        frame.format(),
+        PixelFormat::Yuv422,
+        "bt656 payload must be yuv 4:2:2"
+    );
+    let (w, h) = frame.dims();
+    let line_bytes = w * 2;
+    let mut out = Vec::with_capacity((h + VBLANK_LINES) * (line_bytes + 8 + HBLANK_WORDS * 2));
+
+    let mut push_line = |payload: Option<&[u8]>, v: bool| {
+        // EAV of previous line, horizontal blanking, then SAV.
+        out.extend_from_slice(&[0xff, 0x00, 0x00, xy_byte(false, v, true)]);
+        for _ in 0..HBLANK_WORDS {
+            out.extend_from_slice(&[0x80, 0x10]);
+        }
+        out.extend_from_slice(&[0xff, 0x00, 0x00, xy_byte(false, v, false)]);
+        match payload {
+            Some(p) => out.extend_from_slice(p),
+            None => out.extend(std::iter::repeat_n([0x80u8, 0x10], w).flatten()),
+        }
+    };
+
+    for _ in 0..VBLANK_LINES {
+        push_line(None, true);
+    }
+    for y in 0..h {
+        push_line(Some(&frame.bytes()[y * line_bytes..(y + 1) * line_bytes]), false);
+    }
+    out
+}
+
+/// Decodes a BT.656 byte stream back into a YUV 4:2:2 frame of the given
+/// active dimensions.
+///
+/// # Errors
+///
+/// * [`VideoError::Bt656Sync`] on malformed sync words, failed protection
+///   bits, or truncated lines.
+/// * [`VideoError::Bt656LineCount`] if the stream does not contain exactly
+///   `height` active lines.
+pub fn decode(stream: &[u8], width: usize, height: usize) -> Result<RawFrame, VideoError> {
+    let line_bytes = width * 2;
+    let mut lines: Vec<u8> = Vec::with_capacity(line_bytes * height);
+    let mut active_lines = 0usize;
+    let mut i = 0usize;
+
+    while i + 4 <= stream.len() {
+        // Hunt for a timing reference code.
+        if stream[i] != 0xff {
+            i += 1;
+            continue;
+        }
+        if stream[i + 1] != 0x00 || stream[i + 2] != 0x00 {
+            return Err(VideoError::Bt656Sync {
+                offset: i,
+                reason: "sync prefix ff not followed by 00 00",
+            });
+        }
+        let Some((_f, v, h)) = parse_xy(stream[i + 3]) else {
+            return Err(VideoError::Bt656Sync {
+                offset: i + 3,
+                reason: "protection bits failed",
+            });
+        };
+        i += 4;
+        if h || v {
+            // EAV or blanking SAV: payload until the next sync is blanking.
+            continue;
+        }
+        // SAV of an active line: exactly line_bytes of payload follow.
+        if i + line_bytes > stream.len() {
+            return Err(VideoError::Bt656Sync {
+                offset: i,
+                reason: "active line truncated",
+            });
+        }
+        lines.extend_from_slice(&stream[i..i + line_bytes]);
+        active_lines += 1;
+        i += line_bytes;
+    }
+
+    if active_lines != height {
+        return Err(VideoError::Bt656LineCount {
+            expected: height,
+            actual: active_lines,
+        });
+    }
+    RawFrame::new(PixelFormat::Yuv422, width, height, lines)
+}
+
+/// Statistics of a resilient decode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Active lines recovered intact.
+    pub good_lines: usize,
+    /// Lines concealed (replaced by the previous good line or mid-gray).
+    pub concealed_lines: usize,
+    /// Bytes skipped while re-hunting for sync.
+    pub resync_bytes: usize,
+}
+
+/// Decodes a possibly-corrupted BT.656 stream with error concealment, as a
+/// real capture front-end must (glitches on the FMC wires cannot crash the
+/// pipeline). Corrupt sync words are skipped until the next valid timing
+/// reference; missing or damaged active lines are concealed by repeating
+/// the previous good line (or mid-gray for a leading loss).
+///
+/// Always returns a full-size frame plus a report of what was concealed.
+///
+/// # Errors
+///
+/// Returns [`VideoError::EmptyImage`] only for zero dimensions — stream
+/// corruption is *not* an error for this decoder.
+pub fn decode_resilient(
+    stream: &[u8],
+    width: usize,
+    height: usize,
+) -> Result<(RawFrame, ResilienceReport), VideoError> {
+    if width == 0 || height == 0 {
+        return Err(VideoError::EmptyImage);
+    }
+    let line_bytes = width * 2;
+    let mut lines: Vec<Vec<u8>> = Vec::with_capacity(height);
+    let mut report = ResilienceReport::default();
+    let mut i = 0usize;
+
+    while i + 4 <= stream.len() && lines.len() < height {
+        if stream[i] != 0xff {
+            i += 1;
+            continue;
+        }
+        if stream[i + 1] != 0x00 || stream[i + 2] != 0x00 {
+            report.resync_bytes += 1;
+            i += 1;
+            continue;
+        }
+        let Some((_f, v, h)) = parse_xy(stream[i + 3]) else {
+            report.resync_bytes += 4;
+            i += 4;
+            continue;
+        };
+        i += 4;
+        if h || v {
+            continue;
+        }
+        if i + line_bytes > stream.len() {
+            break; // truncated final line: concealed below
+        }
+        let payload = &stream[i..i + line_bytes];
+        // A sync pattern inside the payload means the line was cut short by
+        // a glitch; drop it and resume at the embedded sync.
+        if let Some(pos) = payload.windows(3).position(|w| w == [0xff, 0x00, 0x00]) {
+            report.concealed_lines += 1;
+            report.resync_bytes += pos;
+            lines.push(conceal_line(&lines, line_bytes));
+            i += pos;
+            continue;
+        }
+        lines.push(payload.to_vec());
+        report.good_lines += 1;
+        i += line_bytes;
+    }
+
+    while lines.len() < height {
+        lines.push(conceal_line(&lines, line_bytes));
+        report.concealed_lines += 1;
+    }
+
+    let mut bytes = Vec::with_capacity(line_bytes * height);
+    for line in &lines {
+        bytes.extend_from_slice(line);
+    }
+    Ok((
+        RawFrame::new(PixelFormat::Yuv422, width, height, bytes)?,
+        report,
+    ))
+}
+
+fn conceal_line(lines: &[Vec<u8>], line_bytes: usize) -> Vec<u8> {
+    match lines.last() {
+        Some(prev) => prev.clone(),
+        // Mid-gray YUV: neutral chroma, mid luma.
+        None => std::iter::repeat_n([0x80u8, 0x80], line_bytes / 2)
+            .flatten()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_frame(w: usize, h: usize) -> RawFrame {
+        let bytes: Vec<u8> = (0..w * h * 2).map(|i| (i * 7 % 251) as u8).collect();
+        RawFrame::new(PixelFormat::Yuv422, w, h, bytes).unwrap()
+    }
+
+    #[test]
+    fn xy_byte_protection_round_trip() {
+        for f in [false, true] {
+            for v in [false, true] {
+                for h in [false, true] {
+                    let xy = xy_byte(f, v, h);
+                    assert_eq!(parse_xy(xy), Some((f, v, h)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_xy_values() {
+        // Standard BT.656 codes: SAV active = 0x80, EAV active = 0x9d,
+        // SAV blanking = 0xab, EAV blanking = 0xb6 (field 0).
+        assert_eq!(xy_byte(false, false, false), 0x80);
+        assert_eq!(xy_byte(false, false, true), 0x9d);
+        assert_eq!(xy_byte(false, true, false), 0xab);
+        assert_eq!(xy_byte(false, true, true), 0xb6);
+    }
+
+    #[test]
+    fn corrupt_xy_rejected() {
+        assert_eq!(parse_xy(0x00), None); // bit 7 clear
+        assert_eq!(parse_xy(0x81), None); // wrong protection bits
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = test_frame(16, 12);
+        let stream = encode(&frame);
+        let back = decode(&stream, 16, 12).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn round_trip_paper_field_geometry() {
+        // The paper's decoder handles 720x243 fields; keep the width real
+        // but the height small for test speed.
+        let frame = test_frame(720, 9);
+        let back = decode(&encode(&frame), 720, 9).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn corrupted_sync_detected() {
+        let frame = test_frame(8, 4);
+        let mut stream = encode(&frame);
+        // Find the first SAV of an active line and corrupt its XY byte to an
+        // invalid protection pattern.
+        let sav_active = xy_byte(false, false, false);
+        let pos = stream
+            .windows(4)
+            .position(|w| w == [0xff, 0x00, 0x00, sav_active])
+            .unwrap();
+        stream[pos + 3] = 0x81;
+        assert!(matches!(
+            decode(&stream, 8, 4),
+            Err(VideoError::Bt656Sync { reason: "protection bits failed", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let frame = test_frame(8, 4);
+        let mut stream = encode(&frame);
+        stream.truncate(stream.len() - 3); // cut into the last active line
+        assert!(matches!(
+            decode(&stream, 8, 4),
+            Err(VideoError::Bt656Sync { reason: "active line truncated", .. })
+                | Err(VideoError::Bt656LineCount { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_line_count_detected() {
+        let frame = test_frame(8, 4);
+        let stream = encode(&frame);
+        assert!(matches!(
+            decode(&stream, 8, 5),
+            Err(VideoError::Bt656LineCount {
+                expected: 5,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn resilient_decode_matches_strict_on_clean_streams() {
+        let frame = test_frame(16, 8);
+        let stream = encode(&frame);
+        let (decoded, report) = decode_resilient(&stream, 16, 8).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(report.good_lines, 8);
+        assert_eq!(report.concealed_lines, 0);
+        assert_eq!(report.resync_bytes, 0);
+    }
+
+    #[test]
+    fn resilient_decode_conceals_a_corrupt_sync() {
+        let frame = test_frame(8, 6);
+        let mut stream = encode(&frame);
+        // Corrupt the XY byte of the third active line's SAV.
+        let sav = xy_byte(false, false, false);
+        let pos = stream
+            .windows(4)
+            .enumerate()
+            .filter(|(_, w)| *w == [0xff, 0x00, 0x00, sav])
+            .map(|(i, _)| i)
+            .nth(2)
+            .unwrap();
+        stream[pos + 3] = 0x81;
+        let (decoded, report) = decode_resilient(&stream, 8, 6).unwrap();
+        assert_eq!(decoded.dims(), (8, 6));
+        assert_eq!(report.concealed_lines, 1);
+        assert_eq!(report.good_lines, 5);
+        // BT.656 carries no line numbers, so a dropped line shifts the rest
+        // up and concealment lands at the frame bottom: the last line
+        // repeats the previous good one.
+        let lb = 16;
+        assert_eq!(
+            &decoded.bytes()[5 * lb..6 * lb],
+            &decoded.bytes()[4 * lb..5 * lb],
+            "conceal-by-repeat at frame bottom"
+        );
+        // Surviving lines are intact (line 2 of the output is source line 3).
+        assert_eq!(&decoded.bytes()[2 * lb..3 * lb], &frame.bytes()[3 * lb..4 * lb]);
+        // The strict decoder would have refused this stream.
+        assert!(decode(&stream, 8, 6).is_err());
+    }
+
+    #[test]
+    fn resilient_decode_fills_truncated_streams() {
+        let frame = test_frame(8, 6);
+        let mut stream = encode(&frame);
+        stream.truncate(stream.len() / 2);
+        let (decoded, report) = decode_resilient(&stream, 8, 6).unwrap();
+        assert_eq!(decoded.dims(), (8, 6));
+        assert!(report.concealed_lines > 0);
+        assert_eq!(report.good_lines + report.concealed_lines, 6);
+    }
+
+    #[test]
+    fn resilient_decode_survives_garbage() {
+        // Pure noise: everything concealed, nothing panics.
+        let garbage: Vec<u8> = (0..4096).map(|i| (i * 37 % 251) as u8).collect();
+        let (decoded, report) = decode_resilient(&garbage, 8, 4).unwrap();
+        assert_eq!(decoded.dims(), (8, 4));
+        assert_eq!(report.good_lines + report.concealed_lines, 4);
+        assert!(decode_resilient(&[], 8, 4).is_ok());
+        assert!(decode_resilient(&garbage, 0, 4).is_err());
+    }
+
+    #[test]
+    fn blanking_lines_are_skipped() {
+        // The stream contains VBLANK_LINES of blanking; the decoder must
+        // not mistake 0x80 0x10 blanking payload for active video.
+        let frame = test_frame(4, 2);
+        let stream = encode(&frame);
+        let decoded = decode(&stream, 4, 2).unwrap();
+        assert_eq!(decoded.bytes(), frame.bytes());
+    }
+}

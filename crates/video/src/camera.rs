@@ -1,0 +1,221 @@
+//! Camera models: the two capture front-ends of the paper's Fig. 7.
+//!
+//! * [`WebCamera`] models the Logitech C160 USB webcam: frames are decoded
+//!   on the PS side, arriving as 8-bit grayscale (the paper gray-scales the
+//!   webcam stream before fusion).
+//! * [`ThermalCamera`] models the Thermoteknix MicroCAM 384H XTi: the
+//!   sensor's native raster is formatted into a 720x243 YUV 4:2:2 field,
+//!   serialized as a BT.656 byte stream (what crosses the FMC connector),
+//!   decoded by the [`crate::bt656`] decoder, and resampled by the
+//!   [`crate::scaler`] — the full PL-side path of the paper.
+
+use crate::bt656;
+use crate::frame::{Frame, PixelFormat, RawFrame};
+use crate::scaler::resize_bilinear;
+use crate::scene::ScenePair;
+use crate::VideoError;
+use wavefuse_dtcwt::Image;
+
+/// Native raster of the modeled MicroCAM 384H XTi sensor.
+pub const THERMAL_SENSOR_DIMS: (usize, usize) = (384, 288);
+
+/// BT.656 field geometry the thermal camera emits (as in the paper's
+/// `Video_Scale (720x243 to 640x480, 60Hz)` block).
+pub const THERMAL_FIELD_DIMS: (usize, usize) = (720, 243);
+
+/// USB webcam model (PS-side decode).
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct WebCamera {
+    scene: ScenePair,
+    width: usize,
+    height: usize,
+    fps: f64,
+    seq: u64,
+}
+
+impl WebCamera {
+    /// Creates a webcam delivering `width` x `height` frames at 30 fps.
+    pub fn new(scene: ScenePair, width: usize, height: usize) -> Self {
+        WebCamera {
+            scene,
+            width,
+            height,
+            fps: 30.0,
+            seq: 0,
+        }
+    }
+
+    /// Frames per second of the capture clock.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// The raw RGB frame as the USB stack would deliver it (the visible
+    /// scene is near-monochrome with a slight warm cast, as cheap webcam
+    /// sensors render indoor scenes).
+    pub fn next_raw_rgb(&mut self) -> RawFrame {
+        let t = self.seq as f64 / self.fps;
+        self.seq += 1;
+        let img = self.scene.render_visible(self.width, self.height, t);
+        let mut bytes = Vec::with_capacity(self.width * self.height * 3);
+        for &v in img.as_slice() {
+            let v = v.clamp(0.0, 1.0);
+            // Warm cast: slightly boosted red, slightly cut blue, chosen so
+            // the BT.601 luma recovers the rendered value exactly
+            // (0.299*1.04 + 0.587*1.0 + 0.114*0.895 = 1.0).
+            bytes.push(((v * 1.04).min(1.0) * 255.0).round() as u8);
+            bytes.push((v * 255.0).round() as u8);
+            bytes.push((v * 0.895 * 255.0).round() as u8);
+        }
+        RawFrame::new(PixelFormat::Rgb888, self.width, self.height, bytes)
+            .expect("sensor geometry is consistent")
+    }
+
+    /// Captures the next frame: render → RGB sensor quantization → USB
+    /// decode → grayscale conversion (the paper gray-scales the webcam
+    /// stream before fusion).
+    pub fn capture(&mut self) -> Frame {
+        let seq = self.seq;
+        self.next_raw_rgb().to_gray(seq)
+    }
+}
+
+/// Thermal camera model (PL-side BT.656 decode + scaling).
+#[derive(Debug, Clone)]
+pub struct ThermalCamera {
+    scene: ScenePair,
+    out_width: usize,
+    out_height: usize,
+    field_fps: f64,
+    seq: u64,
+}
+
+impl ThermalCamera {
+    /// Creates a thermal camera delivering `out_width` x `out_height`
+    /// frames (after decode and scaling) at 60 fields/s.
+    pub fn new(scene: ScenePair, out_width: usize, out_height: usize) -> Self {
+        ThermalCamera {
+            scene,
+            out_width,
+            out_height,
+            field_fps: 60.0,
+            seq: 0,
+        }
+    }
+
+    /// Fields per second on the wire.
+    pub fn field_rate(&self) -> f64 {
+        self.field_fps
+    }
+
+    /// The raw BT.656 byte stream of the next field — what the FMC pins
+    /// carry. Exposed so tests and examples can exercise the decoder
+    /// directly.
+    pub fn next_field_stream(&mut self) -> Vec<u8> {
+        let t = self.seq as f64 / self.field_fps;
+        self.seq += 1;
+        let (sw, sh) = THERMAL_SENSOR_DIMS;
+        let native = self.scene.render_thermal(sw, sh, t);
+        let (fw, fh) = THERMAL_FIELD_DIMS;
+        let field = resize_bilinear(&native, fw, fh).expect("non-empty field geometry");
+        bt656::encode(&yuv422_from_gray(&field))
+    }
+
+    /// Captures the next frame through the full path:
+    /// render → field format → BT.656 encode → decode → luma → scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BT.656 decode errors (which for this camera's own streams
+    /// indicates a model bug) and scaler errors for zero output dimensions.
+    pub fn capture(&mut self) -> Result<Frame, VideoError> {
+        let seq = self.seq;
+        let stream = self.next_field_stream();
+        let (fw, fh) = THERMAL_FIELD_DIMS;
+        let raw = bt656::decode(&stream, fw, fh)?;
+        let gray = raw.to_gray(seq);
+        let scaled = resize_bilinear(gray.image(), self.out_width, self.out_height)?;
+        Ok(Frame::new(scaled, seq))
+    }
+}
+
+/// Packs a grayscale image into YUV 4:2:2 bytes with neutral chroma,
+/// clamping luma into the BT.656-legal `1..=254` range.
+fn yuv422_from_gray(img: &Image) -> RawFrame {
+    let (w, h) = img.dims();
+    let mut bytes = Vec::with_capacity(w * h * 2);
+    for y in 0..h {
+        for x in 0..w {
+            let luma = (img.get(x, y).clamp(0.0, 1.0) * 253.0).round() as u8 + 1;
+            bytes.push(0x80); // neutral Cb/Cr alternating
+            bytes.push(luma);
+        }
+    }
+    RawFrame::new(PixelFormat::Yuv422, w, h, bytes).expect("geometry is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webcam_advances_sequence() {
+        let mut cam = WebCamera::new(ScenePair::new(1), 32, 24);
+        let f0 = cam.capture();
+        let f1 = cam.capture();
+        assert_eq!(f0.seq(), 0);
+        assert_eq!(f1.seq(), 1);
+        assert_eq!(f0.image().dims(), (32, 24));
+    }
+
+    #[test]
+    fn thermal_capture_full_path() {
+        let mut cam = ThermalCamera::new(ScenePair::new(2), 88, 72);
+        let f = cam.capture().unwrap();
+        assert_eq!(f.image().dims(), (88, 72));
+        for &v in f.image().as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn thermal_stream_is_valid_bt656() {
+        let mut cam = ThermalCamera::new(ScenePair::new(3), 40, 30);
+        let stream = cam.next_field_stream();
+        let (fw, fh) = THERMAL_FIELD_DIMS;
+        let raw = bt656::decode(&stream, fw, fh).unwrap();
+        assert_eq!(raw.dims(), THERMAL_FIELD_DIMS);
+        // Luma stays in the legal range.
+        for chunk in raw.bytes().chunks_exact(2) {
+            assert!(chunk[1] >= 1 && chunk[1] <= 254);
+        }
+    }
+
+    #[test]
+    fn cameras_view_the_same_scene() {
+        // The warm body's thermal signature and the visible silhouette sit
+        // at the same normalized location: cross-check via the scene.
+        let scene = ScenePair::new(4);
+        let (bx, by) = scene.body_center(0.0);
+        let mut cam = ThermalCamera::new(scene, 96, 96);
+        let f = cam.capture().unwrap();
+        let px = (bx * 96.0) as usize;
+        let py = (by * 96.0) as usize;
+        let center = f.image().get(px.min(95), py.min(95));
+        let corner = f.image().get(2, 2);
+        assert!(center > corner + 0.2, "body {center} vs corner {corner}");
+    }
+
+    #[test]
+    fn quantization_path_matches_scene_brightness() {
+        let scene = ScenePair::new(5);
+        let mut cam = WebCamera::new(scene.clone(), 64, 48);
+        let f = cam.capture();
+        let direct = scene.render_visible(64, 48, 0.0);
+        // Per-channel 8-bit quantization bounds the luma error at half an
+        // LSB, plus the red-channel headroom clamp for near-white pixels.
+        assert!(f.image().max_abs_diff(&direct) <= 0.5 / 255.0 + 0.299 * 0.04 + 1e-6);
+    }
+}

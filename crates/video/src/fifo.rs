@@ -1,0 +1,230 @@
+//! Frame FIFOs with ready/valid back-pressure.
+//!
+//! The paper's capture path stores each decoded thermal frame in an output
+//! FIFO, and "a new frame will be stored in the output FIFO only after the
+//! previous frame is taken by the wave engine hardware" — i.e. a depth-1
+//! gate that drops frames while the consumer is busy. [`FrameGate`] models
+//! exactly that; [`Fifo`] is the generic bounded queue used elsewhere in
+//! the pipeline.
+
+use crate::VideoError;
+use std::collections::VecDeque;
+
+/// A bounded FIFO with drop accounting.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_video::fifo::Fifo;
+///
+/// let mut q: Fifo<u32> = Fifo::new(2);
+/// q.try_push(1)?;
+/// q.try_push(2)?;
+/// assert!(q.try_push(3).is_err()); // back-pressure
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.dropped(), 1);
+/// # Ok::<(), wavefuse_video::VideoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Attempts to enqueue an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::FifoFull`] (and counts the drop) when full —
+    /// the producer's frame is lost, as in real capture hardware.
+    pub fn try_push(&mut self, item: T) -> Result<(), VideoError> {
+        if self.queue.len() == self.capacity {
+            self.dropped += 1;
+            return Err(VideoError::FifoFull);
+        }
+        self.queue.push_back(item);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity (producer must stall or drop).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Items accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Items dropped due to back-pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// The paper's depth-1 frame gate between decoder and wavelet engine.
+#[derive(Debug, Clone)]
+pub struct FrameGate<T> {
+    slot: Option<T>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl<T> FrameGate<T> {
+    /// Creates an empty gate.
+    pub fn new() -> Self {
+        FrameGate {
+            slot: None,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers a new frame. It is stored only if the previous one has been
+    /// taken; otherwise it is dropped and `false` is returned.
+    pub fn offer(&mut self, frame: T) -> bool {
+        self.offered += 1;
+        if self.slot.is_some() {
+            self.dropped += 1;
+            false
+        } else {
+            self.slot = Some(frame);
+            true
+        }
+    }
+
+    /// Takes the stored frame, freeing the gate for the next one.
+    pub fn take(&mut self) -> Option<T> {
+        self.slot.take()
+    }
+
+    /// Whether a frame is waiting.
+    pub fn is_occupied(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Frames offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Frames dropped because the consumer had not taken the previous one.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<T> Default for FrameGate<T> {
+    fn default() -> Self {
+        FrameGate::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_first_in_first_out() {
+        let mut q = Fifo::new(3);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(9).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.accepted(), 4);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+
+    #[test]
+    fn fifo_counts_drops() {
+        let mut q = Fifo::new(1);
+        q.try_push('a').unwrap();
+        assert_eq!(q.try_push('b'), Err(VideoError::FifoFull));
+        assert_eq!(q.try_push('c'), Err(VideoError::FifoFull));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn gate_admits_only_when_empty() {
+        let mut g = FrameGate::new();
+        assert!(g.offer(1));
+        assert!(!g.offer(2)); // consumer busy: dropped, like the paper's FIFO
+        assert!(g.is_occupied());
+        assert_eq!(g.take(), Some(1));
+        assert!(!g.is_occupied());
+        assert!(g.offer(3));
+        assert_eq!(g.take(), Some(3));
+        assert_eq!(g.offered(), 3);
+        assert_eq!(g.dropped(), 1);
+    }
+
+    #[test]
+    fn gate_take_when_empty_is_none() {
+        let mut g: FrameGate<u8> = FrameGate::default();
+        assert_eq!(g.take(), None);
+    }
+
+    #[test]
+    fn slow_consumer_sees_latest_admitted_cadence() {
+        // Producer at 60 Hz, consumer at 20 Hz: two of every three frames
+        // drop, and the consumer always gets the earliest admitted one.
+        let mut g = FrameGate::new();
+        let mut taken = Vec::new();
+        for t in 0..12 {
+            g.offer(t);
+            if t % 3 == 2 {
+                taken.push(g.take().unwrap());
+            }
+        }
+        assert_eq!(taken, vec![0, 3, 6, 9]);
+        assert_eq!(g.dropped(), 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bilinear video scaler.
+//!
+//! Models the paper's `Video_Scale` block, which resamples the thermal
+//! decoder's 720x243 field into the webcam-matched 640x480 raster before
+//! fusion. The implementation is a standard separable bilinear resampler
+//! with edge clamping, usable for both the upscale in the capture path and
+//! the downscale to the paper's 88x72 evaluation frames.
+
+use crate::VideoError;
+use wavefuse_dtcwt::Image;
+
+/// Resamples `src` to `dst_w` x `dst_h` with bilinear interpolation
+/// (pixel-center aligned, edges clamped).
+///
+/// # Errors
+///
+/// Returns [`VideoError::EmptyImage`] if the source or destination is
+/// zero-sized.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_dtcwt::Image;
+/// use wavefuse_video::scaler::resize_bilinear;
+///
+/// let src = Image::from_fn(720, 243, |x, y| (x + y) as f32);
+/// let dst = resize_bilinear(&src, 640, 480)?; // the paper's scaling step
+/// assert_eq!(dst.dims(), (640, 480));
+/// # Ok::<(), wavefuse_video::VideoError>(())
+/// ```
+pub fn resize_bilinear(src: &Image, dst_w: usize, dst_h: usize) -> Result<Image, VideoError> {
+    let (sw, sh) = src.dims();
+    if sw == 0 || sh == 0 || dst_w == 0 || dst_h == 0 {
+        return Err(VideoError::EmptyImage);
+    }
+    if (sw, sh) == (dst_w, dst_h) {
+        return Ok(src.clone());
+    }
+    let sx = sw as f32 / dst_w as f32;
+    let sy = sh as f32 / dst_h as f32;
+    let mut out = Image::zeros(dst_w, dst_h);
+    for y in 0..dst_h {
+        // Pixel-center mapping: dst center (y + 0.5) maps to src coords.
+        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, (sh - 1) as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(sh - 1);
+        let wy = fy - y0 as f32;
+        for x in 0..dst_w {
+            let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, (sw - 1) as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(sw - 1);
+            let wx = fx - x0 as f32;
+            let top = src.get(x0, y0) * (1.0 - wx) + src.get(x1, y0) * wx;
+            let bot = src.get(x0, y1) * (1.0 - wx) + src.get(x1, y1) * wx;
+            out.set(x, y, top * (1.0 - wy) + bot * wy);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scale_is_clone() {
+        let src = Image::from_fn(10, 8, |x, y| (x * y) as f32);
+        let out = resize_bilinear(&src, 10, 8).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let src = Image::zeros(0, 0);
+        assert_eq!(resize_bilinear(&src, 4, 4), Err(VideoError::EmptyImage));
+        let ok = Image::zeros(4, 4);
+        assert_eq!(resize_bilinear(&ok, 0, 4), Err(VideoError::EmptyImage));
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let src = Image::filled(7, 5, 3.25);
+        let out = resize_bilinear(&src, 29, 17).unwrap();
+        for &v in out.as_slice() {
+            assert!((v - 3.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upscale_by_two_interpolates_midpoints() {
+        // A horizontal ramp upscaled 2x must remain a (piecewise) ramp.
+        let src = Image::from_fn(4, 1, |x, _| x as f32);
+        let out = resize_bilinear(&src, 8, 1).unwrap();
+        // Monotone non-decreasing, endpoints clamped.
+        for i in 1..8 {
+            assert!(out.get(i, 0) >= out.get(i - 1, 0));
+        }
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(7, 0), 3.0);
+        // Interior midpoints are true averages: dst x=2 maps to src 0.75.
+        assert!((out.get(2, 0) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downscale_averages_locally() {
+        // 2x2 checkerboard downscaled to 1x1 lands between the extremes.
+        let src = Image::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let out = resize_bilinear(&src, 1, 1).unwrap();
+        assert!((out.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_thermal_scaling_geometry() {
+        let src = Image::from_fn(720, 243, |x, y| ((x ^ y) % 97) as f32);
+        let out = resize_bilinear(&src, 640, 480).unwrap();
+        assert_eq!(out.dims(), (640, 480));
+        // Range preserved (bilinear is a convex combination).
+        let (lo, hi) = out
+            .as_slice()
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        assert!(lo >= 0.0 && hi <= 96.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the capture substrate.
+
+use proptest::prelude::*;
+use wavefuse_dtcwt::Image;
+use wavefuse_video::bt656;
+use wavefuse_video::fifo::{Fifo, FrameGate};
+use wavefuse_video::scaler::resize_bilinear;
+use wavefuse_video::{PixelFormat, RawFrame};
+
+fn arb_yuv_frame() -> impl Strategy<Value = RawFrame> {
+    (1usize..=48, 1usize..=16).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(1u8..=254, w * h * 2)
+            .prop_map(move |bytes| RawFrame::new(PixelFormat::Yuv422, w, h, bytes).expect("sized"))
+    })
+}
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1usize..=64, 1usize..=48).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..1.0, w * h)
+            .prop_map(move |data| Image::from_vec(w, h, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bt656_round_trips_any_frame(frame in arb_yuv_frame()) {
+        let (w, h) = frame.dims();
+        let stream = bt656::encode(&frame);
+        let back = bt656::decode(&stream, w, h).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn bt656_decode_rejects_flipped_bits(
+        frame in arb_yuv_frame(),
+        flip_at in proptest::num::usize::ANY,
+    ) {
+        // Flipping one byte of a sync word must not silently corrupt the
+        // frame: the decoder errors, or (if the flip landed in payload or
+        // blanking) decodes to something of the right shape.
+        let (w, h) = frame.dims();
+        let mut stream = bt656::encode(&frame);
+        let idx = flip_at % stream.len();
+        stream[idx] ^= 0x55;
+        match bt656::decode(&stream, w, h) {
+            Ok(decoded) => prop_assert_eq!(decoded.dims(), (w, h)),
+            Err(_) => {} // detected corruption is the desired outcome
+        }
+    }
+
+    #[test]
+    fn scaler_output_within_input_range(img in arb_image(), dw in 1usize..96, dh in 1usize..64) {
+        let out = resize_bilinear(&img, dw, dh).unwrap();
+        prop_assert_eq!(out.dims(), (dw, dh));
+        let (lo, hi) = img
+            .as_slice()
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        for &v in out.as_slice() {
+            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn scaler_preserves_constants(c in 0.0f32..1.0, w in 1usize..32, h in 1usize..32) {
+        let img = Image::filled(w, h, c);
+        let out = resize_bilinear(&img, 2 * w + 1, h.max(3)).unwrap();
+        for &v in out.as_slice() {
+            prop_assert!((v - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order_and_counts(ops in proptest::collection::vec(0u8..=1, 1..80)) {
+        let mut q: Fifo<u32> = Fifo::new(4);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let mut counter = 0u32;
+        let mut drops = 0u64;
+        for op in ops {
+            if op == 0 {
+                counter += 1;
+                if model.len() == 4 {
+                    prop_assert!(q.try_push(counter).is_err());
+                    drops += 1;
+                } else {
+                    q.try_push(counter).unwrap();
+                    model.push_back(counter);
+                }
+            } else {
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+        prop_assert_eq!(q.dropped(), drops);
+    }
+
+    #[test]
+    fn gate_never_reorders(offers in proptest::collection::vec(proptest::bool::ANY, 1..60)) {
+        // take() after each offer subsequence yields offers in order.
+        let mut gate = FrameGate::new();
+        let mut next = 0u32;
+        let mut last_taken: Option<u32> = None;
+        for take_now in offers {
+            gate.offer(next);
+            next += 1;
+            if take_now {
+                if let Some(v) = gate.take() {
+                    if let Some(prev) = last_taken {
+                        prop_assert!(v > prev, "gate reordered: {v} after {prev}");
+                    }
+                    last_taken = Some(v);
+                }
+            }
+        }
+    }
+}

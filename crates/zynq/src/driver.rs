@@ -1,0 +1,278 @@
+//! The kernel-level Linux driver model (paper §V, Fig. 5).
+//!
+//! The real system allocates DMA-able memory with `kmalloc`, exposes it to
+//! user space through `mmap`, and controls read/write offsets through
+//! `ioctl` so the application and the accelerator can ping-pong between two
+//! halves of each buffer — overlapping the user-space `memcpy` of one row
+//! with the hardware processing of the previous. This module models that
+//! interface faithfully enough to preserve its two performance-relevant
+//! behaviors: the per-request driver overhead and the double-buffer overlap.
+
+use crate::config::ZynqConfig;
+use crate::ZynqError;
+
+/// `ioctl` requests understood by the driver, mirroring the offset controls
+/// described in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoctlRequest {
+    /// Set the byte offset (in words here) at which the accelerator reads
+    /// from the input area.
+    SetReadOffset(usize),
+    /// Set the word offset at which the accelerator writes the output area.
+    SetWriteOffset(usize),
+    /// Flip both ping-pong buffers.
+    SwapBuffers,
+}
+
+/// Usage counters kept by the driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// `ioctl` requests served.
+    pub ioctls: u64,
+    /// Words copied from user space into the DMA area.
+    pub words_from_user: u64,
+    /// Words copied from the DMA area back to user space.
+    pub words_to_user: u64,
+    /// Ping-pong swaps performed.
+    pub buffer_swaps: u64,
+}
+
+/// The wavelet-engine character-device driver model.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_zynq::driver::{IoctlRequest, WaveletDriver};
+/// use wavefuse_zynq::ZynqConfig;
+///
+/// let mut drv = WaveletDriver::open(ZynqConfig::default());
+/// drv.ioctl(IoctlRequest::SetReadOffset(0))?;
+/// let cycles = drv.copy_from_user(&[1.0, 2.0, 3.0])?;
+/// assert!(cycles > 0);
+/// assert_eq!(drv.accelerator_input(3)?, &[1.0, 2.0, 3.0]);
+/// # Ok::<(), wavefuse_zynq::ZynqError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaveletDriver {
+    cfg: ZynqConfig,
+    /// Two ping-pong input areas (the paper: 4096 words split in two).
+    in_areas: [Vec<f32>; 2],
+    /// Two ping-pong output areas.
+    out_areas: [Vec<f32>; 2],
+    active: usize,
+    read_offset: usize,
+    write_offset: usize,
+    stats: DriverStats,
+}
+
+impl WaveletDriver {
+    /// Opens the device, `kmalloc`-ing both DMA areas.
+    pub fn open(cfg: ZynqConfig) -> Self {
+        let words = cfg.bram_words_per_buffer;
+        WaveletDriver {
+            cfg,
+            in_areas: [vec![0.0; words], vec![0.0; words]],
+            out_areas: [vec![0.0; words], vec![0.0; words]],
+            active: 0,
+            read_offset: 0,
+            write_offset: 0,
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// Serves an `ioctl` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZynqError::InvalidIoctl`] for offsets beyond the DMA area.
+    pub fn ioctl(&mut self, req: IoctlRequest) -> Result<(), ZynqError> {
+        self.stats.ioctls += 1;
+        let words = self.cfg.bram_words_per_buffer;
+        match req {
+            IoctlRequest::SetReadOffset(o) => {
+                if o >= words {
+                    return Err(ZynqError::InvalidIoctl(format!(
+                        "read offset {o} beyond {words}-word area"
+                    )));
+                }
+                self.read_offset = o;
+            }
+            IoctlRequest::SetWriteOffset(o) => {
+                if o >= words {
+                    return Err(ZynqError::InvalidIoctl(format!(
+                        "write offset {o} beyond {words}-word area"
+                    )));
+                }
+                self.write_offset = o;
+            }
+            IoctlRequest::SwapBuffers => {
+                self.active ^= 1;
+                self.stats.buffer_swaps += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// User-space `memcpy` into the active input area at the current read
+    /// offset, returning the PS cycles the copy cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZynqError::MappingOutOfRange`] if the data exceeds the
+    /// mapped window.
+    pub fn copy_from_user(&mut self, data: &[f32]) -> Result<u64, ZynqError> {
+        let area = &mut self.in_areas[self.active];
+        let end = self.read_offset + data.len();
+        if end > area.len() {
+            return Err(ZynqError::MappingOutOfRange {
+                offset: self.read_offset,
+                len: data.len(),
+                mapped: area.len(),
+            });
+        }
+        area[self.read_offset..end].copy_from_slice(data);
+        self.stats.words_from_user += data.len() as u64;
+        Ok((data.len() as f64 * self.cfg.user_memcpy_ps_cycles_per_word).ceil() as u64)
+    }
+
+    /// The accelerator-visible view of the active input area (`len` words at
+    /// the read offset) — what the engine's hardware `memcpy` fetches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZynqError::MappingOutOfRange`] if the window exceeds the
+    /// area.
+    pub fn accelerator_input(&self, len: usize) -> Result<&[f32], ZynqError> {
+        let area = &self.in_areas[self.active];
+        let end = self.read_offset + len;
+        if end > area.len() {
+            return Err(ZynqError::MappingOutOfRange {
+                offset: self.read_offset,
+                len,
+                mapped: area.len(),
+            });
+        }
+        Ok(&area[self.read_offset..end])
+    }
+
+    /// The accelerator writes `data` to the active output area at the write
+    /// offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZynqError::MappingOutOfRange`] on overflow.
+    pub fn accelerator_write(&mut self, data: &[f32]) -> Result<(), ZynqError> {
+        let area = &mut self.out_areas[self.active];
+        let end = self.write_offset + data.len();
+        if end > area.len() {
+            return Err(ZynqError::MappingOutOfRange {
+                offset: self.write_offset,
+                len: data.len(),
+                mapped: area.len(),
+            });
+        }
+        area[self.write_offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// User-space `memcpy` out of the active output area into `dst`,
+    /// returning PS cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZynqError::MappingOutOfRange`] if the window exceeds the
+    /// area.
+    pub fn copy_to_user(&mut self, dst: &mut [f32]) -> Result<u64, ZynqError> {
+        let area = &self.out_areas[self.active];
+        let end = self.write_offset + dst.len();
+        if end > area.len() {
+            return Err(ZynqError::MappingOutOfRange {
+                offset: self.write_offset,
+                len: dst.len(),
+                mapped: area.len(),
+            });
+        }
+        dst.copy_from_slice(&area[self.write_offset..end]);
+        self.stats.words_to_user += dst.len() as u64;
+        Ok((dst.len() as f64 * self.cfg.user_memcpy_ps_cycles_per_word).ceil() as u64)
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Index of the active ping-pong half (0 or 1).
+    pub fn active_buffer(&self) -> usize {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_driver() {
+        let mut drv = WaveletDriver::open(ZynqConfig::default());
+        drv.copy_from_user(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(drv.accelerator_input(4).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        drv.accelerator_write(&[9.0, 8.0]).unwrap();
+        let mut out = [0.0f32; 2];
+        drv.copy_to_user(&mut out).unwrap();
+        assert_eq!(out, [9.0, 8.0]);
+        let s = drv.stats();
+        assert_eq!(s.words_from_user, 4);
+        assert_eq!(s.words_to_user, 2);
+    }
+
+    #[test]
+    fn offsets_are_respected() {
+        let mut drv = WaveletDriver::open(ZynqConfig::default());
+        drv.ioctl(IoctlRequest::SetReadOffset(100)).unwrap();
+        drv.copy_from_user(&[7.0]).unwrap();
+        assert_eq!(drv.accelerator_input(1).unwrap(), &[7.0]);
+        drv.ioctl(IoctlRequest::SetReadOffset(0)).unwrap();
+        assert_eq!(drv.accelerator_input(1).unwrap(), &[0.0]);
+    }
+
+    #[test]
+    fn ping_pong_isolates_buffers() {
+        let mut drv = WaveletDriver::open(ZynqConfig::default());
+        drv.copy_from_user(&[5.0]).unwrap();
+        drv.ioctl(IoctlRequest::SwapBuffers).unwrap();
+        assert_eq!(drv.active_buffer(), 1);
+        assert_eq!(drv.accelerator_input(1).unwrap(), &[0.0]);
+        drv.ioctl(IoctlRequest::SwapBuffers).unwrap();
+        assert_eq!(drv.accelerator_input(1).unwrap(), &[5.0]);
+        assert_eq!(drv.stats().buffer_swaps, 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let cfg = ZynqConfig::default();
+        let words = cfg.bram_words_per_buffer;
+        let mut drv = WaveletDriver::open(cfg);
+        assert!(drv.ioctl(IoctlRequest::SetReadOffset(words)).is_err());
+        drv.ioctl(IoctlRequest::SetReadOffset(words - 1)).unwrap();
+        assert!(drv.copy_from_user(&[1.0, 2.0]).is_err());
+        assert!(drv.accelerator_input(2).is_err());
+        let mut big = vec![0.0f32; words + 1];
+        drv.ioctl(IoctlRequest::SetWriteOffset(0)).unwrap();
+        assert!(drv.copy_to_user(&mut big).is_err());
+        assert!(drv.accelerator_write(&big).is_err());
+    }
+
+    #[test]
+    fn copy_cycles_scale_with_words() {
+        let cfg = ZynqConfig::default();
+        let mut drv = WaveletDriver::open(cfg.clone());
+        let c1 = drv.copy_from_user(&[0.0; 100]).unwrap();
+        let c2 = drv.copy_from_user(&[0.0; 200]).unwrap();
+        assert_eq!(c2, 2 * c1);
+        assert_eq!(
+            c1,
+            (100.0 * cfg.user_memcpy_ps_cycles_per_word).ceil() as u64
+        );
+    }
+}

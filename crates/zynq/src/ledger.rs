@@ -1,0 +1,109 @@
+//! Cycle accounting for the simulated platform.
+
+use crate::config::ZynqConfig;
+
+/// Accumulated cost of work routed through the FPGA path.
+///
+/// PS (ARM) cycles and PL (FPGA) cycles are tracked separately because they
+/// run in different clock domains *and* different power domains — the power
+/// model needs both. `elapsed_seconds` is accumulated at row granularity
+/// with the double-buffering overlap of the paper's Fig. 5 applied (user
+/// memcpy of one row overlaps engine processing of the previous).
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_zynq::{CycleLedger, ZynqConfig};
+///
+/// let mut a = CycleLedger::default();
+/// a.pl_cycles = 1_000_000;
+/// assert!((a.pl_busy_seconds(&ZynqConfig::default()) - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CycleLedger {
+    /// Engine invocations (one per row transform).
+    pub engine_calls: u64,
+    /// Coefficient reload operations.
+    pub coeff_loads: u64,
+    /// PS cycles spent in driver/command overhead (ioctl, AXI-Lite pokes).
+    pub ps_overhead_cycles: u64,
+    /// PS cycles spent in user-space `memcpy` to/from the kernel DMA area.
+    pub ps_copy_cycles: u64,
+    /// PL cycles: DMA beats, pipeline fill and MAC iterations.
+    pub pl_cycles: u64,
+    /// Total 32-bit words moved over the ACP.
+    pub dma_words: u64,
+    /// Wall-clock seconds, with copy/engine overlap applied.
+    pub elapsed_seconds: f64,
+}
+
+impl CycleLedger {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        CycleLedger::default()
+    }
+
+    /// Adds another ledger's counts into this one.
+    pub fn merge(&mut self, other: &CycleLedger) {
+        self.engine_calls += other.engine_calls;
+        self.coeff_loads += other.coeff_loads;
+        self.ps_overhead_cycles += other.ps_overhead_cycles;
+        self.ps_copy_cycles += other.ps_copy_cycles;
+        self.pl_cycles += other.pl_cycles;
+        self.dma_words += other.dma_words;
+        self.elapsed_seconds += other.elapsed_seconds;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CycleLedger::default();
+    }
+
+    /// Seconds the PS spent busy on this work.
+    pub fn ps_busy_seconds(&self, cfg: &ZynqConfig) -> f64 {
+        (self.ps_overhead_cycles + self.ps_copy_cycles) as f64 * cfg.ps_period()
+    }
+
+    /// Seconds the PL engine spent busy.
+    pub fn pl_busy_seconds(&self, cfg: &ZynqConfig) -> f64 {
+        self.pl_cycles as f64 * cfg.pl_period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = CycleLedger {
+            engine_calls: 1,
+            coeff_loads: 2,
+            ps_overhead_cycles: 3,
+            ps_copy_cycles: 4,
+            pl_cycles: 5,
+            dma_words: 6,
+            elapsed_seconds: 0.5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.engine_calls, 2);
+        assert_eq!(a.pl_cycles, 10);
+        assert_eq!(a.dma_words, 12);
+        assert!((a.elapsed_seconds - 1.0).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a, CycleLedger::default());
+    }
+
+    #[test]
+    fn busy_seconds_use_right_clock() {
+        let cfg = ZynqConfig::default();
+        let l = CycleLedger {
+            ps_overhead_cycles: 533,
+            ps_copy_cycles: 0,
+            pl_cycles: 100,
+            ..CycleLedger::default()
+        };
+        assert!((l.ps_busy_seconds(&cfg) - 1e-6).abs() < 1e-12);
+        assert!((l.pl_busy_seconds(&cfg) - 1e-6).abs() < 1e-12);
+    }
+}

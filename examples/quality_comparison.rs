@@ -1,0 +1,66 @@
+//! Fusion-quality comparison: DT-CWT fusion vs. the literature baselines
+//! (the paper's §I/§II positioning), with the standard metrics.
+//!
+//! ```text
+//! cargo run --release --example quality_comparison
+//! ```
+
+use wavefuse::core::baseline::{average_fusion, dwt_fusion, laplacian_fusion};
+use wavefuse::core::rules::{FusionRule, LowpassRule};
+use wavefuse::core::{Backend, FusionEngine};
+use wavefuse::dtcwt::{FilterBank, Image};
+use wavefuse::metrics::{entropy, fusion_mutual_information, petrovic_qabf, spatial_frequency};
+use wavefuse::video::pgm;
+use wavefuse::video::scene::ScenePair;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = ScenePair::new(2016);
+    let a = scene.render_visible(176, 144, 0.0);
+    let b = scene.render_thermal(176, 144, 0.0);
+
+    let mut methods: Vec<(&str, Image)> = Vec::new();
+    methods.push(("averaging", average_fusion(&a, &b)));
+    methods.push(("laplacian-pyramid", laplacian_fusion(&a, &b, 3)?));
+    methods.push((
+        "dwt-cdf97-maxabs",
+        dwt_fusion(&a, &b, FilterBank::cdf_9_7()?, 3)?,
+    ));
+    methods.push((
+        "dwt-haar-maxabs",
+        dwt_fusion(&a, &b, FilterBank::haar()?, 3)?,
+    ));
+    let mut max_engine = FusionEngine::with_rules(3, FusionRule::MaxMagnitude, LowpassRule::Average)?;
+    methods.push((
+        "dtcwt-maxmag",
+        max_engine.fuse(&a, &b, Backend::Neon)?.image,
+    ));
+    let mut win_engine = FusionEngine::with_rules(
+        3,
+        FusionRule::WindowEnergy { radius: 1 },
+        LowpassRule::Average,
+    )?;
+    methods.push((
+        "dtcwt-windowenergy",
+        win_engine.fuse(&a, &b, Backend::Neon)?.image,
+    ));
+
+    println!(
+        "{:>20} | {:>8} {:>9} {:>8} {:>8}",
+        "method", "entropy", "spatial f", "Q^AB/F", "MI"
+    );
+    println!("{}", "-".repeat(62));
+    for (name, img) in &methods {
+        println!(
+            "{name:>20} | {:>8.3} {:>9.4} {:>8.3} {:>8.3}",
+            entropy(img),
+            spatial_frequency(img),
+            petrovic_qabf(&a, &b, img),
+            fusion_mutual_information(&a, &b, img)
+        );
+        pgm::write_pgm(img, format!("out/quality_{name}.pgm"))?;
+    }
+    pgm::write_pgm(&a, "out/quality_source_visible.pgm")?;
+    pgm::write_pgm(&b, "out/quality_source_thermal.pgm")?;
+    println!("\nwrote out/quality_*.pgm for visual inspection");
+    Ok(())
+}

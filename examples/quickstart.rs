@@ -1,0 +1,63 @@
+//! Quickstart: fuse one visible/thermal frame pair and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Renders the synthetic dual-modality scene, fuses the pair with the
+//! DT-CWT engine on each backend, verifies they agree, and writes the three
+//! images as PGM files under `out/`.
+
+use wavefuse::core::{Backend, FusionEngine};
+use wavefuse::metrics;
+use wavefuse::video::pgm;
+use wavefuse::video::scene::ScenePair;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A scene viewed by two sensors (stand-in for the paper's webcam +
+    //    thermal camera; see DESIGN.md for the substitution rationale).
+    let scene = ScenePair::new(42);
+    let visible = scene.render_visible(88, 72, 0.0);
+    let thermal = scene.render_thermal(88, 72, 0.0);
+
+    // 2. The fusion engine: 3-level DT-CWT, window-energy fusion rule.
+    let mut engine = FusionEngine::new(3)?;
+
+    // 3. Fuse on each backend; the images agree, the costs differ.
+    println!("backend    | time/frame | energy/frame");
+    let mut fused = None;
+    for backend in Backend::ALL {
+        let out = engine.fuse(&visible, &thermal, backend)?;
+        println!(
+            "{:<10} | {:>7.2} ms | {:>8.3} mJ",
+            out.backend.label(),
+            out.timing.total_seconds() * 1e3,
+            out.energy_mj
+        );
+        if let Some(prev) = &fused {
+            let diff = out.image.max_abs_diff(prev);
+            assert!(diff < 1e-2, "backends must agree, diff {diff}");
+        }
+        fused = Some(out.image);
+    }
+    let fused = fused.expect("at least one backend ran");
+
+    // 4. Quality check: the fused frame carries both sensors' information.
+    println!(
+        "\nentropy: visible {:.2}, thermal {:.2}, fused {:.2} bits",
+        metrics::entropy(&visible),
+        metrics::entropy(&thermal),
+        metrics::entropy(&fused)
+    );
+    println!(
+        "edge preservation Q^AB/F = {:.3}",
+        metrics::petrovic_qabf(&visible, &thermal, &fused)
+    );
+
+    // 5. Write the frames for inspection.
+    pgm::write_pgm(&visible, "out/quickstart_visible.pgm")?;
+    pgm::write_pgm(&thermal, "out/quickstart_thermal.pgm")?;
+    pgm::write_pgm(&fused, "out/quickstart_fused.pgm")?;
+    println!("\nwrote out/quickstart_{{visible,thermal,fused}}.pgm");
+    Ok(())
+}

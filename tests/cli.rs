@@ -1,0 +1,162 @@
+//! End-user tests of the `wavefuse` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn wavefuse() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wavefuse"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wavefuse-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&p).expect("temp dir");
+    p
+}
+
+#[test]
+fn demo_fuse_denoise_round_trip() {
+    let dir = tmp_dir("roundtrip");
+    // 1. demo produces frame triples.
+    let out = wavefuse()
+        .args([
+            "demo",
+            "-o",
+            dir.to_str().unwrap(),
+            "--frames",
+            "2",
+            "--size",
+            "48x40",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let vis = dir.join("demo_000_visible.pgm");
+    let ir = dir.join("demo_000_thermal.pgm");
+    assert!(vis.exists() && ir.exists());
+
+    // 2. fuse them on every backend spelling.
+    for backend in ["arm", "neon", "fpga", "hybrid", "auto"] {
+        let fused = dir.join(format!("fused_{backend}.pgm"));
+        let out = wavefuse()
+            .args([
+                "fuse",
+                vis.to_str().unwrap(),
+                ir.to_str().unwrap(),
+                "-o",
+                fused.to_str().unwrap(),
+                "--backend",
+                backend,
+                "--rule",
+                "activity",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(fused.exists());
+    }
+
+    // 3. denoise one of the frames.
+    let den = dir.join("denoised.pgm");
+    let out = wavefuse()
+        .args([
+            "denoise",
+            ir.to_str().unwrap(),
+            "-o",
+            den.to_str().unwrap(),
+            "--strength",
+            "0.8",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The denoised PGM parses and matches the source geometry.
+    let img = wavefuse_video::pgm::read_pgm(&den).expect("valid pgm");
+    assert_eq!(img.dims(), (48, 40));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    // No arguments: usage + exit code 2.
+    let out = wavefuse().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown command.
+    let out = wavefuse().arg("explode").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+
+    // Missing input file.
+    let out = wavefuse()
+        .args(["fuse", "/nonexistent/a.pgm", "/nonexistent/b.pgm", "-o", "/tmp/x.pgm"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+
+    // Bad backend name.
+    let dir = tmp_dir("badargs");
+    let img = dir.join("a.pgm");
+    wavefuse_video::pgm::write_pgm(&wavefuse_dtcwt::Image::filled(16, 16, 0.5), &img).unwrap();
+    let out = wavefuse()
+        .args([
+            "fuse",
+            img.to_str().unwrap(),
+            img.to_str().unwrap(),
+            "-o",
+            dir.join("o.pgm").to_str().unwrap(),
+            "--backend",
+            "gpu",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_mismatched_inputs_and_depths() {
+    let dir = tmp_dir("mismatch");
+    let a = dir.join("a.pgm");
+    let b = dir.join("b.pgm");
+    wavefuse_video::pgm::write_pgm(&wavefuse_dtcwt::Image::filled(16, 16, 0.5), &a).unwrap();
+    wavefuse_video::pgm::write_pgm(&wavefuse_dtcwt::Image::filled(24, 16, 0.5), &b).unwrap();
+    let out = wavefuse()
+        .args([
+            "fuse",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "-o",
+            dir.join("o.pgm").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("differ in size"));
+
+    // Unsupportable decomposition depth for a tiny image.
+    let out = wavefuse()
+        .args([
+            "fuse",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "-o",
+            dir.join("o.pgm").to_str().unwrap(),
+            "--levels",
+            "9",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--levels"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests for the features this reproduction adds
+//! beyond the paper: the hybrid backend, the QoS governor,
+//! registration-before-fusion, and denoising in the capture path.
+
+use wavefuse_core::adaptive::Objective;
+use wavefuse_core::governor::QosGovernor;
+use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::{Backend, FusionEngine};
+use wavefuse_dtcwt::analysis::circular_shift;
+use wavefuse_dtcwt::denoise::denoise;
+use wavefuse_dtcwt::swt::Swt2d;
+use wavefuse_dtcwt::{Dtcwt, FilterBank, Image};
+use wavefuse_metrics::{petrovic_qabf, psnr};
+use wavefuse_video::register::align_to;
+use wavefuse_video::scene::ScenePair;
+
+fn scene_pair(w: usize, h: usize) -> (Image, Image) {
+    let scene = ScenePair::new(99);
+    (scene.render_visible(w, h, 0.0), scene.render_thermal(w, h, 0.0))
+}
+
+#[test]
+fn hybrid_backend_runs_in_the_full_pipeline() {
+    let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Fixed(Backend::Hybrid),
+        scene_seed: 4,
+    })
+    .unwrap();
+    let stats = pipe.run(3).unwrap();
+    assert_eq!(stats.backend_usage, [0, 0, 0, 3]);
+    // Hybrid timing sits at or below the pure FPGA's for the same workload.
+    let mut fpga = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Fixed(Backend::Fpga),
+        scene_seed: 4,
+    })
+    .unwrap();
+    let fpga_stats = fpga.run(3).unwrap();
+    assert!(stats.timing.total_seconds() < fpga_stats.timing.total_seconds());
+}
+
+#[test]
+fn governor_operating_point_is_achievable_by_the_engine() {
+    // The governor's prediction must match what the engine then actually
+    // charges for the chosen configuration.
+    let gov = QosGovernor::new(4);
+    let decision = gov.decide(64, 48, 12.0).unwrap().expect("feasible");
+    let (a, b) = scene_pair(64, 48);
+    let mut engine = FusionEngine::new(decision.levels).unwrap();
+    let out = engine.fuse(&a, &b, decision.backend).unwrap();
+    let measured = out.timing.total_seconds();
+    assert!(
+        (measured - decision.predicted_seconds).abs() < 0.05 * decision.predicted_seconds,
+        "predicted {} vs measured {measured}",
+        decision.predicted_seconds
+    );
+    assert!(measured <= 1.0 / 12.0 * 1.05, "deadline met");
+}
+
+#[test]
+fn governor_tracks_the_platform_ceiling() {
+    let gov = QosGovernor::new(3);
+    let ceiling = gov.max_fps(88, 72, Objective::Time).unwrap();
+    // Just below the ceiling is feasible, just above is not.
+    assert!(gov.decide(88, 72, ceiling * 0.95).unwrap().is_some());
+    assert!(gov.decide(88, 72, ceiling * 1.10).unwrap().is_none());
+}
+
+#[test]
+fn registration_before_fusion_recovers_misalignment() {
+    // Misaligned sensors: fusing directly ghosts the edges; registering
+    // the thermal frame first restores the aligned fusion result.
+    let (vis, ir) = scene_pair(64, 64);
+    let mut engine = FusionEngine::new(3).unwrap();
+    let aligned_ref = engine.fuse(&vis, &ir, Backend::Neon).unwrap().image;
+
+    let ir_misaligned = circular_shift(&ir, 6, -4);
+    let naive = engine.fuse(&vis, &ir_misaligned, Backend::Neon).unwrap().image;
+
+    let (ir_registered, t) = align_to(&ir, &ir_misaligned).unwrap();
+    assert_eq!((t.dx, t.dy), (6, -4));
+    let registered = engine.fuse(&vis, &ir_registered, Backend::Neon).unwrap().image;
+
+    let q_naive = petrovic_qabf(&vis, &ir, &naive);
+    let q_registered = petrovic_qabf(&vis, &ir, &registered);
+    assert!(
+        q_registered > q_naive + 0.02,
+        "registered {q_registered:.3} vs naive {q_naive:.3}"
+    );
+    assert!(registered.max_abs_diff(&aligned_ref) < 1e-3);
+}
+
+#[test]
+fn denoising_the_thermal_stream_before_fusion_helps() {
+    let (vis, ir) = scene_pair(64, 64);
+    // Heavy extra sensor noise on the thermal channel.
+    let noisy_ir = Image::from_fn(64, 64, |x, y| {
+        let h = (x as u32)
+            .wrapping_mul(0x9e3779b9)
+            .wrapping_add((y as u32).wrapping_mul(0x85ebca6b));
+        ir.get(x, y) + ((h >> 9) as f32 / (1u32 << 23) as f32 - 0.5) * 0.25
+    });
+    let t = Dtcwt::new(3).unwrap();
+    let cleaned = denoise(&t, &noisy_ir, 1.0).unwrap();
+    assert!(psnr(&ir, &cleaned) > psnr(&ir, &noisy_ir) + 2.0, "denoise gains >2 dB");
+
+    let mut engine = FusionEngine::new(3).unwrap();
+    let fused_noisy = engine.fuse(&vis, &noisy_ir, Backend::Neon).unwrap().image;
+    let fused_clean = engine.fuse(&vis, &cleaned, Backend::Neon).unwrap().image;
+    let reference = engine.fuse(&vis, &ir, Backend::Neon).unwrap().image;
+    assert!(
+        psnr(&reference, &fused_clean) > psnr(&reference, &fused_noisy) + 2.0,
+        "denoised-stream fusion is closer to the clean fusion"
+    );
+}
+
+#[test]
+fn swt_and_dtcwt_agree_on_what_matters() {
+    // The SWT (exactly shift-invariant, expensive) and the DT-CWT
+    // (approximately shift-invariant, cheap) produce closely comparable
+    // fusions, while the MAC bill differs by several times.
+    let (a, b) = scene_pair(88, 72);
+    let mut engine = FusionEngine::new(3).unwrap();
+    let dtcwt_img = engine.fuse(&a, &b, Backend::Neon).unwrap().image;
+    let swt_img =
+        wavefuse_core::baseline::swt_fusion(&a, &b, FilterBank::cdf_9_7().unwrap(), 3).unwrap();
+    let q_dtcwt = petrovic_qabf(&a, &b, &dtcwt_img);
+    let q_swt = petrovic_qabf(&a, &b, &swt_img);
+    assert!((q_dtcwt - q_swt).abs() < 0.08, "{q_dtcwt} vs {q_swt}");
+
+    let swt = Swt2d::new(FilterBank::near_sym_b().unwrap(), 3).unwrap();
+    let swt_macs = swt.forward_macs(88, 72);
+    let plan = wavefuse_core::cost::TransformPlan::dtcwt(88, 72, 3).unwrap();
+    // ~1.8x the MACs at 3 levels — and the gap grows linearly with depth
+    // (the SWT has no geometric decay), plus 2.5x the memory footprint.
+    assert!(
+        swt_macs as f64 > 1.5 * plan.forward_macs() as f64,
+        "swt {} vs dt-cwt {}",
+        swt_macs,
+        plan.forward_macs()
+    );
+    let deep_swt = Swt2d::new(FilterBank::near_sym_b().unwrap(), 5)
+        .unwrap()
+        .forward_macs(88, 72);
+    let deep_plan = wavefuse_core::cost::TransformPlan::dtcwt(88, 72, 5).unwrap();
+    assert!(
+        deep_swt as f64 > 2.5 * deep_plan.forward_macs() as f64,
+        "the gap widens with depth: {} vs {}",
+        deep_swt,
+        deep_plan.forward_macs()
+    );
+}
+
+#[test]
+fn parallel_transform_is_a_drop_in_replacement() {
+    let (a, _) = scene_pair(88, 72);
+    let t = Dtcwt::new(3).unwrap();
+    let serial = t.forward(&a).unwrap();
+    let parallel = t
+        .forward_parallel(wavefuse_simd::SimdKernel::new, &a)
+        .unwrap();
+    for level in 0..3 {
+        for (x, y) in serial.subbands(level).iter().zip(parallel.subbands(level)) {
+            assert!(x.re.max_abs_diff(&y.re) < 1e-3);
+        }
+    }
+}

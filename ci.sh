@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint. No network access required —
+# the workspace has no external dependencies (see the comment in the root
+# Cargo.toml for re-enabling the optional `ext-tests` extras).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -31,10 +31,16 @@ fn bench_full_frame(c: &mut Criterion) {
                 Backend::Fpga => "fpga_sim",
                 Backend::Hybrid => "hybrid",
             };
-            group.bench_with_input(BenchmarkId::new(name, &label), &(a.clone(), b.clone()), |bch, (a, b)| {
-                let mut engine = FusionEngine::new(3).expect("engine");
-                bch.iter(|| black_box(engine.fuse(black_box(a), black_box(b), backend).unwrap()));
-            });
+            group.bench_with_input(
+                BenchmarkId::new(name, &label),
+                &(a.clone(), b.clone()),
+                |bch, (a, b)| {
+                    let mut engine = FusionEngine::new(3).expect("engine");
+                    bch.iter(|| {
+                        black_box(engine.fuse(black_box(a), black_box(b), backend).unwrap())
+                    });
+                },
+            );
         }
     }
     group.finish();

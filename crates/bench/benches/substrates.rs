@@ -14,7 +14,9 @@ use wavefuse_video::{bt656, PixelFormat, RawFrame};
 
 fn bench_bt656(c: &mut Criterion) {
     let mut group = c.benchmark_group("bt656");
-    let bytes: Vec<u8> = (0..720 * 243 * 2).map(|i| 1 + (i * 7 % 253) as u8).collect();
+    let bytes: Vec<u8> = (0..720 * 243 * 2)
+        .map(|i| 1 + (i * 7 % 253) as u8)
+        .collect();
     let frame = RawFrame::new(PixelFormat::Yuv422, 720, 243, bytes).expect("frame");
     let stream = bt656::encode(&frame);
     group.bench_function("encode_720x243", |b| {

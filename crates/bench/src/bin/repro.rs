@@ -3,22 +3,59 @@
 //! ```text
 //! cargo run -p wavefuse-bench --bin repro --release -- all
 //! cargo run -p wavefuse-bench --bin repro --release -- fig9a fig10
+//! cargo run -p wavefuse-bench --bin repro --release -- \
+//!     eval --trace out.trace.json --metrics out.prom
 //! ```
 //!
 //! Subcommands: `fig2`, `table1`, `fig9a`, `fig9b`, `fig9c`, `fig10`,
-//! `crossover`, `adaptive`, `ablation`, `quality`, `hybrid`, `levels`, `throughput`, `timeline`, `all`.
+//! `crossover`, `adaptive`, `ablation`, `quality`, `hybrid`, `levels`,
+//! `throughput`, `timeline`, `eval`, `all`.
+//!
+//! The `eval` subcommand runs an instrumented pipeline and exports its
+//! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
+//! or `chrome://tracing`), `--metrics <path>` writes a Prometheus text
+//! exposition, `--jsonl <path>` writes the raw events as JSON Lines, and
+//! `--frames <n>` sets the run length (default 20).
 
 use std::process::ExitCode;
 
 use wavefuse_bench::experiments::{self, Quantity};
 use wavefuse_bench::report;
+use wavefuse_trace::export;
+
+const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|eval|all]... \
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>]";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|all]..."
-        );
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Split `--option value` pairs from subcommand words.
+    let mut args: Vec<String> = Vec::new();
+    let mut options: Vec<(String, String)> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "help" {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            let Some(value) = it.next() else {
+                eprintln!("option --{name} needs a value\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            options.push((name.to_string(), value.clone()));
+        } else {
+            args.push(a.clone());
+        }
+    }
+    let opt = |name: &str| {
+        options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    };
+    if args.is_empty() || args.iter().any(|a| a == "-h") {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -100,7 +137,9 @@ fn main() -> ExitCode {
         if wants("timeline") {
             use wavefuse_zynq::{timeline, ZynqConfig};
             let cfg = ZynqConfig::default();
-            println!("## PS/PL activity, five 88-sample rows through the double-buffered path (Fig. 5)");
+            println!(
+                "## PS/PL activity, five 88-sample rows through the double-buffered path (Fig. 5)"
+            );
             let events = timeline::double_buffer_timeline(5, 88, &cfg);
             println!("{}", timeline::render_ascii(&events, 100));
         }
@@ -108,6 +147,34 @@ fn main() -> ExitCode {
             eprintln!("running fusion-quality comparison...");
             let rows = experiments::quality_comparison(88, 72)?;
             println!("{}", report::render_quality(&rows));
+        }
+        if wants("eval") {
+            let frames: usize = match opt("frames").as_deref() {
+                Some(v) => v.parse().map_err(|_| format!("bad --frames '{v}'"))?,
+                None => 20,
+            };
+            eprintln!("running instrumented evaluation ({frames} frames)...");
+            let eval = experiments::telemetry_eval(frames)?;
+            println!("{}", report::render_telemetry(&eval));
+            if let Some(path) = opt("trace") {
+                std::fs::write(&path, export::chrome_trace(eval.telemetry.tracer()))?;
+                eprintln!("wrote Chrome trace to {path} (load in Perfetto)");
+            }
+            if let Some(path) = opt("metrics") {
+                std::fs::write(&path, export::prometheus_text(eval.telemetry.metrics()))?;
+                eprintln!("wrote Prometheus metrics to {path}");
+            }
+            if let Some(path) = opt("jsonl") {
+                std::fs::write(&path, export::jsonl(eval.telemetry.tracer()))?;
+                eprintln!("wrote JSONL events to {path}");
+            }
+            if eval.max_phase_error > 0.01 {
+                return Err(format!(
+                    "trace/stats phase disagreement {:.3}% exceeds 1%",
+                    eval.max_phase_error * 100.0
+                )
+                .into());
+            }
         }
         Ok(())
     };

@@ -5,7 +5,7 @@
 //! the real kernels (the FPGA times come from the cycle-level simulator's
 //! ledger) — and returns the series the corresponding paper artifact plots.
 
-use serde::Serialize;
+use wavefuse_trace::{JsonValue, ToJson};
 
 use wavefuse_core::adaptive::{AdaptiveScheduler, Objective, Policy};
 use wavefuse_core::baseline::{average_fusion, dwt_fusion, laplacian_fusion, swt_fusion};
@@ -13,7 +13,7 @@ use wavefuse_core::cost::{CostModel, Direction, TransformPlan};
 use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
 use wavefuse_core::profile::profile_fusion;
 use wavefuse_core::rules::{FusionRule, LowpassRule};
-use wavefuse_core::{Backend, FusionEngine, FusionError};
+use wavefuse_core::{Backend, BackendCounts, FusionEngine, FusionError};
 use wavefuse_dtcwt::{FilterBank, Image};
 use wavefuse_video::scene::ScenePair;
 use wavefuse_zynq::bus::gp_port_ps_cycles;
@@ -25,7 +25,7 @@ use crate::paper::{FRAMES_PER_RUN, LEVELS, PAPER_SIZES};
 pub const SCENE_SEED: u64 = 2016;
 
 /// One run of the evaluation matrix: a frame size crossed with a backend.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MatrixEntry {
     /// Frame geometry.
     pub size: (usize, usize),
@@ -88,7 +88,7 @@ pub enum Quantity {
 }
 
 /// One per-size row of a Fig. 9/10 series: the three modes' values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesRow {
     /// Frame geometry.
     pub size: (usize, usize),
@@ -148,7 +148,7 @@ pub fn fig2_profile() -> Result<Vec<(String, f64)>, FusionError> {
 }
 
 /// One Table I row: resource, used, available, percent.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResourceRow {
     /// Resource name.
     pub resource: String,
@@ -182,7 +182,7 @@ pub fn table1_resources(taps: usize) -> Vec<ResourceRow> {
 }
 
 /// Crossover ("breaking point") analysis.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CrossoverReport {
     /// Smallest square edge where the FPGA's forward phase beats NEON's.
     pub forward_edge: Option<usize>,
@@ -217,7 +217,7 @@ pub fn crossover_report() -> Result<CrossoverReport, FusionError> {
 }
 
 /// Result of running one backend policy over the mixed-size workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyOutcome {
     /// Policy label.
     pub policy: String,
@@ -225,8 +225,8 @@ pub struct PolicyOutcome {
     pub total_s: f64,
     /// Total modeled energy, millijoules.
     pub energy_mj: f64,
-    /// Frames per backend (`[ARM, NEON, FPGA, Hybrid]`).
-    pub backend_usage: [u64; 4],
+    /// Frames per backend, indexable by [`Backend`].
+    pub backend_usage: BackendCounts,
 }
 
 /// The adaptive-execution experiment (the paper's §VIII future work): a
@@ -273,7 +273,7 @@ pub fn adaptive_comparison() -> Result<Vec<PolicyOutcome>, FusionError> {
         let mut sched = policy.map(|p| AdaptiveScheduler::new(p, LEVELS));
         let mut total_s = 0.0;
         let mut energy = 0.0;
-        let mut usage = [0u64; 4];
+        let mut usage = BackendCounts::new();
         for (i, &(w, h)) in sizes.iter().enumerate() {
             let t = i as f64 / 30.0;
             let a = scene.render_visible(w, h, t);
@@ -289,7 +289,7 @@ pub fn adaptive_comparison() -> Result<Vec<PolicyOutcome>, FusionError> {
             }
             total_s += out.timing.total_seconds();
             energy += out.energy_mj;
-            usage[backend.index()] += 1;
+            usage[backend] += 1;
         }
         outcomes.push(PolicyOutcome {
             policy: label,
@@ -303,7 +303,7 @@ pub fn adaptive_comparison() -> Result<Vec<PolicyOutcome>, FusionError> {
 
 /// One ablation row: a design choice toggled, with resulting ten-frame
 /// 88x72 forward-phase time.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Configuration label.
     pub configuration: String,
@@ -371,7 +371,7 @@ pub fn ablation_report() -> Result<Vec<AblationRow>, FusionError> {
 }
 
 /// One row of the decomposition-level sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LevelsRow {
     /// Decomposition depth.
     pub levels: usize,
@@ -426,7 +426,7 @@ pub fn levels_sweep() -> Result<Vec<LevelsRow>, FusionError> {
 
 /// One row of the hybrid-backend study: per-frame time at a size, for the
 /// two pure accelerators and the per-row-routed hybrid.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HybridRow {
     /// Frame geometry.
     pub size: (usize, usize),
@@ -476,7 +476,7 @@ pub fn hybrid_comparison() -> Result<Vec<HybridRow>, FusionError> {
 }
 
 /// One row of the throughput report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Frame geometry.
     pub size: (usize, usize),
@@ -510,7 +510,7 @@ pub fn throughput_report() -> Result<Vec<ThroughputRow>, FusionError> {
 }
 
 /// Fusion-quality comparison row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QualityRow {
     /// Method label.
     pub method: String,
@@ -576,6 +576,192 @@ pub fn quality_comparison(w: usize, h: usize) -> Result<Vec<QualityRow>, FusionE
     ])
 }
 
+/// Outcome of the instrumented evaluation run: the telemetry handle (for
+/// exporting), the pipeline's own statistics, and the cross-check between
+/// the two — summed per-phase span durations from the trace against the
+/// engine's accumulated [`PhaseTiming`](wavefuse_core::engine::PhaseTiming).
+#[derive(Debug)]
+pub struct TelemetryEval {
+    /// The telemetry attached to the run (trace + metrics, ready to export).
+    pub telemetry: std::sync::Arc<wavefuse_trace::Telemetry>,
+    /// Pipeline statistics accumulated by the run itself.
+    pub stats: wavefuse_core::pipeline::PipelineStats,
+    /// `(phase, trace seconds, stats seconds)` per phase, in timeline order.
+    pub phase_check: Vec<(String, f64, f64)>,
+    /// Largest relative disagreement between trace and stats over the phases.
+    pub max_phase_error: f64,
+}
+
+/// Runs an instrumented pipeline (online-adaptive at the paper's 88x72,
+/// with a bursty thermal source so the frame gate drops fields) and
+/// cross-checks the emitted trace against the pipeline's statistics.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
+    let telemetry = wavefuse_trace::Telemetry::shared();
+    let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: LEVELS,
+        backend: BackendChoice::Adaptive(Box::new(AdaptiveScheduler::new(
+            Policy::Online(Objective::Time),
+            LEVELS,
+        ))),
+        scene_seed: SCENE_SEED,
+    })?;
+    pipe.set_telemetry(std::sync::Arc::clone(&telemetry));
+    for i in 0..frames.max(1) {
+        // Every fourth step the thermal camera races ahead by one field,
+        // exercising the gate-drop path.
+        pipe.step_with_burst(if i % 4 == 3 { 2 } else { 1 })?;
+    }
+    let stats = pipe.stats();
+
+    let events = telemetry.tracer().events();
+    let mut phase_check = Vec::new();
+    let mut max_phase_error: f64 = 0.0;
+    for (phase, stat_s) in stats.timing.phases() {
+        let trace_s: f64 = events
+            .iter()
+            .filter(|e| e.category == "phase" && e.name == phase)
+            .map(|e| e.model_dur_s)
+            .sum();
+        let err = (trace_s - stat_s).abs() / stat_s.max(1e-12);
+        max_phase_error = max_phase_error.max(err);
+        phase_check.push((phase.to_string(), trace_s, stat_s));
+    }
+    Ok(TelemetryEval {
+        telemetry,
+        stats,
+        phase_check,
+        max_phase_error,
+    })
+}
+
+/// Builds a JSON object from field pairs (report-row serialization).
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+impl ToJson for MatrixEntry {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("size", self.size.to_json()),
+            ("backend", self.backend.to_json()),
+            ("forward_s", self.forward_s.to_json()),
+            ("fusion_s", self.fusion_s.to_json()),
+            ("inverse_s", self.inverse_s.to_json()),
+            ("total_s", self.total_s.to_json()),
+            ("energy_mj", self.energy_mj.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SeriesRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("size", self.size.to_json()),
+            ("arm", self.arm.to_json()),
+            ("neon", self.neon.to_json()),
+            ("fpga", self.fpga.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ResourceRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("resource", self.resource.to_json()),
+            ("used", self.used.to_json()),
+            ("available", self.available.to_json()),
+            ("percent", self.percent.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CrossoverReport {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("forward_edge", self.forward_edge.to_json()),
+            ("inverse_edge", self.inverse_edge.to_json()),
+            ("total_edge", self.total_edge.to_json()),
+            ("energy_edge", self.energy_edge.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PolicyOutcome {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("policy", self.policy.to_json()),
+            ("total_s", self.total_s.to_json()),
+            ("energy_mj", self.energy_mj.to_json()),
+            (
+                "backend_usage",
+                self.backend_usage.as_array().as_slice().to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("configuration", self.configuration.to_json()),
+            ("forward_s", self.forward_s.to_json()),
+            ("slowdown", self.slowdown.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LevelsRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("levels", self.levels.to_json()),
+            ("arm_s", self.arm_s.to_json()),
+            ("neon_s", self.neon_s.to_json()),
+            ("fpga_s", self.fpga_s.to_json()),
+            ("hybrid_s", self.hybrid_s.to_json()),
+            ("ll_dims", self.ll_dims.to_json()),
+        ])
+    }
+}
+
+impl ToJson for HybridRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("size", self.size.to_json()),
+            ("neon_s", self.neon_s.to_json()),
+            ("fpga_s", self.fpga_s.to_json()),
+            ("hybrid_s", self.hybrid_s.to_json()),
+            ("rows_simd", self.rows_simd.to_json()),
+            ("rows_fpga", self.rows_fpga.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ThroughputRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("size", self.size.to_json()),
+            ("fps", self.fps.as_slice().to_json()),
+        ])
+    }
+}
+
+impl ToJson for QualityRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("method", self.method.to_json()),
+            ("entropy", self.entropy.to_json()),
+            ("spatial_frequency", self.spatial_frequency.to_json()),
+            ("qabf", self.qabf.to_json()),
+            ("mutual_information", self.mutual_information.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,7 +805,10 @@ mod tests {
         assert!(adaptive <= fpga + 1e-9, "{adaptive} vs fpga {fpga}");
         // And it genuinely mixes both accelerators.
         let usage = get("adaptive (model, time)").backend_usage;
-        assert!(usage[1] > 0 && usage[2] > 0, "usage {usage:?}");
+        assert!(
+            usage[Backend::Neon] > 0 && usage[Backend::Fpga] > 0,
+            "usage {usage:?}"
+        );
     }
 
     #[test]
@@ -643,7 +832,10 @@ mod tests {
         }
         let d12 = rows[1].arm_s - rows[0].arm_s;
         let d45 = rows[4].arm_s - rows[3].arm_s;
-        assert!(d45 < 0.5 * d12, "marginal level cost must decay: {d12} vs {d45}");
+        assert!(
+            d45 < 0.5 * d12,
+            "marginal level cost must decay: {d12} vs {d45}"
+        );
         // The LL band shrinks by half per level.
         assert_eq!(rows[0].ll_dims, (44, 36));
         assert_eq!(rows[2].ll_dims, (11, 9));
@@ -655,7 +847,11 @@ mod tests {
         // At the paper's 88x72 full frames, the FPGA sustains ~11 fps and
         // the hybrid slightly more; ARM manages ~6.
         let full = rows.last().unwrap();
-        assert!(full.fps[0] > 3.0 && full.fps[0] < 10.0, "ARM {}", full.fps[0]);
+        assert!(
+            full.fps[0] > 3.0 && full.fps[0] < 10.0,
+            "ARM {}",
+            full.fps[0]
+        );
         assert!(full.fps[2] > full.fps[1], "FPGA beats NEON at 88x72");
         assert!(full.fps[3] >= full.fps[2], "hybrid at least matches FPGA");
         // Small frames run far faster than large ones everywhere.

@@ -58,7 +58,10 @@ mod tests {
     fn constants_are_internally_consistent() {
         // Energy saving ≈ 1 - (1 - total saving) * (1 + power increment).
         let implied = 1.0 - (1.0 - TOTAL_FPGA_ENHANCEMENT) * 1.036;
-        assert!((implied - ENERGY_FPGA_SAVING).abs() < 0.03, "implied {implied}");
+        assert!(
+            (implied - ENERGY_FPGA_SAVING).abs() < 0.03,
+            "implied {implied}"
+        );
         assert_eq!(PAPER_SIZES.len(), 5);
         assert!(FWD_CROSSOVER_EDGES.0 < FWD_CROSSOVER_EDGES.1);
     }

@@ -4,6 +4,7 @@ use crate::experiments::{
     AblationRow, CrossoverReport, HybridRow, LevelsRow, PolicyOutcome, QualityRow, ResourceRow,
     SeriesRow, ThroughputRow,
 };
+use wavefuse_core::Backend;
 
 /// Renders a Fig. 9/10-style series table with per-size mode ratios.
 pub fn render_series(title: &str, unit: &str, rows: &[SeriesRow]) -> String {
@@ -103,11 +104,49 @@ pub fn render_adaptive(outcomes: &[PolicyOutcome]) -> String {
             o.policy,
             o.total_s,
             o.energy_mj,
-            o.backend_usage[0],
-            o.backend_usage[1],
-            o.backend_usage[2]
+            o.backend_usage[Backend::Arm],
+            o.backend_usage[Backend::Neon],
+            o.backend_usage[Backend::Fpga]
         ));
     }
+    out
+}
+
+/// Renders the telemetry self-check: trace-derived per-phase time against
+/// the pipeline's own accumulators, plus counter/statistic agreement.
+pub fn render_telemetry(eval: &crate::experiments::TelemetryEval) -> String {
+    let mut out = String::new();
+    out.push_str("## Telemetry self-check (trace vs pipeline statistics)\n");
+    out.push_str(&format!(
+        "{:>10} | {:>12} {:>12} | {:>9}\n",
+        "phase", "trace (s)", "stats (s)", "error"
+    ));
+    out.push_str(&"-".repeat(52));
+    out.push('\n');
+    for (phase, trace_s, stat_s) in &eval.phase_check {
+        let err = (trace_s - stat_s).abs() / stat_s.max(1e-12);
+        out.push_str(&format!(
+            "{phase:>10} | {trace_s:>12.6} {stat_s:>12.6} | {:>8.4}%\n",
+            err * 100.0
+        ));
+    }
+    let s = &eval.stats;
+    out.push_str(&format!(
+        "frames {} | backend use ARM/NEON/FPGA/hybrid {}/{}/{}/{} | gate drops {}\n",
+        s.frames,
+        s.backend_usage[Backend::Arm],
+        s.backend_usage[Backend::Neon],
+        s.backend_usage[Backend::Fpga],
+        s.backend_usage[Backend::Hybrid],
+        s.gate_drops,
+    ));
+    out.push_str(&format!(
+        "energy {:.2} mJ | trace events {} (dropped {}) | max phase error {:.4}%\n",
+        s.energy_mj,
+        eval.telemetry.tracer().len(),
+        eval.telemetry.tracer().dropped(),
+        eval.max_phase_error * 100.0,
+    ));
     out
 }
 

@@ -19,8 +19,11 @@
 //!   refreshed by an exponential moving average of observations.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::backend::Backend;
+use wavefuse_trace::Telemetry;
+
+use crate::backend::{Backend, BackendCounts};
 use crate::cost::{CostModel, TransformPlan};
 use crate::rules::FusionRule;
 use crate::FusionError;
@@ -74,9 +77,10 @@ pub struct AdaptiveScheduler {
     /// and backend, for the online policy.
     observations: HashMap<(usize, usize), [Option<f64>; 4]>,
     /// Decisions made per backend (for reports).
-    decisions: [u64; 4],
+    decisions: BackendCounts,
     /// Backends the scheduler chooses among.
     candidates: Vec<Backend>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Smoothing factor of the online EMA (weight of the newest observation).
@@ -98,8 +102,35 @@ impl AdaptiveScheduler {
             cost: CostModel::calibrated(),
             power: PowerModel::zc702(),
             observations: HashMap::new(),
-            decisions: [0; 4],
+            decisions: BackendCounts::new(),
             candidates: DEFAULT_CANDIDATES.to_vec(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry handle: every decision emits a
+    /// `scheduler_decision` event and a per-backend counter, and every
+    /// online observation a `scheduler_observe` event carrying the
+    /// predicted-vs-observed error.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_scheduler_decisions_total",
+            "Backend selections made by the adaptive scheduler",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_scheduler_prediction_error",
+            "Relative error of the cost model vs observed frame cost",
+        );
+        self.telemetry = Some(telemetry);
+    }
+
+    fn policy_label(&self) -> &'static str {
+        match self.policy {
+            Policy::Threshold { .. } => "threshold",
+            Policy::Model(Objective::Time) => "model_time",
+            Policy::Model(Objective::Energy) => "model_energy",
+            Policy::Online(Objective::Time) => "online_time",
+            Policy::Online(Objective::Energy) => "online_energy",
         }
     }
 
@@ -121,9 +152,8 @@ impl AdaptiveScheduler {
         self.policy
     }
 
-    /// How many times each backend has been chosen
-    /// (`[ARM, NEON, FPGA, Hybrid]`).
-    pub fn decision_counts(&self) -> [u64; 4] {
+    /// How many times each backend has been chosen.
+    pub fn decision_counts(&self) -> BackendCounts {
         self.decisions
     }
 
@@ -170,7 +200,24 @@ impl AdaptiveScheduler {
                 }
             }
         };
-        self.decisions[Self::index(backend)] += 1;
+        self.decisions[backend] += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter_add(
+                "wavefuse_scheduler_decisions_total",
+                &[("backend", backend.label())],
+                1.0,
+            );
+            tel.tracer().instant(
+                "scheduler_decision",
+                "scheduler",
+                vec![
+                    ("backend".into(), backend.label().into()),
+                    ("policy".into(), self.policy_label().into()),
+                    ("width".into(), width.into()),
+                    ("height".into(), height.into()),
+                ],
+            );
+        }
         Ok(backend)
     }
 
@@ -185,6 +232,35 @@ impl AdaptiveScheduler {
         seconds: f64,
         energy_mj: f64,
     ) {
+        if let Some(tel) = &self.telemetry {
+            // Predicted-vs-observed: useful feedback under every policy, so
+            // emit it before the online-only bookkeeping below.
+            let mut attrs = vec![
+                ("backend".into(), backend.label().into()),
+                ("width".into(), width.into()),
+                ("height".into(), height.into()),
+                ("observed_s".into(), seconds.into()),
+                ("observed_mj".into(), energy_mj.into()),
+            ];
+            if let Ok(pred_s) = self.predicted_cost(width, height, backend, Objective::Time) {
+                let err = if seconds > 0.0 {
+                    (pred_s - seconds).abs() / seconds
+                } else {
+                    0.0
+                };
+                attrs.push(("predicted_s".into(), pred_s.into()));
+                attrs.push(("error_ratio".into(), err.into()));
+                tel.metrics().observe_log2(
+                    "wavefuse_scheduler_prediction_error",
+                    &[("backend", backend.label())],
+                    err,
+                    1e-4,
+                    16,
+                );
+            }
+            tel.tracer()
+                .instant("scheduler_observe", "scheduler", attrs);
+        }
         let Policy::Online(objective) = self.policy else {
             return;
         };
@@ -192,8 +268,10 @@ impl AdaptiveScheduler {
             Objective::Time => seconds,
             Objective::Energy => energy_mj,
         };
-        let slot = &mut self.observations.entry((width, height)).or_insert([None; 4])
-            [Self::index(backend)];
+        let slot = &mut self
+            .observations
+            .entry((width, height))
+            .or_insert([None; 4])[Self::index(backend)];
         *slot = Some(match *slot {
             None => value,
             Some(prev) => prev * (1.0 - EMA_ALPHA) + value * EMA_ALPHA,
@@ -300,7 +378,10 @@ mod tests {
         // strictly more power).
         let s = AdaptiveScheduler::new(Policy::Model(Objective::Time), 3);
         let t = s.crossover_edge(Objective::Time, 24, 96).unwrap().unwrap();
-        let e = s.crossover_edge(Objective::Energy, 24, 96).unwrap().unwrap();
+        let e = s
+            .crossover_edge(Objective::Energy, 24, 96)
+            .unwrap()
+            .unwrap();
         assert!(e >= t, "energy crossover {e} vs time crossover {t}");
     }
 
@@ -343,8 +424,11 @@ mod tests {
 
     #[test]
     fn hybrid_candidate_wins_everywhere_under_the_model() {
-        let mut s = AdaptiveScheduler::new(Policy::Model(Objective::Time), 3)
-            .with_candidates(&[Backend::Neon, Backend::Fpga, Backend::Hybrid]);
+        let mut s = AdaptiveScheduler::new(Policy::Model(Objective::Time), 3).with_candidates(&[
+            Backend::Neon,
+            Backend::Fpga,
+            Backend::Hybrid,
+        ]);
         for (w, h) in [(32, 24), (40, 40), (88, 72)] {
             assert_eq!(s.choose(w, h).unwrap(), Backend::Hybrid, "{w}x{h}");
         }

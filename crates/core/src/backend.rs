@@ -23,16 +23,16 @@ pub enum Backend {
 }
 
 impl Backend {
+    /// Number of backends ([`Backend::ALL_EXTENDED`]'s length) — the size
+    /// of per-backend accounting arrays.
+    pub const COUNT: usize = 4;
+
     /// The paper's three reporting configurations (Figs. 9–10).
     pub const ALL: [Backend; 3] = [Backend::Arm, Backend::Neon, Backend::Fpga];
 
     /// All backends including the hybrid extension.
-    pub const ALL_EXTENDED: [Backend; 4] = [
-        Backend::Arm,
-        Backend::Neon,
-        Backend::Fpga,
-        Backend::Hybrid,
-    ];
+    pub const ALL_EXTENDED: [Backend; 4] =
+        [Backend::Arm, Backend::Neon, Backend::Fpga, Backend::Hybrid];
 
     /// The platform power-model mode this backend runs in.
     ///
@@ -72,6 +72,62 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// A per-backend tally, indexed by [`Backend`] instead of by position, so
+/// the `[ARM, NEON, FPGA, Hybrid]` ordering cannot silently drift from
+/// [`Backend::index`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendCounts([u64; Backend::COUNT]);
+
+impl BackendCounts {
+    /// All-zero tally.
+    pub fn new() -> Self {
+        BackendCounts::default()
+    }
+
+    /// `(backend, count)` pairs in [`Backend::ALL_EXTENDED`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Backend, u64)> + '_ {
+        Backend::ALL_EXTENDED
+            .into_iter()
+            .map(|b| (b, self.0[b.index()]))
+    }
+
+    /// Sum over all backends.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The raw array, in [`Backend::ALL_EXTENDED`] order.
+    pub fn as_array(&self) -> [u64; Backend::COUNT] {
+        self.0
+    }
+}
+
+impl std::ops::Index<Backend> for BackendCounts {
+    type Output = u64;
+
+    fn index(&self, b: Backend) -> &u64 {
+        &self.0[b.index()]
+    }
+}
+
+impl std::ops::IndexMut<Backend> for BackendCounts {
+    fn index_mut(&mut self, b: Backend) -> &mut u64 {
+        &mut self.0[b.index()]
+    }
+}
+
+impl PartialEq<[u64; Backend::COUNT]> for BackendCounts {
+    fn eq(&self, other: &[u64; Backend::COUNT]) -> bool {
+        self.0 == *other
+    }
+}
+
+impl From<BackendCounts> for [u64; Backend::COUNT] {
+    fn from(c: BackendCounts) -> Self {
+        c.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,11 +146,24 @@ mod tests {
 
     #[test]
     fn indices_are_dense_and_distinct() {
-        let mut seen = [false; 4];
+        let mut seen = [false; Backend::COUNT];
         for b in Backend::ALL_EXTENDED {
             assert!(!seen[b.index()]);
             seen[b.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn backend_counts_index_by_backend() {
+        let mut c = BackendCounts::new();
+        c[Backend::Neon] += 2;
+        c[Backend::Fpga] += 1;
+        assert_eq!(c[Backend::Neon], 2);
+        assert_eq!(c, [0, 2, 1, 0]);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.as_array(), [0, 2, 1, 0]);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs[1], (Backend::Neon, 2));
     }
 }

@@ -51,10 +51,11 @@ pub fn dwt_fusion(
         let da = pa.detail(level);
         let db = pb.detail(level);
         let df = fused.detail_mut(level);
-        for (out, (ia, ib)) in [&mut df.lh, &mut df.hl, &mut df.hh]
-            .into_iter()
-            .zip([(&da.lh, &db.lh), (&da.hl, &db.hl), (&da.hh, &db.hh)])
-        {
+        for (out, (ia, ib)) in [&mut df.lh, &mut df.hl, &mut df.hh].into_iter().zip([
+            (&da.lh, &db.lh),
+            (&da.hl, &db.hl),
+            (&da.hh, &db.hh),
+        ]) {
             let (w, h) = ia.dims();
             *out = Image::from_fn(w, h, |x, y| {
                 let (va, vb) = (ia.get(x, y), ib.get(x, y));
@@ -116,8 +117,9 @@ pub fn swt_fusion(
         df.dd = max_abs(&da.dd, &db.dd);
     }
     let (w, h) = pa.approx().dims();
-    *fused.approx_mut() =
-        Image::from_fn(w, h, |x, y| 0.5 * (pa.approx().get(x, y) + pb.approx().get(x, y)));
+    *fused.approx_mut() = Image::from_fn(w, h, |x, y| {
+        0.5 * (pa.approx().get(x, y) + pb.approx().get(x, y))
+    });
     Ok(swt.inverse(&fused)?)
 }
 
@@ -222,7 +224,11 @@ mod tests {
 
     fn inputs(w: usize, h: usize) -> (Image, Image) {
         (
-            Image::from_fn(w, h, |x, y| if (x / 4 + y / 4) % 2 == 0 { 0.9 } else { 0.1 }),
+            Image::from_fn(
+                w,
+                h,
+                |x, y| if (x / 4 + y / 4) % 2 == 0 { 0.9 } else { 0.1 },
+            ),
             Image::from_fn(w, h, |x, y| ((x + 2 * y) % 16) as f32 / 15.0),
         )
     }

@@ -332,8 +332,7 @@ impl CostModel {
             + self.zynq.pipeline_flush_pl_cycles
             + op.iterations as u64
             + acp_burst_pl_cycles(op.words_out, &self.zynq);
-        (overhead + 6 * self.zynq.axil_write_ps_cycles) as f64 * ps_t
-            + copy_s.max(pl as f64 * pl_t)
+        (overhead + 6 * self.zynq.axil_write_ps_cycles) as f64 * ps_t + copy_s.max(pl as f64 * pl_t)
     }
 
     /// Seconds for one transform on the hybrid backend: each row runs on
@@ -460,9 +459,15 @@ mod tests {
         let m = CostModel::calibrated();
         let plan = TransformPlan::dtcwt(88, 72, 3).unwrap();
         let fwd10 = 20.0 * m.arm_seconds(&plan, Direction::Forward);
-        assert!((0.6..1.1).contains(&fwd10), "10-frame ARM forward {fwd10} s");
+        assert!(
+            (0.6..1.1).contains(&fwd10),
+            "10-frame ARM forward {fwd10} s"
+        );
         let inv10 = 10.0 * m.arm_seconds(&plan, Direction::Inverse);
-        assert!((0.45..0.9).contains(&inv10), "10-frame ARM inverse {inv10} s");
+        assert!(
+            (0.45..0.9).contains(&inv10),
+            "10-frame ARM inverse {inv10} s"
+        );
     }
 
     #[test]
@@ -504,8 +509,7 @@ mod tests {
         let m = CostModel::calibrated();
         let plan = TransformPlan::dtcwt(32, 24, 3).unwrap();
         let t = m.fpga_seconds(&plan, Direction::Forward);
-        let overhead = plan.forward_calls() as f64
-            * m.zynq.call_overhead_ps_cycles_forward as f64
+        let overhead = plan.forward_calls() as f64 * m.zynq.call_overhead_ps_cycles_forward as f64
             / m.zynq.ps_clk_hz;
         assert!(overhead / t > 0.7, "overhead fraction {:.2}", overhead / t);
     }

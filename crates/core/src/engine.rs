@@ -1,8 +1,11 @@
 //! The fusion engine: decompose → fuse → reconstruct on a chosen backend.
 
+use std::sync::Arc;
+
 use wavefuse_dtcwt::{Dtcwt, FilterKernel, Image, ScalarKernel};
 use wavefuse_power::PowerModel;
 use wavefuse_simd::SimdKernel;
+use wavefuse_trace::Telemetry;
 use wavefuse_zynq::FpgaKernel;
 
 use crate::backend::Backend;
@@ -71,6 +74,23 @@ pub struct FusionEngine {
     simd: SimdKernel,
     fpga: FpgaKernel,
     hybrid: HybridKernel,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// The four phase names, in timeline order, as they appear in span
+/// categories and the `phase` metric label.
+pub const PHASE_NAMES: [&str; 4] = ["forward", "fusion", "inverse", "overhead"];
+
+impl PhaseTiming {
+    /// `(phase name, seconds)` pairs in [`PHASE_NAMES`] order.
+    pub fn phases(&self) -> [(&'static str, f64); 4] {
+        [
+            ("forward", self.forward_s),
+            ("fusion", self.fusion_s),
+            ("inverse", self.inverse_s),
+            ("overhead", self.overhead_s),
+        ]
+    }
 }
 
 impl FusionEngine {
@@ -109,7 +129,31 @@ impl FusionEngine {
             simd: SimdKernel::new(),
             fpga: FpgaKernel::new(),
             hybrid: HybridKernel::new(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry handle: every subsequent [`FusionEngine::fuse`]
+    /// emits per-phase spans on the modeled clock, phase-latency histograms
+    /// and energy counters. The handle is propagated to the FPGA kernels
+    /// (pure and hybrid) for DMA/cycle accounting.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_phase_seconds",
+            "Modeled per-phase latency of one fused frame, seconds",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_energy_millijoules_total",
+            "Modeled energy spent fusing frames, millijoules",
+        );
+        self.fpga.set_telemetry(Arc::clone(&telemetry));
+        self.hybrid.set_telemetry(Arc::clone(&telemetry));
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Decomposition depth.
@@ -215,6 +259,39 @@ impl FusionEngine {
         let energy_mj = self
             .power
             .energy_mj(backend.execution_mode(), timing.total_seconds());
+        if let Some(tel) = &self.telemetry {
+            // Lay the four phases out sequentially on the modeled clock
+            // (they are sequential on the platform: Fig. 2), then advance
+            // it by the frame total — so phase spans tile the enclosing
+            // frame span exactly and their durations sum to PhaseTiming.
+            let tracer = tel.tracer();
+            let mut t = tracer.model_now();
+            for (phase, dur) in timing.phases() {
+                tracer.complete_span(
+                    phase,
+                    "phase",
+                    t,
+                    dur,
+                    vec![
+                        ("backend".into(), backend.label().into()),
+                        ("width".into(), w.into()),
+                        ("height".into(), h.into()),
+                    ],
+                );
+                t += dur;
+                tel.metrics().observe(
+                    "wavefuse_phase_seconds",
+                    &[("phase", phase), ("backend", backend.label())],
+                    dur,
+                );
+            }
+            tracer.advance_model(timing.total_seconds());
+            tel.metrics().counter_add(
+                "wavefuse_energy_millijoules_total",
+                &[("backend", backend.label())],
+                energy_mj,
+            );
+        }
         Ok(FusionOutput {
             image,
             timing,
@@ -358,10 +435,25 @@ mod tests {
         // At the paper's full frame size: FPGA < NEON < ARM total time.
         let (a, b) = inputs(88, 72);
         let mut eng = FusionEngine::new(3).unwrap();
-        let t_arm = eng.fuse(&a, &b, Backend::Arm).unwrap().timing.total_seconds();
-        let t_neon = eng.fuse(&a, &b, Backend::Neon).unwrap().timing.total_seconds();
-        let t_fpga = eng.fuse(&a, &b, Backend::Fpga).unwrap().timing.total_seconds();
-        assert!(t_fpga < t_neon && t_neon < t_arm, "{t_fpga} {t_neon} {t_arm}");
+        let t_arm = eng
+            .fuse(&a, &b, Backend::Arm)
+            .unwrap()
+            .timing
+            .total_seconds();
+        let t_neon = eng
+            .fuse(&a, &b, Backend::Neon)
+            .unwrap()
+            .timing
+            .total_seconds();
+        let t_fpga = eng
+            .fuse(&a, &b, Backend::Fpga)
+            .unwrap()
+            .timing
+            .total_seconds();
+        assert!(
+            t_fpga < t_neon && t_neon < t_arm,
+            "{t_fpga} {t_neon} {t_arm}"
+        );
     }
 
     #[test]
@@ -373,7 +465,11 @@ mod tests {
         let err = (measured.forward_s - predicted.forward_s).abs() / measured.forward_s;
         assert!(err < 0.05, "forward prediction off by {:.1}%", err * 100.0);
         let err_i = (measured.inverse_s - predicted.inverse_s).abs() / measured.inverse_s;
-        assert!(err_i < 0.05, "inverse prediction off by {:.1}%", err_i * 100.0);
+        assert!(
+            err_i < 0.05,
+            "inverse prediction off by {:.1}%",
+            err_i * 100.0
+        );
     }
 
     #[test]

@@ -84,6 +84,12 @@ impl HybridKernel {
         self.threshold
     }
 
+    /// Attaches a telemetry handle to the wrapped FPGA kernel (and its
+    /// driver model) for DMA/cycle accounting of the FPGA-routed rows.
+    pub fn set_telemetry(&mut self, telemetry: std::sync::Arc<wavefuse_trace::Telemetry>) {
+        self.fpga.set_telemetry(telemetry);
+    }
+
     /// Total modeled elapsed seconds since the last reset (FPGA ledger plus
     /// modeled SIMD time).
     pub fn elapsed_seconds(&self) -> f64 {
@@ -260,6 +266,9 @@ mod tests {
         let _ = t.forward_with(&mut k, &img).unwrap();
         let measured = k.elapsed_seconds();
         let err = (analytic - measured).abs() / measured;
-        assert!(err < 0.06, "analytic {analytic:.6} vs measured {measured:.6}");
+        assert!(
+            err < 0.06,
+            "analytic {analytic:.6} vs measured {measured:.6}"
+        );
     }
 }

@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
-pub mod baseline;
 pub mod backend;
+pub mod baseline;
 pub mod cost;
 pub mod engine;
 pub mod governor;
@@ -50,7 +50,7 @@ pub mod rules;
 
 mod error;
 
-pub use backend::Backend;
+pub use backend::{Backend, BackendCounts};
 pub use engine::{FusionEngine, FusionOutput};
 pub use error::FusionError;
 pub use rules::{FusionRule, LowpassRule};

@@ -6,13 +6,16 @@
 //! paper's output FIFO), then fused frame by frame on a fixed or
 //! adaptively chosen backend, accumulating modeled time and energy.
 
+use std::sync::Arc;
+
+use wavefuse_trace::Telemetry;
 use wavefuse_video::camera::{ThermalCamera, WebCamera};
 use wavefuse_video::fifo::FrameGate;
 use wavefuse_video::scene::ScenePair;
 use wavefuse_video::Frame;
 
 use crate::adaptive::AdaptiveScheduler;
-use crate::backend::Backend;
+use crate::backend::{Backend, BackendCounts};
 use crate::engine::{FusionEngine, FusionOutput, PhaseTiming};
 use crate::FusionError;
 
@@ -60,8 +63,8 @@ pub struct PipelineStats {
     pub timing: PhaseTiming,
     /// Accumulated modeled energy, millijoules.
     pub energy_mj: f64,
-    /// Frames executed per backend (`[ARM, NEON, FPGA, Hybrid]`).
-    pub backend_usage: [u64; 4],
+    /// Frames executed per backend, indexable by [`Backend`].
+    pub backend_usage: BackendCounts,
     /// Thermal frames dropped at the frame gate.
     pub gate_drops: u64,
 }
@@ -87,6 +90,7 @@ pub struct VideoFusionPipeline {
     gate: FrameGate<Frame>,
     backend: BackendChoice,
     stats: PipelineStats,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl VideoFusionPipeline {
@@ -106,7 +110,44 @@ impl VideoFusionPipeline {
             gate: FrameGate::new(),
             backend: config.backend,
             stats: PipelineStats::default(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry handle to the pipeline and every component
+    /// beneath it (engine, accelerator kernels, adaptive scheduler).
+    ///
+    /// Each [`step`](Self::step) then records a `frame` span on the modeled
+    /// timeline (enclosing the engine's per-phase spans), per-backend frame
+    /// counters, a frame-latency histogram, gate-drop counters, and energy
+    /// totals.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_frames_total",
+            "Fused frames produced, by executing backend",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_gate_drops_total",
+            "Thermal fields dropped at the depth-1 frame gate",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_frame_seconds",
+            "Modeled end-to-end latency per fused frame, seconds",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_pipeline_energy_millijoules",
+            "Accumulated modeled energy over the pipeline run",
+        );
+        self.engine.set_telemetry(Arc::clone(&telemetry));
+        if let BackendChoice::Adaptive(s) = &mut self.backend {
+            s.set_telemetry(Arc::clone(&telemetry));
+        }
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Captures one frame pair and fuses it.
@@ -143,18 +184,58 @@ impl VideoFusionPipeline {
             BackendChoice::Fixed(b) => *b,
             BackendChoice::Adaptive(s) => s.choose(w, h)?,
         };
-        let out = self
-            .engine
-            .fuse(visible.image(), thermal.image(), backend)?;
+        let out = {
+            // The frame span stays open across `fuse`, so the engine's
+            // per-phase spans nest under it and its modeled duration is
+            // exactly the clock advance (= the frame's PhaseTiming total).
+            let _frame = self.telemetry.as_ref().map(|tel| {
+                let mut span = tel.tracer().span("frame", "pipeline");
+                span.attr("frame", self.stats.frames)
+                    .attr("backend", backend.label())
+                    .attr("width", w)
+                    .attr("height", h);
+                span
+            });
+            self.engine
+                .fuse(visible.image(), thermal.image(), backend)?
+        };
         if let BackendChoice::Adaptive(s) = &mut self.backend {
             s.observe(w, h, backend, out.timing.total_seconds(), out.energy_mj);
         }
 
+        let drops_before = self.stats.gate_drops;
         self.stats.frames += 1;
         self.stats.timing.accumulate(&out.timing);
         self.stats.energy_mj += out.energy_mj;
-        self.stats.backend_usage[backend.index()] += 1;
+        self.stats.backend_usage[backend] += 1;
         self.stats.gate_drops = self.gate.dropped();
+        if let Some(tel) = &self.telemetry {
+            let m = tel.metrics();
+            m.counter_add(
+                "wavefuse_frames_total",
+                &[("backend", backend.label())],
+                1.0,
+            );
+            m.observe(
+                "wavefuse_frame_seconds",
+                &[("backend", backend.label())],
+                out.timing.total_seconds(),
+            );
+            m.gauge_set(
+                "wavefuse_pipeline_energy_millijoules",
+                &[],
+                self.stats.energy_mj,
+            );
+            let dropped_now = self.stats.gate_drops - drops_before;
+            if dropped_now > 0 {
+                m.counter_add("wavefuse_gate_drops_total", &[], dropped_now as f64);
+                tel.tracer().instant(
+                    "gate_drop",
+                    "pipeline",
+                    vec![("dropped".into(), dropped_now.into())],
+                );
+            }
+        }
         Ok(out)
     }
 
@@ -230,7 +311,11 @@ mod tests {
         })
         .unwrap();
         big.run(2).unwrap();
-        assert_eq!(big.stats().backend_usage[2], 2, "large frames -> FPGA");
+        assert_eq!(
+            big.stats().backend_usage[Backend::Fpga],
+            2,
+            "large frames -> FPGA"
+        );
 
         let mut small = VideoFusionPipeline::new(PipelineConfig {
             frame_size: (32, 24),
@@ -243,7 +328,11 @@ mod tests {
         })
         .unwrap();
         small.run(2).unwrap();
-        assert_eq!(small.stats().backend_usage[1], 2, "small frames -> NEON");
+        assert_eq!(
+            small.stats().backend_usage[Backend::Neon],
+            2,
+            "small frames -> NEON"
+        );
     }
 
     #[test]

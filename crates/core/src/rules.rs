@@ -170,8 +170,7 @@ pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> Com
                         }
                     } else {
                         // Sources agree: salience-weighted blend.
-                        let w_max =
-                            0.5 + 0.5 * (1.0 - m) / (1.0 - match_threshold).max(1e-6);
+                        let w_max = 0.5 + 0.5 * (1.0 - m) / (1.0 - match_threshold).max(1e-6);
                         let w_min = 1.0 - w_max;
                         if a_stronger {
                             (w_max, w_min)
@@ -221,8 +220,7 @@ fn local_cross_energy(a: &ComplexImage, b: &ComplexImage, radius: usize) -> Imag
             for dx in -r..=r {
                 let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
                 let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                acc += a.re.get(sx, sy) * b.re.get(sx, sy)
-                    + a.im.get(sx, sy) * b.im.get(sx, sy);
+                acc += a.re.get(sx, sy) * b.re.get(sx, sy) + a.im.get(sx, sy) * b.im.get(sx, sy);
             }
         }
         acc
@@ -294,7 +292,12 @@ mod tests {
     #[test]
     fn weighted_half_is_average() {
         let (pa, pb) = pyramids();
-        let f = fuse_pyramids(&pa, &pb, FusionRule::Weighted { alpha: 0.5 }, LowpassRule::Average);
+        let f = fuse_pyramids(
+            &pa,
+            &pb,
+            FusionRule::Weighted { alpha: 0.5 },
+            LowpassRule::Average,
+        );
         let s = f.subbands(0)[0].re.get(3, 3);
         let expect = 0.5 * (pa.subbands(0)[0].re.get(3, 3) + pb.subbands(0)[0].re.get(3, 3));
         assert!((s - expect).abs() < 1e-6);

@@ -120,7 +120,11 @@ mod tests {
     fn clean_image(n: usize) -> Image {
         Image::from_fn(n, n, |x, y| {
             0.5 + 0.4 * ((x as f32 * 0.2).sin() * (y as f32 * 0.15).cos())
-                + if (x / 12 + y / 12) % 2 == 0 { 0.1 } else { -0.1 }
+                + if (x / 12 + y / 12) % 2 == 0 {
+                    0.1
+                } else {
+                    -0.1
+                }
         })
     }
 

@@ -57,11 +57,7 @@ pub fn daubechies(n: usize) -> Result<Vec<f64>, DtcwtError> {
     }
 
     // Binomial half-band remainder: Q(y) = sum_{k=0}^{n-1} C(n-1+k, k) y^k.
-    let q = Polynomial::new(
-        (0..n)
-            .map(|k| binomial(n - 1 + k, k))
-            .collect::<Vec<f64>>(),
-    );
+    let q = Polynomial::new((0..n).map(|k| binomial(n - 1 + k, k)).collect::<Vec<f64>>());
 
     // Map each root y of Q to the z-plane zero inside the unit circle via
     // y = (2 - z - z^{-1}) / 4  =>  z^2 - (2 - 4y) z + 1 = 0.
@@ -120,25 +116,23 @@ fn binomial(n: usize, k: usize) -> f64 {
 /// * [`DtcwtError::Numerics`] if the design system is singular.
 pub fn design_dual_lowpass(h0: &[f64], dual_len: usize) -> Result<Vec<f64>, DtcwtError> {
     let lh = h0.len();
-    if lh % 2 == 0 || dual_len % 2 == 0 {
+    if lh.is_multiple_of(2) || dual_len.is_multiple_of(2) {
         return Err(DtcwtError::InvalidFilterBank(
             "dual design requires odd-length symmetric filters".into(),
         ));
     }
-    if (lh + dual_len) % 4 != 0 {
+    if !(lh + dual_len).is_multiple_of(4) {
         return Err(DtcwtError::InvalidFilterBank(format!(
             "h0 length {lh} plus dual length {dual_len} must be a multiple of 4"
         )));
     }
     for i in 0..lh / 2 {
         if (h0[i] - h0[lh - 1 - i]).abs() > 1e-9 * h0[i].abs().max(1.0) {
-            return Err(DtcwtError::InvalidFilterBank(
-                "h0 is not symmetric".into(),
-            ));
+            return Err(DtcwtError::InvalidFilterBank("h0 is not symmetric".into()));
         }
     }
 
-    let m = (dual_len + 1) / 2; // free symmetric coefficients g[0..m], center at m-1
+    let m = dual_len.div_ceil(2); // free symmetric coefficients g[0..m], center at m-1
     let center = (lh + dual_len) / 2 - 1; // half-band center lag (odd)
     let k_max = (lh + dual_len - 2 - center) / 2;
 

@@ -628,12 +628,9 @@ mod tests {
             .map(|s| Image::from_fn(6, 4, |x, y| (s * 100 + y * 6 + x) as f32 * 0.1))
             .collect();
         let (z1, z2) = quad_to_complex([&imgs[0], &imgs[1], &imgs[2], &imgs[3]]);
-        for ci in 0..4 {
+        for (ci, img) in imgs.iter().enumerate() {
             let back = complex_to_quad_member(&z1, &z2, ci);
-            assert!(
-                back.max_abs_diff(&imgs[ci]) < 1e-5,
-                "combo {ci} not recovered"
-            );
+            assert!(back.max_abs_diff(img) < 1e-5, "combo {ci} not recovered");
         }
     }
 
@@ -698,12 +695,8 @@ mod tests {
         let n = 64;
         // Wave vector along (1, 1): crests along the -45° direction...
         // what matters here is that the two diagonal gratings separate.
-        let grating_pos = Image::from_fn(n, n, |x, y| {
-            ((x as f32 + y as f32) * 0.9).sin()
-        });
-        let grating_neg = Image::from_fn(n, n, |x, y| {
-            ((x as f32 - y as f32) * 0.9).sin()
-        });
+        let grating_pos = Image::from_fn(n, n, |x, y| ((x as f32 + y as f32) * 0.9).sin());
+        let grating_neg = Image::from_fn(n, n, |x, y| ((x as f32 - y as f32) * 0.9).sin());
         let t = Dtcwt::new(2).unwrap();
         let e = |img: &Image, o: Orientation| -> f64 {
             let pyr = t.forward(img).unwrap();

@@ -116,7 +116,7 @@ pub fn analyze(
     x: &[f32],
     phase: Phase,
 ) -> Result<(Vec<f32>, Vec<f32>), DtcwtError> {
-    if x.is_empty() || x.len() % 2 != 0 {
+    if x.is_empty() || !x.len().is_multiple_of(2) {
         return Err(DtcwtError::BadDimensions {
             width: x.len(),
             height: 1,
@@ -192,11 +192,16 @@ mod tests {
     use crate::kernel::ScalarKernel;
 
     fn ramp(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i * 7919) % 64) as f32 / 8.0 - 3.5).collect()
+        (0..n)
+            .map(|i| ((i * 7919) % 64) as f32 / 8.0 - 3.5)
+            .collect()
     }
 
     fn max_err(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     fn roundtrip(bank: &FilterBank, n: usize, phase: Phase) -> f32 {

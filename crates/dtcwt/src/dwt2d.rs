@@ -380,8 +380,7 @@ mod tests {
 
     fn test_image(w: usize, h: usize) -> Image {
         Image::from_fn(w, h, |x, y| {
-            ((x as f32 * 0.7).sin() + (y as f32 * 0.4).cos()) * 10.0
-                + ((x * y) % 13) as f32 * 0.3
+            ((x as f32 * 0.7).sin() + (y as f32 * 0.4).cos()) * 10.0 + ((x * y) % 13) as f32 * 0.3
         })
     }
 

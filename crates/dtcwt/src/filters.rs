@@ -95,7 +95,7 @@ impl FilterBank {
                 "{name}: empty lowpass filter"
             )));
         }
-        if (h0.len() + g0.len()) % 2 != 0 {
+        if !(h0.len() + g0.len()).is_multiple_of(2) {
             return Err(DtcwtError::InvalidFilterBank(format!(
                 "{name}: filter lengths must have equal parity"
             )));
@@ -162,10 +162,7 @@ impl FilterBank {
     ///
     /// See [`crate::design::daubechies`].
     pub fn daubechies(n: usize) -> Result<Self, DtcwtError> {
-        FilterBank::orthonormal_from_lowpass(
-            format!("db{n}"),
-            crate::design::daubechies(n)?,
-        )
+        FilterBank::orthonormal_from_lowpass(format!("db{n}"), crate::design::daubechies(n)?)
     }
 
     /// The LeGall 5/3 biorthogonal bank (JPEG 2000 lossless).
@@ -384,8 +381,16 @@ mod tests {
         ] {
             let lo = magnitude_response(bank.h0(), 64).unwrap();
             let hi = magnitude_response(bank.h1(), 64).unwrap();
-            assert!(lo[0] > 1.3 && lo[63] < 0.1, "{} h0 not lowpass", bank.name());
-            assert!(hi[0] < 0.1 && hi[63] > 1.3, "{} h1 not highpass", bank.name());
+            assert!(
+                lo[0] > 1.3 && lo[63] < 0.1,
+                "{} h0 not lowpass",
+                bank.name()
+            );
+            assert!(
+                hi[0] < 0.1 && hi[63] > 1.3,
+                "{} h1 not highpass",
+                bank.name()
+            );
         }
     }
 
@@ -401,17 +406,11 @@ mod tests {
     #[test]
     fn invalid_pair_rejected() {
         // A random non-PR pair must fail validation.
-        let err = FilterBank::from_lowpass_pair(
-            "bogus",
-            vec![0.3, 0.4, 0.5],
-            vec![0.2, 0.9, 0.1],
-        )
-        .unwrap_err();
+        let err = FilterBank::from_lowpass_pair("bogus", vec![0.3, 0.4, 0.5], vec![0.2, 0.9, 0.1])
+            .unwrap_err();
         assert!(matches!(err, DtcwtError::InvalidFilterBank(_)));
         assert!(FilterBank::from_lowpass_pair("empty", vec![], vec![1.0]).is_err());
-        assert!(
-            FilterBank::from_lowpass_pair("parity", vec![1.0, 0.0], vec![1.0]).is_err()
-        );
+        assert!(FilterBank::from_lowpass_pair("parity", vec![1.0, 0.0], vec![1.0]).is_err());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub trait FilterKernel {
     ///
     /// Semantics: `lo[k] = Σ_j h0[j] · x[(2k + phase − j) mod n]`, and the
     /// same for `hi` with `h1`.
+    #[allow(clippy::too_many_arguments)]
     fn analyze_row(
         &mut self,
         ext: &[f32],

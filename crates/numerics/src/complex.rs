@@ -194,6 +194,8 @@ impl Mul<f64> for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Division by the reciprocal is the standard numerically-stable form.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_orthonormal_haar() {
-        let h = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+        let h = [
+            std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ];
         let r = autocorrelation_even_lags(&h);
         assert_eq!(r.len(), 1);
         assert!((r[0] - 1.0).abs() < 1e-15);

@@ -74,7 +74,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -278,12 +282,8 @@ mod tests {
 
     #[test]
     fn solve_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(expect) {

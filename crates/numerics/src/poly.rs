@@ -148,10 +148,7 @@ impl Polynomial {
         };
 
         // Cauchy bound on root magnitude guides the initial ring radius.
-        let bound = 1.0
-            + monic[..n]
-                .iter()
-                .fold(0.0f64, |m, c| m.max(c.abs()));
+        let bound = 1.0 + monic[..n].iter().fold(0.0f64, |m, c| m.max(c.abs()));
 
         // Standard Durand–Kerner start: points on a ring with an irrational
         // angle offset so no starting point is a root of unity symmetry axis.

@@ -5,6 +5,10 @@
 //! time of Fig. 9b. [`PowerRecorder`] reproduces that pipeline: timestamped
 //! samples, trapezoidal integration to energy, and mean-power reporting.
 
+use std::sync::Arc;
+
+use wavefuse_trace::Telemetry;
+
 /// One timestamped power sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSample {
@@ -29,15 +33,38 @@ pub struct PowerSample {
 /// assert!((rec.energy_joules() - 1.1).abs() < 1e-12);
 /// assert!((rec.mean_power_w() - 0.55).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct PowerRecorder {
     samples: Vec<PowerSample>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Equality compares the recorded samples; an attached telemetry handle is
+/// an observer, not part of the recording.
+impl PartialEq for PowerRecorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl PowerRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         PowerRecorder::default()
+    }
+
+    /// Attaches a telemetry handle: every sample emits a `power_sample`
+    /// event and updates the `wavefuse_power_watts` gauge.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_power_watts",
+            "Most recent board power sample, watts",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_power_samples_total",
+            "Power samples logged by the recorder",
+        );
+        self.telemetry = Some(telemetry);
     }
 
     /// Appends one sample.
@@ -51,6 +78,19 @@ impl PowerRecorder {
             assert!(t >= last.t, "samples must be time-ordered");
         }
         self.samples.push(PowerSample { t, watts });
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().gauge_set("wavefuse_power_watts", &[], watts);
+            tel.metrics()
+                .counter_add("wavefuse_power_samples_total", &[], 1.0);
+            // Sample timestamps are recorder-relative model time, so the
+            // event can sit directly on the modeled timeline.
+            tel.tracer().instant_at(
+                "power_sample",
+                "power",
+                t,
+                vec![("watts".into(), watts.into())],
+            );
+        }
     }
 
     /// Records a constant-power phase of `duration` seconds at `sample_hz`,

@@ -39,7 +39,7 @@ fn polyphase_reversed(taps: &[f32], even: &mut Vec<f32>, odd: &mut Vec<f32>) {
 }
 
 fn simd_dot(window: &[f32], taps4: &[f32]) -> f32 {
-    debug_assert!(taps4.len() % 4 == 0);
+    debug_assert!(taps4.len().is_multiple_of(4));
     debug_assert!(window.len() >= taps4.len());
     let mut acc = F32x4::ZERO;
     for (w, t) in window.chunks_exact(4).zip(taps4.chunks_exact(4)) {
@@ -166,7 +166,7 @@ impl AutoVecKernel {
 
     #[inline(always)]
     fn unrolled_dot(window: &[f32], taps4: &[f32]) -> f32 {
-        debug_assert!(taps4.len() % 4 == 0);
+        debug_assert!(taps4.len().is_multiple_of(4));
         let mut acc = [0.0f32; 4];
         for (w, t) in window.chunks_exact(4).zip(taps4.chunks_exact(4)) {
             acc[0] += w[0] * t[0];
@@ -322,11 +322,7 @@ mod tests {
         let p_scalar = t.forward_with(&mut ScalarKernel::new(), &img).unwrap();
         let p_simd = t.forward_with(&mut SimdKernel::new(), &img).unwrap();
         for level in 0..3 {
-            for (a, b) in p_scalar
-                .subbands(level)
-                .iter()
-                .zip(p_simd.subbands(level))
-            {
+            for (a, b) in p_scalar.subbands(level).iter().zip(p_simd.subbands(level)) {
                 assert!(a.re.max_abs_diff(&b.re) < 1e-3);
                 assert!(a.im.max_abs_diff(&b.im) < 1e-3);
             }

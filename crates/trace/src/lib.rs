@@ -1,0 +1,54 @@
+//! # wavefuse-trace — zero-dependency observability
+//!
+//! The paper's whole argument rests on *measuring* per-phase time and
+//! energy per backend (Figs. 8–10, Table I). This crate gives the rest of
+//! the workspace that same instrumentation discipline as a first-class
+//! subsystem, with no external dependencies (the build environment is
+//! offline):
+//!
+//! * [`tracer::Tracer`] — a structured span/event tracer with a bounded
+//!   ring buffer, span attributes, per-thread span nesting, and **two
+//!   clocks**: the host's monotonic wall clock and the *modeled* platform
+//!   clock that the cost models and the cycle-level ZYNQ simulator advance.
+//! * [`metrics::MetricsRegistry`] — counters, gauges and log2-bucketed
+//!   histograms with label support (backend, phase, frame size).
+//! * [`export`] — three exporters: Prometheus text exposition,
+//!   JSON Lines, and the Chrome trace-event format (loadable in Perfetto
+//!   or `chrome://tracing`).
+//! * [`json`] — the hand-rolled JSON writer/parser the exporters (and the
+//!   bench harness) share.
+//!
+//! The [`Telemetry`] facade bundles a tracer and a registry behind one
+//! `Arc`-shareable handle that the pipeline, engine, scheduler, ZYNQ
+//! driver and power recorder all accept.
+//!
+//! # Examples
+//!
+//! ```
+//! use wavefuse_trace::Telemetry;
+//!
+//! let tel = Telemetry::shared();
+//! {
+//!     let _frame = tel.tracer().span("frame", "pipeline");
+//!     tel.tracer().advance_model(0.010); // the cost model says 10 ms
+//!     tel.metrics().counter_add("frames_total", &[("backend", "NEON")], 1.0);
+//! }
+//! let chrome = wavefuse_trace::export::chrome_trace(tel.tracer());
+//! assert!(chrome.contains("\"frame\""));
+//! let prom = wavefuse_trace::export::prometheus_text(tel.metrics());
+//! assert!(prom.contains("frames_total{backend=\"NEON\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+mod telemetry;
+pub mod tracer;
+
+pub use json::{JsonValue, ToJson};
+pub use metrics::{MetricValue, MetricsRegistry, SeriesKey};
+pub use telemetry::Telemetry;
+pub use tracer::{AttrValue, EventKind, SpanGuard, TraceEvent, Tracer};

@@ -1,0 +1,315 @@
+//! Counters, gauges and log2-bucketed histograms with labels.
+//!
+//! The registry is a flat map from `(name, sorted labels)` to a metric
+//! value, behind one mutex — the hot paths here are a few `HashMap`-free
+//! `BTreeMap` lookups per fused frame, far below the modeled work they
+//! measure. `BTreeMap` keeps the Prometheus exposition deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A metric series key: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name (Prometheus conventions: `wavefuse_frames_total`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Builds a key with the labels sorted.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramData {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts[bounds.len()]` is the
+    /// overflow (`+Inf`) bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramData {
+    /// Log2-spaced upper bounds: `min_bound * 2^i` for `i in 0..buckets`.
+    pub fn log2_bounds(min_bound: f64, buckets: usize) -> Vec<f64> {
+        (0..buckets as i32)
+            .map(|i| min_bound * f64::powi(2.0, i))
+            .collect()
+    }
+
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        HistogramData {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Index of the bucket `value` lands in (the first bound `>= value`,
+    /// or the overflow bucket).
+    pub fn bucket_index(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    fn observe(&mut self, value: f64) {
+        let i = self.bucket_index(value);
+        self.counts[i] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+/// A metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing.
+    Counter(f64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Log2-bucketed distribution.
+    Histogram(HistogramData),
+}
+
+/// Default histogram floor: 1 µs — per-phase latencies at the paper's
+/// smallest frames sit around tens of µs.
+pub const DEFAULT_HISTOGRAM_MIN: f64 = 1e-6;
+/// Default bucket count: 1 µs · 2^27 ≈ 134 s, covering whole-run totals.
+pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 28;
+
+/// The metrics registry.
+///
+/// # Examples
+///
+/// ```
+/// use wavefuse_trace::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.counter_add("wavefuse_frames_total", &[("backend", "NEON")], 1.0);
+/// m.gauge_set("wavefuse_power_watts", &[], 0.533);
+/// m.observe("wavefuse_frame_seconds", &[("backend", "NEON")], 0.012);
+/// assert_eq!(m.counter_value("wavefuse_frames_total", &[("backend", "NEON")]), 1.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<SeriesKey, MetricValue>>,
+    help: Mutex<BTreeMap<String, String>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers help text rendered as `# HELP` in the exposition.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("help map")
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Adds `v` to a counter series, creating it at zero first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let mut series = self.series.lock().expect("series map");
+        let entry = series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0.0));
+        match entry {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge series to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let mut series = self.series.lock().expect("series map");
+        let entry = series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(MetricValue::Gauge(0.0));
+        match entry {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Observes `v` into a histogram with the default log2 buckets
+    /// (1 µs · 2^i, 28 buckets).
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.observe_log2(
+            name,
+            labels,
+            v,
+            DEFAULT_HISTOGRAM_MIN,
+            DEFAULT_HISTOGRAM_BUCKETS,
+        );
+    }
+
+    /// Observes `v` into a histogram with log2 buckets starting at
+    /// `min_bound`. The bucket layout is fixed by the first observation
+    /// of each series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn observe_log2(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        min_bound: f64,
+        buckets: usize,
+    ) {
+        let mut series = self.series.lock().expect("series map");
+        let entry = series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| {
+                MetricValue::Histogram(HistogramData::new(HistogramData::log2_bounds(
+                    min_bound, buckets,
+                )))
+            });
+        match entry {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => panic!("{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of a counter (0 if the series does not exist).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self
+            .series
+            .lock()
+            .expect("series map")
+            .get(&SeriesKey::new(name, labels))
+        {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0.0,
+        }
+    }
+
+    /// Current value of a gauge (`None` if the series does not exist).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self
+            .series
+            .lock()
+            .expect("series map")
+            .get(&SeriesKey::new(name, labels))
+        {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramData> {
+        match self
+            .series
+            .lock()
+            .expect("series map")
+            .get(&SeriesKey::new(name, labels))
+        {
+            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every series, sorted by key.
+    pub fn snapshot(&self) -> Vec<(SeriesKey, MetricValue)> {
+        self.series
+            .lock()
+            .expect("series map")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Registered help texts.
+    pub fn help_texts(&self) -> BTreeMap<String, String> {
+        self.help.lock().expect("help map").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.counter_add("f", &[("b", "neon")], 1.0);
+        m.counter_add("f", &[("b", "neon")], 2.0);
+        m.counter_add("f", &[("b", "fpga")], 5.0);
+        assert_eq!(m.counter_value("f", &[("b", "neon")]), 3.0);
+        assert_eq!(m.counter_value("f", &[("b", "fpga")]), 5.0);
+        assert_eq!(m.counter_value("f", &[]), 0.0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let m = MetricsRegistry::new();
+        m.counter_add("f", &[("a", "1"), ("b", "2")], 1.0);
+        m.counter_add("f", &[("b", "2"), ("a", "1")], 1.0);
+        assert_eq!(m.counter_value("f", &[("a", "1"), ("b", "2")]), 2.0);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        let bounds = HistogramData::log2_bounds(1e-6, 4);
+        assert_eq!(bounds, vec![1e-6, 2e-6, 4e-6, 8e-6]);
+        let h = HistogramData::new(bounds);
+        assert_eq!(h.bucket_index(1e-6), 0, "boundary value is inclusive");
+        assert_eq!(h.bucket_index(1.5e-6), 1);
+        assert_eq!(h.bucket_index(8e-6), 3);
+        assert_eq!(h.bucket_index(9e-6), 4, "overflow bucket");
+    }
+
+    #[test]
+    fn histogram_observations_accumulate() {
+        let m = MetricsRegistry::new();
+        for v in [0.5e-6, 3e-6, 1e3] {
+            m.observe_log2("lat", &[], v, 1e-6, 4);
+        }
+        let h = m.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts, vec![1, 0, 1, 0, 1]);
+        assert!((h.sum - (0.5e-6 + 3e-6 + 1e3)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("x", &[], 1.0);
+        m.counter_add("x", &[], 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The `Telemetry` facade: one handle bundling a tracer and a metrics
+//! registry, shared by every instrumented component.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::MetricsRegistry;
+use crate::tracer::Tracer;
+
+/// A tracer plus a metrics registry behind one handle.
+///
+/// Components accept `Arc<Telemetry>` via a `set_telemetry` method; the
+/// same handle threaded through the pipeline, engine, scheduler, ZYNQ
+/// driver and power recorder yields one coherent timeline and one metric
+/// namespace. Instance-based (not a process global) so concurrent
+/// pipelines — e.g. parallel tests — never share state by accident.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    detailed: AtomicBool,
+}
+
+impl Telemetry {
+    /// Creates a telemetry handle with the default ring-buffer capacity.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Creates a telemetry handle whose tracer keeps at most `capacity`
+    /// events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            tracer: Tracer::with_capacity(capacity),
+            metrics: MetricsRegistry::new(),
+            detailed: AtomicBool::new(false),
+        }
+    }
+
+    /// Convenience: a fresh handle already wrapped in an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Telemetry::new())
+    }
+
+    /// The span/event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Whether high-volume instrumentation (per-row FPGA spans) is on.
+    /// Defaults to off: a 512×512 frame runs thousands of row passes and
+    /// would flood the ring buffer.
+    pub fn detailed(&self) -> bool {
+        self.detailed.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables high-volume instrumentation.
+    pub fn set_detailed(&self, on: bool) {
+        self.detailed.store(on, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detailed_flag_defaults_off() {
+        let tel = Telemetry::new();
+        assert!(!tel.detailed());
+        tel.set_detailed(true);
+        assert!(tel.detailed());
+    }
+
+    #[test]
+    fn shared_handles_alias_one_registry() {
+        let tel = Telemetry::shared();
+        let other = Arc::clone(&tel);
+        other.metrics().counter_add("c", &[], 2.0);
+        assert_eq!(tel.metrics().counter_value("c", &[]), 2.0);
+    }
+}

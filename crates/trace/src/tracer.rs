@@ -1,0 +1,452 @@
+//! The structured span/event tracer.
+//!
+//! Two clocks run side by side:
+//!
+//! * the **wall clock** — host-monotonic microseconds since the tracer was
+//!   created ([`Tracer::now_wall_us`]); it measures how long this
+//!   *simulation* takes on the development machine;
+//! * the **modeled clock** — seconds of simulated platform time
+//!   ([`Tracer::model_now`]), advanced explicitly by the cost models and
+//!   the cycle-level ZYNQ ledger. All exported span placement uses the
+//!   modeled clock, so a Chrome trace of a run shows the paper's Fig. 2/5
+//!   timeline, not host noise.
+//!
+//! Events land in a bounded ring buffer: when full, the oldest events are
+//! evicted and counted in [`Tracer::dropped`] — tracing never grows
+//! without bound under a production frame rate.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A typed span/event attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// What kind of record an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (Chrome `ph:"X"`).
+    Span,
+    /// A point-in-time event (Chrome `ph:"i"`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Unique id within the tracer.
+    pub id: u64,
+    /// Enclosing span id on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Dense per-process thread id (not the OS tid).
+    pub tid: u64,
+    /// Event name (e.g. `"forward"`, `"frame"`, `"decision"`).
+    pub name: String,
+    /// Category (e.g. `"phase"`, `"pipeline"`, `"scheduler"`, `"dma"`).
+    pub category: String,
+    /// Wall-clock start, microseconds since tracer creation.
+    pub wall_start_us: f64,
+    /// Wall-clock duration in microseconds (0 for instants and for spans
+    /// recorded retroactively from modeled time).
+    pub wall_dur_us: f64,
+    /// Modeled-clock start, seconds.
+    pub model_start_s: f64,
+    /// Modeled-clock duration, seconds (0 for instants).
+    pub model_dur_s: f64,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// Global tracer-instance counter (to keep per-thread span stacks of
+/// distinct tracers from interleaving).
+static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
+/// Global dense thread-id counter.
+static THREAD_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of (tracer id, span id) for parent attribution.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// This thread's dense id.
+    static THREAD_ID: u64 = THREAD_IDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The bounded-buffer tracer. All methods take `&self`; the tracer is
+/// safe to share behind an `Arc` across pipeline threads.
+#[derive(Debug)]
+pub struct Tracer {
+    tracer_id: u64,
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    model_clock_s: Mutex<f64>,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Default ring capacity: enough for ~10k frames of pipeline-level spans.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracer holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            tracer_id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            model_clock_s: Mutex::new(0.0),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds of wall time since the tracer was created.
+    pub fn now_wall_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// The modeled platform clock, seconds.
+    pub fn model_now(&self) -> f64 {
+        *self.model_clock_s.lock().expect("model clock")
+    }
+
+    /// Advances the modeled clock by `dt` seconds, returning the time
+    /// *before* the advance (the natural span start).
+    pub fn advance_model(&self, dt: f64) -> f64 {
+        let mut clock = self.model_clock_s.lock().expect("model clock");
+        let start = *clock;
+        *clock += dt.max(0.0);
+        start
+    }
+
+    /// This thread's dense id.
+    pub fn thread_id(&self) -> u64 {
+        THREAD_ID.with(|id| *id)
+    }
+
+    /// Opens a wall-clock span; the returned guard records the span (with
+    /// both wall and modeled durations) when dropped. Nested spans on the
+    /// same thread get their parent attributed automatically.
+    pub fn span(&self, name: &str, category: &str) -> SpanGuard<'_> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id);
+            s.push((self.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            id,
+            parent,
+            name: name.to_string(),
+            category: category.to_string(),
+            wall_start_us: self.now_wall_us(),
+            model_start_s: self.model_now(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Records a complete span placed on the **modeled** timeline — how
+    /// the engine reports its per-phase times retroactively (the phases
+    /// are modeled, not host-measured). The parent is the innermost open
+    /// span on this thread.
+    pub fn complete_span(
+        &self,
+        name: &str,
+        category: &str,
+        model_start_s: f64,
+        model_dur_s: f64,
+        attrs: Vec<(String, AttrValue)>,
+    ) {
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id)
+        });
+        let event = TraceEvent {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            tid: self.thread_id(),
+            name: name.to_string(),
+            category: category.to_string(),
+            wall_start_us: self.now_wall_us(),
+            wall_dur_us: 0.0,
+            model_start_s,
+            model_dur_s,
+            kind: EventKind::Span,
+            attrs,
+        };
+        self.push(event);
+    }
+
+    /// Records an instant event at the current clocks.
+    pub fn instant(&self, name: &str, category: &str, attrs: Vec<(String, AttrValue)>) {
+        self.instant_at(name, category, self.model_now(), attrs);
+    }
+
+    /// Records an instant event at an explicit modeled timestamp (e.g. a
+    /// power sample whose recorder clock is already model-relative).
+    pub fn instant_at(
+        &self,
+        name: &str,
+        category: &str,
+        model_ts_s: f64,
+        attrs: Vec<(String, AttrValue)>,
+    ) {
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id)
+        });
+        let event = TraceEvent {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            tid: self.thread_id(),
+            name: name.to_string(),
+            category: category.to_string(),
+            wall_start_us: self.now_wall_us(),
+            wall_dur_us: 0.0,
+            model_start_s: model_ts_s,
+            model_dur_s: 0.0,
+            kind: EventKind::Instant,
+            attrs,
+        };
+        self.push(event);
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("event ring");
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("event ring")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event ring").len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// RAII guard for an open span; records the event on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    category: String,
+    wall_start_us: f64,
+    model_start_s: f64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches an attribute to the span.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) -> &mut Self {
+        self.attrs.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The span's id (usable as an explicit parent reference).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s
+                .iter()
+                .rposition(|&(t, id)| t == self.tracer.tracer_id && id == self.id)
+            {
+                s.remove(pos);
+            }
+        });
+        let event = TraceEvent {
+            id: self.id,
+            parent: self.parent,
+            tid: self.tracer.thread_id(),
+            name: std::mem::take(&mut self.name),
+            category: std::mem::take(&mut self.category),
+            wall_start_us: self.wall_start_us,
+            wall_dur_us: self.tracer.now_wall_us() - self.wall_start_us,
+            model_start_s: self.model_start_s,
+            model_dur_s: self.tracer.model_now() - self.model_start_s,
+            kind: EventKind::Span,
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        self.tracer.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("outer", "test");
+            let _inner = t.span("inner", "test");
+        }
+        let events = t.events();
+        // Inner closes (and records) first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent, Some(events[1].id));
+        assert_eq!(events[1].parent, None);
+    }
+
+    #[test]
+    fn complete_spans_attach_to_open_parent() {
+        let t = Tracer::new();
+        {
+            let _frame = t.span("frame", "pipeline");
+            t.complete_span("forward", "phase", 0.0, 0.5, Vec::new());
+        }
+        let events = t.events();
+        assert_eq!(events[0].name, "forward");
+        assert_eq!(events[0].parent, Some(events[1].id));
+    }
+
+    #[test]
+    fn model_clock_advances_and_spans_measure_it() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("frame", "pipeline");
+            assert_eq!(t.advance_model(0.25), 0.0);
+            t.advance_model(0.75);
+        }
+        assert!((t.model_now() - 1.0).abs() < 1e-12);
+        let e = &t.events()[0];
+        assert!((e.model_dur_s - 1.0).abs() < 1e-12);
+        assert_eq!(e.model_start_s, 0.0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10u64 {
+            t.instant(&format!("e{i}"), "test", Vec::new());
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.events()[0].name, "e6");
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_parents() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        let _sa = a.span("a", "test");
+        {
+            let _sb = b.span("b", "test");
+            b.instant("in_b", "test", Vec::new());
+        }
+        let eb = b.events();
+        assert_eq!(eb[0].name, "in_b");
+        assert_eq!(eb[0].parent, Some(eb[1].id), "parent is b's span, not a's");
+    }
+}

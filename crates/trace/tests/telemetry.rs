@@ -1,0 +1,134 @@
+//! Integration tests: concurrent span nesting and round-tripping the
+//! exporters through the hand-rolled JSON parser.
+
+use std::sync::Arc;
+use std::thread;
+
+use wavefuse_trace::{export, EventKind, JsonValue, Telemetry};
+
+#[test]
+fn concurrent_threads_keep_independent_span_stacks() {
+    let tel = Telemetry::shared();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let tel = Arc::clone(&tel);
+        handles.push(thread::spawn(move || {
+            for i in 0..8 {
+                let mut outer = tel.tracer().span("frame", "pipeline");
+                outer.attr("thread", t as u64);
+                outer.attr("frame", i as u64);
+                {
+                    let _inner = tel.tracer().span("phase", "engine");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let events = tel.tracer().events();
+    assert_eq!(events.len(), 4 * 8 * 2);
+    let mut tids = std::collections::BTreeSet::new();
+    for e in &events {
+        tids.insert(e.tid);
+        match e.name.as_str() {
+            "frame" => assert!(e.parent.is_none(), "frame spans are roots"),
+            "phase" => {
+                let parent = e.parent.expect("phase spans nest under a frame");
+                let frame = events
+                    .iter()
+                    .find(|f| f.id == parent)
+                    .expect("parent span is in the buffer");
+                assert_eq!(frame.name, "frame");
+                assert_eq!(
+                    frame.tid, e.tid,
+                    "a span never nests under another thread's span"
+                );
+            }
+            other => panic!("unexpected event {other}"),
+        }
+    }
+    assert_eq!(tids.len(), 4, "each thread gets its own dense tid");
+}
+
+#[test]
+fn chrome_trace_round_trips_through_own_parser() {
+    let tel = Telemetry::new();
+    {
+        let mut frame = tel.tracer().span("frame", "pipeline");
+        frame.attr("backend", "FPGA");
+        let start = tel.tracer().model_now();
+        tel.tracer().complete_span(
+            "forward",
+            "phase",
+            start,
+            0.004,
+            vec![("backend".into(), "FPGA".into())],
+        );
+        tel.tracer().advance_model(0.004);
+    }
+    tel.tracer().instant("gate_drop", "pipeline", Vec::new());
+
+    let doc = JsonValue::parse(&export::chrome_trace(tel.tracer())).expect("valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let phs: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
+        .collect();
+    assert!(phs.contains(&"M"), "metadata record present");
+    assert!(phs.contains(&"X"), "complete spans present");
+    assert!(phs.contains(&"i"), "instant events present");
+
+    let forward = events
+        .iter()
+        .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("forward"))
+        .unwrap();
+    assert_eq!(forward.get("dur").unwrap().as_f64(), Some(4_000.0));
+    assert!(
+        forward.get("args").unwrap().get("parent_id").is_some(),
+        "retroactive span is parented to the open frame span"
+    );
+}
+
+#[test]
+fn jsonl_carries_both_clocks() {
+    let tel = Telemetry::new();
+    {
+        let _s = tel.tracer().span("frame", "pipeline");
+        tel.tracer().advance_model(0.25);
+    }
+    let line = export::jsonl(tel.tracer());
+    let obj = JsonValue::parse(line.lines().next().unwrap()).unwrap();
+    assert_eq!(obj.get("kind").unwrap().as_str(), Some("span"));
+    assert_eq!(obj.get("model_dur_s").unwrap().as_f64(), Some(0.25));
+    assert!(obj.get("wall_dur_us").unwrap().as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn ring_buffer_reports_drops_in_chrome_export() {
+    let tel = Telemetry::with_capacity(4);
+    for i in 0..10 {
+        tel.tracer().instant(&format!("e{i}"), "test", Vec::new());
+    }
+    assert_eq!(tel.tracer().len(), 4);
+    assert_eq!(tel.tracer().dropped(), 6);
+    let doc = JsonValue::parse(&export::chrome_trace(tel.tracer())).unwrap();
+    assert_eq!(
+        doc.get("otherData")
+            .unwrap()
+            .get("dropped_events")
+            .unwrap()
+            .as_f64(),
+        Some(6.0)
+    );
+}
+
+#[test]
+fn instants_have_no_duration() {
+    let tel = Telemetry::new();
+    tel.tracer().instant("mark", "test", Vec::new());
+    let events = tel.tracer().events();
+    assert_eq!(events[0].kind, EventKind::Instant);
+    assert_eq!(events[0].model_dur_s, 0.0);
+}

@@ -80,7 +80,10 @@ pub fn encode(frame: &RawFrame) -> Vec<u8> {
         push_line(None, true);
     }
     for y in 0..h {
-        push_line(Some(&frame.bytes()[y * line_bytes..(y + 1) * line_bytes]), false);
+        push_line(
+            Some(&frame.bytes()[y * line_bytes..(y + 1) * line_bytes]),
+            false,
+        );
     }
     out
 }
@@ -310,7 +313,10 @@ mod tests {
         stream[pos + 3] = 0x81;
         assert!(matches!(
             decode(&stream, 8, 4),
-            Err(VideoError::Bt656Sync { reason: "protection bits failed", .. })
+            Err(VideoError::Bt656Sync {
+                reason: "protection bits failed",
+                ..
+            })
         ));
     }
 
@@ -321,8 +327,10 @@ mod tests {
         stream.truncate(stream.len() - 3); // cut into the last active line
         assert!(matches!(
             decode(&stream, 8, 4),
-            Err(VideoError::Bt656Sync { reason: "active line truncated", .. })
-                | Err(VideoError::Bt656LineCount { .. })
+            Err(VideoError::Bt656Sync {
+                reason: "active line truncated",
+                ..
+            }) | Err(VideoError::Bt656LineCount { .. })
         ));
     }
 
@@ -378,7 +386,10 @@ mod tests {
             "conceal-by-repeat at frame bottom"
         );
         // Surviving lines are intact (line 2 of the output is source line 3).
-        assert_eq!(&decoded.bytes()[2 * lb..3 * lb], &frame.bytes()[3 * lb..4 * lb]);
+        assert_eq!(
+            &decoded.bytes()[2 * lb..3 * lb],
+            &frame.bytes()[3 * lb..4 * lb]
+        );
         // The strict decoder would have refused this stream.
         assert!(decode(&stream, 8, 6).is_err());
     }

@@ -44,7 +44,10 @@ impl fmt::Display for VideoError {
                 write!(f, "bt656 stream error at byte {offset}: {reason}")
             }
             VideoError::Bt656LineCount { expected, actual } => {
-                write!(f, "bt656 stream held {actual} active lines, expected {expected}")
+                write!(
+                    f,
+                    "bt656 stream held {actual} active lines, expected {expected}"
+                )
             }
             VideoError::EmptyImage => write!(f, "empty image in video path"),
             VideoError::FifoFull => write!(f, "frame fifo full, frame dropped"),

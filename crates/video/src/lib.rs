@@ -34,9 +34,9 @@ pub mod bt656;
 pub mod camera;
 pub mod fifo;
 pub mod frame;
+pub mod pgm;
 pub mod register;
 pub mod scaler;
-pub mod pgm;
 pub mod scene;
 
 mod error;

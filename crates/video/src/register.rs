@@ -31,12 +31,7 @@ pub struct Translation {
 }
 
 /// 2-D FFT over a row-major complex buffer (rows then columns).
-fn fft2d(
-    data: &mut [Complex64],
-    w: usize,
-    h: usize,
-    dir: Direction,
-) -> Result<(), VideoError> {
+fn fft2d(data: &mut [Complex64], w: usize, h: usize, dir: Direction) -> Result<(), VideoError> {
     let mut row = vec![Complex64::ZERO; w];
     for y in 0..h {
         row.copy_from_slice(&data[y * w..(y + 1) * w]);

@@ -68,7 +68,7 @@ impl ScenePair {
             let mut v = 0.45 + 0.25 * (1.0 - y) + 0.08 * ((x * 40.0).sin() * (y * 31.0).cos());
             // Striped calibration board (visible only).
             if (0.08..0.30).contains(&x) && (0.15..0.45).contains(&y) {
-                v = if ((x - 0.08) * 50.0) as u64 % 2 == 0 {
+                v = if (((x - 0.08) * 50.0) as u64).is_multiple_of(2) {
                     0.9
                 } else {
                     0.15

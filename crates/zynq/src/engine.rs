@@ -140,9 +140,11 @@ impl WaveletEngine {
         fill_reversed_front_padded(&mut self.c_lp, h0);
         fill_reversed_front_padded(&mut self.c_hp, h1);
         self.loaded_analysis = Some((h0.to_vec(), h1.to_vec()));
-        let mut ps = self
-            .regs
-            .write(EngineReg::Mode, EngineMode::LoadCoefficients.encode(), &self.cfg);
+        let mut ps = self.regs.write(
+            EngineReg::Mode,
+            EngineMode::LoadCoefficients.encode(),
+            &self.cfg,
+        );
         // One register write per coefficient slot of both banks.
         ps += 2 * t as u64 * self.cfg.axil_write_ps_cycles;
         Ok(ps)
@@ -167,9 +169,11 @@ impl WaveletEngine {
         fill_polyphase(&mut self.s_lp_even, &mut self.s_lp_odd, g0);
         fill_polyphase(&mut self.s_hp_even, &mut self.s_hp_odd, g1);
         self.loaded_synthesis = Some((g0.to_vec(), g1.to_vec()));
-        let mut ps = self
-            .regs
-            .write(EngineReg::Mode, EngineMode::LoadCoefficients.encode(), &self.cfg);
+        let mut ps = self.regs.write(
+            EngineReg::Mode,
+            EngineMode::LoadCoefficients.encode(),
+            &self.cfg,
+        );
         ps += 2 * t as u64 * self.cfg.axil_write_ps_cycles;
         Ok(ps)
     }
@@ -379,7 +383,9 @@ mod tests {
     use wavefuse_dtcwt::{FilterBank, FilterKernel, ScalarKernel};
 
     fn signal(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i * i + 3) % 17) as f32 * 0.5 - 4.0).collect()
+        (0..n)
+            .map(|i| ((i * i + 3) % 17) as f32 * 0.5 - 4.0)
+            .collect()
     }
 
     #[test]
@@ -413,7 +419,8 @@ mod tests {
                 let mut eng = WaveletEngine::new(ZynqConfig::default());
                 eng.load_analysis_filters(&taps.h0, &taps.h1).unwrap();
                 let (mut lo, mut hi) = (vec![0.0f32; 20], vec![0.0f32; 20]);
-                eng.forward_row(&ext, left, phase, &mut lo, &mut hi).unwrap();
+                eng.forward_row(&ext, left, phase, &mut lo, &mut hi)
+                    .unwrap();
                 for i in 0..20 {
                     assert!(
                         (lo[i] - lo_ref[i]).abs() < 1e-4,
@@ -447,7 +454,8 @@ mod tests {
         let mut eng = WaveletEngine::new(ZynqConfig::default());
         eng.load_synthesis_filters(&taps.g0, &taps.g1).unwrap();
         let mut raw = vec![0.0f32; 32];
-        eng.inverse_row(&lo_ext, &hi_ext, left, 0, &mut raw).unwrap();
+        eng.inverse_row(&lo_ext, &hi_ext, left, 0, &mut raw)
+            .unwrap();
         // Compare against the scalar kernel's raw output.
         let mut sc_raw = vec![0.0f32; 32];
         sc.synthesize_row(&lo_ext, &hi_ext, left, &taps.g0, &taps.g1, 0, &mut sc_raw);

@@ -77,6 +77,8 @@ mod tests {
     fn error_is_send_sync_and_displays() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ZynqError>();
-        assert!(ZynqError::CoefficientsNotLoaded.to_string().contains("engine"));
+        assert!(ZynqError::CoefficientsNotLoaded
+            .to_string()
+            .contains("engine"));
     }
 }

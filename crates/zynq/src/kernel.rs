@@ -14,6 +14,8 @@
 //! elapsed time therefore charges `max(copy, engine)` per row plus the fixed
 //! overheads.
 
+use std::sync::Arc;
+
 use crate::bus::{EngineMode, EngineReg};
 use crate::config::ZynqConfig;
 use crate::driver::{IoctlRequest, WaveletDriver};
@@ -21,6 +23,7 @@ use crate::engine::WaveletEngine;
 use crate::ledger::CycleLedger;
 use crate::ZynqError;
 use wavefuse_dtcwt::FilterKernel;
+use wavefuse_trace::Telemetry;
 
 /// The FPGA-backed filter kernel with cycle accounting.
 ///
@@ -33,6 +36,7 @@ pub struct FpgaKernel {
     engine: WaveletEngine,
     driver: WaveletDriver,
     ledger: CycleLedger,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for FpgaKernel {
@@ -54,7 +58,37 @@ impl FpgaKernel {
             driver: WaveletDriver::open(cfg.clone()),
             ledger: CycleLedger::new(),
             cfg,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry handle (propagated to the driver model):
+    /// engine calls, DMA word volume and PS/PL cycles feed counters; with
+    /// [`Telemetry::set_detailed`] on, every row pass also emits a
+    /// `fpga_row` event on the modeled timeline.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.metrics().describe(
+            "wavefuse_fpga_engine_calls_total",
+            "Row passes executed by the PL wavelet engine",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_fpga_dma_words_total",
+            "Words moved over the ACP by the engine's hardware memcpy",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_fpga_pl_cycles_total",
+            "PL cycles spent in ACP bursts and the MAC pipeline",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_fpga_ps_cycles_total",
+            "PS cycles spent in driver overhead and user copies",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_fpga_coeff_loads_total",
+            "Filter-coefficient bank loads into the engine",
+        );
+        self.driver.set_telemetry(Arc::clone(&telemetry));
+        self.telemetry = Some(telemetry);
     }
 
     /// The platform configuration.
@@ -92,8 +126,36 @@ impl FpgaKernel {
         // slower of the two, plus the serial driver overhead.
         let copy_s = copy_ps as f64 * self.cfg.ps_period();
         let engine_s = pl as f64 * self.cfg.pl_period();
-        self.ledger.elapsed_seconds +=
-            overhead_ps as f64 * self.cfg.ps_period() + copy_s.max(engine_s);
+        let row_s = overhead_ps as f64 * self.cfg.ps_period() + copy_s.max(engine_s);
+        self.ledger.elapsed_seconds += row_s;
+        if let Some(tel) = &self.telemetry {
+            let m = tel.metrics();
+            m.counter_add("wavefuse_fpga_engine_calls_total", &[], 1.0);
+            m.counter_add("wavefuse_fpga_pl_cycles_total", &[], pl as f64);
+            m.counter_add(
+                "wavefuse_fpga_ps_cycles_total",
+                &[],
+                (overhead_ps + copy_ps) as f64,
+            );
+            if tel.detailed() {
+                // Rows tile the current transform: the tracer's model clock
+                // still points at the transform's start (the engine advances
+                // it only once per fused frame), so ledger elapsed-so-far is
+                // the row's offset within it.
+                let start = tel.tracer().model_now() + self.ledger.elapsed_seconds - row_s;
+                tel.tracer().complete_span(
+                    "fpga_row",
+                    "zynq",
+                    start,
+                    row_s,
+                    vec![
+                        ("pl_cycles".into(), pl.into()),
+                        ("copy_ps_cycles".into(), copy_ps.into()),
+                        ("overhead_ps_cycles".into(), overhead_ps.into()),
+                    ],
+                );
+            }
+        }
     }
 
     fn command_sequence(&mut self, mode: EngineMode, width: usize, phase: usize) -> u64 {
@@ -109,6 +171,7 @@ impl FpgaKernel {
         ps
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_forward(
         &mut self,
         ext: &[f32],
@@ -124,6 +187,10 @@ impl FpgaKernel {
             self.ledger.coeff_loads += 1;
             self.ledger.ps_overhead_cycles += ps;
             self.ledger.elapsed_seconds += ps as f64 * self.cfg.ps_period();
+            if let Some(tel) = &self.telemetry {
+                tel.metrics()
+                    .counter_add("wavefuse_fpga_coeff_loads_total", &[], 1.0);
+            }
         }
         // Driver round trip + command pokes.
         let mut overhead = self.cfg.call_overhead_ps_cycles_forward;
@@ -148,6 +215,13 @@ impl FpgaKernel {
             lo[k] = out[2 * k + 1];
         }
         self.ledger.dma_words += (run.words_in + run.words_out) as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter_add(
+                "wavefuse_fpga_dma_words_total",
+                &[("direction", "forward")],
+                (run.words_in + run.words_out) as f64,
+            );
+        }
         self.driver.ioctl(IoctlRequest::SwapBuffers)?;
         self.charge_row(overhead, copy_ps, run.pl_cycles);
         Ok(())
@@ -169,6 +243,10 @@ impl FpgaKernel {
             self.ledger.coeff_loads += 1;
             self.ledger.ps_overhead_cycles += ps;
             self.ledger.elapsed_seconds += ps as f64 * self.cfg.ps_period();
+            if let Some(tel) = &self.telemetry {
+                tel.metrics()
+                    .counter_add("wavefuse_fpga_coeff_loads_total", &[], 1.0);
+            }
         }
         let mut overhead = self.cfg.call_overhead_ps_cycles_inverse;
         overhead += self.command_sequence(EngineMode::Inverse, out.len(), phase);
@@ -191,6 +269,13 @@ impl FpgaKernel {
         copy_ps += self.driver.copy_to_user(&mut user_out)?;
         out.copy_from_slice(&user_out);
         self.ledger.dma_words += (run.words_in + run.words_out) as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter_add(
+                "wavefuse_fpga_dma_words_total",
+                &[("direction", "inverse")],
+                (run.words_in + run.words_out) as f64,
+            );
+        }
         self.driver.ioctl(IoctlRequest::SwapBuffers)?;
         self.charge_row(overhead, copy_ps, run.pl_cycles);
         Ok(())

@@ -35,11 +35,7 @@ pub struct TimelineEvent {
 /// Builds the steady-state schedule of `rows` forward rows of `words`
 /// samples each, under the Fig. 5 double-buffering discipline: the user
 /// copy of row *n* overlaps the engine run of row *n−1*.
-pub fn double_buffer_timeline(
-    rows: usize,
-    words: usize,
-    cfg: &ZynqConfig,
-) -> Vec<TimelineEvent> {
+pub fn double_buffer_timeline(rows: usize, words: usize, cfg: &ZynqConfig) -> Vec<TimelineEvent> {
     let ps_us = 1e6 / cfg.ps_clk_hz;
     let pl_us = 1e6 / cfg.pl_clk_hz;
     let overhead_us =

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let neon = sched.predicted_cost(w, h, Backend::Neon, Objective::Time)? * 1e3;
         let fpga = sched.predicted_cost(w, h, Backend::Fpga, Objective::Time)? * 1e3;
         let pick = sched.choose(w, h)?;
-        println!("{:>8} | {neon:>9.2} {fpga:>9.2} | {}", format!("{w}x{h}"), pick.label());
+        println!(
+            "{:>8} | {neon:>9.2} {fpga:>9.2} | {}",
+            format!("{w}x{h}"),
+            pick.label()
+        );
     }
     println!(
         "\nbreaking points: time at {:?}, energy at {:?} (paper: between 40x40 and 64x48)",
@@ -39,11 +43,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policies: Vec<(&str, Option<Policy>, Option<Backend>)> = vec![
         ("fixed NEON", None, Some(Backend::Neon)),
         ("fixed FPGA", None, Some(Backend::Fpga)),
-        ("adaptive (model)", Some(Policy::Model(Objective::Time)), None),
-        ("adaptive (online)", Some(Policy::Online(Objective::Time)), None),
+        (
+            "adaptive (model)",
+            Some(Policy::Model(Objective::Time)),
+            None,
+        ),
+        (
+            "adaptive (online)",
+            Some(Policy::Online(Objective::Time)),
+            None,
+        ),
     ];
-    println!("\nmixed workload ({} frames across {} sizes):", SIZES.len() * ROUNDS, SIZES.len());
-    println!("{:>18} | {:>9} | {:>11} | NEON/FPGA", "policy", "time (s)", "energy (mJ)");
+    println!(
+        "\nmixed workload ({} frames across {} sizes):",
+        SIZES.len() * ROUNDS,
+        SIZES.len()
+    );
+    println!(
+        "{:>18} | {:>9} | {:>11} | NEON/FPGA",
+        "policy", "time (s)", "energy (mJ)"
+    );
     for (label, policy, fixed) in policies {
         let mut engine = FusionEngine::new(3)?;
         let mut sched = policy.map(|p| AdaptiveScheduler::new(p, 3));

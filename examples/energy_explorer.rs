@@ -34,12 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = PowerModel::zc702();
 
     println!("energy per fused frame (mJ) across square frame sizes:");
-    println!("{:>6} | {:>9} {:>9} {:>9} | winner", "edge", "ARM", "NEON", "FPGA");
+    println!(
+        "{:>6} | {:>9} {:>9} {:>9} | winner",
+        "edge", "ARM", "NEON", "FPGA"
+    );
     for edge in (24..=96).step_by(8) {
         let plan = TransformPlan::dtcwt(edge, edge, LEVELS)?;
-        let e = |b: Backend| {
-            power.energy_mj(b.execution_mode(), model.frame_seconds(&plan, RULE, b))
-        };
+        let e =
+            |b: Backend| power.energy_mj(b.execution_mode(), model.frame_seconds(&plan, RULE, b));
         let (ea, en, ef) = (e(Backend::Arm), e(Backend::Neon), e(Backend::Fpga));
         let winner = if ef < en && ef < ea {
             "FPGA"

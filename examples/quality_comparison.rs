@@ -18,18 +18,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = scene.render_visible(176, 144, 0.0);
     let b = scene.render_thermal(176, 144, 0.0);
 
-    let mut methods: Vec<(&str, Image)> = Vec::new();
-    methods.push(("averaging", average_fusion(&a, &b)));
-    methods.push(("laplacian-pyramid", laplacian_fusion(&a, &b, 3)?));
-    methods.push((
-        "dwt-cdf97-maxabs",
-        dwt_fusion(&a, &b, FilterBank::cdf_9_7()?, 3)?,
-    ));
-    methods.push((
-        "dwt-haar-maxabs",
-        dwt_fusion(&a, &b, FilterBank::haar()?, 3)?,
-    ));
-    let mut max_engine = FusionEngine::with_rules(3, FusionRule::MaxMagnitude, LowpassRule::Average)?;
+    let mut methods: Vec<(&str, Image)> = vec![
+        ("averaging", average_fusion(&a, &b)),
+        ("laplacian-pyramid", laplacian_fusion(&a, &b, 3)?),
+        (
+            "dwt-cdf97-maxabs",
+            dwt_fusion(&a, &b, FilterBank::cdf_9_7()?, 3)?,
+        ),
+        (
+            "dwt-haar-maxabs",
+            dwt_fusion(&a, &b, FilterBank::haar()?, 3)?,
+        ),
+    ];
+    let mut max_engine =
+        FusionEngine::with_rules(3, FusionRule::MaxMagnitude, LowpassRule::Average)?;
     methods.push((
         "dtcwt-maxmag",
         max_engine.fuse(&a, &b, Backend::Neon)?.image,

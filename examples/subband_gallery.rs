@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let band = pyr.subband(0, o);
         let mag = band.magnitude();
         // Normalize for display.
-        let peak = mag.as_slice().iter().fold(0.0f32, |m, &v| m.max(v)).max(1e-9);
+        let peak = mag
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v))
+            .max(1e-9);
         let vis = Image::from_fn(mag.width(), mag.height(), |x, y| mag.get(x, y) / peak);
         let name = format!(
             "out/gallery/band_{}.pgm",

@@ -3,19 +3,25 @@
 //! ```text
 //! wavefuse fuse <visible.pgm> <thermal.pgm> -o fused.pgm [--backend neon]
 //!          [--levels 3] [--rule window|maxmag|average|activity]
+//!          [--trace t.json] [--metrics m.prom]
 //! wavefuse denoise <in.pgm> -o out.pgm [--strength 1.0] [--levels 3]
 //! wavefuse demo -o out/ [--frames 5] [--size 88x72] [--seed 42]
+//!          [--trace t.json] [--metrics m.prom]
 //! ```
 //!
 //! Works on binary PGM (`P5`) images, the format the examples emit.
+//! `--trace` writes a Chrome trace of the run (open in Perfetto or
+//! `chrome://tracing`); `--metrics` writes a Prometheus text exposition.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use wavefuse::core::adaptive::{AdaptiveScheduler, Objective, Policy};
 use wavefuse::core::rules::{FusionRule, LowpassRule};
 use wavefuse::core::{Backend, FusionEngine};
 use wavefuse::dtcwt::denoise::denoise;
 use wavefuse::dtcwt::{Dtcwt, Dwt2d};
+use wavefuse::trace::{export, Telemetry};
 use wavefuse::video::pgm;
 use wavefuse::video::scene::ScenePair;
 
@@ -68,7 +74,11 @@ fn parse_backend(s: &str) -> Result<Option<Backend>, String> {
         "fpga" => Backend::Fpga,
         "hybrid" => Backend::Hybrid,
         "auto" => return Ok(None),
-        other => return Err(format!("unknown backend '{other}' (arm|neon|fpga|hybrid|auto)")),
+        other => {
+            return Err(format!(
+                "unknown backend '{other}' (arm|neon|fpga|hybrid|auto)"
+            ))
+        }
     }))
 }
 
@@ -81,8 +91,36 @@ fn parse_rule(s: &str) -> Result<FusionRule, String> {
             radius: 1,
             match_threshold: 0.75,
         },
-        other => return Err(format!("unknown rule '{other}' (window|maxmag|average|activity)")),
+        other => {
+            return Err(format!(
+                "unknown rule '{other}' (window|maxmag|average|activity)"
+            ))
+        }
     })
+}
+
+/// Builds a telemetry handle if `--trace` or `--metrics` was given.
+fn telemetry_for(args: &Args) -> Option<Arc<Telemetry>> {
+    if args.opt("trace").is_some() || args.opt("metrics").is_some() {
+        Some(Telemetry::shared())
+    } else {
+        None
+    }
+}
+
+/// Writes the exports requested by `--trace` / `--metrics`.
+fn write_telemetry(args: &Args, tel: &Arc<Telemetry>) -> Result<(), String> {
+    if let Some(path) = args.opt("trace") {
+        std::fs::write(path, export::chrome_trace(tel.tracer()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in Perfetto)");
+    }
+    if let Some(path) = args.opt("metrics") {
+        std::fs::write(path, export::prometheus_text(tel.metrics()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Prometheus metrics to {path}");
+    }
+    Ok(())
 }
 
 fn parse_size(s: &str) -> Result<(usize, usize), String> {
@@ -134,7 +172,14 @@ fn cmd_fuse(args: &Args) -> Result<(), String> {
     };
     let mut engine =
         FusionEngine::with_rules(levels, rule, LowpassRule::Average).map_err(|e| e.to_string())?;
+    let telemetry = telemetry_for(args);
+    if let Some(tel) = &telemetry {
+        engine.set_telemetry(Arc::clone(tel));
+    }
     let out = engine.fuse(&a, &b, backend).map_err(|e| e.to_string())?;
+    if let Some(tel) = &telemetry {
+        write_telemetry(args, tel)?;
+    }
     pgm::write_pgm(&out.image, out_path).map_err(|e| format!("{out_path}: {e}"))?;
     eprintln!(
         "fused {}x{} on {} in {:.2} ms (modeled), {:.3} mJ -> {out_path}",
@@ -179,11 +224,19 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --frames")?;
     let (w, h) = parse_size(&args.opt_or("size", "88x72"))?;
-    let seed: u64 = args.opt_or("seed", "42").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = args
+        .opt_or("seed", "42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
 
     let scene = ScenePair::new(seed);
     let mut engine = FusionEngine::new(3).map_err(|e| e.to_string())?;
     let mut sched = AdaptiveScheduler::new(Policy::Model(Objective::Energy), 3);
+    let telemetry = telemetry_for(args);
+    if let Some(tel) = &telemetry {
+        engine.set_telemetry(Arc::clone(tel));
+        sched.set_telemetry(Arc::clone(tel));
+    }
     for i in 0..frames {
         let t = i as f64 / 10.0;
         let vis = scene.render_visible(w, h, t);
@@ -203,6 +256,9 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
             out.energy_mj
         );
     }
+    if let Some(tel) = &telemetry {
+        write_telemetry(args, tel)?;
+    }
     eprintln!("wrote {frames} frame triples under {out_dir}/");
     Ok(())
 }
@@ -210,9 +266,11 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
 fn usage() -> &'static str {
     "usage:\n  \
      wavefuse fuse <visible.pgm> <thermal.pgm> -o <fused.pgm> \
-     [--backend arm|neon|fpga|hybrid|auto] [--levels N] [--rule window|maxmag|average|activity]\n  \
+     [--backend arm|neon|fpga|hybrid|auto] [--levels N] [--rule window|maxmag|average|activity] \
+     [--trace <t.json>] [--metrics <m.prom>]\n  \
      wavefuse denoise <in.pgm> -o <out.pgm> [--strength S] [--levels N]\n  \
-     wavefuse demo [-o <dir>] [--frames N] [--size WxH] [--seed S]"
+     wavefuse demo [-o <dir>] [--frames N] [--size WxH] [--seed S] \
+     [--trace <t.json>] [--metrics <m.prom>]"
 }
 
 fn main() -> ExitCode {

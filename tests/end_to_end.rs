@@ -84,9 +84,17 @@ fn adaptive_pipeline_reacts_to_frame_size() {
         .unwrap();
         let stats = pipe.run(3).unwrap();
         if expect_fpga {
-            assert_eq!(stats.backend_usage[2], 3, "{w}x{h} should use the FPGA");
+            assert_eq!(
+                stats.backend_usage[Backend::Fpga],
+                3,
+                "{w}x{h} should use the FPGA"
+            );
         } else {
-            assert_eq!(stats.backend_usage[1], 3, "{w}x{h} should use NEON");
+            assert_eq!(
+                stats.backend_usage[Backend::Neon],
+                3,
+                "{w}x{h} should use NEON"
+            );
         }
     }
 }
@@ -107,8 +115,12 @@ fn online_policy_converges_in_the_pipeline() {
     .unwrap();
     let stats = pipe.run(6).unwrap();
     // One exploration frame each, then four exploitation frames on FPGA.
-    assert_eq!(stats.backend_usage[1], 1, "one NEON exploration");
-    assert_eq!(stats.backend_usage[2], 5, "FPGA wins at 88x72");
+    assert_eq!(
+        stats.backend_usage[Backend::Neon],
+        1,
+        "one NEON exploration"
+    );
+    assert_eq!(stats.backend_usage[Backend::Fpga], 5, "FPGA wins at 88x72");
 }
 
 #[test]

@@ -16,7 +16,10 @@ use wavefuse_video::scene::ScenePair;
 
 fn scene_pair(w: usize, h: usize) -> (Image, Image) {
     let scene = ScenePair::new(99);
-    (scene.render_visible(w, h, 0.0), scene.render_thermal(w, h, 0.0))
+    (
+        scene.render_visible(w, h, 0.0),
+        scene.render_thermal(w, h, 0.0),
+    )
 }
 
 #[test]
@@ -78,11 +81,17 @@ fn registration_before_fusion_recovers_misalignment() {
     let aligned_ref = engine.fuse(&vis, &ir, Backend::Neon).unwrap().image;
 
     let ir_misaligned = circular_shift(&ir, 6, -4);
-    let naive = engine.fuse(&vis, &ir_misaligned, Backend::Neon).unwrap().image;
+    let naive = engine
+        .fuse(&vis, &ir_misaligned, Backend::Neon)
+        .unwrap()
+        .image;
 
     let (ir_registered, t) = align_to(&ir, &ir_misaligned).unwrap();
     assert_eq!((t.dx, t.dy), (6, -4));
-    let registered = engine.fuse(&vis, &ir_registered, Backend::Neon).unwrap().image;
+    let registered = engine
+        .fuse(&vis, &ir_registered, Backend::Neon)
+        .unwrap()
+        .image;
 
     let q_naive = petrovic_qabf(&vis, &ir, &naive);
     let q_registered = petrovic_qabf(&vis, &ir, &registered);
@@ -105,7 +114,10 @@ fn denoising_the_thermal_stream_before_fusion_helps() {
     });
     let t = Dtcwt::new(3).unwrap();
     let cleaned = denoise(&t, &noisy_ir, 1.0).unwrap();
-    assert!(psnr(&ir, &cleaned) > psnr(&ir, &noisy_ir) + 2.0, "denoise gains >2 dB");
+    assert!(
+        psnr(&ir, &cleaned) > psnr(&ir, &noisy_ir) + 2.0,
+        "denoise gains >2 dB"
+    );
 
     let mut engine = FusionEngine::new(3).unwrap();
     let fused_noisy = engine.fuse(&vis, &noisy_ir, Backend::Neon).unwrap().image;

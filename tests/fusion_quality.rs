@@ -6,14 +6,21 @@
 use wavefuse_core::baseline::{average_fusion, dwt_fusion, laplacian_fusion};
 use wavefuse_core::rules::{FusionRule, LowpassRule};
 use wavefuse_core::{Backend, FusionEngine};
-use wavefuse_dtcwt::analysis::{circular_shift, dtcwt_shift_energy_variation, dwt_shift_energy_variation};
+use wavefuse_dtcwt::analysis::{
+    circular_shift, dtcwt_shift_energy_variation, dwt_shift_energy_variation,
+};
 use wavefuse_dtcwt::{Dtcwt, Dwt2d, FilterBank, Image};
-use wavefuse_metrics::{entropy, fusion_mutual_information, petrovic_qabf, spatial_frequency, ssim};
+use wavefuse_metrics::{
+    entropy, fusion_mutual_information, petrovic_qabf, spatial_frequency, ssim,
+};
 use wavefuse_video::scene::ScenePair;
 
 fn scene_pair(w: usize, h: usize) -> (Image, Image) {
     let scene = ScenePair::new(77);
-    (scene.render_visible(w, h, 0.0), scene.render_thermal(w, h, 0.0))
+    (
+        scene.render_visible(w, h, 0.0),
+        scene.render_thermal(w, h, 0.0),
+    )
 }
 
 fn dtcwt_fuse(a: &Image, b: &Image) -> Image {
@@ -69,7 +76,10 @@ fn dtcwt_fusion_is_competitive_with_transform_baselines() {
     assert!(q_ours > 0.9 * q_best, "QABF ours {q_ours} vs best {q_best}");
     let mi_ours = fusion_mutual_information(&a, &b, &ours);
     let mi_dwt = fusion_mutual_information(&a, &b, &dwt);
-    assert!(mi_ours >= 0.95 * mi_dwt, "MI ours {mi_ours} vs dwt {mi_dwt}");
+    assert!(
+        mi_ours >= 0.95 * mi_dwt,
+        "MI ours {mi_ours} vs dwt {mi_dwt}"
+    );
 }
 
 #[test]

@@ -16,7 +16,10 @@ const RATIO_TOL: f64 = 0.06;
 
 fn scene_inputs(w: usize, h: usize) -> (Image, Image) {
     let scene = wavefuse_video::scene::ScenePair::new(2016);
-    (scene.render_visible(w, h, 0.0), scene.render_thermal(w, h, 0.0))
+    (
+        scene.render_visible(w, h, 0.0),
+        scene.render_thermal(w, h, 0.0),
+    )
 }
 
 struct Cell {
@@ -234,9 +237,7 @@ fn adaptive_system_achieves_the_most_efficient_point() {
             .expect("policy present")
     };
     let best_fixed_time = get("fixed NEON").total_s.min(get("fixed FPGA").total_s);
-    let best_fixed_energy = get("fixed NEON")
-        .energy_mj
-        .min(get("fixed FPGA").energy_mj);
+    let best_fixed_energy = get("fixed NEON").energy_mj.min(get("fixed FPGA").energy_mj);
     let model = get("adaptive (model, time)");
     assert!(model.total_s <= best_fixed_time + 1e-9);
     let model_e = get("adaptive (model, energy)");

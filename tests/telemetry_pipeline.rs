@@ -1,0 +1,195 @@
+//! Cross-crate telemetry integration: the traces and metrics emitted by an
+//! instrumented pipeline run must agree with the pipeline's own statistics.
+
+use std::sync::Arc;
+
+use wavefuse::core::adaptive::{AdaptiveScheduler, Objective, Policy};
+use wavefuse::core::engine::PHASE_NAMES;
+use wavefuse::core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse::core::Backend;
+use wavefuse::trace::json::JsonValue;
+use wavefuse::trace::{export, MetricValue, Telemetry};
+
+fn instrumented_run(frames: usize) -> (Arc<Telemetry>, wavefuse::core::pipeline::PipelineStats) {
+    let telemetry = Telemetry::shared();
+    let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Adaptive(Box::new(AdaptiveScheduler::new(
+            Policy::Online(Objective::Time),
+            3,
+        ))),
+        scene_seed: 11,
+    })
+    .unwrap();
+    pipe.set_telemetry(Arc::clone(&telemetry));
+    for i in 0..frames {
+        // A bursty thermal field every third step exercises the gate.
+        pipe.step_with_burst(if i % 3 == 2 { 2 } else { 1 })
+            .unwrap();
+    }
+    (telemetry, pipe.stats())
+}
+
+#[test]
+fn phase_spans_sum_to_pipeline_phase_timing() {
+    let (telemetry, stats) = instrumented_run(12);
+    let events = telemetry.tracer().events();
+    for (phase, stat_s) in stats.timing.phases() {
+        let trace_s: f64 = events
+            .iter()
+            .filter(|e| e.category == "phase" && e.name == phase)
+            .map(|e| e.model_dur_s)
+            .sum();
+        let err = (trace_s - stat_s).abs() / stat_s;
+        assert!(
+            err < 0.01,
+            "{phase}: trace {trace_s:.9} vs stats {stat_s:.9} ({:.3}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn frame_spans_enclose_their_phase_spans() {
+    let (telemetry, stats) = instrumented_run(6);
+    let events = telemetry.tracer().events();
+    let frames: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "frame" && e.category == "pipeline")
+        .collect();
+    assert_eq!(frames.len() as u64, stats.frames);
+    for frame in &frames {
+        let children: Vec<_> = events
+            .iter()
+            .filter(|e| e.parent == Some(frame.id) && e.category == "phase")
+            .collect();
+        assert_eq!(children.len(), PHASE_NAMES.len(), "4 phases per frame");
+        let child_total: f64 = children.iter().map(|e| e.model_dur_s).sum();
+        assert!(
+            (child_total - frame.model_dur_s).abs() <= 1e-9 * child_total.max(1.0),
+            "phases sum {child_total} vs frame span {}",
+            frame.model_dur_s
+        );
+        for child in children {
+            assert!(child.model_start_s >= frame.model_start_s - 1e-12);
+            assert!(
+                child.model_start_s + child.model_dur_s
+                    <= frame.model_start_s + frame.model_dur_s + 1e-9
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_match_pipeline_stats() {
+    let (telemetry, stats) = instrumented_run(9);
+    let series = telemetry.metrics().snapshot();
+    let counter = |name: &str, backend: Option<&str>| -> f64 {
+        series
+            .iter()
+            .filter(|(k, _)| {
+                k.name == name
+                    && backend
+                        .is_none_or(|b| k.labels.iter().any(|(lk, lv)| lk == "backend" && lv == b))
+            })
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                other => panic!("{name} should be a counter, got {other:?}"),
+            })
+            .sum()
+    };
+    assert_eq!(counter("wavefuse_frames_total", None) as u64, stats.frames);
+    for backend in [Backend::Arm, Backend::Neon, Backend::Fpga, Backend::Hybrid] {
+        assert_eq!(
+            counter("wavefuse_frames_total", Some(backend.label())) as u64,
+            stats.backend_usage[backend],
+            "per-backend frame counter for {}",
+            backend.label()
+        );
+    }
+    assert_eq!(
+        counter("wavefuse_gate_drops_total", None) as u64,
+        stats.gate_drops
+    );
+}
+
+#[test]
+fn chrome_trace_of_a_run_parses_and_balances() {
+    let (telemetry, stats) = instrumented_run(5);
+    let text = export::chrome_trace(telemetry.tracer());
+    let parsed = JsonValue::parse(&text).expect("exporter emits valid JSON");
+    let JsonValue::Obj(top) = &parsed else {
+        panic!("top level must be an object")
+    };
+    let Some(JsonValue::Arr(events)) = top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        panic!("traceEvents array missing")
+    };
+    // Sum the exported per-phase durations (µs) and compare with the
+    // pipeline's accumulated modeled time.
+    let mut phase_us = 0.0;
+    for ev in events {
+        let JsonValue::Obj(fields) = ev else { continue };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        if get("cat") == Some(&JsonValue::Str("phase".into())) {
+            let Some(JsonValue::Num(dur)) = get("dur") else {
+                panic!("phase span without dur")
+            };
+            phase_us += dur;
+        }
+    }
+    let stats_us = stats.timing.total_seconds() * 1e6;
+    let err = (phase_us - stats_us).abs() / stats_us;
+    assert!(
+        err < 0.01,
+        "chrome phase spans {phase_us:.1} µs vs stats {stats_us:.1} µs"
+    );
+}
+
+#[test]
+fn prometheus_export_carries_the_acceptance_series() {
+    let (telemetry, _) = instrumented_run(8);
+    let prom = export::prometheus_text(telemetry.metrics());
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wavefuse_frames_total{")),
+        "per-backend frame counters:\n{prom}"
+    );
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wavefuse_frame_seconds_bucket{")),
+        "frame-latency histogram:\n{prom}"
+    );
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wavefuse_phase_seconds_bucket{")),
+        "phase-latency histogram:\n{prom}"
+    );
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wavefuse_pipeline_energy_millijoules")),
+        "energy gauge:\n{prom}"
+    );
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wavefuse_gate_drops_total")),
+        "gate-drop counter:\n{prom}"
+    );
+}
+
+#[test]
+fn scheduler_decisions_appear_in_the_trace() {
+    let (telemetry, stats) = instrumented_run(7);
+    let events = telemetry.tracer().events();
+    let decisions = events
+        .iter()
+        .filter(|e| e.name == "scheduler_decision")
+        .count() as u64;
+    assert_eq!(decisions, stats.frames, "one decision event per frame");
+    let observations = events
+        .iter()
+        .filter(|e| e.name == "scheduler_observe")
+        .count() as u64;
+    assert_eq!(observations, stats.frames, "one observation per frame");
+}

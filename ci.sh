@@ -11,6 +11,16 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== allocation regression (steady-state hot path)"
+cargo test -q --release --test alloc_steady_state
+
+echo "== throughput bench smoke (repro bench --frames 16)"
+# Smoke only: must run to completion and emit the JSON report; the
+# numbers themselves are host-dependent and not asserted here.
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 16 --bench-out target/BENCH_smoke.json
+test -s target/BENCH_smoke.json
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 

@@ -9,7 +9,13 @@
 //!
 //! Subcommands: `fig2`, `table1`, `fig9a`, `fig9b`, `fig9c`, `fig10`,
 //! `crossover`, `adaptive`, `ablation`, `quality`, `hybrid`, `levels`,
-//! `throughput`, `timeline`, `eval`, `all`.
+//! `throughput`, `timeline`, `bench`, `eval`, `all`.
+//!
+//! The `bench` subcommand measures real wall-clock pipeline throughput
+//! (frames/sec and ns/frame per backend, serial and on the worker pool,
+//! with the modeled per-phase split) and writes `BENCH_pipeline.json`
+//! in the current directory; `--frames <n>` sets the timed frames per
+//! configuration (default 64).
 //!
 //! The `eval` subcommand runs an instrumented pipeline and exports its
 //! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
@@ -21,10 +27,10 @@ use std::process::ExitCode;
 
 use wavefuse_bench::experiments::{self, Quantity};
 use wavefuse_bench::report;
-use wavefuse_trace::export;
+use wavefuse_trace::{export, ToJson};
 
-const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|eval|all]... \
-[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>]";
+const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--bench-out <path>]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -147,6 +153,18 @@ fn main() -> ExitCode {
             eprintln!("running fusion-quality comparison...");
             let rows = experiments::quality_comparison(88, 72)?;
             println!("{}", report::render_quality(&rows));
+        }
+        if wants("bench") {
+            let frames: usize = match opt("frames").as_deref() {
+                Some(v) => v.parse().map_err(|_| format!("bad --frames '{v}'"))?,
+                None => 64,
+            };
+            eprintln!("measuring pipeline throughput ({frames} timed frames per configuration)...");
+            let bench = experiments::pipeline_bench(frames)?;
+            println!("{}", report::render_bench(&bench));
+            let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+            std::fs::write(&path, bench.to_json().render())?;
+            eprintln!("wrote throughput benchmark to {path}");
         }
         if wants("eval") {
             let frames: usize = match opt("frames").as_deref() {

@@ -10,6 +10,7 @@ use wavefuse_trace::{JsonValue, ToJson};
 use wavefuse_core::adaptive::{AdaptiveScheduler, Objective, Policy};
 use wavefuse_core::baseline::{average_fusion, dwt_fusion, laplacian_fusion, swt_fusion};
 use wavefuse_core::cost::{CostModel, Direction, TransformPlan};
+use wavefuse_core::engine::PhaseTiming;
 use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
 use wavefuse_core::profile::profile_fusion;
 use wavefuse_core::rules::{FusionRule, LowpassRule};
@@ -58,6 +59,7 @@ pub fn collect_matrix() -> Result<Vec<MatrixEntry>, FusionError> {
                 levels: LEVELS,
                 backend: BackendChoice::Fixed(backend),
                 scene_seed: SCENE_SEED,
+                threads: 1,
             })?;
             let stats = pipe.run(FRAMES_PER_RUN)?;
             rows.push(MatrixEntry {
@@ -609,6 +611,7 @@ pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
             LEVELS,
         ))),
         scene_seed: SCENE_SEED,
+        threads: 1,
     })?;
     pipe.set_telemetry(std::sync::Arc::clone(&telemetry));
     for i in 0..frames.max(1) {
@@ -636,6 +639,139 @@ pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
         stats,
         phase_check,
         max_phase_error,
+    })
+}
+
+/// Untimed frames stepped before the throughput measurement starts, so
+/// the buffer pool, scratch arenas and plan cache are warm and the timed
+/// window sees the zero-allocation steady state.
+pub const BENCH_WARMUP_FRAMES: usize = 4;
+
+/// Timed windows per configuration; the report keeps the fastest (the
+/// usual min-time discipline, robust against scheduler noise) alongside
+/// the mean.
+pub const BENCH_REPS: usize = 3;
+
+/// One measured pipeline configuration: a backend at a thread count.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Backend label (paper naming).
+    pub backend: String,
+    /// Worker threads driving the engine (1 = serial, no pool).
+    pub threads: usize,
+    /// Wall-clock seconds of the fastest timed window.
+    pub wall_s: f64,
+    /// Throughput of the fastest window, fused frames per second.
+    pub frames_per_second: f64,
+    /// Nanoseconds per fused frame in the fastest window.
+    pub ns_per_frame: f64,
+    /// Mean throughput across all [`BENCH_REPS`] windows.
+    pub mean_frames_per_second: f64,
+    /// Modeled per-frame phase split, `(phase, seconds)` in timeline order.
+    pub phase_s: Vec<(String, f64)>,
+    /// Engine buffer-pool hits over the whole run (warm-up included).
+    pub pool_hits: u64,
+    /// Engine buffer-pool misses over the whole run.
+    pub pool_misses: u64,
+    /// Bytes the engine buffer pool allocated over the whole run.
+    pub pool_bytes: u64,
+}
+
+/// The measured throughput benchmark: every backend serially, plus the
+/// CPU backends on the persistent worker pool.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Frame geometry (the paper's camera default).
+    pub frame_size: (usize, usize),
+    /// Decomposition levels.
+    pub levels: usize,
+    /// Scene seed shared by every configuration.
+    pub scene_seed: u64,
+    /// Untimed warm-up frames per configuration.
+    pub warmup_frames: usize,
+    /// Timed frames per window.
+    pub frames: usize,
+    /// Timed windows per configuration (the row keeps the fastest).
+    pub reps: usize,
+    /// One row per `(backend, threads)` configuration.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Measures real wall-clock pipeline throughput (fixed seed, default
+/// 88x72 geometry) for `frames` timed steps per configuration. Unlike
+/// [`throughput_report`], which inverts the *modeled* per-frame time,
+/// this times actual execution with `std::time::Instant`, after a
+/// [`BENCH_WARMUP_FRAMES`]-frame warm-up so pools and plan caches are
+/// hot. Each backend runs serially; ARM and NEON additionally run on
+/// the persistent worker pool.
+///
+/// # Errors
+///
+/// Propagates pipeline errors (none occur for the default geometry).
+pub fn pipeline_bench(frames: usize) -> Result<BenchReport, FusionError> {
+    let frames = frames.max(1);
+    let threaded = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .clamp(2, 4);
+    let mut configs: Vec<(Backend, usize)> = Backend::ALL.iter().map(|&b| (b, 1)).collect();
+    configs.push((Backend::Arm, threaded));
+    configs.push((Backend::Neon, threaded));
+
+    let frame_size = (88, 72);
+    let mut rows = Vec::new();
+    for (backend, threads) in configs {
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size,
+            levels: LEVELS,
+            backend: BackendChoice::Fixed(backend),
+            scene_seed: SCENE_SEED,
+            threads,
+        })?;
+        pipe.run(BENCH_WARMUP_FRAMES)?;
+        let warm = pipe.stats().timing;
+        let mut best_s = f64::INFINITY;
+        let mut total_s = 0.0;
+        for _ in 0..BENCH_REPS {
+            let start = std::time::Instant::now();
+            pipe.run(frames)?;
+            let window_s = start.elapsed().as_secs_f64();
+            best_s = best_s.min(window_s);
+            total_s += window_s;
+        }
+        let timed_frames = (BENCH_REPS * frames) as f64;
+        let timing = pipe.stats().timing;
+        let per_frame = PhaseTiming {
+            forward_s: (timing.forward_s - warm.forward_s) / timed_frames,
+            fusion_s: (timing.fusion_s - warm.fusion_s) / timed_frames,
+            inverse_s: (timing.inverse_s - warm.inverse_s) / timed_frames,
+            overhead_s: (timing.overhead_s - warm.overhead_s) / timed_frames,
+        };
+        let pool = pipe.engine().buffer_pool().stats();
+        rows.push(BenchRow {
+            backend: backend.label().to_string(),
+            threads,
+            wall_s: best_s,
+            frames_per_second: frames as f64 / best_s.max(1e-12),
+            ns_per_frame: best_s * 1e9 / frames as f64,
+            mean_frames_per_second: timed_frames / total_s.max(1e-12),
+            phase_s: per_frame
+                .phases()
+                .iter()
+                .map(|&(name, s)| (name.to_string(), s))
+                .collect(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_bytes: pool.bytes_allocated,
+        });
+    }
+    Ok(BenchReport {
+        frame_size,
+        levels: LEVELS,
+        scene_seed: SCENE_SEED,
+        warmup_frames: BENCH_WARMUP_FRAMES,
+        frames,
+        reps: BENCH_REPS,
+        rows,
     })
 }
 
@@ -758,6 +894,51 @@ impl ToJson for QualityRow {
             ("spatial_frequency", self.spatial_frequency.to_json()),
             ("qabf", self.qabf.to_json()),
             ("mutual_information", self.mutual_information.to_json()),
+        ])
+    }
+}
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("backend", self.backend.to_json()),
+            ("threads", self.threads.to_json()),
+            ("wall_s", self.wall_s.to_json()),
+            ("frames_per_second", self.frames_per_second.to_json()),
+            ("ns_per_frame", self.ns_per_frame.to_json()),
+            (
+                "mean_frames_per_second",
+                self.mean_frames_per_second.to_json(),
+            ),
+            (
+                "phase_s",
+                JsonValue::Obj(
+                    self.phase_s
+                        .iter()
+                        .map(|(name, s)| (name.clone(), JsonValue::Num(*s)))
+                        .collect(),
+                ),
+            ),
+            ("pool_hits", self.pool_hits.to_json()),
+            ("pool_misses", self.pool_misses.to_json()),
+            ("pool_bytes_allocated", self.pool_bytes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("frame_size", self.frame_size.to_json()),
+            ("levels", self.levels.to_json()),
+            ("scene_seed", self.scene_seed.to_json()),
+            ("warmup_frames", self.warmup_frames.to_json()),
+            ("frames", self.frames.to_json()),
+            ("reps", self.reps.to_json()),
+            (
+                "rows",
+                JsonValue::Arr(self.rows.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }

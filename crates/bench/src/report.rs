@@ -1,8 +1,8 @@
 //! Plain-text table rendering for the `repro` binary.
 
 use crate::experiments::{
-    AblationRow, CrossoverReport, HybridRow, LevelsRow, PolicyOutcome, QualityRow, ResourceRow,
-    SeriesRow, ThroughputRow,
+    AblationRow, BenchReport, CrossoverReport, HybridRow, LevelsRow, PolicyOutcome, QualityRow,
+    ResourceRow, SeriesRow, ThroughputRow,
 };
 use wavefuse_core::Backend;
 
@@ -238,6 +238,34 @@ pub fn render_throughput(rows: &[ThroughputRow]) -> String {
             r.fps[1],
             r.fps[2],
             r.fps[3]
+        ));
+    }
+    out
+}
+
+/// Renders the measured wall-clock throughput benchmark.
+pub fn render_bench(bench: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Measured pipeline throughput ({}x{}, {} levels, best of {} x {} timed frames)\n",
+        bench.frame_size.0, bench.frame_size.1, bench.levels, bench.reps, bench.frames
+    ));
+    out.push_str(&format!(
+        "{:>8} | {:>7} | {:>10} {:>10} {:>12} | {:>14}\n",
+        "backend", "threads", "fps", "mean fps", "ns/frame", "pool hit/miss"
+    ));
+    out.push_str(&"-".repeat(73));
+    out.push('\n');
+    for r in &bench.rows {
+        out.push_str(&format!(
+            "{:>8} | {:>7} | {:>10.1} {:>10.1} {:>12.0} | {:>8}/{}\n",
+            r.backend,
+            r.threads,
+            r.frames_per_second,
+            r.mean_frames_per_second,
+            r.ns_per_frame,
+            r.pool_hits,
+            r.pool_misses
         ));
     }
     out

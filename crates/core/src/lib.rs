@@ -53,4 +53,4 @@ mod error;
 pub use backend::{Backend, BackendCounts};
 pub use engine::{FusionEngine, FusionOutput};
 pub use error::FusionError;
-pub use rules::{FusionRule, LowpassRule};
+pub use rules::{FusionRule, FusionScratch, LowpassRule};

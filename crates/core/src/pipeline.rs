@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use wavefuse_dtcwt::Image;
 use wavefuse_trace::Telemetry;
 use wavefuse_video::camera::{ThermalCamera, WebCamera};
 use wavefuse_video::fifo::FrameGate;
@@ -40,16 +41,22 @@ pub struct PipelineConfig {
     pub backend: BackendChoice,
     /// Scene seed (reproducibility).
     pub scene_seed: u64,
+    /// Transform worker threads (1 = serial on the caller's thread). Values
+    /// above 1 spawn a persistent [`wavefuse_dtcwt::WorkerPool`] in the
+    /// engine, reused for every frame.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
-    /// The paper's evaluation default: 88x72 frames, 3 levels, fixed NEON.
+    /// The paper's evaluation default: 88x72 frames, 3 levels, fixed NEON,
+    /// serial transforms.
     fn default() -> Self {
         PipelineConfig {
             frame_size: (88, 72),
             levels: 3,
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 1,
+            threads: 1,
         }
     }
 }
@@ -91,6 +98,11 @@ pub struct VideoFusionPipeline {
     backend: BackendChoice,
     stats: PipelineStats,
     telemetry: Option<Arc<Telemetry>>,
+    /// Reusable visible-capture slot (the webcam writes into it in place).
+    visible: Frame,
+    /// Free list of thermal frame buffers ping-ponged through the gate, so
+    /// the double-buffered steady state captures without allocating.
+    thermal_free: Vec<Frame>,
 }
 
 impl VideoFusionPipeline {
@@ -103,14 +115,18 @@ impl VideoFusionPipeline {
     pub fn new(config: PipelineConfig) -> Result<Self, FusionError> {
         let (w, h) = config.frame_size;
         let scene = ScenePair::new(config.scene_seed);
+        let mut engine = FusionEngine::new(config.levels)?;
+        engine.set_threads(config.threads);
         Ok(VideoFusionPipeline {
-            engine: FusionEngine::new(config.levels)?,
+            engine,
             web: WebCamera::new(scene.clone(), w, h),
             thermal: ThermalCamera::new(scene, w, h),
             gate: FrameGate::new(),
             backend: config.backend,
             stats: PipelineStats::default(),
             telemetry: None,
+            visible: Frame::new(Image::zeros(0, 0), 0),
+            thermal_free: Vec::with_capacity(4),
         })
     }
 
@@ -173,11 +189,21 @@ impl VideoFusionPipeline {
     /// Propagates capture and transform errors.
     pub fn step_with_burst(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
         for _ in 0..burst.max(1) {
-            let field = self.thermal.capture()?;
-            self.gate.offer(field);
+            // Double-buffered capture: reuse a frame from the free list (or
+            // grow it once, on the first frames) and reclaim the buffer
+            // immediately when the occupied gate rejects the field.
+            let mut field = self
+                .thermal_free
+                .pop()
+                .unwrap_or_else(|| Frame::new(Image::zeros(0, 0), 0));
+            self.thermal.capture_into(&mut field)?;
+            if let Some(rejected) = self.gate.offer_reclaiming(field) {
+                self.thermal_free.push(rejected);
+            }
         }
         let thermal = self.gate.take().expect("gate holds at least one field");
-        let visible = self.web.capture();
+        self.web.capture_into(&mut self.visible);
+        let visible = &self.visible;
 
         let (w, h) = visible.image().dims();
         let backend = match &mut self.backend {
@@ -199,6 +225,9 @@ impl VideoFusionPipeline {
             self.engine
                 .fuse(visible.image(), thermal.image(), backend)?
         };
+        // The consumed thermal frame's buffer goes back to the free list
+        // for the next capture.
+        self.thermal_free.push(thermal);
         if let BackendChoice::Adaptive(s) = &mut self.backend {
             s.observe(w, h, backend, out.timing.total_seconds(), out.energy_mj);
         }
@@ -239,16 +268,25 @@ impl VideoFusionPipeline {
         Ok(out)
     }
 
-    /// Runs `n` fused frames (the paper profiles runs of 10).
+    /// Runs `n` fused frames (the paper profiles runs of 10), recycling
+    /// each output buffer back into the engine's pool — the steady state of
+    /// a run performs no heap allocation on the CPU backends.
     ///
     /// # Errors
     ///
     /// Propagates the first frame error encountered.
     pub fn run(&mut self, n: usize) -> Result<PipelineStats, FusionError> {
         for _ in 0..n {
-            self.step()?;
+            let out = self.step()?;
+            self.engine.recycle(out);
         }
         Ok(self.stats)
+    }
+
+    /// Returns a stepped-out fused frame's buffer to the engine's pool so
+    /// the next [`step`](Self::step) reuses it instead of allocating.
+    pub fn recycle(&self, output: FusionOutput) {
+        self.engine.recycle(output);
     }
 
     /// Accumulated statistics.
@@ -274,6 +312,7 @@ mod tests {
             levels: 3,
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 3,
+            threads: 1,
         })
         .unwrap();
         let stats = pipe.run(10).unwrap();
@@ -285,12 +324,54 @@ mod tests {
     }
 
     #[test]
+    fn threaded_pipeline_matches_serial_exactly() {
+        // The worker-pool pipeline must produce bit-identical fused frames
+        // and stats to the serial one, frame after frame.
+        let config = |threads| PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 7,
+            threads,
+        };
+        let mut serial = VideoFusionPipeline::new(config(1)).unwrap();
+        let mut pooled = VideoFusionPipeline::new(config(3)).unwrap();
+        for _ in 0..3 {
+            let a = serial.step().unwrap();
+            let b = pooled.step().unwrap();
+            assert_eq!(a.image, b.image);
+            serial.recycle(a);
+            pooled.recycle(b);
+        }
+        assert_eq!(serial.stats(), pooled.stats());
+    }
+
+    #[test]
+    fn steady_state_run_reuses_pooled_buffers() {
+        // After the first frame warms the pool, `run` recycles the output
+        // buffer each step: exactly one miss, the rest hits.
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 3,
+            threads: 1,
+        })
+        .unwrap();
+        pipe.run(6).unwrap();
+        let stats = pipe.engine().buffer_pool().stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 5, "{stats:?}");
+    }
+
+    #[test]
     fn bursty_thermal_source_drops_at_gate() {
         let mut pipe = VideoFusionPipeline::new(PipelineConfig {
             frame_size: (32, 24),
             levels: 2,
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 1,
+            threads: 1,
         })
         .unwrap();
         pipe.step_with_burst(3).unwrap();
@@ -308,6 +389,7 @@ mod tests {
                 3,
             ))),
             scene_seed: 5,
+            threads: 1,
         })
         .unwrap();
         big.run(2).unwrap();
@@ -325,6 +407,7 @@ mod tests {
                 3,
             ))),
             scene_seed: 5,
+            threads: 1,
         })
         .unwrap();
         small.run(2).unwrap();
@@ -342,6 +425,7 @@ mod tests {
             levels: 3,
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 9,
+            threads: 1,
         })
         .unwrap();
         let out = pipe.step().unwrap();

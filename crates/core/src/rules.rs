@@ -61,6 +61,23 @@ pub enum LowpassRule {
     },
 }
 
+/// Reusable window-energy intermediates for [`fuse_subband_into`]. One
+/// instance per engine; its images retain capacity across frames so
+/// steady-state fusion performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct FusionScratch {
+    ea: Image,
+    eb: Image,
+    cross: Image,
+}
+
+impl FusionScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        FusionScratch::default()
+    }
+}
+
 /// Fuses two DT-CWT pyramids coefficient-wise.
 ///
 /// The pyramids must come from equal-sized inputs and the same transform
@@ -77,14 +94,36 @@ pub fn fuse_pyramids(
     rule: FusionRule,
     lowpass: LowpassRule,
 ) -> CwtPyramid {
+    let mut out = CwtPyramid::empty();
+    let mut scratch = FusionScratch::new();
+    fuse_pyramids_into(a, b, rule, lowpass, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`fuse_pyramids`]: writes the fused pyramid
+/// into `out` (reshaped to match `a`, reusing its buffers) using `scratch`
+/// for window-energy intermediates. Produces bit-identical results to
+/// [`fuse_pyramids`].
+///
+/// # Panics
+///
+/// As [`fuse_pyramids`].
+pub fn fuse_pyramids_into(
+    a: &CwtPyramid,
+    b: &CwtPyramid,
+    rule: FusionRule,
+    lowpass: LowpassRule,
+    scratch: &mut FusionScratch,
+    out: &mut CwtPyramid,
+) {
     assert_eq!(a.levels(), b.levels(), "pyramid depths differ");
-    let mut out = a.clone();
+    out.reshape_like(a);
     for level in 0..a.levels() {
         let sa = a.subbands(level);
         let sb = b.subbands(level);
         let so = out.subbands_mut(level);
         for (o, (ca, cb)) in so.iter_mut().zip(sa.iter().zip(sb)) {
-            *o = fuse_subband(ca, cb, rule);
+            fuse_subband_into(ca, cb, rule, scratch, o);
         }
     }
     for (o, (la, lb)) in out
@@ -92,16 +131,29 @@ pub fn fuse_pyramids(
         .iter_mut()
         .zip(a.lowpass().iter().zip(b.lowpass()))
     {
-        *o = fuse_lowpass(la, lb, lowpass);
+        fuse_lowpass_into(la, lb, lowpass, o);
     }
-    out
 }
 
 /// Fuses one oriented complex subband.
 pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> ComplexImage {
+    let mut out = ComplexImage::zeros(0, 0);
+    fuse_subband_into(a, b, rule, &mut FusionScratch::new(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`fuse_subband`]: writes into `out`
+/// (reshaped), using `scratch` for local-energy maps.
+pub fn fuse_subband_into(
+    a: &ComplexImage,
+    b: &ComplexImage,
+    rule: FusionRule,
+    scratch: &mut FusionScratch,
+    out: &mut ComplexImage,
+) {
     assert_eq!(a.dims(), b.dims(), "subband shapes differ");
     let (w, h) = a.dims();
-    let mut out = ComplexImage::zeros(w, h);
+    out.reshape(w, h);
     match rule {
         FusionRule::MaxMagnitude => {
             for y in 0..h {
@@ -117,8 +169,9 @@ pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> Com
             }
         }
         FusionRule::WindowEnergy { radius } => {
-            let ea = local_energy(a, radius);
-            let eb = local_energy(b, radius);
+            local_energy_into(a, radius, &mut scratch.ea);
+            local_energy_into(b, radius, &mut scratch.eb);
+            let (ea, eb) = (&scratch.ea, &scratch.eb);
             for y in 0..h {
                 for x in 0..w {
                     let pick_a = ea.get(x, y) >= eb.get(x, y);
@@ -147,9 +200,10 @@ pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> Com
             radius,
             match_threshold,
         } => {
-            let sa = local_energy(a, radius);
-            let sb = local_energy(b, radius);
-            let cross = local_cross_energy(a, b, radius);
+            local_energy_into(a, radius, &mut scratch.ea);
+            local_energy_into(b, radius, &mut scratch.eb);
+            local_cross_energy_into(a, b, radius, &mut scratch.cross);
+            let (sa, sb, cross) = (&scratch.ea, &scratch.eb, &scratch.cross);
             for y in 0..h {
                 for x in 0..w {
                     let (ea, eb) = (sa.get(x, y), sb.get(x, y));
@@ -186,64 +240,82 @@ pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> Com
             }
         }
     }
-    out
 }
 
 /// Fuses one lowpass residual image.
 pub fn fuse_lowpass(a: &Image, b: &Image, rule: LowpassRule) -> Image {
+    let mut out = Image::zeros(0, 0);
+    fuse_lowpass_into(a, b, rule, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`fuse_lowpass`]: writes into `out`
+/// (reshaped).
+pub fn fuse_lowpass_into(a: &Image, b: &Image, rule: LowpassRule, out: &mut Image) {
     assert_eq!(a.dims(), b.dims(), "lowpass shapes differ");
     let (w, h) = a.dims();
-    Image::from_fn(w, h, |x, y| {
-        let (va, vb) = (a.get(x, y), b.get(x, y));
-        match rule {
-            LowpassRule::Average => 0.5 * (va + vb),
-            LowpassRule::MaxAbs => {
-                if va.abs() >= vb.abs() {
-                    va
-                } else {
-                    vb
+    out.reshape(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (va, vb) = (a.get(x, y), b.get(x, y));
+            let v = match rule {
+                LowpassRule::Average => 0.5 * (va + vb),
+                LowpassRule::MaxAbs => {
+                    if va.abs() >= vb.abs() {
+                        va
+                    } else {
+                        vb
+                    }
                 }
-            }
-            LowpassRule::Weighted { alpha } => alpha * va + (1.0 - alpha) * vb,
+                LowpassRule::Weighted { alpha } => alpha * va + (1.0 - alpha) * vb,
+            };
+            out.set(x, y, v);
         }
-    })
+    }
 }
 
 /// Clamped local cross-energy `Σ (a·b̄).re` over a `(2r+1)²` window — the
 /// numerator of the Burt–Kolczynski match measure.
-fn local_cross_energy(a: &ComplexImage, b: &ComplexImage, radius: usize) -> Image {
+fn local_cross_energy_into(a: &ComplexImage, b: &ComplexImage, radius: usize, out: &mut Image) {
     let (w, h) = a.dims();
     let r = radius as isize;
-    Image::from_fn(w, h, |x, y| {
-        let mut acc = 0.0f32;
-        for dy in -r..=r {
-            for dx in -r..=r {
-                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
-                let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                acc += a.re.get(sx, sy) * b.re.get(sx, sy) + a.im.get(sx, sy) * b.im.get(sx, sy);
+    out.reshape(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                    let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                    acc +=
+                        a.re.get(sx, sy) * b.re.get(sx, sy) + a.im.get(sx, sy) * b.im.get(sx, sy);
+                }
             }
+            out.set(x, y, acc);
         }
-        acc
-    })
+    }
 }
 
 /// Clamped local energy sum over a `(2r+1)²` window.
-fn local_energy(c: &ComplexImage, radius: usize) -> Image {
+fn local_energy_into(c: &ComplexImage, radius: usize, out: &mut Image) {
     let (w, h) = c.dims();
     let r = radius as isize;
-    Image::from_fn(w, h, |x, y| {
-        let mut acc = 0.0f32;
-        for dy in -r..=r {
-            for dx in -r..=r {
-                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
-                let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                let re = c.re.get(sx, sy);
-                let im = c.im.get(sx, sy);
-                acc += re * re + im * im;
+    out.reshape(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                    let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                    let re = c.re.get(sx, sy);
+                    let im = c.im.get(sx, sy);
+                    acc += re * re + im * im;
+                }
             }
+            out.set(x, y, acc);
         }
-        acc
-    })
+    }
 }
 
 /// Approximate size-proportional work of applying a rule to one coefficient
@@ -274,6 +346,38 @@ mod tests {
         let a = Image::from_fn(32, 24, |x, y| ((x * 3 + y) % 11) as f32);
         let b = Image::from_fn(32, 24, |x, y| ((x + 7 * y) % 13) as f32);
         (t.forward(&a).unwrap(), t.forward(&b).unwrap())
+    }
+
+    #[test]
+    fn scratch_fusion_matches_allocating_fusion_exactly() {
+        // One FusionScratch/output pyramid reused across every rule must
+        // reproduce the allocating API bit for bit — earlier iterations
+        // leave the scratch energy maps dirty on purpose.
+        let (pa, pb) = pyramids();
+        let mut scratch = FusionScratch::new();
+        let mut out = CwtPyramid::empty();
+        for rule in [
+            FusionRule::MaxMagnitude,
+            FusionRule::WindowEnergy { radius: 1 },
+            FusionRule::WindowEnergy { radius: 2 },
+            FusionRule::ActivityGuided {
+                radius: 1,
+                match_threshold: 0.75,
+            },
+            FusionRule::Weighted { alpha: 0.25 },
+        ] {
+            for lowpass in [LowpassRule::Average, LowpassRule::MaxAbs] {
+                let want = fuse_pyramids(&pa, &pb, rule, lowpass);
+                fuse_pyramids_into(&pa, &pb, rule, lowpass, &mut scratch, &mut out);
+                for level in 0..want.levels() {
+                    for (w, g) in want.subbands(level).iter().zip(out.subbands(level)) {
+                        assert_eq!(w.re, g.re, "{rule:?} {lowpass:?}");
+                        assert_eq!(w.im, g.im, "{rule:?} {lowpass:?}");
+                    }
+                }
+                assert_eq!(want.lowpass(), out.lowpass());
+            }
+        }
     }
 
     #[test]

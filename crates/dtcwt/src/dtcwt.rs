@@ -13,11 +13,18 @@
 //! about: approximate shift invariance and directional selectivity that
 //! distinguishes +45° from −45° (a plain DWT cannot).
 
+use std::sync::Arc;
+
 use crate::dwt1d::{BankTaps, Phase};
-use crate::dwt2d::{analyze_level, synthesize_level, AxisSpec, Dwt2d, OneLevel, Subbands};
+use crate::dwt2d::{
+    analyze_level, analyze_level_into, synthesize_level, synthesize_level_into, AxisSpec, Dwt2d,
+    OneLevel, Subbands,
+};
 use crate::filters::FilterBank;
 use crate::image::{ComplexImage, Image};
 use crate::kernel::{FilterKernel, ScalarKernel};
+use crate::scratch::{ComboSlot, ComboStore, Scratch};
+use crate::workers::{Job, JobOutcome, JobPayload, WorkerPool};
 use crate::DtcwtError;
 
 /// The six orientation-selective subbands of each DT-CWT level.
@@ -92,6 +99,39 @@ pub struct CwtPyramid {
 }
 
 impl CwtPyramid {
+    /// Creates a zero-level placeholder pyramid with no allocation, for use
+    /// as a reusable output slot of [`Dtcwt::forward_into`].
+    pub fn empty() -> Self {
+        CwtPyramid {
+            subbands: Vec::new(),
+            lowpass: std::array::from_fn(|_| Image::zeros(0, 0)),
+            pre_pad_dims: Vec::new(),
+        }
+    }
+
+    /// Reshapes this pyramid to the level structure and subband dimensions
+    /// of `template`, reusing existing allocations. Pixel contents are
+    /// zeroed; callers are expected to overwrite them.
+    pub fn reshape_like(&mut self, template: &CwtPyramid) {
+        self.pre_pad_dims.clear();
+        self.pre_pad_dims.extend_from_slice(&template.pre_pad_dims);
+        while self.subbands.len() < template.subbands.len() {
+            self.subbands
+                .push(std::array::from_fn(|_| ComplexImage::zeros(0, 0)));
+        }
+        self.subbands.truncate(template.subbands.len());
+        for (mine, theirs) in self.subbands.iter_mut().zip(&template.subbands) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                let (w, h) = t.dims();
+                m.reshape(w, h);
+            }
+        }
+        for (m, t) in self.lowpass.iter_mut().zip(&template.lowpass) {
+            let (w, h) = t.dims();
+            m.reshape(w, h);
+        }
+    }
+
     /// Number of decomposition levels.
     pub fn levels(&self) -> usize {
         self.subbands.len()
@@ -298,11 +338,77 @@ impl Dtcwt {
         self.assemble_pyramid(img, per_combo)
     }
 
-    /// Forward transform with the four tree combinations executed on
-    /// scoped worker threads, one kernel per thread (host-side
-    /// parallelism; the modeled platform timing is unaffected — the paper's
-    /// single-A9 system has no such option, but a library user's host
-    /// does).
+    /// Allocation-free forward transform: writes the pyramid into `out`,
+    /// staging per-combo results in `combos` and intermediates in `scratch`.
+    /// Bit-identical to [`Dtcwt::forward_with`]; after a warm-up call of the
+    /// same geometry it performs zero heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_with`].
+    pub fn forward_into(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        img: &Image,
+        combos: &mut ComboStore,
+        scratch: &mut Scratch,
+        out: &mut CwtPyramid,
+    ) -> Result<(), DtcwtError> {
+        self.check_levels(img)?;
+        for ci in 0..COMBOS.len() {
+            let slot = &mut combos.slots[ci];
+            self.analyze_combo_into(kernel, img, ci, &mut slot.detail, &mut slot.ll, scratch)?;
+        }
+        self.assemble_pyramid_into(img.dims(), combos, out);
+        Ok(())
+    }
+
+    /// Forward transform with the four tree combinations dispatched to a
+    /// long-lived [`WorkerPool`] (host-side parallelism; the modeled
+    /// platform timing is unaffected — the paper's single-A9 system has no
+    /// such option, but a library user's host does). `kernel` selects the
+    /// workers' kernel slot. Buffers ping-pong through `combos`/`outcomes`,
+    /// so steady-state dispatch is allocation-free; results are bit-identical
+    /// to the serial paths at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_with`], plus [`DtcwtError::MalformedPyramid`]
+    /// if a worker lacks the requested kernel slot.
+    pub fn forward_pooled(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        kernel: usize,
+        img: &Arc<Image>,
+        combos: &mut ComboStore,
+        outcomes: &mut Vec<JobOutcome>,
+        out: &mut CwtPyramid,
+    ) -> Result<(), DtcwtError> {
+        self.check_levels(img)?;
+        for (ci, slot) in combos.slots.iter_mut().enumerate() {
+            pool.submit(Job::ForwardCombo {
+                transform: Arc::clone(self),
+                img: Arc::clone(img),
+                tag: 0,
+                combo: ci,
+                kernel,
+                detail: std::mem::take(&mut slot.detail),
+                ll: std::mem::take(&mut slot.ll),
+            });
+        }
+        outcomes.clear();
+        pool.drain(COMBOS.len(), outcomes);
+        let err = place_forward_outcomes(outcomes, combos);
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.assemble_pyramid_into(img.dims(), combos, out);
+        Ok(())
+    }
+
+    /// Forward transform with the four tree combinations executed on an
+    /// ephemeral four-worker pool, one kernel per worker (see
+    /// [`Dtcwt::forward_pooled`] for the persistent-pool variant).
     ///
     /// `kernel_factory` builds one kernel per worker.
     ///
@@ -315,32 +421,20 @@ impl Dtcwt {
         img: &Image,
     ) -> Result<CwtPyramid, DtcwtError>
     where
-        K: FilterKernel,
-        F: Fn() -> K + Sync,
+        K: FilterKernel + Send + 'static,
+        F: Fn() -> K,
     {
         self.check_levels(img)?;
-        let results: Vec<Result<(Vec<Subbands>, Image), DtcwtError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = COMBOS
-                    .iter()
-                    .map(|&(rt, ct)| {
-                        let factory = &kernel_factory;
-                        scope.spawn(move || {
-                            let mut kernel = factory();
-                            self.analyze_combo(&mut kernel, img, rt, ct)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker does not panic"))
-                    .collect()
-            });
-        let mut per_combo = Vec::with_capacity(4);
-        for r in results {
-            per_combo.push(r?);
-        }
-        self.assemble_pyramid(img, per_combo)
+        let pool = WorkerPool::new(COMBOS.len(), &mut |_| {
+            vec![Box::new(kernel_factory()) as Box<dyn FilterKernel + Send>]
+        });
+        let t = Arc::new(self.clone());
+        let img = Arc::new(img.clone());
+        let mut combos = ComboStore::new();
+        let mut outcomes = Vec::with_capacity(COMBOS.len());
+        let mut out = CwtPyramid::empty();
+        t.forward_pooled(&pool, 0, &img, &mut combos, &mut outcomes, &mut out)?;
+        Ok(out)
     }
 
     fn check_levels(&self, img: &Image) -> Result<(), DtcwtError> {
@@ -374,6 +468,52 @@ impl Dtcwt {
             cur = one.ll;
         }
         Ok((detail, cur))
+    }
+
+    /// Allocation-free variant of [`Dtcwt::analyze_combo`] for combination
+    /// index `ci` (0..4): writes the per-level detail into `detail` and the
+    /// lowpass residual into `ll`, ping-ponging level images through
+    /// `scratch`.
+    pub(crate) fn analyze_combo_into(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        img: &Image,
+        ci: usize,
+        detail: &mut Vec<Subbands>,
+        ll: &mut Image,
+        scratch: &mut Scratch,
+    ) -> Result<(), DtcwtError> {
+        let (rt, ct) = COMBOS[ci];
+        // `Subbands::empty()` holds no pixels, so growing the vector only
+        // allocates on the very first frame.
+        while detail.len() < self.levels {
+            detail.push(Subbands::empty());
+        }
+        detail.truncate(self.levels);
+        scratch.cur.copy_from(img);
+        for (level, det) in detail.iter_mut().enumerate() {
+            let rows = self.axis_spec(level, rt);
+            let cols = self.axis_spec(level, ct);
+            let Scratch {
+                s1,
+                s2,
+                cur,
+                next,
+                padded,
+                ..
+            } = scratch;
+            let (w, h) = cur.dims();
+            let src: &Image = if w % 2 == 0 && h % 2 == 0 {
+                cur
+            } else {
+                cur.pad_to_even_into(padded);
+                padded
+            };
+            analyze_level_into(kernel, &rows, &cols, src, next, det, s2, s1)?;
+            std::mem::swap(cur, next);
+        }
+        ll.copy_from(&scratch.cur);
+        Ok(())
     }
 
     fn assemble_pyramid(
@@ -431,6 +571,54 @@ impl Dtcwt {
         })
     }
 
+    /// Allocation-free variant of [`Dtcwt::assemble_pyramid`]: combines the
+    /// four combo slots into `out`, reusing all of its buffers.
+    fn assemble_pyramid_into(
+        &self,
+        dims: (usize, usize),
+        combos: &ComboStore,
+        out: &mut CwtPyramid,
+    ) {
+        // Reconstruct the per-level pre-padding dimensions.
+        out.pre_pad_dims.clear();
+        let (mut w, mut h) = dims;
+        for _ in 0..self.levels {
+            out.pre_pad_dims.push((w, h));
+            w = (w + w % 2) / 2;
+            h = (h + h % 2) / 2;
+        }
+
+        // Combine the four real detail quadruples into complex subbands.
+        while out.subbands.len() < self.levels {
+            out.subbands
+                .push(std::array::from_fn(|_| ComplexImage::zeros(0, 0)));
+        }
+        out.subbands.truncate(self.levels);
+        for level in 0..self.levels {
+            let quad = |f: fn(&Subbands) -> &Image| -> [&Image; 4] {
+                [
+                    f(&combos.slots[0].detail[level]),
+                    f(&combos.slots[1].detail[level]),
+                    f(&combos.slots[2].detail[level]),
+                    f(&combos.slots[3].detail[level]),
+                ]
+            };
+            let bands = &mut out.subbands[level];
+            // Same orientation layout as `assemble_pyramid`:
+            // hl -> (+15, -15), hh -> (+45, -45), lh -> (+75, -75).
+            let (z1, z2) = pair_mut(bands, 0, 5);
+            quad_to_complex_into(quad(|s| &s.hl), z1, z2);
+            let (z1, z2) = pair_mut(bands, 1, 4);
+            quad_to_complex_into(quad(|s| &s.hh), z1, z2);
+            let (z1, z2) = pair_mut(bands, 2, 3);
+            quad_to_complex_into(quad(|s| &s.lh), z1, z2);
+        }
+
+        for (dst, slot) in out.lowpass.iter_mut().zip(&combos.slots) {
+            dst.copy_from(&slot.ll);
+        }
+    }
+
     /// Inverse transform with the default scalar kernel.
     ///
     /// # Errors
@@ -469,8 +657,99 @@ impl Dtcwt {
         Ok(out)
     }
 
-    /// Inverse transform with the four tree combinations inverted on
-    /// scoped worker threads (see [`Dtcwt::forward_parallel`]).
+    /// Allocation-free inverse transform: writes the reconstruction into
+    /// `out`, staging per-combo syntheses in `scratch`. Bit-identical to
+    /// [`Dtcwt::inverse_with`]; after a warm-up call of the same geometry it
+    /// performs zero heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::inverse_with`].
+    pub fn inverse_into(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        pyr: &CwtPyramid,
+        scratch: &mut Scratch,
+        out: &mut Image,
+    ) -> Result<(), DtcwtError> {
+        self.check_pyramid(pyr)?;
+        for ci in 0..COMBOS.len() {
+            self.synthesize_combo_into(kernel, pyr, ci, scratch)?;
+            if ci == 0 {
+                out.copy_from(&scratch.cur);
+            } else {
+                out.add_scaled(&scratch.cur, 1.0);
+            }
+        }
+        out.scale_in_place(0.25);
+        Ok(())
+    }
+
+    /// Inverse transform with the four tree combinations dispatched to a
+    /// long-lived [`WorkerPool`] (see [`Dtcwt::forward_pooled`]). `bufs` is a
+    /// recycle bin of output images (up to four are popped and pushed back),
+    /// so steady-state dispatch is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::inverse_with`], plus [`DtcwtError::MalformedPyramid`]
+    /// if a worker lacks the requested kernel slot.
+    pub fn inverse_pooled(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        kernel: usize,
+        pyr: &Arc<CwtPyramid>,
+        bufs: &mut Vec<Image>,
+        outcomes: &mut Vec<JobOutcome>,
+        out: &mut Image,
+    ) -> Result<(), DtcwtError> {
+        self.check_pyramid(pyr)?;
+        for ci in 0..COMBOS.len() {
+            pool.submit(Job::InverseCombo {
+                transform: Arc::clone(self),
+                pyr: Arc::clone(pyr),
+                tag: 0,
+                combo: ci,
+                kernel,
+                out: bufs.pop().unwrap_or_default(),
+            });
+        }
+        outcomes.clear();
+        pool.drain(COMBOS.len(), outcomes);
+        let mut slots: [Option<Image>; 4] = [None, None, None, None];
+        let mut first_err: Option<(usize, DtcwtError)> = None;
+        for oc in outcomes.drain(..) {
+            if let JobPayload::Inverse { out: img } = oc.payload {
+                slots[oc.combo] = Some(img);
+            }
+            if let Some(e) = oc.error {
+                if first_err.as_ref().is_none_or(|(c, _)| oc.combo < *c) {
+                    first_err = Some((oc.combo, e));
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            // Recycle whatever buffers survived before reporting.
+            bufs.extend(slots.into_iter().flatten());
+            return Err(e);
+        }
+        // Accumulate in combo order so the result is bit-identical to the
+        // serial inverse regardless of worker completion order.
+        for (ci, slot) in slots.into_iter().enumerate() {
+            let img = slot.expect("all four combos returned");
+            if ci == 0 {
+                out.copy_from(&img);
+            } else {
+                out.add_scaled(&img, 1.0);
+            }
+            bufs.push(img);
+        }
+        out.scale_in_place(0.25);
+        Ok(())
+    }
+
+    /// Inverse transform with the four tree combinations inverted on an
+    /// ephemeral four-worker pool (see [`Dtcwt::forward_parallel`]).
     ///
     /// # Errors
     ///
@@ -481,37 +760,19 @@ impl Dtcwt {
         pyr: &CwtPyramid,
     ) -> Result<Image, DtcwtError>
     where
-        K: FilterKernel,
-        F: Fn() -> K + Sync,
+        K: FilterKernel + Send + 'static,
+        F: Fn() -> K,
     {
         self.check_pyramid(pyr)?;
-        let results: Vec<Result<Image, DtcwtError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = COMBOS
-                .iter()
-                .enumerate()
-                .map(|(ci, &(rt, ct))| {
-                    let factory = &kernel_factory;
-                    scope.spawn(move || {
-                        let mut kernel = factory();
-                        self.synthesize_combo(&mut kernel, pyr, ci, rt, ct)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker does not panic"))
-                .collect()
+        let pool = WorkerPool::new(COMBOS.len(), &mut |_| {
+            vec![Box::new(kernel_factory()) as Box<dyn FilterKernel + Send>]
         });
-        let mut sum: Option<Image> = None;
-        for r in results {
-            let cur = r?;
-            match &mut sum {
-                None => sum = Some(cur),
-                Some(acc) => acc.add_scaled(&cur, 1.0),
-            }
-        }
-        let mut out = sum.expect("at least one combo");
-        out.scale_in_place(0.25);
+        let t = Arc::new(self.clone());
+        let pyr = Arc::new(pyr.clone());
+        let mut bufs = Vec::with_capacity(COMBOS.len());
+        let mut outcomes = Vec::with_capacity(COMBOS.len());
+        let mut out = Image::zeros(0, 0);
+        t.inverse_pooled(&pool, 0, &pyr, &mut bufs, &mut outcomes, &mut out)?;
         Ok(out)
     }
 
@@ -568,15 +829,109 @@ impl Dtcwt {
         }
         Ok(cur)
     }
+
+    /// Allocation-free variant of [`Dtcwt::synthesize_combo`]: leaves the
+    /// combination's reconstruction in `scratch.cur`.
+    pub(crate) fn synthesize_combo_into(
+        &self,
+        kernel: &mut dyn FilterKernel,
+        pyr: &CwtPyramid,
+        ci: usize,
+        scratch: &mut Scratch,
+    ) -> Result<(), DtcwtError> {
+        let (rt, ct) = COMBOS[ci];
+        scratch.cur.copy_from(&pyr.lowpass[ci]);
+        for level in (0..self.levels).rev() {
+            let s = &pyr.subbands[level];
+            let rows = self.axis_spec(level, rt);
+            let cols = self.axis_spec(level, ct);
+            let Scratch {
+                s1,
+                s2,
+                cur,
+                next,
+                qlh,
+                qhl,
+                qhh,
+                ..
+            } = scratch;
+            complex_to_quad_member_into(
+                &s[Orientation::Pos15.index()],
+                &s[Orientation::Neg15.index()],
+                ci,
+                qhl,
+            );
+            complex_to_quad_member_into(
+                &s[Orientation::Pos45.index()],
+                &s[Orientation::Neg45.index()],
+                ci,
+                qhh,
+            );
+            complex_to_quad_member_into(
+                &s[Orientation::Pos75.index()],
+                &s[Orientation::Neg75.index()],
+                ci,
+                qlh,
+            );
+            synthesize_level_into(kernel, &rows, &cols, cur, qlh, qhl, qhh, next, s2, s1)?;
+            let (ow, oh) = pyr.pre_pad_dims[level];
+            if next.dims() == (ow, oh) {
+                std::mem::swap(cur, next);
+            } else {
+                next.crop_into(0, 0, ow, oh, cur);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Returns the four forward-job buffers to their combo slots, reporting the
+/// lowest-combo error if any job failed.
+fn place_forward_outcomes(
+    outcomes: &mut Vec<JobOutcome>,
+    combos: &mut ComboStore,
+) -> Option<DtcwtError> {
+    let mut first_err: Option<(usize, DtcwtError)> = None;
+    for oc in outcomes.drain(..) {
+        if let Some(e) = oc.error {
+            if first_err.as_ref().is_none_or(|(c, _)| oc.combo < *c) {
+                first_err = Some((oc.combo, e));
+            }
+        }
+        if let JobPayload::Forward { detail, ll } = oc.payload {
+            combos.slots[oc.combo] = ComboSlot { detail, ll };
+        }
+    }
+    first_err.map(|(_, e)| e)
+}
+
+/// Splits two distinct subband indices (`i < j`) out of one level's array.
+fn pair_mut(
+    bands: &mut [ComplexImage; 6],
+    i: usize,
+    j: usize,
+) -> (&mut ComplexImage, &mut ComplexImage) {
+    debug_assert!(i < j);
+    let (head, tail) = bands.split_at_mut(j);
+    (&mut head[i], &mut tail[0])
 }
 
 /// Combines the four per-tree real subbands `[aa, ab, ba, bb]` into the two
 /// oppositely-oriented complex subbands:
 /// `z1 = ((aa − bb) + i(ab + ba)) / 2`, `z2 = ((aa + bb) + i(ab − ba)) / 2`.
 fn quad_to_complex(q: [&Image; 4]) -> (ComplexImage, ComplexImage) {
+    let mut z1 = ComplexImage::zeros(0, 0);
+    let mut z2 = ComplexImage::zeros(0, 0);
+    quad_to_complex_into(q, &mut z1, &mut z2);
+    (z1, z2)
+}
+
+/// Allocation-free form of [`quad_to_complex`], writing into reshaped
+/// outputs.
+fn quad_to_complex_into(q: [&Image; 4], z1: &mut ComplexImage, z2: &mut ComplexImage) {
     let (w, h) = q[0].dims();
-    let mut z1 = ComplexImage::zeros(w, h);
-    let mut z2 = ComplexImage::zeros(w, h);
+    z1.reshape(w, h);
+    z2.reshape(w, h);
     for y in 0..h {
         for x in 0..w {
             let (a, b, c, d) = (
@@ -591,24 +946,35 @@ fn quad_to_complex(q: [&Image; 4]) -> (ComplexImage, ComplexImage) {
             z2.im.set(x, y, 0.5 * (b - c));
         }
     }
-    (z1, z2)
 }
 
 /// Inverse of [`quad_to_complex`] for one tree combination `ci`
 /// (`aa = 0, ab = 1, ba = 2, bb = 3`).
 fn complex_to_quad_member(z1: &ComplexImage, z2: &ComplexImage, ci: usize) -> Image {
+    let mut out = Image::zeros(0, 0);
+    complex_to_quad_member_into(z1, z2, ci, &mut out);
+    out
+}
+
+/// Allocation-free form of [`complex_to_quad_member`], writing into a
+/// reshaped output.
+fn complex_to_quad_member_into(z1: &ComplexImage, z2: &ComplexImage, ci: usize, out: &mut Image) {
     let (w, h) = z1.dims();
-    Image::from_fn(w, h, |x, y| {
-        let (r1, i1) = (z1.re.get(x, y), z1.im.get(x, y));
-        let (r2, i2) = (z2.re.get(x, y), z2.im.get(x, y));
-        match ci {
-            0 => r1 + r2, // aa
-            1 => i1 + i2, // ab
-            2 => i1 - i2, // ba
-            3 => r2 - r1, // bb
-            _ => unreachable!("tree combination index is 0..4"),
+    out.reshape(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let (r1, i1) = (z1.re.get(x, y), z1.im.get(x, y));
+            let (r2, i2) = (z2.re.get(x, y), z2.im.get(x, y));
+            let v = match ci {
+                0 => r1 + r2, // aa
+                1 => i1 + i2, // ab
+                2 => i1 - i2, // ba
+                3 => r2 - r1, // bb
+                _ => unreachable!("tree combination index is 0..4"),
+            };
+            out.set(x, y, v);
         }
-    })
+    }
 }
 
 #[cfg(test)]
@@ -717,6 +1083,82 @@ mod tests {
             n_pos45 < n_neg45,
             "gratings must prefer opposite diagonal bands"
         );
+    }
+
+    #[test]
+    fn pooled_forward_and_inverse_match_serial_exactly() {
+        // Pooled paths must be *bit-identical* to the allocating paths: the
+        // arithmetic and its order are shared, only buffer ownership moved.
+        // One scratch/combo-store reused across all sizes, including odd
+        // 35x35, to prove stale state cannot leak between geometries.
+        let mut scratch = Scratch::new();
+        let mut combos = ComboStore::new();
+        let mut pyr_out = CwtPyramid::empty();
+        let mut img_out = Image::zeros(0, 0);
+        for (w, h) in [(32, 24), (35, 35), (40, 40), (8, 8), (88, 72)] {
+            let img = test_image(w, h);
+            let levels = 3.min(Dwt2d::max_levels(w, h));
+            let t = Dtcwt::new(levels).unwrap();
+            let mut k = ScalarKernel::new();
+            let serial = t.forward_with(&mut k, &img).unwrap();
+            t.forward_into(&mut k, &img, &mut combos, &mut scratch, &mut pyr_out)
+                .unwrap();
+            assert_eq!(pyr_out.levels(), serial.levels());
+            assert_eq!(pyr_out.input_dims(), serial.input_dims());
+            for level in 0..levels {
+                for (a, b) in serial.subbands(level).iter().zip(pyr_out.subbands(level)) {
+                    assert_eq!(a.re, b.re, "{w}x{h} level {level}");
+                    assert_eq!(a.im, b.im, "{w}x{h} level {level}");
+                }
+            }
+            for (a, b) in serial.lowpass().iter().zip(pyr_out.lowpass()) {
+                assert_eq!(a, b, "{w}x{h} lowpass");
+            }
+            let inv_serial = t.inverse_with(&mut k, &serial).unwrap();
+            t.inverse_into(&mut k, &pyr_out, &mut scratch, &mut img_out)
+                .unwrap();
+            assert_eq!(img_out, inv_serial, "{w}x{h} inverse");
+        }
+    }
+
+    #[test]
+    fn pooled_paths_reject_bad_inputs_like_serial() {
+        let mut scratch = Scratch::new();
+        let mut combos = ComboStore::new();
+        let mut pyr_out = CwtPyramid::empty();
+        let t6 = Dtcwt::new(6).unwrap();
+        let img = test_image(16, 16);
+        let mut k = ScalarKernel::new();
+        assert!(matches!(
+            t6.forward_into(&mut k, &img, &mut combos, &mut scratch, &mut pyr_out),
+            Err(DtcwtError::BadLevels { .. })
+        ));
+        let t2 = Dtcwt::new(2).unwrap();
+        let t3 = Dtcwt::new(3).unwrap();
+        let pyr = t2.forward(&test_image(32, 32)).unwrap();
+        let mut out = Image::zeros(0, 0);
+        assert!(matches!(
+            t3.inverse_into(&mut k, &pyr, &mut scratch, &mut out),
+            Err(DtcwtError::MalformedPyramid(_))
+        ));
+    }
+
+    #[test]
+    fn pooled_worker_inverse_matches_serial_exactly() {
+        let img = test_image(40, 40);
+        let t = Arc::new(Dtcwt::new(3).unwrap());
+        let pyr = Arc::new(t.forward(&img).unwrap());
+        let serial = t.inverse(&pyr).unwrap();
+        let pool = WorkerPool::new(4, &mut |_| {
+            vec![Box::new(ScalarKernel::new()) as Box<dyn FilterKernel + Send>]
+        });
+        let mut bufs = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut out = Image::zeros(0, 0);
+        t.inverse_pooled(&pool, 0, &pyr, &mut bufs, &mut outcomes, &mut out)
+            .unwrap();
+        assert_eq!(out, serial);
+        assert_eq!(bufs.len(), 4, "all four buffers recycled");
     }
 
     #[test]

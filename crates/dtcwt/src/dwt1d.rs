@@ -12,6 +12,7 @@
 
 use crate::filters::FilterBank;
 use crate::kernel::FilterKernel;
+use crate::scratch::Scratch1d;
 use crate::DtcwtError;
 
 /// Decimation phase of a single-level transform. `A` keeps even-indexed
@@ -116,6 +117,30 @@ pub fn analyze(
     x: &[f32],
     phase: Phase,
 ) -> Result<(Vec<f32>, Vec<f32>), DtcwtError> {
+    let half = x.len() / 2;
+    let mut lo = vec![0.0f32; half];
+    let mut hi = vec![0.0f32; half];
+    let mut scratch = Scratch1d::new();
+    analyze_into(kernel, taps, x, phase, &mut lo, &mut hi, &mut scratch)?;
+    Ok((lo, hi))
+}
+
+/// Allocation-free variant of [`analyze`]: writes the decimated channels
+/// into caller-provided slices, staging the circular extension in `scratch`.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if `x` is empty or of odd length,
+/// or if `lo`/`hi` are not exactly `x.len() / 2` long.
+pub fn analyze_into(
+    kernel: &mut dyn FilterKernel,
+    taps: &BankTaps,
+    x: &[f32],
+    phase: Phase,
+    lo: &mut [f32],
+    hi: &mut [f32],
+    scratch: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
     if x.is_empty() || !x.len().is_multiple_of(2) {
         return Err(DtcwtError::BadDimensions {
             width: x.len(),
@@ -124,20 +149,24 @@ pub fn analyze(
         });
     }
     let half = x.len() / 2;
-    let mut ext = Vec::new();
-    extend_circular_into(x, taps.analysis_left, taps.analysis_left, &mut ext);
-    let mut lo = vec![0.0f32; half];
-    let mut hi = vec![0.0f32; half];
+    if lo.len() != half || hi.len() != half {
+        return Err(DtcwtError::BadDimensions {
+            width: lo.len(),
+            height: hi.len(),
+            reason: "analysis outputs must each be half the input length",
+        });
+    }
+    extend_circular_into(x, taps.analysis_left, taps.analysis_left, &mut scratch.ext);
     kernel.analyze_row(
-        &ext,
+        &scratch.ext,
         taps.analysis_left,
         &taps.h0,
         &taps.h1,
         phase.offset(),
-        &mut lo,
-        &mut hi,
+        lo,
+        hi,
     );
-    Ok((lo, hi))
+    Ok(())
 }
 
 /// Single-level interpolating synthesis; exact inverse of [`analyze`] for
@@ -154,6 +183,29 @@ pub fn synthesize(
     hi: &[f32],
     phase: Phase,
 ) -> Result<Vec<f32>, DtcwtError> {
+    let mut out = vec![0.0f32; lo.len() * 2];
+    let mut scratch = Scratch1d::new();
+    synthesize_into(kernel, taps, lo, hi, phase, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Allocation-free variant of [`synthesize`]: writes the reconstruction into
+/// a caller-provided slice, staging extensions and the raw (un-rotated)
+/// output in `scratch`.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if the channels are empty or of
+/// different lengths, or if `out` is not exactly `2 * lo.len()` long.
+pub fn synthesize_into(
+    kernel: &mut dyn FilterKernel,
+    taps: &BankTaps,
+    lo: &[f32],
+    hi: &[f32],
+    phase: Phase,
+    out: &mut [f32],
+    scratch: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
     if lo.is_empty() || lo.len() != hi.len() {
         return Err(DtcwtError::BadDimensions {
             width: lo.len(),
@@ -162,28 +214,33 @@ pub fn synthesize(
         });
     }
     let n = lo.len() * 2;
-    let mut lo_ext = Vec::new();
-    let mut hi_ext = Vec::new();
-    extend_circular_into(lo, taps.synthesis_left, 0, &mut lo_ext);
-    extend_circular_into(hi, taps.synthesis_left, 0, &mut hi_ext);
-    let mut raw = vec![0.0f32; n];
+    if out.len() != n {
+        return Err(DtcwtError::BadDimensions {
+            width: out.len(),
+            height: 1,
+            reason: "synthesis output must be twice the channel length",
+        });
+    }
+    extend_circular_into(lo, taps.synthesis_left, 0, &mut scratch.lo_ext);
+    extend_circular_into(hi, taps.synthesis_left, 0, &mut scratch.hi_ext);
+    scratch.raw.clear();
+    scratch.raw.resize(n, 0.0);
     kernel.synthesize_row(
-        &lo_ext,
-        &hi_ext,
+        &scratch.lo_ext,
+        &scratch.hi_ext,
         taps.synthesis_left,
         &taps.g0,
         &taps.g1,
         phase.offset(),
-        &mut raw,
+        &mut scratch.raw,
     );
     // The analysis/synthesis cascade delays the signal by `delay` samples
     // (circularly); rotate left to compensate.
     let d = taps.delay % n;
-    let mut out = vec![0.0f32; n];
     for (m, o) in out.iter_mut().enumerate() {
-        *o = raw[(m + d) % n];
+        *o = scratch.raw[(m + d) % n];
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //! level and cropped on reconstruction, so any frame size — including the
 //! paper's 35x35 extraction — round-trips exactly.
 
-use crate::dwt1d::{analyze, synthesize, BankTaps, Phase};
+use crate::dwt1d::{analyze, analyze_into, synthesize, synthesize_into, BankTaps, Phase};
 use crate::filters::FilterBank;
 use crate::image::Image;
 use crate::kernel::{FilterKernel, ScalarKernel};
+use crate::scratch::{Scratch1d, Scratch2d};
 use crate::DtcwtError;
 
 /// The three detail subbands of one decomposition level.
@@ -25,6 +26,18 @@ pub struct Subbands {
     pub hl: Image,
     /// High horizontal, high vertical frequency.
     pub hh: Image,
+}
+
+impl Subbands {
+    /// Creates zero-pixel placeholder subbands without allocating; the
+    /// `*_into` transforms reshape them on first use.
+    pub fn empty() -> Self {
+        Subbands {
+            lh: Image::zeros(0, 0),
+            hl: Image::zeros(0, 0),
+            hh: Image::zeros(0, 0),
+        }
+    }
 }
 
 /// All four bands of a single 2-D analysis step.
@@ -102,6 +115,102 @@ fn analyze_columns(
     Ok((low.transpose(), high.transpose()))
 }
 
+/// Allocation-free variant of [`analyze_level`]: writes the approximation
+/// band into `ll` and the detail bands into `detail`, staging intermediates
+/// in the scratch arenas. Produces bit-identical results to the allocating
+/// path (the cache-blocked transposes are pure copies).
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] for empty or odd-sized inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_level_into(
+    kernel: &mut dyn FilterKernel,
+    rows: &AxisSpec<'_>,
+    cols: &AxisSpec<'_>,
+    img: &Image,
+    ll: &mut Image,
+    detail: &mut Subbands,
+    s2: &mut Scratch2d,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    let (w, h) = img.dims();
+    if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 {
+        return Err(DtcwtError::BadDimensions {
+            width: w,
+            height: h,
+            reason: "2-d analysis requires even non-zero dimensions",
+        });
+    }
+    let Scratch2d {
+        low,
+        high,
+        ta,
+        tb,
+        tc,
+    } = s2;
+    // Row pass: filter along x, straight into the half-width staging images.
+    low.reshape(w / 2, h);
+    high.reshape(w / 2, h);
+    for y in 0..h {
+        analyze_into(
+            kernel,
+            rows.taps,
+            img.row(y),
+            rows.phase,
+            low.row_mut(y),
+            high.row_mut(y),
+            s1,
+        )?;
+    }
+    // Column pass: transpose so columns become contiguous rows.
+    analyze_columns_into(kernel, cols, low, ta, tb, tc, ll, &mut detail.lh, s1)?;
+    analyze_columns_into(
+        kernel,
+        cols,
+        high,
+        ta,
+        tb,
+        tc,
+        &mut detail.hl,
+        &mut detail.hh,
+        s1,
+    )?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_columns_into(
+    kernel: &mut dyn FilterKernel,
+    spec: &AxisSpec<'_>,
+    img: &Image,
+    ta: &mut Image,
+    tb: &mut Image,
+    tc: &mut Image,
+    out_low: &mut Image,
+    out_high: &mut Image,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    img.transpose_into(ta); // width = original height
+    let (w, h) = ta.dims();
+    tb.reshape(w / 2, h);
+    tc.reshape(w / 2, h);
+    for y in 0..h {
+        analyze_into(
+            kernel,
+            spec.taps,
+            ta.row(y),
+            spec.phase,
+            tb.row_mut(y),
+            tc.row_mut(y),
+            s1,
+        )?;
+    }
+    tb.transpose_into(out_low);
+    tc.transpose_into(out_high);
+    Ok(())
+}
+
 /// One level of separable 2-D synthesis; exact inverse of [`analyze_level`].
 ///
 /// # Errors
@@ -159,6 +268,102 @@ fn synthesize_columns(
         out_t.row_mut(y).copy_from_slice(&row);
     }
     Ok(out_t.transpose())
+}
+
+/// Allocation-free variant of [`synthesize_level`]: reconstructs from the
+/// four bands into `out`, staging intermediates in the scratch arenas.
+/// Bit-identical to the allocating path.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if the four bands do not all share
+/// the same non-empty dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_level_into(
+    kernel: &mut dyn FilterKernel,
+    rows: &AxisSpec<'_>,
+    cols: &AxisSpec<'_>,
+    ll: &Image,
+    lh: &Image,
+    hl: &Image,
+    hh: &Image,
+    out: &mut Image,
+    s2: &mut Scratch2d,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    let (bw, bh) = ll.dims();
+    for band in [lh, hl, hh] {
+        if band.dims() != (bw, bh) {
+            return Err(DtcwtError::BadDimensions {
+                width: band.width(),
+                height: band.height(),
+                reason: "subband dimensions disagree with LL band",
+            });
+        }
+    }
+    if bw == 0 || bh == 0 {
+        return Err(DtcwtError::BadDimensions {
+            width: bw,
+            height: bh,
+            reason: "empty subbands",
+        });
+    }
+    let Scratch2d {
+        low,
+        high,
+        ta,
+        tb,
+        tc,
+    } = s2;
+    // Invert the column pass.
+    synthesize_columns_into(kernel, cols, ll, lh, ta, tb, tc, low, s1)?;
+    synthesize_columns_into(kernel, cols, hl, hh, ta, tb, tc, high, s1)?;
+    // Invert the row pass.
+    let h = bh * 2;
+    out.reshape(bw * 2, h);
+    for y in 0..h {
+        synthesize_into(
+            kernel,
+            rows.taps,
+            low.row(y),
+            high.row(y),
+            rows.phase,
+            out.row_mut(y),
+            s1,
+        )?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synthesize_columns_into(
+    kernel: &mut dyn FilterKernel,
+    spec: &AxisSpec<'_>,
+    lo: &Image,
+    hi: &Image,
+    ta: &mut Image,
+    tb: &mut Image,
+    tc: &mut Image,
+    out: &mut Image,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    lo.transpose_into(ta);
+    hi.transpose_into(tb);
+    let (w, h) = ta.dims();
+    tc.reshape(w * 2, h);
+    for y in 0..h {
+        synthesize_into(
+            kernel,
+            spec.taps,
+            ta.row(y),
+            tb.row(y),
+            spec.phase,
+            tc.row_mut(y),
+            s1,
+        )?;
+    }
+    tc.transpose_into(out);
+    Ok(())
 }
 
 /// A multi-level real DWT pyramid.
@@ -418,6 +623,104 @@ mod tests {
         let level = analyze_level(&mut k, &rows, &cols, &img).unwrap();
         let back = synthesize_level(&mut k, &rows, &cols, &level).unwrap();
         assert!(back.max_abs_diff(&img) < 1e-4);
+    }
+
+    #[test]
+    fn pooled_level_matches_allocating_level_exactly() {
+        // The pooled path must be bit-identical: transposes are pure copies
+        // and the row arithmetic is shared, so exact equality is required.
+        let bank = FilterBank::near_sym_b().unwrap();
+        let taps = BankTaps::new(&bank);
+        let rows = AxisSpec {
+            taps: &taps,
+            phase: Phase::B,
+        };
+        let cols = AxisSpec {
+            taps: &taps,
+            phase: Phase::A,
+        };
+        let mut s1 = Scratch1d::new();
+        let mut s2 = Scratch2d::new();
+        let mut ll = Image::zeros(0, 0);
+        let mut detail = Subbands {
+            lh: Image::zeros(0, 0),
+            hl: Image::zeros(0, 0),
+            hh: Image::zeros(0, 0),
+        };
+        let mut back = Image::zeros(0, 0);
+        // Reuse one scratch across sizes to prove stale state cannot leak.
+        for (w, h) in [(2, 2), (16, 12), (36, 36), (88, 72), (4, 30)] {
+            let img = test_image(w, h);
+            let mut k = ScalarKernel::new();
+            let level = analyze_level(&mut k, &rows, &cols, &img).unwrap();
+            analyze_level_into(
+                &mut k,
+                &rows,
+                &cols,
+                &img,
+                &mut ll,
+                &mut detail,
+                &mut s2,
+                &mut s1,
+            )
+            .unwrap();
+            assert_eq!(ll, level.ll, "{w}x{h} ll");
+            assert_eq!(detail, level.detail, "{w}x{h} detail");
+
+            let alloc_back = synthesize_level(&mut k, &rows, &cols, &level).unwrap();
+            synthesize_level_into(
+                &mut k, &rows, &cols, &ll, &detail.lh, &detail.hl, &detail.hh, &mut back, &mut s2,
+                &mut s1,
+            )
+            .unwrap();
+            assert_eq!(back, alloc_back, "{w}x{h} synthesis");
+        }
+    }
+
+    #[test]
+    fn pooled_level_rejects_bad_inputs_like_allocating() {
+        let bank = FilterBank::haar().unwrap();
+        let taps = BankTaps::new(&bank);
+        let spec = AxisSpec {
+            taps: &taps,
+            phase: Phase::A,
+        };
+        let mut s1 = Scratch1d::new();
+        let mut s2 = Scratch2d::new();
+        let mut ll = Image::zeros(0, 0);
+        let mut detail = Subbands {
+            lh: Image::zeros(0, 0),
+            hl: Image::zeros(0, 0),
+            hh: Image::zeros(0, 0),
+        };
+        let odd = test_image(5, 4);
+        assert!(analyze_level_into(
+            &mut ScalarKernel::new(),
+            &spec,
+            &spec,
+            &odd,
+            &mut ll,
+            &mut detail,
+            &mut s2,
+            &mut s1,
+        )
+        .is_err());
+        let mut out = Image::zeros(0, 0);
+        let ll_band = Image::zeros(4, 4);
+        let bad = Image::zeros(2, 4);
+        assert!(synthesize_level_into(
+            &mut ScalarKernel::new(),
+            &spec,
+            &spec,
+            &ll_band,
+            &bad,
+            &ll_band,
+            &ll_band,
+            &mut out,
+            &mut s2,
+            &mut s1,
+        )
+        .is_err());
     }
 
     #[test]

@@ -168,15 +168,54 @@ impl Image {
         self.data
     }
 
+    /// Re-dimensions the image in place to `width` x `height`, zero-filling
+    /// all pixels. Never shrinks the underlying allocation, so reshaping to
+    /// a size seen before performs no heap allocation.
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, 0.0);
+    }
+
+    /// Makes `self` a pixel-exact copy of `src`, reusing the existing
+    /// allocation when it is large enough.
+    pub fn copy_from(&mut self, src: &Image) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Returns the transposed image (width and height swapped).
     pub fn transpose(&self) -> Image {
         let mut out = Image::zeros(self.height, self.width);
-        for y in 0..self.height {
-            for x in 0..self.width {
-                out.data[x * self.height + y] = self.data[y * self.width + x];
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Cache-blocked tile edge: 32x32 `f32` tiles are 4 KiB per side, so a
+    /// source tile and a destination tile fit in L1 together.
+    const TRANSPOSE_TILE: usize = 32;
+
+    /// Writes the transposed image into `out` (reshaped to `height` x
+    /// `width`), walking 32x32 tiles so both the row-major reads and the
+    /// column-major writes stay cache-resident.
+    pub fn transpose_into(&self, out: &mut Image) {
+        out.reshape(self.height, self.width);
+        let (w, h) = (self.width, self.height);
+        const T: usize = Image::TRANSPOSE_TILE;
+        for y0 in (0..h).step_by(T) {
+            let y1 = (y0 + T).min(h);
+            for x0 in (0..w).step_by(T) {
+                let x1 = (x0 + T).min(w);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        out.data[x * h + y] = self.data[y * w + x];
+                    }
+                }
             }
         }
-        out
     }
 
     /// Extracts the sub-image with top-left corner `(x0, y0)` and the given
@@ -191,11 +230,26 @@ impl Image {
             "crop window out of bounds"
         );
         let mut out = Image::zeros(width, height);
+        self.crop_into(x0, y0, width, height, &mut out);
+        out
+    }
+
+    /// Writes the sub-image with top-left corner `(x0, y0)` and the given
+    /// size into `out` (reshaped to `width` x `height`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the image bounds.
+    pub fn crop_into(&self, x0: usize, y0: usize, width: usize, height: usize, out: &mut Image) {
+        assert!(
+            x0 + width <= self.width && y0 + height <= self.height,
+            "crop window out of bounds"
+        );
+        out.reshape(width, height);
         for y in 0..height {
             let src = &self.data[(y0 + y) * self.width + x0..][..width];
             out.row_mut(y).copy_from_slice(src);
         }
-        out
     }
 
     /// Pads the image on the right/bottom by edge replication so both
@@ -209,6 +263,28 @@ impl Image {
         Image::from_fn(w, h, |x, y| {
             self.get(x.min(self.width - 1), y.min(self.height - 1))
         })
+    }
+
+    /// Edge-replicating pad to even dimensions, written into `out`. Unlike
+    /// [`Image::pad_to_even`] this also runs for already-even inputs (as a
+    /// plain copy), so callers can use `out` unconditionally.
+    pub fn pad_to_even_into(&self, out: &mut Image) {
+        let w = self.width + self.width % 2;
+        let h = self.height + self.height % 2;
+        if (w, h) == (self.width, self.height) {
+            out.copy_from(self);
+            return;
+        }
+        out.reshape(w, h);
+        for y in 0..h {
+            let sy = y.min(self.height - 1);
+            let src = &self.data[sy * self.width..(sy + 1) * self.width];
+            let dst = &mut out.data[y * w..(y + 1) * w];
+            dst[..self.width].copy_from_slice(src);
+            for v in &mut dst[self.width..] {
+                *v = src[self.width - 1];
+            }
+        }
     }
 
     /// Sum of squared pixel values.
@@ -251,6 +327,14 @@ impl Image {
     }
 }
 
+impl Default for Image {
+    /// An empty 0x0 image; useful as a no-allocation placeholder for
+    /// buffers that are reshaped on first use.
+    fn default() -> Self {
+        Image::zeros(0, 0)
+    }
+}
+
 /// One oriented complex subband stored as separate real/imaginary planes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComplexImage {
@@ -289,6 +373,13 @@ impl ComplexImage {
     #[inline]
     pub fn dims(&self) -> (usize, usize) {
         self.re.dims()
+    }
+
+    /// Re-dimensions both planes in place, zero-filled, reusing their
+    /// allocations (see [`Image::reshape`]).
+    pub fn reshape(&mut self, width: usize, height: usize) {
+        self.re.reshape(width, height);
+        self.im.reshape(width, height);
     }
 
     /// Magnitude `sqrt(re^2 + im^2)` at pixel `(x, y)`.
@@ -340,6 +431,64 @@ mod tests {
         assert_eq!(t.dims(), (3, 5));
         assert_eq!(t.get(1, 4), img.get(4, 1));
         assert_eq!(t.transpose(), img);
+    }
+
+    #[test]
+    fn transpose_into_matches_naive_on_awkward_sizes() {
+        // Exercise tile-boundary cases around the 32-pixel block edge plus
+        // degenerate shapes; the blocked transpose must equal the naive one.
+        for (w, h) in [
+            (1, 1),
+            (3, 2),
+            (31, 33),
+            (32, 32),
+            (33, 31),
+            (35, 35),
+            (88, 72),
+            (64, 1),
+            (1, 64),
+        ] {
+            let img = Image::from_fn(w, h, |x, y| (x * 131 + y * 17) as f32 * 0.25 - 3.0);
+            let mut naive = Image::zeros(h, w);
+            for y in 0..h {
+                for x in 0..w {
+                    naive.set(y, x, img.get(x, y));
+                }
+            }
+            let mut blocked = Image::zeros(0, 0);
+            img.transpose_into(&mut blocked);
+            assert_eq!(blocked, naive, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn reshape_and_copy_from_reuse_capacity() {
+        let mut img = Image::zeros(8, 8);
+        img.set(3, 3, 1.0);
+        img.reshape(4, 4);
+        assert_eq!(img.dims(), (4, 4));
+        assert_eq!(img.get(3, 3), 0.0); // zeroed, not stale
+        let src = Image::from_fn(2, 3, |x, y| (x + 10 * y) as f32);
+        img.copy_from(&src);
+        assert_eq!(img, src);
+    }
+
+    #[test]
+    fn pad_to_even_into_matches_allocating_path() {
+        for (w, h) in [(3, 3), (4, 3), (3, 4), (4, 4), (1, 1), (35, 35)] {
+            let img = Image::from_fn(w, h, |x, y| (y * w + x) as f32);
+            let mut out = Image::zeros(0, 0);
+            img.pad_to_even_into(&mut out);
+            assert_eq!(out, img.pad_to_even(), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn crop_into_matches_crop() {
+        let img = Image::from_fn(6, 5, |x, y| (y * 6 + x) as f32);
+        let mut out = Image::zeros(9, 9);
+        img.crop_into(1, 2, 3, 2, &mut out);
+        assert_eq!(out, img.crop(1, 2, 3, 2));
     }
 
     #[test]

@@ -106,6 +106,22 @@ pub trait FilterKernel {
 pub struct ScalarKernel {
     rev0: Vec<f32>,
     rev1: Vec<f32>,
+    key0: Vec<f32>,
+    key1: Vec<f32>,
+}
+
+/// Returns `true` (and records `taps` as the new key) when `taps` differ
+/// from the cached key. Keying by value rather than by pointer makes the
+/// cache immune to reallocated-but-identical filter storage, and a transform
+/// pass reuses one filter across every row, so derived tap vectors are
+/// rebuilt once per pass instead of once per row.
+pub fn taps_changed(key: &mut Vec<f32>, taps: &[f32]) -> bool {
+    if key.as_slice() == taps {
+        return false;
+    }
+    key.clear();
+    key.extend_from_slice(taps);
+    true
 }
 
 impl ScalarKernel {
@@ -138,8 +154,12 @@ impl FilterKernel for ScalarKernel {
         debug_assert_eq!(lo.len(), hi.len());
         // Reversing once turns each output into a contiguous ascending dot
         // product — the same windowing the FPGA shift register performs.
-        Self::load_reversed(&mut self.rev0, h0);
-        Self::load_reversed(&mut self.rev1, h1);
+        if taps_changed(&mut self.key0, h0) {
+            Self::load_reversed(&mut self.rev0, h0);
+        }
+        if taps_changed(&mut self.key1, h1) {
+            Self::load_reversed(&mut self.rev1, h1);
+        }
         let (l0, l1) = (h0.len(), h1.len());
         for k in 0..lo.len() {
             let center = left + 2 * k + phase;
@@ -221,6 +241,26 @@ mod tests {
         // phase 0: lo[0] = h*(x[0] + x[-1 mod 4]) = h*(1 + 4)
         k.analyze_row(&ext, 1, &[h, h], &[-h, h], 0, &mut lo, &mut hi);
         assert!((lo[0] - h * 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tap_cache_tracks_filter_changes_by_value() {
+        let h = std::f32::consts::FRAC_1_SQRT_2;
+        let ext = [4.0f32, 1.0, 2.0, 3.0, 4.0, 1.0];
+        let (mut lo, mut hi) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+        let mut cached = ScalarKernel::new();
+        // Warm the cache with Haar, then switch filters through the *same*
+        // kernel instance; results must match a fresh kernel per filter.
+        cached.analyze_row(&ext, 1, &[h, h], &[-h, h], 1, &mut lo, &mut hi);
+        for taps in [[0.25f32, 0.75], [h, h], [1.0, 0.0]] {
+            let (mut lo_c, mut hi_c) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+            cached.analyze_row(&ext, 1, &taps, &[-h, h], 1, &mut lo_c, &mut hi_c);
+            let mut fresh = ScalarKernel::new();
+            let (mut lo_f, mut hi_f) = (vec![0.0f32; 2], vec![0.0f32; 2]);
+            fresh.analyze_row(&ext, 1, &taps, &[-h, h], 1, &mut lo_f, &mut hi_f);
+            assert_eq!(lo_c, lo_f, "{taps:?}");
+            assert_eq!(hi_c, hi_f, "{taps:?}");
+        }
     }
 
     #[test]

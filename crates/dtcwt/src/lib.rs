@@ -39,7 +39,9 @@ pub mod dwt2d;
 pub mod filters;
 pub mod image;
 pub mod kernel;
+pub mod scratch;
 pub mod swt;
+pub mod workers;
 
 mod error;
 
@@ -49,3 +51,5 @@ pub use error::DtcwtError;
 pub use filters::FilterBank;
 pub use image::{ComplexImage, Image};
 pub use kernel::{FilterKernel, ScalarKernel};
+pub use scratch::{ComboSlot, ComboStore, PoolHandle, PoolStats, Scratch};
+pub use workers::{Job, JobOutcome, JobPayload, WorkerPool};

@@ -1,0 +1,380 @@
+//! Long-lived worker pool for the DT-CWT's four-tree fan-out.
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` workers for every
+//! transform call; this module replaces that with a pool created once (per
+//! [`crate::Dtcwt`] user, typically a fusion engine) and reused across
+//! frames — the thread-level analogue of the scratch arenas in
+//! [`crate::scratch`].
+//!
+//! Because this crate forbids `unsafe`, the pool never shares borrowed data
+//! with workers. A [`Job`] *owns* everything it needs: `Arc`s of the
+//! immutable transform/inputs and moved output buffers that ping-pong
+//! between the dispatcher and the workers each frame. Steady-state dispatch
+//! therefore performs no heap allocation: the job queue and result vector
+//! are pre-reserved, job payloads are moves, and `Arc` clones are reference
+//! count bumps.
+//!
+//! Each worker owns one [`Scratch`] and one boxed kernel per backend slot
+//! (built once by the construction-time factory), mirroring the paper's
+//! model of fixed per-engine line buffers.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::dtcwt::{CwtPyramid, Dtcwt};
+use crate::dwt2d::Subbands;
+use crate::image::Image;
+use crate::kernel::FilterKernel;
+use crate::scratch::Scratch;
+use crate::DtcwtError;
+
+/// One unit of work: a single tree combination of a forward or inverse
+/// DT-CWT. Output buffers are moved in empty (or pre-sized from a previous
+/// frame) and handed back through [`JobOutcome`].
+#[derive(Debug)]
+pub enum Job {
+    /// Analyze one tree combination of `img`.
+    ForwardCombo {
+        /// The transform (shared, immutable).
+        transform: Arc<Dtcwt>,
+        /// Input image (shared, immutable).
+        img: Arc<Image>,
+        /// Caller-chosen batch tag (e.g. which of several inputs).
+        tag: u32,
+        /// Tree-combination index 0..4 (AA, AB, BA, BB).
+        combo: usize,
+        /// Index into the worker's kernel slots.
+        kernel: usize,
+        /// Detail output buffer (moved back via the outcome).
+        detail: Vec<Subbands>,
+        /// Lowpass output buffer (moved back via the outcome).
+        ll: Image,
+    },
+    /// Synthesize one tree combination of `pyr`.
+    InverseCombo {
+        /// The transform (shared, immutable).
+        transform: Arc<Dtcwt>,
+        /// Input pyramid (shared, immutable).
+        pyr: Arc<CwtPyramid>,
+        /// Caller-chosen batch tag.
+        tag: u32,
+        /// Tree-combination index 0..4.
+        combo: usize,
+        /// Index into the worker's kernel slots.
+        kernel: usize,
+        /// Reconstruction output buffer (moved back via the outcome).
+        out: Image,
+    },
+}
+
+impl Job {
+    fn ids(&self) -> (u32, usize) {
+        match self {
+            Job::ForwardCombo { tag, combo, .. } | Job::InverseCombo { tag, combo, .. } => {
+                (*tag, *combo)
+            }
+        }
+    }
+}
+
+/// The buffers a completed [`Job`] hands back.
+#[derive(Debug)]
+pub enum JobPayload {
+    /// Output of a [`Job::ForwardCombo`].
+    Forward {
+        /// Per-level detail subbands of this combination.
+        detail: Vec<Subbands>,
+        /// Lowpass residual of this combination.
+        ll: Image,
+    },
+    /// Output of a [`Job::InverseCombo`].
+    Inverse {
+        /// This combination's reconstruction.
+        out: Image,
+    },
+    /// The job panicked and its buffers could not be recovered.
+    Lost,
+}
+
+/// Result of one [`Job`], tagged so the dispatcher can place it.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's batch tag.
+    pub tag: u32,
+    /// The job's tree-combination index.
+    pub combo: usize,
+    /// Returned buffers (valid only when `error` is `None`).
+    pub payload: JobPayload,
+    /// The job's error, if it failed.
+    pub error: Option<DtcwtError>,
+}
+
+struct JobQueue {
+    q: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    jobs: Mutex<JobQueue>,
+    job_ready: Condvar,
+    results: Mutex<Vec<JobOutcome>>,
+    result_ready: Condvar,
+}
+
+/// Builds the kernel slots one worker owns. Called once per worker at pool
+/// construction with the worker index; every worker must return the same
+/// slot layout so `Job::kernel` indices mean the same thing everywhere.
+pub type KernelFactory<'a> = &'a mut dyn FnMut(usize) -> Vec<Box<dyn FilterKernel + Send>>;
+
+/// A fixed set of worker threads executing DT-CWT combo jobs.
+///
+/// Intended for a **single dispatcher**: submit a batch of jobs, then
+/// [`WorkerPool::drain`] exactly that many outcomes before submitting the
+/// next batch. Workers and their kernels/scratch live as long as the pool;
+/// dropping the pool joins all threads.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one), each owning the kernel slots
+    /// `factory(worker_index)` returns plus a private [`Scratch`].
+    pub fn new(threads: usize, factory: KernelFactory<'_>) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            jobs: Mutex::new(JobQueue {
+                q: VecDeque::with_capacity(16),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            results: Mutex::new(Vec::with_capacity(16)),
+            result_ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let kernels = factory(i);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wavefuse-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, kernels))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueues one job and wakes a worker.
+    pub fn submit(&self, job: Job) {
+        let mut jobs = self.shared.jobs.lock().expect("worker pool poisoned");
+        jobs.q.push_back(job);
+        drop(jobs);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Blocks until `n` outcomes are available and moves them into `out`
+    /// (appended; `out` is not cleared). The caller must have submitted
+    /// exactly `n` jobs since the last drain.
+    pub fn drain(&self, n: usize, out: &mut Vec<JobOutcome>) {
+        let mut results = self.shared.results.lock().expect("worker pool poisoned");
+        while results.len() < n {
+            results = self
+                .shared
+                .result_ready
+                .wait(results)
+                .expect("worker pool poisoned");
+        }
+        out.extend(results.drain(..));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut jobs = self.shared.jobs.lock().expect("worker pool poisoned");
+            jobs.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, mut kernels: Vec<Box<dyn FilterKernel + Send>>) {
+    let mut scratch = Scratch::new();
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("worker pool poisoned");
+            loop {
+                if let Some(j) = jobs.q.pop_front() {
+                    break j;
+                }
+                if jobs.shutdown {
+                    return;
+                }
+                jobs = shared.job_ready.wait(jobs).expect("worker pool poisoned");
+            }
+        };
+        let outcome = run_job(job, &mut kernels, &mut scratch);
+        let mut results = shared.results.lock().expect("worker pool poisoned");
+        results.push(outcome);
+        drop(results);
+        shared.result_ready.notify_all();
+    }
+}
+
+/// Executes one job, converting panics into an error outcome so the
+/// dispatcher's `drain` never deadlocks on a crashed job.
+fn run_job(
+    job: Job,
+    kernels: &mut [Box<dyn FilterKernel + Send>],
+    scratch: &mut Scratch,
+) -> JobOutcome {
+    let (tag, combo) = job.ids();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(job, kernels, scratch)
+    }))
+    .unwrap_or_else(|_| JobOutcome {
+        tag,
+        combo,
+        payload: JobPayload::Lost,
+        error: Some(DtcwtError::MalformedPyramid(
+            "worker job panicked".to_string(),
+        )),
+    })
+}
+
+fn execute(
+    job: Job,
+    kernels: &mut [Box<dyn FilterKernel + Send>],
+    scratch: &mut Scratch,
+) -> JobOutcome {
+    match job {
+        Job::ForwardCombo {
+            transform,
+            img,
+            tag,
+            combo,
+            kernel,
+            mut detail,
+            mut ll,
+        } => {
+            let error = match kernels.get_mut(kernel) {
+                Some(k) => transform
+                    .analyze_combo_into(k.as_mut(), &img, combo, &mut detail, &mut ll, scratch)
+                    .err(),
+                None => Some(DtcwtError::MalformedPyramid(format!(
+                    "worker has no kernel slot {kernel}"
+                ))),
+            };
+            JobOutcome {
+                tag,
+                combo,
+                payload: JobPayload::Forward { detail, ll },
+                error,
+            }
+        }
+        Job::InverseCombo {
+            transform,
+            pyr,
+            tag,
+            combo,
+            kernel,
+            mut out,
+        } => {
+            let error = match kernels.get_mut(kernel) {
+                Some(k) => {
+                    match transform.synthesize_combo_into(k.as_mut(), &pyr, combo, scratch) {
+                        Ok(()) => {
+                            // The combo's reconstruction is left in the
+                            // scratch ping buffer.
+                            out.copy_from(&scratch.cur);
+                            None
+                        }
+                        Err(e) => Some(e),
+                    }
+                }
+                None => Some(DtcwtError::MalformedPyramid(format!(
+                    "worker has no kernel slot {kernel}"
+                ))),
+            };
+            JobOutcome {
+                tag,
+                combo,
+                payload: JobPayload::Inverse { out },
+                error,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ScalarKernel;
+    use crate::scratch::ComboStore;
+
+    fn boxed_scalar(_: usize) -> Vec<Box<dyn FilterKernel + Send>> {
+        vec![Box::new(ScalarKernel::new())]
+    }
+
+    #[test]
+    fn pool_runs_forward_jobs() {
+        let pool = WorkerPool::new(2, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(2).unwrap());
+        let img = Arc::new(Image::from_fn(32, 24, |x, y| ((x * 3 + y) % 7) as f32));
+        let mut combos = ComboStore::new();
+        let mut outcomes = Vec::new();
+        let mut out = CwtPyramid::empty();
+        t.forward_pooled(&pool, 0, &img, &mut combos, &mut outcomes, &mut out)
+            .unwrap();
+        let serial = t.forward(&img).unwrap();
+        for level in 0..2 {
+            for (a, b) in serial.subbands(level).iter().zip(out.subbands(level)) {
+                assert_eq!(a.re, b.re);
+                assert_eq!(a.im, b.im);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_kernel_slot_reports_error() {
+        let pool = WorkerPool::new(1, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::filled(8, 8, 1.0));
+        let mut combos = ComboStore::new();
+        let mut outcomes = Vec::new();
+        let mut out = CwtPyramid::empty();
+        let err = t
+            .forward_pooled(&pool, 9, &img, &mut combos, &mut outcomes, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, DtcwtError::MalformedPyramid(_)));
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_queued_shutdown() {
+        let pool = WorkerPool::new(3, &mut boxed_scalar);
+        assert_eq!(pool.threads(), 3);
+        drop(pool); // must not hang
+    }
+}

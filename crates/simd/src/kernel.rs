@@ -13,6 +13,7 @@
 //! in the paper) vectorizes without intrinsics.
 
 use crate::vector::F32x4;
+use wavefuse_dtcwt::kernel::taps_changed;
 use wavefuse_dtcwt::FilterKernel;
 
 /// Pads `taps` (reversed) to a multiple of four lanes with leading or
@@ -30,12 +31,22 @@ fn reversed_padded(taps: &[f32], pad_front: bool, out: &mut Vec<f32>) {
 }
 
 /// Splits `taps` into its even- and odd-indexed polyphase components,
-/// reversed and front-padded to a lane multiple (for synthesis).
+/// reversed and front-padded to a lane multiple (for synthesis). Builds
+/// both components in place — no temporaries — so cached rebuilds stay
+/// allocation-free once the output vectors have warmed capacity.
 fn polyphase_reversed(taps: &[f32], even: &mut Vec<f32>, odd: &mut Vec<f32>) {
-    let e: Vec<f32> = taps.iter().copied().step_by(2).collect();
-    let o: Vec<f32> = taps.iter().copied().skip(1).step_by(2).collect();
-    reversed_padded(&e, true, even);
-    reversed_padded(&o, true, odd);
+    let ne = taps.len().div_ceil(2); // even-indexed tap count
+    let no = taps.len() / 2; // odd-indexed tap count
+    even.clear();
+    even.resize(ne.div_ceil(4) * 4 - ne, 0.0);
+    for i in (0..ne).rev() {
+        even.push(taps[2 * i]);
+    }
+    odd.clear();
+    odd.resize(no.div_ceil(4) * 4 - no, 0.0);
+    for i in (0..no).rev() {
+        odd.push(taps[2 * i + 1]);
+    }
 }
 
 fn simd_dot(window: &[f32], taps4: &[f32]) -> f32 {
@@ -77,6 +88,10 @@ pub struct SimdKernel {
     g0_odd: Vec<f32>,
     g1_even: Vec<f32>,
     g1_odd: Vec<f32>,
+    a_key0: Vec<f32>,
+    a_key1: Vec<f32>,
+    s_key0: Vec<f32>,
+    s_key1: Vec<f32>,
 }
 
 impl SimdKernel {
@@ -102,9 +117,14 @@ impl FilterKernel for SimdKernel {
         hi: &mut [f32],
     ) {
         // Reverse + trailing zero-pad: the padded taps read past the window
-        // center, which the caller's right extension margin covers.
-        reversed_padded(h0, false, &mut self.rev0);
-        reversed_padded(h1, false, &mut self.rev1);
+        // center, which the caller's right extension margin covers. Rebuilt
+        // only when the filter actually changes (keyed by tap values).
+        if taps_changed(&mut self.a_key0, h0) {
+            reversed_padded(h0, false, &mut self.rev0);
+        }
+        if taps_changed(&mut self.a_key1, h1) {
+            reversed_padded(h1, false, &mut self.rev1);
+        }
         let (l0, l1) = (h0.len(), h1.len());
         for k in 0..lo.len() {
             let center = left + 2 * k + phase;
@@ -127,8 +147,12 @@ impl FilterKernel for SimdKernel {
         // the channel window is contiguous — so each output is again a
         // lane-aligned dot product (front-padded taps read below the window,
         // covered by the caller's left extension margin).
-        polyphase_reversed(g0, &mut self.g0_even, &mut self.g0_odd);
-        polyphase_reversed(g1, &mut self.g1_even, &mut self.g1_odd);
+        if taps_changed(&mut self.s_key0, g0) {
+            polyphase_reversed(g0, &mut self.g0_even, &mut self.g0_odd);
+        }
+        if taps_changed(&mut self.s_key1, g1) {
+            polyphase_reversed(g1, &mut self.g1_even, &mut self.g1_odd);
+        }
         for (m, o) in out.iter_mut().enumerate() {
             let mp = m as isize - phase as isize;
             let parity = (mp & 1) as usize;
@@ -156,6 +180,10 @@ pub struct AutoVecKernel {
     g0_odd: Vec<f32>,
     g1_even: Vec<f32>,
     g1_odd: Vec<f32>,
+    a_key0: Vec<f32>,
+    a_key1: Vec<f32>,
+    s_key0: Vec<f32>,
+    s_key1: Vec<f32>,
 }
 
 impl AutoVecKernel {
@@ -193,8 +221,12 @@ impl FilterKernel for AutoVecKernel {
         lo: &mut [f32],
         hi: &mut [f32],
     ) {
-        reversed_padded(h0, false, &mut self.rev0);
-        reversed_padded(h1, false, &mut self.rev1);
+        if taps_changed(&mut self.a_key0, h0) {
+            reversed_padded(h0, false, &mut self.rev0);
+        }
+        if taps_changed(&mut self.a_key1, h1) {
+            reversed_padded(h1, false, &mut self.rev1);
+        }
         let (l0, l1) = (h0.len(), h1.len());
         for k in 0..lo.len() {
             let center = left + 2 * k + phase;
@@ -213,8 +245,12 @@ impl FilterKernel for AutoVecKernel {
         phase: usize,
         out: &mut [f32],
     ) {
-        polyphase_reversed(g0, &mut self.g0_even, &mut self.g0_odd);
-        polyphase_reversed(g1, &mut self.g1_even, &mut self.g1_odd);
+        if taps_changed(&mut self.s_key0, g0) {
+            polyphase_reversed(g0, &mut self.g0_even, &mut self.g0_odd);
+        }
+        if taps_changed(&mut self.s_key1, g1) {
+            polyphase_reversed(g1, &mut self.g1_even, &mut self.g1_odd);
+        }
         for (m, o) in out.iter_mut().enumerate() {
             let mp = m as isize - phase as isize;
             let parity = (mp & 1) as usize;
@@ -333,6 +369,36 @@ mod tests {
     fn kernel_names() {
         assert_eq!(SimdKernel::new().name(), "neon-simd");
         assert_eq!(AutoVecKernel::new().name(), "neon-autovec");
+    }
+
+    #[test]
+    fn cached_taps_survive_alternating_filter_banks() {
+        // One long-lived kernel instance cycling through every bank twice
+        // (the worker-pool usage pattern) must match fresh per-bank kernels.
+        let x = signal(40);
+        let mut si = SimdKernel::new();
+        let mut av = AutoVecKernel::new();
+        for round in 0..2 {
+            for bank in banks() {
+                let taps = BankTaps::new(&bank);
+                for phase in [Phase::A, Phase::B] {
+                    let mut sc = ScalarKernel::new();
+                    let (lo, hi) = analyze(&mut sc, &taps, &x, phase).unwrap();
+                    let ref_out = synthesize(&mut sc, &taps, &lo, &hi, phase).unwrap();
+                    let what = format!("{} {phase:?} round {round}", bank.name());
+                    let (lo_v, hi_v) = analyze(&mut si, &taps, &x, phase).unwrap();
+                    let (lo_a, hi_a) = analyze(&mut av, &taps, &x, phase).unwrap();
+                    assert_close(&lo, &lo_v, 1e-4, &format!("simd lo {what}"));
+                    assert_close(&hi, &hi_v, 1e-4, &format!("simd hi {what}"));
+                    assert_close(&lo, &lo_a, 1e-4, &format!("autovec lo {what}"));
+                    assert_close(&hi, &hi_a, 1e-4, &format!("autovec hi {what}"));
+                    let out_v = synthesize(&mut si, &taps, &lo, &hi, phase).unwrap();
+                    let out_a = synthesize(&mut av, &taps, &lo, &hi, phase).unwrap();
+                    assert_close(&ref_out, &out_v, 1e-4, &format!("simd syn {what}"));
+                    assert_close(&ref_out, &out_a, 1e-4, &format!("autovec syn {what}"));
+                }
+            }
+        }
     }
 
     #[test]

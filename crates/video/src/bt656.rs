@@ -54,6 +54,18 @@ pub fn parse_xy(xy: u8) -> Option<(bool, bool, bool)> {
 ///
 /// Panics if the frame is not [`PixelFormat::Yuv422`] (encoder contract).
 pub fn encode(frame: &RawFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(frame, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`encode`]: serializes into `out` (cleared,
+/// capacity reused).
+///
+/// # Panics
+///
+/// As [`encode`].
+pub fn encode_into(frame: &RawFrame, out: &mut Vec<u8>) {
     assert_eq!(
         frame.format(),
         PixelFormat::Yuv422,
@@ -61,7 +73,8 @@ pub fn encode(frame: &RawFrame) -> Vec<u8> {
     );
     let (w, h) = frame.dims();
     let line_bytes = w * 2;
-    let mut out = Vec::with_capacity((h + VBLANK_LINES) * (line_bytes + 8 + HBLANK_WORDS * 2));
+    out.clear();
+    out.reserve((h + VBLANK_LINES) * (line_bytes + 8 + HBLANK_WORDS * 2));
 
     let mut push_line = |payload: Option<&[u8]>, v: bool| {
         // EAV of previous line, horizontal blanking, then SAV.
@@ -85,7 +98,6 @@ pub fn encode(frame: &RawFrame) -> Vec<u8> {
             false,
         );
     }
-    out
 }
 
 /// Decodes a BT.656 byte stream back into a YUV 4:2:2 frame of the given
@@ -98,8 +110,45 @@ pub fn encode(frame: &RawFrame) -> Vec<u8> {
 /// * [`VideoError::Bt656LineCount`] if the stream does not contain exactly
 ///   `height` active lines.
 pub fn decode(stream: &[u8], width: usize, height: usize) -> Result<RawFrame, VideoError> {
+    let mut out = RawFrame::empty();
+    decode_into(stream, width, height, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free variant of [`decode`]: reuses `out`'s byte storage. On
+/// error, `out` is left as a valid empty frame (its capacity is kept).
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_into(
+    stream: &[u8],
+    width: usize,
+    height: usize,
+    out: &mut RawFrame,
+) -> Result<(), VideoError> {
+    let mut lines = out.take_storage();
+    lines.reserve(width * 2 * height);
+    match scan_active_lines(stream, width, height, &mut lines) {
+        Ok(()) => out.assign(PixelFormat::Yuv422, width, height, lines),
+        Err(e) => {
+            lines.clear();
+            out.assign(PixelFormat::Gray8, 0, 0, lines)
+                .expect("empty frame is always valid");
+            Err(e)
+        }
+    }
+}
+
+/// The decoder's sync-hunting state machine, appending active-line payload
+/// to `lines`.
+fn scan_active_lines(
+    stream: &[u8],
+    width: usize,
+    height: usize,
+    lines: &mut Vec<u8>,
+) -> Result<(), VideoError> {
     let line_bytes = width * 2;
-    let mut lines: Vec<u8> = Vec::with_capacity(line_bytes * height);
     let mut active_lines = 0usize;
     let mut i = 0usize;
 
@@ -144,7 +193,7 @@ pub fn decode(stream: &[u8], width: usize, height: usize) -> Result<RawFrame, Vi
             actual: active_lines,
         });
     }
-    RawFrame::new(PixelFormat::Yuv422, width, height, lines)
+    Ok(())
 }
 
 /// Statistics of a resilient decode.

@@ -11,8 +11,8 @@
 
 use crate::bt656;
 use crate::frame::{Frame, PixelFormat, RawFrame};
-use crate::scaler::resize_bilinear;
-use crate::scene::ScenePair;
+use crate::scaler::BilinearPlan;
+use crate::scene::{RenderScratch, ScenePair};
 use crate::VideoError;
 use wavefuse_dtcwt::Image;
 
@@ -33,6 +33,12 @@ pub struct WebCamera {
     height: usize,
     fps: f64,
     seq: u64,
+    // Reusable capture-path scratch (render tables, rendered scene and
+    // quantized sensor bytes), so steady-state captures via `capture_into`
+    // do not allocate.
+    scratch: RenderScratch,
+    render: Image,
+    raw: RawFrame,
 }
 
 impl WebCamera {
@@ -44,6 +50,9 @@ impl WebCamera {
             height,
             fps: 30.0,
             seq: 0,
+            scratch: RenderScratch::default(),
+            render: Image::zeros(0, 0),
+            raw: RawFrame::empty(),
         }
     }
 
@@ -58,17 +67,15 @@ impl WebCamera {
     pub fn next_raw_rgb(&mut self) -> RawFrame {
         let t = self.seq as f64 / self.fps;
         self.seq += 1;
-        let img = self.scene.render_visible(self.width, self.height, t);
+        self.scene.render_visible_scratch(
+            self.width,
+            self.height,
+            t,
+            &mut self.scratch,
+            &mut self.render,
+        );
         let mut bytes = Vec::with_capacity(self.width * self.height * 3);
-        for &v in img.as_slice() {
-            let v = v.clamp(0.0, 1.0);
-            // Warm cast: slightly boosted red, slightly cut blue, chosen so
-            // the BT.601 luma recovers the rendered value exactly
-            // (0.299*1.04 + 0.587*1.0 + 0.114*0.895 = 1.0).
-            bytes.push(((v * 1.04).min(1.0) * 255.0).round() as u8);
-            bytes.push((v * 255.0).round() as u8);
-            bytes.push((v * 0.895 * 255.0).round() as u8);
-        }
+        quantize_rgb(&self.render, &mut bytes);
         RawFrame::new(PixelFormat::Rgb888, self.width, self.height, bytes)
             .expect("sensor geometry is consistent")
     }
@@ -77,8 +84,47 @@ impl WebCamera {
     /// decode → grayscale conversion (the paper gray-scales the webcam
     /// stream before fusion).
     pub fn capture(&mut self) -> Frame {
+        let mut out = Frame::new(Image::zeros(0, 0), 0);
+        self.capture_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`WebCamera::capture`]: runs the same
+    /// render → quantize → grayscale path through internal scratch buffers
+    /// and writes the result into `out` (reshaped, capacity reused).
+    pub fn capture_into(&mut self, out: &mut Frame) {
         let seq = self.seq;
-        self.next_raw_rgb().to_gray(seq)
+        let t = seq as f64 / self.fps;
+        self.seq += 1;
+        self.scene.render_visible_scratch(
+            self.width,
+            self.height,
+            t,
+            &mut self.scratch,
+            &mut self.render,
+        );
+        let mut bytes = self.raw.take_storage();
+        bytes.reserve(self.width * self.height * 3);
+        quantize_rgb(&self.render, &mut bytes);
+        self.raw
+            .assign(PixelFormat::Rgb888, self.width, self.height, bytes)
+            .expect("sensor geometry is consistent");
+        self.raw.to_gray_into(seq, out);
+    }
+}
+
+/// Quantizes a rendered `[0, 1]` image to packed RGB sensor bytes. Warm
+/// cast: slightly boosted red, slightly cut blue, chosen so the BT.601
+/// luma recovers the rendered value exactly
+/// (0.299*1.04 + 0.587*1.0 + 0.114*0.895 = 1.0).
+fn quantize_rgb(img: &Image, bytes: &mut Vec<u8>) {
+    bytes.clear();
+    bytes.resize(img.as_slice().len() * 3, 0);
+    for (rgb, &v) in bytes.chunks_exact_mut(3).zip(img.as_slice()) {
+        let v = v.clamp(0.0, 1.0);
+        rgb[0] = ((v * 1.04).min(1.0) * 255.0).round() as u8;
+        rgb[1] = (v * 255.0).round() as u8;
+        rgb[2] = (v * 0.895 * 255.0).round() as u8;
     }
 }
 
@@ -86,22 +132,44 @@ impl WebCamera {
 #[derive(Debug, Clone)]
 pub struct ThermalCamera {
     scene: ScenePair,
-    out_width: usize,
-    out_height: usize,
     field_fps: f64,
     seq: u64,
+    // Reusable capture-path scratch covering every stage of the pipe
+    // (render, field resample, YUV pack, BT.656 stream, decode, luma), so
+    // steady-state captures via `capture_into` do not allocate.
+    scratch: RenderScratch,
+    native: Image,
+    field: Image,
+    yuv: RawFrame,
+    stream: Vec<u8>,
+    decoded: RawFrame,
+    gray: Frame,
+    /// Prepared sensor-to-field resample (fixed geometry).
+    up: BilinearPlan,
+    /// Prepared field-to-output resample; `None` for zero output dims
+    /// (reported as an error at capture time, as the scaler would).
+    down: Option<BilinearPlan>,
 }
 
 impl ThermalCamera {
     /// Creates a thermal camera delivering `out_width` x `out_height`
     /// frames (after decode and scaling) at 60 fields/s.
     pub fn new(scene: ScenePair, out_width: usize, out_height: usize) -> Self {
+        let (sw, sh) = THERMAL_SENSOR_DIMS;
+        let (fw, fh) = THERMAL_FIELD_DIMS;
         ThermalCamera {
             scene,
-            out_width,
-            out_height,
             field_fps: 60.0,
             seq: 0,
+            scratch: RenderScratch::default(),
+            native: Image::zeros(0, 0),
+            field: Image::zeros(0, 0),
+            yuv: RawFrame::empty(),
+            stream: Vec::new(),
+            decoded: RawFrame::empty(),
+            gray: Frame::new(Image::zeros(0, 0), 0),
+            up: BilinearPlan::new(sw, sh, fw, fh).expect("non-empty field geometry"),
+            down: BilinearPlan::new(fw, fh, out_width, out_height).ok(),
         }
     }
 
@@ -114,13 +182,23 @@ impl ThermalCamera {
     /// carry. Exposed so tests and examples can exercise the decoder
     /// directly.
     pub fn next_field_stream(&mut self) -> Vec<u8> {
+        self.render_field_yuv();
+        bt656::encode(&self.yuv)
+    }
+
+    /// Renders the next field into `self.yuv` (advancing the sequence
+    /// counter): render at sensor dims → resample to field geometry →
+    /// YUV 4:2:2 pack, all through scratch buffers.
+    fn render_field_yuv(&mut self) {
         let t = self.seq as f64 / self.field_fps;
         self.seq += 1;
         let (sw, sh) = THERMAL_SENSOR_DIMS;
-        let native = self.scene.render_thermal(sw, sh, t);
-        let (fw, fh) = THERMAL_FIELD_DIMS;
-        let field = resize_bilinear(&native, fw, fh).expect("non-empty field geometry");
-        bt656::encode(&yuv422_from_gray(&field))
+        self.scene
+            .render_thermal_scratch(sw, sh, t, &mut self.scratch, &mut self.native);
+        self.up
+            .apply(&self.native, &mut self.field)
+            .expect("planned sensor geometry");
+        yuv422_from_gray_into(&self.field, &mut self.yuv);
     }
 
     /// Captures the next frame through the full path:
@@ -131,29 +209,47 @@ impl ThermalCamera {
     /// Propagates BT.656 decode errors (which for this camera's own streams
     /// indicates a model bug) and scaler errors for zero output dimensions.
     pub fn capture(&mut self) -> Result<Frame, VideoError> {
+        let mut out = Frame::new(Image::zeros(0, 0), 0);
+        self.capture_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`ThermalCamera::capture`]: runs the same
+    /// full capture path through internal scratch buffers and writes the
+    /// result into `out` (reshaped, capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalCamera::capture`].
+    pub fn capture_into(&mut self, out: &mut Frame) -> Result<(), VideoError> {
         let seq = self.seq;
-        let stream = self.next_field_stream();
+        self.render_field_yuv();
+        bt656::encode_into(&self.yuv, &mut self.stream);
         let (fw, fh) = THERMAL_FIELD_DIMS;
-        let raw = bt656::decode(&stream, fw, fh)?;
-        let gray = raw.to_gray(seq);
-        let scaled = resize_bilinear(gray.image(), self.out_width, self.out_height)?;
-        Ok(Frame::new(scaled, seq))
+        bt656::decode_into(&self.stream, fw, fh, &mut self.decoded)?;
+        self.decoded.to_gray_into(seq, &mut self.gray);
+        self.down
+            .as_ref()
+            .ok_or(VideoError::EmptyImage)?
+            .apply(self.gray.image(), out.image_mut())?;
+        out.set_seq(seq);
+        Ok(())
     }
 }
 
 /// Packs a grayscale image into YUV 4:2:2 bytes with neutral chroma,
-/// clamping luma into the BT.656-legal `1..=254` range.
-fn yuv422_from_gray(img: &Image) -> RawFrame {
+/// clamping luma into the BT.656-legal `1..=254` range. Reuses `out`'s
+/// byte storage.
+fn yuv422_from_gray_into(img: &Image, out: &mut RawFrame) {
     let (w, h) = img.dims();
-    let mut bytes = Vec::with_capacity(w * h * 2);
-    for y in 0..h {
-        for x in 0..w {
-            let luma = (img.get(x, y).clamp(0.0, 1.0) * 253.0).round() as u8 + 1;
-            bytes.push(0x80); // neutral Cb/Cr alternating
-            bytes.push(luma);
-        }
+    let mut bytes = out.take_storage();
+    bytes.resize(w * h * 2, 0);
+    for (pair, &v) in bytes.chunks_exact_mut(2).zip(img.as_slice()) {
+        pair[0] = 0x80; // neutral Cb/Cr alternating
+        pair[1] = (v.clamp(0.0, 1.0) * 253.0).round() as u8 + 1;
     }
-    RawFrame::new(PixelFormat::Yuv422, w, h, bytes).expect("geometry is consistent")
+    out.assign(PixelFormat::Yuv422, w, h, bytes)
+        .expect("geometry is consistent");
 }
 
 #[cfg(test)]

@@ -117,13 +117,21 @@ impl<T> FrameGate<T> {
     /// Offers a new frame. It is stored only if the previous one has been
     /// taken; otherwise it is dropped and `false` is returned.
     pub fn offer(&mut self, frame: T) -> bool {
+        self.offer_reclaiming(frame).is_none()
+    }
+
+    /// Like [`FrameGate::offer`], but hands a rejected frame back to the
+    /// caller instead of discarding it, so pooled pipelines can recycle its
+    /// buffer. Returns `None` when the frame was stored (accepted) and
+    /// `Some(frame)` when the gate was occupied (the drop is still counted).
+    pub fn offer_reclaiming(&mut self, frame: T) -> Option<T> {
         self.offered += 1;
         if self.slot.is_some() {
             self.dropped += 1;
-            false
+            Some(frame)
         } else {
             self.slot = Some(frame);
-            true
+            None
         }
     }
 

@@ -64,6 +64,51 @@ impl RawFrame {
         })
     }
 
+    /// An empty placeholder frame (zero-sized, no allocation), for use as a
+    /// reusable output slot of the `_into` capture-path functions.
+    pub fn empty() -> Self {
+        RawFrame {
+            format: PixelFormat::Gray8,
+            width: 0,
+            height: 0,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Moves this frame's byte storage out for reuse (cleared, capacity
+    /// kept), leaving the frame empty.
+    pub(crate) fn take_storage(&mut self) -> Vec<u8> {
+        self.width = 0;
+        self.height = 0;
+        self.format = PixelFormat::Gray8;
+        let mut bytes = std::mem::take(&mut self.bytes);
+        bytes.clear();
+        bytes
+    }
+
+    /// Adopts `bytes` as this frame's payload, validating the length like
+    /// [`RawFrame::new`].
+    pub(crate) fn assign(
+        &mut self,
+        format: PixelFormat,
+        width: usize,
+        height: usize,
+        bytes: Vec<u8>,
+    ) -> Result<(), VideoError> {
+        let expected = width * height * format.bytes_per_pixel();
+        if bytes.len() != expected {
+            return Err(VideoError::BadFrameLength {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        self.format = format;
+        self.width = width;
+        self.height = height;
+        self.bytes = bytes;
+        Ok(())
+    }
+
     /// Pixel format.
     pub fn format(&self) -> PixelFormat {
         self.format
@@ -83,7 +128,18 @@ impl RawFrame {
     /// normalization for both) — the paper gray-scales the webcam stream
     /// before fusion.
     pub fn to_gray(&self, seq: u64) -> Frame {
-        let mut img = Image::zeros(self.width, self.height);
+        let mut out = Frame::new(Image::zeros(0, 0), 0);
+        self.to_gray_into(seq, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RawFrame::to_gray`]: converts into
+    /// `out`'s image buffer (reshaped, capacity reused) and stamps its
+    /// sequence number.
+    pub fn to_gray_into(&self, seq: u64, out: &mut Frame) {
+        out.seq = seq;
+        let img = &mut out.image;
+        img.reshape(self.width, self.height);
         match self.format {
             PixelFormat::Gray8 => {
                 for (dst, &b) in img.as_mut_slice().iter_mut().zip(&self.bytes) {
@@ -107,7 +163,6 @@ impl RawFrame {
                 }
             }
         }
-        Frame::new(img, seq)
     }
 }
 
@@ -156,6 +211,12 @@ impl Frame {
     /// Capture sequence number.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Overwrites the sequence number (used by the pooled capture path,
+    /// which reuses frame buffers across captures).
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 
     /// Consumes the frame, returning the image.

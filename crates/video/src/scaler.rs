@@ -29,33 +29,122 @@ use wavefuse_dtcwt::Image;
 /// # Ok::<(), wavefuse_video::VideoError>(())
 /// ```
 pub fn resize_bilinear(src: &Image, dst_w: usize, dst_h: usize) -> Result<Image, VideoError> {
+    let mut out = Image::zeros(0, 0);
+    resize_bilinear_into(src, dst_w, dst_h, &mut out)?;
+    Ok(out)
+}
+
+/// Buffer-reusing variant of [`resize_bilinear`]: resamples into `out`
+/// (reshaped, capacity reused). The identity geometry degenerates to a
+/// plain copy. Identical pixels to the allocating path. Builds a one-shot
+/// [`BilinearPlan`]; hold a plan directly to resample repeatedly at a
+/// fixed geometry without any allocation.
+///
+/// # Errors
+///
+/// As [`resize_bilinear`].
+pub fn resize_bilinear_into(
+    src: &Image,
+    dst_w: usize,
+    dst_h: usize,
+    out: &mut Image,
+) -> Result<(), VideoError> {
     let (sw, sh) = src.dims();
     if sw == 0 || sh == 0 || dst_w == 0 || dst_h == 0 {
         return Err(VideoError::EmptyImage);
     }
-    if (sw, sh) == (dst_w, dst_h) {
-        return Ok(src.clone());
-    }
-    let sx = sw as f32 / dst_w as f32;
-    let sy = sh as f32 / dst_h as f32;
-    let mut out = Image::zeros(dst_w, dst_h);
-    for y in 0..dst_h {
-        // Pixel-center mapping: dst center (y + 0.5) maps to src coords.
-        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, (sh - 1) as f32);
-        let y0 = fy.floor() as usize;
-        let y1 = (y0 + 1).min(sh - 1);
-        let wy = fy - y0 as f32;
-        for x in 0..dst_w {
-            let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, (sw - 1) as f32);
-            let x0 = fx.floor() as usize;
-            let x1 = (x0 + 1).min(sw - 1);
-            let wx = fx - x0 as f32;
-            let top = src.get(x0, y0) * (1.0 - wx) + src.get(x1, y0) * wx;
-            let bot = src.get(x0, y1) * (1.0 - wx) + src.get(x1, y1) * wx;
-            out.set(x, y, top * (1.0 - wy) + bot * wy);
+    BilinearPlan::new(sw, sh, dst_w, dst_h)?.apply(src, out)
+}
+
+/// Source tap pair and interpolation weight for one destination row or
+/// column under pixel-center mapping: dst center `(i + 0.5)` maps to
+/// clamped src coordinate `i0 + w` with neighbour `i1`.
+fn tap(i: usize, scale: f32, src_len: usize) -> (usize, usize, f32) {
+    let f = ((i as f32 + 0.5) * scale - 0.5).clamp(0.0, (src_len - 1) as f32);
+    let i0 = f.floor() as usize;
+    let i1 = (i0 + 1).min(src_len - 1);
+    (i0, i1, f - i0 as f32)
+}
+
+/// A prepared bilinear resample for one fixed geometry.
+///
+/// Precomputes the per-column and per-row source taps and weights so
+/// repeated resamples (the capture path runs two per thermal frame) skip
+/// the per-pixel coordinate math and bounds checks. [`BilinearPlan::apply`]
+/// produces bit-identical pixels to [`resize_bilinear_into`].
+#[derive(Debug, Clone)]
+pub struct BilinearPlan {
+    src: (usize, usize),
+    dst: (usize, usize),
+    /// `(x0, x1, wx)` per destination column.
+    xmap: Vec<(usize, usize, f32)>,
+    /// `(y0, y1, wy)` per destination row.
+    ymap: Vec<(usize, usize, f32)>,
+}
+
+impl BilinearPlan {
+    /// Prepares a `src_w` x `src_h` to `dst_w` x `dst_h` resample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptyImage`] if either geometry is zero-sized.
+    pub fn new(src_w: usize, src_h: usize, dst_w: usize, dst_h: usize) -> Result<Self, VideoError> {
+        if src_w == 0 || src_h == 0 || dst_w == 0 || dst_h == 0 {
+            return Err(VideoError::EmptyImage);
         }
+        let sx = src_w as f32 / dst_w as f32;
+        let sy = src_h as f32 / dst_h as f32;
+        Ok(BilinearPlan {
+            src: (src_w, src_h),
+            dst: (dst_w, dst_h),
+            xmap: (0..dst_w).map(|x| tap(x, sx, src_w)).collect(),
+            ymap: (0..dst_h).map(|y| tap(y, sy, src_h)).collect(),
+        })
     }
-    Ok(out)
+
+    /// The planned source geometry.
+    pub fn src_dims(&self) -> (usize, usize) {
+        self.src
+    }
+
+    /// The planned destination geometry.
+    pub fn dst_dims(&self) -> (usize, usize) {
+        self.dst
+    }
+
+    /// Resamples `src` into `out` (reshaped, capacity reused) using the
+    /// prepared taps. The identity geometry degenerates to a plain copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptyImage`] if `src` does not match the
+    /// planned source geometry.
+    pub fn apply(&self, src: &Image, out: &mut Image) -> Result<(), VideoError> {
+        if src.dims() != self.src {
+            return Err(VideoError::EmptyImage);
+        }
+        if self.src == self.dst {
+            out.copy_from(src);
+            return Ok(());
+        }
+        let (sw, _) = self.src;
+        let (dst_w, dst_h) = self.dst;
+        out.reshape(dst_w, dst_h);
+        let data = src.as_slice();
+        let dst = out.as_mut_slice();
+        for y in 0..dst_h {
+            let (y0, y1, wy) = self.ymap[y];
+            let top_row = &data[y0 * sw..y0 * sw + sw];
+            let bot_row = &data[y1 * sw..y1 * sw + sw];
+            let out_row = &mut dst[y * dst_w..(y + 1) * dst_w];
+            for (o, &(x0, x1, wx)) in out_row.iter_mut().zip(&self.xmap) {
+                let top = top_row[x0] * (1.0 - wx) + top_row[x1] * wx;
+                let bot = bot_row[x0] * (1.0 - wx) + bot_row[x1] * wx;
+                *o = top * (1.0 - wy) + bot * wy;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +196,46 @@ mod tests {
         let src = Image::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let out = resize_bilinear(&src, 1, 1).unwrap();
         assert!((out.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_matches_per_pixel_reference_exactly() {
+        // The prepared-tap resample must be bit-identical to the direct
+        // per-pixel bilinear evaluation.
+        let src = Image::from_fn(53, 37, |x, y| ((x * 31 + y * 17) % 101) as f32 * 0.01);
+        for (dw, dh) in [(88, 72), (17, 90), (120, 11)] {
+            let (sw, sh) = src.dims();
+            let sx = sw as f32 / dw as f32;
+            let sy = sh as f32 / dh as f32;
+            let reference = Image::from_fn(dw, dh, |x, y| {
+                let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, (sh - 1) as f32);
+                let y0 = fy.floor() as usize;
+                let y1 = (y0 + 1).min(sh - 1);
+                let wy = fy - y0 as f32;
+                let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, (sw - 1) as f32);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(sw - 1);
+                let wx = fx - x0 as f32;
+                let top = src.get(x0, y0) * (1.0 - wx) + src.get(x1, y0) * wx;
+                let bot = src.get(x0, y1) * (1.0 - wx) + src.get(x1, y1) * wx;
+                top * (1.0 - wy) + bot * wy
+            });
+            let plan = BilinearPlan::new(sw, sh, dw, dh).unwrap();
+            let mut out = Image::zeros(0, 0);
+            plan.apply(&src, &mut out).unwrap();
+            assert_eq!(out, reference);
+            assert_eq!(resize_bilinear(&src, dw, dh).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_source() {
+        let plan = BilinearPlan::new(8, 6, 4, 3).unwrap();
+        assert_eq!(plan.src_dims(), (8, 6));
+        assert_eq!(plan.dst_dims(), (4, 3));
+        let wrong = Image::zeros(9, 6);
+        let mut out = Image::zeros(0, 0);
+        assert_eq!(plan.apply(&wrong, &mut out), Err(VideoError::EmptyImage));
     }
 
     #[test]

@@ -38,6 +38,46 @@ pub struct ScenePair {
     seed: u64,
 }
 
+/// Reusable per-column tables for the procedural renders.
+///
+/// Every term of the scene that depends on the horizontal coordinate alone
+/// (texture sinusoids, board stripes, occluder shading, the horizontal
+/// falloff of the warm body and lamp) is evaluated once per column here
+/// instead of once per pixel; the row-only terms hoist into the row loop.
+/// Holding one across frames makes steady-state rendering allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct RenderScratch {
+    /// Texture/ambient sinusoid per column.
+    tex: Vec<f64>,
+    /// Calibration-board stripe value per column (`NaN` outside the board).
+    stripe: Vec<f64>,
+    /// Occluder-panel value per column (`NaN` outside the panel).
+    occ: Vec<f64>,
+    /// Horizontal warm-body falloff term per column.
+    body: Vec<f64>,
+    /// Horizontal lamp falloff term per column.
+    lamp: Vec<f64>,
+    /// NETD noise per column pair (the grain is 2x2 blocks), refreshed
+    /// every other row.
+    noise_row: Vec<f64>,
+}
+
+impl RenderScratch {
+    /// Sizes every table to `w` columns (capacity reused).
+    fn fit(&mut self, w: usize) {
+        for table in [
+            &mut self.tex,
+            &mut self.stripe,
+            &mut self.occ,
+            &mut self.body,
+            &mut self.lamp,
+        ] {
+            table.resize(w, 0.0);
+        }
+        self.noise_row.resize(w.div_ceil(2), 0.0);
+    }
+}
+
 impl ScenePair {
     /// Creates a scene from a seed controlling noise and object placement.
     pub fn new(seed: u64) -> Self {
@@ -60,56 +100,157 @@ impl ScenePair {
 
     /// Renders the visible-band view in `[0, 1]`.
     pub fn render_visible(&self, w: usize, h: usize, t: f64) -> Image {
+        let mut out = Image::zeros(0, 0);
+        self.render_visible_into(w, h, t, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`ScenePair::render_visible`]: renders
+    /// into `out` (reshaped, capacity reused). Identical pixels. Builds a
+    /// one-shot [`RenderScratch`]; steady-state callers should hold one and
+    /// use [`ScenePair::render_visible_scratch`] instead.
+    pub fn render_visible_into(&self, w: usize, h: usize, t: f64, out: &mut Image) {
+        self.render_visible_scratch(w, h, t, &mut RenderScratch::default(), out);
+    }
+
+    /// Renders the visible-band view through caller-held column tables, so
+    /// repeated renders allocate nothing. Identical pixels to
+    /// [`ScenePair::render_visible`].
+    pub fn render_visible_scratch(
+        &self,
+        w: usize,
+        h: usize,
+        t: f64,
+        scratch: &mut RenderScratch,
+        out: &mut Image,
+    ) {
         let (bx, by) = self.body_center(t);
-        Image::from_fn(w, h, |px, py| {
+        let tn = (t * 1000.0) as u64;
+        out.reshape(w, h);
+        scratch.fit(w);
+        // Per-column terms, same expressions as the per-pixel form so the
+        // assembled value is bit-identical.
+        for px in 0..w {
             let x = (px as f64 + 0.5) / w as f64;
-            let y = (py as f64 + 0.5) / h as f64;
-            // Illumination gradient + wall texture.
-            let mut v = 0.45 + 0.25 * (1.0 - y) + 0.08 * ((x * 40.0).sin() * (y * 31.0).cos());
-            // Striped calibration board (visible only).
-            if (0.08..0.30).contains(&x) && (0.15..0.45).contains(&y) {
-                v = if (((x - 0.08) * 50.0) as u64).is_multiple_of(2) {
+            scratch.tex[px] = (x * 40.0).sin();
+            // Striped calibration board (visible only); NaN = outside.
+            scratch.stripe[px] = if (0.08..0.30).contains(&x) {
+                if (((x - 0.08) * 50.0) as u64).is_multiple_of(2) {
                     0.9
                 } else {
                     0.15
-                };
+                }
+            } else {
+                f64::NAN
+            };
+            // Cold occluder: a dark panel the visible camera cannot see
+            // past; NaN = outside.
+            scratch.occ[px] = if (0.55..0.85).contains(&x) {
+                0.12 + 0.02 * ((x * 90.0).sin())
+            } else {
+                f64::NAN
+            };
+            scratch.body[px] = ((x - bx) / 0.06).powi(2);
+        }
+        let data = out.as_mut_slice();
+        for py in 0..h {
+            let y = (py as f64 + 0.5) / h as f64;
+            let base = 0.45 + 0.25 * (1.0 - y);
+            let cosy = (y * 31.0).cos();
+            let dy2 = ((y - by) / 0.16).powi(2);
+            let stripe_row = (0.15..0.45).contains(&y);
+            let occ_row = (0.35..0.8).contains(&y);
+            let row = &mut data[py * w..(py + 1) * w];
+            for (px, o) in row.iter_mut().enumerate() {
+                // Illumination gradient + wall texture.
+                let mut v = base + 0.08 * (scratch.tex[px] * cosy);
+                if stripe_row && !scratch.stripe[px].is_nan() {
+                    v = scratch.stripe[px];
+                }
+                if occ_row && !scratch.occ[px].is_nan() {
+                    v = scratch.occ[px];
+                }
+                // The warm body is barely visible (low-contrast silhouette).
+                if scratch.body[px] + dy2 < 1.0 {
+                    v = v * 0.8 + 0.05;
+                }
+                // CMOS shot noise.
+                v += 0.015 * self.noise(px as u64, py as u64, tn, 1);
+                *o = (v.clamp(0.0, 1.0)) as f32;
             }
-            // Cold occluder: a dark panel the visible camera cannot see past.
-            if (0.55..0.85).contains(&x) && (0.35..0.8).contains(&y) {
-                v = 0.12 + 0.02 * ((x * 90.0).sin());
-            }
-            // The warm body is barely visible (low-contrast silhouette).
-            let d2 = ((x - bx) / 0.06).powi(2) + ((y - by) / 0.16).powi(2);
-            if d2 < 1.0 {
-                v = v * 0.8 + 0.05;
-            }
-            // CMOS shot noise.
-            v += 0.015 * self.noise(px as u64, py as u64, (t * 1000.0) as u64, 1);
-            (v.clamp(0.0, 1.0)) as f32
-        })
+        }
     }
 
     /// Renders the thermal (LWIR) view in `[0, 1]`.
     pub fn render_thermal(&self, w: usize, h: usize, t: f64) -> Image {
+        let mut out = Image::zeros(0, 0);
+        self.render_thermal_into(w, h, t, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`ScenePair::render_thermal`]: renders
+    /// into `out` (reshaped, capacity reused). Identical pixels. Builds a
+    /// one-shot [`RenderScratch`]; steady-state callers should hold one and
+    /// use [`ScenePair::render_thermal_scratch`] instead.
+    pub fn render_thermal_into(&self, w: usize, h: usize, t: f64, out: &mut Image) {
+        self.render_thermal_scratch(w, h, t, &mut RenderScratch::default(), out);
+    }
+
+    /// Renders the thermal view through caller-held column tables, so
+    /// repeated renders allocate nothing. Identical pixels to
+    /// [`ScenePair::render_thermal`].
+    pub fn render_thermal_scratch(
+        &self,
+        w: usize,
+        h: usize,
+        t: f64,
+        scratch: &mut RenderScratch,
+        out: &mut Image,
+    ) {
         let (bx, by) = self.body_center(t);
         let lampx = 0.72;
         let lampy = 0.22;
-        Image::from_fn(w, h, |px, py| {
+        let tn = (t * 1000.0) as u64;
+        out.reshape(w, h);
+        scratch.fit(w);
+        // Per-column terms, same expressions as the per-pixel form so the
+        // assembled value is bit-identical.
+        for px in 0..w {
             let x = (px as f64 + 0.5) / w as f64;
+            scratch.tex[px] = (x * 3.0).sin();
+            // The Gaussian falloffs are separable: exp(-(dx2 + dy2)) =
+            // exp(-dx2) * exp(-dy2), so each axis is exponentiated once
+            // per row/column instead of once per pixel.
+            scratch.body[px] = (-((x - bx) / 0.07).powi(2)).exp();
+            scratch.lamp[px] = (-((x - lampx) / 0.035).powi(2)).exp();
+        }
+        let data = out.as_mut_slice();
+        for py in 0..h {
             let y = (py as f64 + 0.5) / h as f64;
-            // Ambient temperature field: smooth, no visible-band texture —
-            // and the visible occluder is transparent at LWIR.
-            let mut v = 0.25 + 0.05 * ((x * 3.0).sin() + (y * 2.0).cos());
-            // Warm body: bright ellipse with a soft falloff.
-            let d2 = ((x - bx) / 0.07).powi(2) + ((y - by) / 0.18).powi(2);
-            v += 0.55 * (-d2).exp();
-            // Hot lamp spot.
-            let l2 = ((x - lampx) / 0.035).powi(2) + ((y - lampy) / 0.05).powi(2);
-            v += 0.7 * (-l2).exp();
-            // Microbolometer NETD noise: coarser spatial grain.
-            v += 0.02 * self.noise(px as u64 / 2, py as u64 / 2, (t * 1000.0) as u64, 2);
-            (v.clamp(0.0, 1.0)) as f32
-        })
+            let cosy = (y * 2.0).cos();
+            let body_y = (-((y - by) / 0.18).powi(2)).exp();
+            let lamp_y = (-((y - lampy) / 0.05).powi(2)).exp();
+            if py % 2 == 0 {
+                // NETD grain is constant over 2x2 blocks; hash each block
+                // once and reuse it for four pixels.
+                for (i, n) in scratch.noise_row.iter_mut().enumerate() {
+                    *n = self.noise(i as u64, py as u64 / 2, tn, 2);
+                }
+            }
+            let row = &mut data[py * w..(py + 1) * w];
+            for (px, o) in row.iter_mut().enumerate() {
+                // Ambient temperature field: smooth, no visible-band
+                // texture — the visible occluder is transparent at LWIR.
+                let mut v = 0.25 + 0.05 * (scratch.tex[px] + cosy);
+                // Warm body: bright ellipse with a soft falloff.
+                v += 0.55 * (scratch.body[px] * body_y);
+                // Hot lamp spot.
+                v += 0.7 * (scratch.lamp[px] * lamp_y);
+                // Microbolometer NETD noise: coarser spatial grain.
+                v += 0.02 * scratch.noise_row[px / 2];
+                *o = (v.clamp(0.0, 1.0)) as f32;
+            }
+        }
     }
 
     /// Deterministic noise in `[-1, 1]` from a SplitMix64-style hash.
@@ -136,6 +277,53 @@ mod tests {
 
     fn mean(xs: &[f32]) -> f32 {
         xs.iter().sum::<f32>() / xs.len() as f32
+    }
+
+    #[test]
+    fn hoisted_renders_match_per_pixel_reference_exactly() {
+        // The column-table renders must be bit-identical to the direct
+        // per-pixel evaluation of the scene formulas.
+        let scene = ScenePair::new(11);
+        let (w, h) = (97, 61);
+        for t in [0.0, 0.73, 4.2] {
+            let tn = (t * 1000.0) as u64;
+            let (bx, by) = scene.body_center(t);
+            let vis_ref = Image::from_fn(w, h, |px, py| {
+                let x = (px as f64 + 0.5) / w as f64;
+                let y = (py as f64 + 0.5) / h as f64;
+                let mut v = 0.45 + 0.25 * (1.0 - y) + 0.08 * ((x * 40.0).sin() * (y * 31.0).cos());
+                if (0.08..0.30).contains(&x) && (0.15..0.45).contains(&y) {
+                    v = if (((x - 0.08) * 50.0) as u64).is_multiple_of(2) {
+                        0.9
+                    } else {
+                        0.15
+                    };
+                }
+                if (0.55..0.85).contains(&x) && (0.35..0.8).contains(&y) {
+                    v = 0.12 + 0.02 * ((x * 90.0).sin());
+                }
+                let d2 = ((x - bx) / 0.06).powi(2) + ((y - by) / 0.16).powi(2);
+                if d2 < 1.0 {
+                    v = v * 0.8 + 0.05;
+                }
+                v += 0.015 * scene.noise(px as u64, py as u64, tn, 1);
+                (v.clamp(0.0, 1.0)) as f32
+            });
+            let ir_ref = Image::from_fn(w, h, |px, py| {
+                let x = (px as f64 + 0.5) / w as f64;
+                let y = (py as f64 + 0.5) / h as f64;
+                let mut v = 0.25 + 0.05 * ((x * 3.0).sin() + (y * 2.0).cos());
+                v += 0.55
+                    * ((-((x - bx) / 0.07).powi(2)).exp() * (-((y - by) / 0.18).powi(2)).exp());
+                v += 0.7
+                    * ((-((x - 0.72) / 0.035).powi(2)).exp()
+                        * (-((y - 0.22) / 0.05).powi(2)).exp());
+                v += 0.02 * scene.noise(px as u64 / 2, py as u64 / 2, tn, 2);
+                (v.clamp(0.0, 1.0)) as f32
+            });
+            assert_eq!(scene.render_visible(w, h, t), vis_ref);
+            assert_eq!(scene.render_thermal(w, h, t), ir_ref);
+        }
     }
 
     #[test]

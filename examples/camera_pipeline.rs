@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
         ))),
         scene_seed: 9,
+        threads: 1,
     })?;
 
     println!("\nframe | backend   | time (ms) | energy (mJ)");

@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
         ))),
         scene_seed: 7,
+        threads: 1,
     })?;
     pipe.set_telemetry(Arc::clone(&telemetry));
 

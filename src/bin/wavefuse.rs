@@ -3,10 +3,10 @@
 //! ```text
 //! wavefuse fuse <visible.pgm> <thermal.pgm> -o fused.pgm [--backend neon]
 //!          [--levels 3] [--rule window|maxmag|average|activity]
-//!          [--trace t.json] [--metrics m.prom]
+//!          [--threads 1] [--trace t.json] [--metrics m.prom]
 //! wavefuse denoise <in.pgm> -o out.pgm [--strength 1.0] [--levels 3]
 //! wavefuse demo -o out/ [--frames 5] [--size 88x72] [--seed 42]
-//!          [--trace t.json] [--metrics m.prom]
+//!          [--threads 1] [--trace t.json] [--metrics m.prom]
 //! ```
 //!
 //! Works on binary PGM (`P5`) images, the format the examples emit.
@@ -123,6 +123,14 @@ fn write_telemetry(args: &Args, tel: &Arc<Telemetry>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--threads N` (default 1 = serial; larger spawns the engine's
+/// persistent worker pool for the CPU backends).
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    args.opt_or("threads", "1")
+        .parse()
+        .map_err(|_| "bad --threads".to_string())
+}
+
 fn parse_size(s: &str) -> Result<(usize, usize), String> {
     let (w, h) = s.split_once('x').ok_or("size must look like 88x72")?;
     Ok((
@@ -142,6 +150,7 @@ fn cmd_fuse(args: &Args) -> Result<(), String> {
         .map_err(|_| "bad --levels")?;
     let rule = parse_rule(&args.opt_or("rule", "window"))?;
     let backend = parse_backend(&args.opt_or("backend", "auto"))?;
+    let threads = parse_threads(args)?;
 
     let a = pgm::read_pgm(a_path).map_err(|e| format!("{a_path}: {e}"))?;
     let b = pgm::read_pgm(b_path).map_err(|e| format!("{b_path}: {e}"))?;
@@ -172,6 +181,7 @@ fn cmd_fuse(args: &Args) -> Result<(), String> {
     };
     let mut engine =
         FusionEngine::with_rules(levels, rule, LowpassRule::Average).map_err(|e| e.to_string())?;
+    engine.set_threads(threads);
     let telemetry = telemetry_for(args);
     if let Some(tel) = &telemetry {
         engine.set_telemetry(Arc::clone(tel));
@@ -228,9 +238,11 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
         .opt_or("seed", "42")
         .parse()
         .map_err(|_| "bad --seed")?;
+    let threads = parse_threads(args)?;
 
     let scene = ScenePair::new(seed);
     let mut engine = FusionEngine::new(3).map_err(|e| e.to_string())?;
+    engine.set_threads(threads);
     let mut sched = AdaptiveScheduler::new(Policy::Model(Objective::Energy), 3);
     let telemetry = telemetry_for(args);
     if let Some(tel) = &telemetry {
@@ -267,10 +279,10 @@ fn usage() -> &'static str {
     "usage:\n  \
      wavefuse fuse <visible.pgm> <thermal.pgm> -o <fused.pgm> \
      [--backend arm|neon|fpga|hybrid|auto] [--levels N] [--rule window|maxmag|average|activity] \
-     [--trace <t.json>] [--metrics <m.prom>]\n  \
+     [--threads N] [--trace <t.json>] [--metrics <m.prom>]\n  \
      wavefuse denoise <in.pgm> -o <out.pgm> [--strength S] [--levels N]\n  \
      wavefuse demo [-o <dir>] [--frames N] [--size WxH] [--seed S] \
-     [--trace <t.json>] [--metrics <m.prom>]"
+     [--threads N] [--trace <t.json>] [--metrics <m.prom>]"
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,142 @@
+//! Allocation-regression tests for the steady-state hot path.
+//!
+//! A counting global allocator (wrapping the system allocator) tracks
+//! heap traffic from the current thread. After a warm-up frame has sized
+//! every scratch arena, buffer pool slot, and capture-path plan, the
+//! pipeline's `step()` and the pooled transform paths must not allocate
+//! at all — the tentpole guarantee of the zero-allocation hot path.
+//!
+//! The counters are thread-local so the test harness's other threads
+//! cannot contaminate a measurement; everything under test runs with
+//! `threads = 1`, i.e. on the measuring thread itself.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::Backend;
+use wavefuse_dtcwt::{ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch};
+use wavefuse_simd::AutoVecKernel;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns `(allocation count, bytes allocated, result)` for
+/// the calling thread.
+fn counted<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let a0 = ALLOCS.with(Cell::get);
+    let b0 = BYTES.with(Cell::get);
+    let r = f();
+    (ALLOCS.with(Cell::get) - a0, BYTES.with(Cell::get) - b0, r)
+}
+
+fn pipeline(backend: Backend) -> VideoFusionPipeline {
+    VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Fixed(backend),
+        scene_seed: 2016,
+        threads: 1,
+    })
+    .expect("default geometry supports three levels")
+}
+
+#[test]
+fn steady_state_pipeline_steps_do_not_allocate() {
+    for backend in [Backend::Arm, Backend::Neon] {
+        let mut pipe = pipeline(backend);
+        // Warm-up: the first frames size the scratch arenas, pool slots,
+        // capture plans, and the gate's ping-pong buffers.
+        for _ in 0..2 {
+            let out = pipe.step().expect("warm-up step");
+            pipe.recycle(out);
+        }
+        for frame in 2..5 {
+            let (allocs, bytes, out) = counted(|| pipe.step().expect("steady step"));
+            let (rallocs, rbytes, ()) = counted(|| pipe.recycle(out));
+            assert_eq!(
+                (allocs, bytes),
+                (0, 0),
+                "{backend:?} frame {frame}: step() allocated {allocs} times ({bytes} bytes)"
+            );
+            assert_eq!(
+                (rallocs, rbytes),
+                (0, 0),
+                "{backend:?} frame {frame}: recycle() allocated {rallocs} times ({rbytes} bytes)"
+            );
+        }
+        assert_eq!(pipe.stats().frames, 5);
+    }
+}
+
+// `AutoVec` is a kernel, not a pipeline backend, so it is exercised at the
+// transform layer: the pooled `_into` analyze/synthesize paths must also be
+// allocation-free after one warm-up pass of the same geometry.
+#[test]
+fn steady_state_transform_paths_do_not_allocate() {
+    let img = Image::from_fn(88, 72, |x, y| ((x * 31 + y * 17) % 101) as f32 * 0.01);
+    let t = Dtcwt::new(3).expect("three levels");
+
+    let mut scalar = ScalarKernel::new();
+    let mut autovec = AutoVecKernel::new();
+    let kernels: [(&str, &mut dyn wavefuse_dtcwt::FilterKernel); 2] =
+        [("scalar", &mut scalar), ("autovec", &mut autovec)];
+
+    for (name, kernel) in kernels {
+        let mut combos = ComboStore::new();
+        let mut scratch = Scratch::new();
+        let mut pyr = CwtPyramid::empty();
+        let mut rec = Image::zeros(0, 0);
+
+        // Warm-up pass sizes every staging buffer.
+        t.forward_into(kernel, &img, &mut combos, &mut scratch, &mut pyr)
+            .expect("warm-up forward");
+        t.inverse_into(kernel, &pyr, &mut scratch, &mut rec)
+            .expect("warm-up inverse");
+
+        let (allocs, bytes, ()) = counted(|| {
+            for _ in 0..3 {
+                t.forward_into(kernel, &img, &mut combos, &mut scratch, &mut pyr)
+                    .expect("steady forward");
+                t.inverse_into(kernel, &pyr, &mut scratch, &mut rec)
+                    .expect("steady inverse");
+            }
+        });
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "{name}: pooled transform allocated {allocs} times ({bytes} bytes)"
+        );
+    }
+}

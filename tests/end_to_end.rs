@@ -17,6 +17,7 @@ fn full_capture_path_produces_fused_video() {
         levels: 3,
         backend: BackendChoice::Fixed(Backend::Fpga),
         scene_seed: 42,
+        threads: 1,
     })
     .unwrap();
     let stats = pipe.run(5).unwrap();
@@ -39,6 +40,7 @@ fn pipeline_is_deterministic_for_a_seed() {
             levels: 3,
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: seed,
+            threads: 1,
         })
         .unwrap();
         let out = pipe.step().unwrap();
@@ -80,6 +82,7 @@ fn adaptive_pipeline_reacts_to_frame_size() {
                 3,
             ))),
             scene_seed: 1,
+            threads: 1,
         })
         .unwrap();
         let stats = pipe.run(3).unwrap();
@@ -111,6 +114,7 @@ fn online_policy_converges_in_the_pipeline() {
             3,
         ))),
         scene_seed: 2,
+        threads: 1,
     })
     .unwrap();
     let stats = pipe.run(6).unwrap();
@@ -131,6 +135,7 @@ fn fused_stream_tracks_the_moving_body() {
         levels: 2,
         backend: BackendChoice::Fixed(Backend::Neon),
         scene_seed: 11,
+        threads: 1,
     })
     .unwrap();
     let first = pipe.step().unwrap().image;

@@ -29,6 +29,7 @@ fn hybrid_backend_runs_in_the_full_pipeline() {
         levels: 3,
         backend: BackendChoice::Fixed(Backend::Hybrid),
         scene_seed: 4,
+        threads: 1,
     })
     .unwrap();
     let stats = pipe.run(3).unwrap();
@@ -39,6 +40,7 @@ fn hybrid_backend_runs_in_the_full_pipeline() {
         levels: 3,
         backend: BackendChoice::Fixed(Backend::Fpga),
         scene_seed: 4,
+        threads: 1,
     })
     .unwrap();
     let fpga_stats = fpga.run(3).unwrap();

@@ -20,6 +20,7 @@ fn instrumented_run(frames: usize) -> (Arc<Telemetry>, wavefuse::core::pipeline:
             3,
         ))),
         scene_seed: 11,
+        threads: 1,
     })
     .unwrap();
     pipe.set_telemetry(Arc::clone(&telemetry));

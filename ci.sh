@@ -21,6 +21,13 @@ cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 16 --bench-out target/BENCH_smoke.json
 test -s target/BENCH_smoke.json
 
+echo "== threaded bench smoke (repro bench --frames 16 --threads 2)"
+# Exercises the worker-pool rows explicitly even on single-core CI hosts
+# (the default thread count is derived from host parallelism).
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 16 --threads 2 --bench-out target/BENCH_smoke_t2.json
+test -s target/BENCH_smoke_t2.json
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 

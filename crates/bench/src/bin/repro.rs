@@ -13,9 +13,10 @@
 //!
 //! The `bench` subcommand measures real wall-clock pipeline throughput
 //! (frames/sec and ns/frame per backend, serial and on the worker pool,
-//! with the modeled per-phase split) and writes `BENCH_pipeline.json`
+//! with the measured per-phase split) and writes `BENCH_pipeline.json`
 //! in the current directory; `--frames <n>` sets the timed frames per
-//! configuration (default 64).
+//! configuration (default 64) and `--threads <n>` the worker count of
+//! the threaded rows (default: host parallelism clamped to 2..=4).
 //!
 //! The `eval` subcommand runs an instrumented pipeline and exports its
 //! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
@@ -30,7 +31,7 @@ use wavefuse_bench::report;
 use wavefuse_trace::{export, ToJson};
 
 const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
-[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--bench-out <path>]";
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--threads <n>] [--bench-out <path>]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -159,8 +160,12 @@ fn main() -> ExitCode {
                 Some(v) => v.parse().map_err(|_| format!("bad --frames '{v}'"))?,
                 None => 64,
             };
+            let threads: Option<usize> = match opt("threads").as_deref() {
+                Some(v) => Some(v.parse().map_err(|_| format!("bad --threads '{v}'"))?),
+                None => None,
+            };
             eprintln!("measuring pipeline throughput ({frames} timed frames per configuration)...");
-            let bench = experiments::pipeline_bench(frames)?;
+            let bench = experiments::pipeline_bench(frames, threads)?;
             println!("{}", report::render_bench(&bench));
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
             std::fs::write(&path, bench.to_json().render())?;

@@ -667,7 +667,10 @@ pub struct BenchRow {
     pub ns_per_frame: f64,
     /// Mean throughput across all [`BENCH_REPS`] windows.
     pub mean_frames_per_second: f64,
-    /// Modeled per-frame phase split, `(phase, seconds)` in timeline order.
+    /// Measured per-frame wall-clock phase split, `(phase, seconds)` in
+    /// timeline order — from the engine's `Instant`-based accounting of
+    /// this row's own run, so backend and thread count both show up.
+    /// `overhead` is the wall remainder (capture, gating, telemetry).
     pub phase_s: Vec<(String, f64)>,
     /// Engine buffer-pool hits over the whole run (warm-up included).
     pub pool_hits: u64,
@@ -703,19 +706,24 @@ pub struct BenchReport {
 /// this times actual execution with `std::time::Instant`, after a
 /// [`BENCH_WARMUP_FRAMES`]-frame warm-up so pools and plan caches are
 /// hot. Each backend runs serially; ARM and NEON additionally run on
-/// the persistent worker pool.
+/// the persistent worker pool with `threads` workers (defaulting to the
+/// host parallelism clamped to 2..=4).
 ///
 /// # Errors
 ///
 /// Propagates pipeline errors (none occur for the default geometry).
-pub fn pipeline_bench(frames: usize) -> Result<BenchReport, FusionError> {
+pub fn pipeline_bench(frames: usize, threads: Option<usize>) -> Result<BenchReport, FusionError> {
     let frames = frames.max(1);
-    let threaded = std::thread::available_parallelism()
-        .map_or(2, usize::from)
-        .clamp(2, 4);
+    let threaded = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map_or(2, usize::from)
+            .clamp(2, 4)
+    });
     let mut configs: Vec<(Backend, usize)> = Backend::ALL.iter().map(|&b| (b, 1)).collect();
-    configs.push((Backend::Arm, threaded));
-    configs.push((Backend::Neon, threaded));
+    if threaded > 1 {
+        configs.push((Backend::Arm, threaded));
+        configs.push((Backend::Neon, threaded));
+    }
 
     let frame_size = (88, 72);
     let mut rows = Vec::new();
@@ -728,7 +736,7 @@ pub fn pipeline_bench(frames: usize) -> Result<BenchReport, FusionError> {
             threads,
         })?;
         pipe.run(BENCH_WARMUP_FRAMES)?;
-        let warm = pipe.stats().timing;
+        let warm_wall = pipe.engine().wall_phase_totals();
         let mut best_s = f64::INFINITY;
         let mut total_s = 0.0;
         for _ in 0..BENCH_REPS {
@@ -739,12 +747,20 @@ pub fn pipeline_bench(frames: usize) -> Result<BenchReport, FusionError> {
             total_s += window_s;
         }
         let timed_frames = (BENCH_REPS * frames) as f64;
-        let timing = pipe.stats().timing;
+        // Measured (not modeled) phase split: the engine's wall-clock
+        // accounting for this row's own timed windows, so every
+        // backend x threads configuration reports its own numbers.
+        let wall = pipe.engine().wall_phase_totals();
+        let forward_s = (wall.forward_s - warm_wall.forward_s) / timed_frames;
+        let fusion_s = (wall.fusion_s - warm_wall.fusion_s) / timed_frames;
+        let inverse_s = (wall.inverse_s - warm_wall.inverse_s) / timed_frames;
         let per_frame = PhaseTiming {
-            forward_s: (timing.forward_s - warm.forward_s) / timed_frames,
-            fusion_s: (timing.fusion_s - warm.fusion_s) / timed_frames,
-            inverse_s: (timing.inverse_s - warm.inverse_s) / timed_frames,
-            overhead_s: (timing.overhead_s - warm.overhead_s) / timed_frames,
+            forward_s,
+            fusion_s,
+            inverse_s,
+            // Everything outside the engine phases: capture, gating,
+            // telemetry and pipeline bookkeeping.
+            overhead_s: (total_s / timed_frames - forward_s - fusion_s - inverse_s).max(0.0),
         };
         let pool = pipe.engine().buffer_pool().stats();
         rows.push(BenchRow {

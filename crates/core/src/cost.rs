@@ -338,22 +338,44 @@ impl CostModel {
     /// Seconds for one transform on the hybrid backend: each row runs on
     /// whichever engine the row-length threshold selects (short rows on the
     /// NEON engine, long rows on the FPGA), as the [`crate::hybrid`] kernel
-    /// executes it.
+    /// executes it — under the async DMA overlap model. The PS timeline
+    /// carries the SIMD rows plus the FPGA path's driver overhead and user
+    /// copies; the PL timeline carries the engine runs; elapsed time is the
+    /// longer of the two (double buffering keeps the PL fed whenever it is
+    /// the bottleneck).
     pub fn hybrid_seconds(&self, plan: &TransformPlan, dir: Direction, threshold: usize) -> f64 {
         let ops = match dir {
             Direction::Forward => &plan.forward_ops,
             Direction::Inverse => &plan.inverse_ops,
         };
-        let mut total = 0.0;
+        let overhead = match dir {
+            Direction::Forward => self.zynq.call_overhead_ps_cycles_forward,
+            Direction::Inverse => self.zynq.call_overhead_ps_cycles_inverse,
+        };
+        let ps_t = 1.0 / self.zynq.ps_clk_hz;
+        let pl_t = 1.0 / self.zynq.pl_clk_hz;
+        let mut ps = 0.0f64;
+        let mut pl = 0.0f64;
         for op in ops.iter() {
-            let per_row = if op.words_out < threshold {
-                self.neon_row_seconds(op.macs, dir)
+            if op.words_out < threshold {
+                ps += op.count as f64 * self.neon_row_seconds(op.macs, dir);
             } else {
-                self.fpga_row_seconds(op, dir)
-            };
-            total += op.count as f64 * per_row;
+                let copy_s = (op.words_in + op.words_out) as f64
+                    * self.zynq.user_memcpy_ps_cycles_per_word
+                    * ps_t;
+                ps += op.count as f64
+                    * ((overhead + 6 * self.zynq.axil_write_ps_cycles) as f64 * ps_t + copy_s);
+                let pl_cycles = acp_burst_pl_cycles(op.words_in, &self.zynq)
+                    + self.zynq.pipeline_flush_pl_cycles
+                    + op.iterations as u64
+                    + acp_burst_pl_cycles(op.words_out, &self.zynq);
+                pl += op.count as f64 * pl_cycles as f64 * pl_t;
+            }
         }
-        total
+        // Coefficient reloads run on the PS lane, as in `fpga_seconds`.
+        let load_ps = (2 * self.zynq.max_taps as u64 + 1) * self.zynq.axil_write_ps_cycles;
+        ps += plan.coeff_loads as f64 * load_ps as f64 / self.zynq.ps_clk_hz;
+        ps.max(pl)
     }
 
     /// The smallest output row length (samples) at which the FPGA beats the

@@ -58,6 +58,44 @@ pub struct FusionOutput {
     pub energy_mj: f64,
 }
 
+/// An in-flight fusion started by [`FusionEngine::fuse_submit`].
+///
+/// On the pooled CPU backends the inverse transform is still running on the
+/// workers while the caller holds this — overlap capture/render of the next
+/// frame with it, then call [`FusionEngine::fuse_finish`] to collect the
+/// result. On the serial, FPGA, and hybrid backends everything already
+/// completed inside `fuse_submit` and `fuse_finish` only does accounting.
+#[derive(Debug)]
+pub struct PendingFusion {
+    /// Output buffer (the fused image once the inverse lands).
+    image: Image,
+    backend: Backend,
+    dims: (usize, usize),
+    /// Whether four inverse combo jobs are still in flight on the pool.
+    inverse_in_flight: bool,
+    /// Modeled forward seconds (both inputs).
+    forward_s: f64,
+    /// Modeled inverse seconds.
+    inverse_s: f64,
+    /// Measured wall-clock phase seconds so far.
+    wall_forward_s: f64,
+    wall_fusion_s: f64,
+    wall_inverse_s: f64,
+}
+
+impl PendingFusion {
+    /// Whether the inverse transform is still running on the worker pool —
+    /// i.e. whether there is real work to overlap with.
+    pub fn inverse_in_flight(&self) -> bool {
+        self.inverse_in_flight
+    }
+
+    /// The backend executing this frame.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+}
+
 /// The complete fusion engine.
 ///
 /// Owns one kernel instance per backend (so the FPGA engine's coefficient
@@ -87,8 +125,11 @@ pub struct FusionEngine {
     plans: Vec<TransformPlan>,
     /// Serial-path transform scratch (workers own their own).
     scratch: Scratch,
-    /// Per-combo forward output staging.
+    /// Per-combo forward output staging (input `a`, and the serial paths).
     combos: ComboStore,
+    /// Second combo store so both inputs' forwards can be in flight at once
+    /// on the pool (input `b`).
+    combos_b: ComboStore,
     /// Forward pyramids of the two inputs.
     pyr_a: CwtPyramid,
     pyr_b: CwtPyramid,
@@ -111,6 +152,26 @@ pub struct FusionEngine {
     reported_pool: PoolStats,
     /// Persistent transform workers; `None` runs the serial in-place path.
     pool: Option<WorkerPool>,
+    /// Whether a pooled inverse batch is in flight (set by
+    /// [`FusionEngine::fuse_submit`], cleared by
+    /// [`FusionEngine::fuse_finish`] or the stray-batch recovery).
+    pending_inverse: bool,
+    /// Cumulative measured wall-clock seconds per phase (host time, not the
+    /// modeled platform clock) — see [`FusionEngine::wall_phase_totals`].
+    wall: PhaseTiming,
+}
+
+/// What [`FusionEngine::run_backend`] hands back to `fuse_submit`: the
+/// modeled phase split plus measured wall-clock times and whether the
+/// inverse is still in flight on the pool.
+#[derive(Debug, Default)]
+struct SubmitSplit {
+    inverse_in_flight: bool,
+    forward_s: f64,
+    inverse_s: f64,
+    wall_forward_s: f64,
+    wall_fusion_s: f64,
+    wall_inverse_s: f64,
 }
 
 /// Worker kernel-slot index of the scalar (ARM) kernel.
@@ -176,6 +237,7 @@ impl FusionEngine {
             plans: Vec::new(),
             scratch: Scratch::new(),
             combos: ComboStore::new(),
+            combos_b: ComboStore::new(),
             pyr_a: CwtPyramid::empty(),
             pyr_b: CwtPyramid::empty(),
             fused: Arc::new(CwtPyramid::empty()),
@@ -187,6 +249,8 @@ impl FusionEngine {
             out_pool: PoolHandle::new(),
             reported_pool: PoolStats::default(),
             pool: None,
+            pending_inverse: false,
+            wall: PhaseTiming::default(),
         })
     }
 
@@ -197,6 +261,7 @@ impl FusionEngine {
     /// combinations out across workers. The FPGA and hybrid backends always
     /// run serially (the modeled device is a single engine).
     pub fn set_threads(&mut self, threads: usize) {
+        self.recover_pending_inverse();
         if threads <= 1 {
             self.pool = None;
         } else {
@@ -316,6 +381,9 @@ impl FusionEngine {
     /// Functionally, all backends produce the same fused image (within
     /// `f32` rounding); they differ in the modeled time and energy.
     ///
+    /// Equivalent to [`FusionEngine::fuse_submit`] immediately followed by
+    /// [`FusionEngine::fuse_finish`] (no overlap).
+    ///
     /// # Errors
     ///
     /// * [`FusionError::DimensionMismatch`] if the frames differ in size.
@@ -327,6 +395,29 @@ impl FusionEngine {
         b: &Image,
         backend: Backend,
     ) -> Result<FusionOutput, FusionError> {
+        let pending = self.fuse_submit(a, b, backend)?;
+        self.fuse_finish(pending)
+    }
+
+    /// Starts fusing one frame pair, returning once all work that needs the
+    /// input images is done. On the pooled CPU backends the inverse
+    /// transform of the fused pyramid is still running on the workers when
+    /// this returns — the caller may overlap independent work (capturing
+    /// the next frame pair, rendering) before [`FusionEngine::fuse_finish`].
+    /// Exactly one `fuse_finish` must follow each successful `fuse_submit`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FusionEngine::fuse`].
+    pub fn fuse_submit(
+        &mut self,
+        a: &Image,
+        b: &Image,
+        backend: Backend,
+    ) -> Result<PendingFusion, FusionError> {
+        // A dropped-without-finish pending frame would leave its batch on
+        // the pool; drain it so the slots are quiescent before submitting.
+        self.recover_pending_inverse();
         if a.dims() != b.dims() {
             return Err(FusionError::DimensionMismatch {
                 a: a.dims(),
@@ -339,13 +430,79 @@ impl FusionEngine {
         // The output buffer comes from the pool; recycle it afterwards
         // (see `recycle`) and the steady state never allocates.
         let mut image = self.out_pool.acquire(w, h);
-        let (forward_s, inverse_s) = match self.run_backend(a, b, backend, &mut image) {
-            Ok(split) => split,
+        match self.run_backend(a, b, backend, &mut image) {
+            Ok(split) => Ok(PendingFusion {
+                image,
+                backend,
+                dims: (w, h),
+                inverse_in_flight: split.inverse_in_flight,
+                forward_s: split.forward_s,
+                inverse_s: split.inverse_s,
+                wall_forward_s: split.wall_forward_s,
+                wall_fusion_s: split.wall_fusion_s,
+                wall_inverse_s: split.wall_inverse_s,
+            }),
             Err(e) => {
                 self.out_pool.release(image);
-                return Err(e);
+                Err(e)
             }
-        };
+        }
+    }
+
+    /// Completes an in-flight fusion: collects the pooled inverse (if one
+    /// is still running), computes the modeled timing/energy, and emits
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker errors from the in-flight inverse transform.
+    pub fn fuse_finish(&mut self, pending: PendingFusion) -> Result<FusionOutput, FusionError> {
+        let PendingFusion {
+            mut image,
+            backend,
+            dims: (w, h),
+            inverse_in_flight,
+            forward_s,
+            inverse_s,
+            wall_forward_s,
+            wall_fusion_s,
+            mut wall_inverse_s,
+        } = pending;
+        if inverse_in_flight {
+            let t0 = std::time::Instant::now();
+            let result = match &self.pool {
+                Some(pool) => {
+                    self.pending_inverse = false;
+                    self.dtcwt.inverse_pooled_finish(
+                        pool,
+                        &mut self.inv_bufs,
+                        &mut self.outcomes,
+                        &mut image,
+                    )
+                }
+                // The pool vanished under the pending frame (set_threads
+                // mid-flight already drained the batch); the fused pyramid
+                // is still staged, so recover with a serial inverse on the
+                // backend's own kernel.
+                None => {
+                    let fused = Arc::clone(&self.fused);
+                    let kernel: &mut dyn FilterKernel = match backend {
+                        Backend::Arm => &mut self.scalar,
+                        _ => &mut self.simd,
+                    };
+                    self.dtcwt
+                        .inverse_into(kernel, &fused, &mut self.scratch, &mut image)
+                }
+            };
+            if let Err(e) = result {
+                self.out_pool.release(image);
+                return Err(e.into());
+            }
+            wall_inverse_s += t0.elapsed().as_secs_f64();
+        }
+        self.wall.forward_s += wall_forward_s;
+        self.wall.fusion_s += wall_fusion_s;
+        self.wall.inverse_s += wall_inverse_s;
 
         let plan = self.cached_plan(w, h);
         let timing = PhaseTiming {
@@ -421,17 +578,45 @@ impl FusionEngine {
         })
     }
 
+    /// Drains a stray in-flight inverse batch (a [`PendingFusion`] that was
+    /// dropped without [`FusionEngine::fuse_finish`]), recycling its
+    /// buffers, so the pool is quiescent for the next submission.
+    fn recover_pending_inverse(&mut self) {
+        if !self.pending_inverse {
+            return;
+        }
+        if let Some(pool) = &self.pool {
+            self.dtcwt
+                .inverse_pooled_abandon(pool, &mut self.inv_bufs, &mut self.outcomes);
+        }
+        self.pending_inverse = false;
+    }
+
+    /// Cumulative measured **wall-clock** seconds the engine has spent in
+    /// each transform phase (forward / fusion / inverse), across all frames
+    /// and backends. Unlike [`PhaseTiming`] results from
+    /// [`FusionEngine::fuse`] — which model the paper's platform — these are
+    /// host times, so they reflect worker-pool parallelism and overlap; the
+    /// bench harness reports their per-run deltas. `overhead_s` is always
+    /// zero (capture/render happen outside the engine).
+    pub fn wall_phase_totals(&self) -> PhaseTiming {
+        self.wall
+    }
+
     /// Runs forward x2 → fuse → inverse on the chosen backend, writing the
-    /// fused frame into `out`. Returns the modeled `(forward, inverse)`
-    /// seconds; for the FPGA and hybrid backends these come from the
-    /// cycle-level ledgers, for the CPU backends from the cached plan.
+    /// fused frame into `out` (except on the pooled CPU path, where the
+    /// inverse is left in flight for [`FusionEngine::fuse_finish`] to
+    /// collect). Returns the modeled `(forward, inverse)` seconds — from
+    /// the cycle-level ledgers for the FPGA and hybrid backends, from the
+    /// cached plan for the CPU backends — plus measured wall-clock phase
+    /// times.
     fn run_backend(
         &mut self,
         a: &Image,
         b: &Image,
         backend: Backend,
         out: &mut Image,
-    ) -> Result<(f64, f64), FusionError> {
+    ) -> Result<SubmitSplit, FusionError> {
         let (w, h) = a.dims();
         match backend {
             Backend::Arm | Backend::Neon => {
@@ -439,25 +624,27 @@ impl FusionEngine {
                     Backend::Arm => WORKER_SLOT_SCALAR,
                     _ => WORKER_SLOT_SIMD,
                 };
+                let mut split = SubmitSplit::default();
                 if let Some(pool) = &self.pool {
                     stage_image(&mut self.img_a, a);
                     stage_image(&mut self.img_b, b);
-                    self.dtcwt.forward_pooled(
+                    // Both inputs' forwards go out as one eight-job batch:
+                    // the streams are data-independent, so all four workers
+                    // stay busy instead of idling through two four-job
+                    // waves.
+                    let t0 = std::time::Instant::now();
+                    self.dtcwt.forward_pooled_pair(
                         pool,
                         slot,
                         &self.img_a,
                         &mut self.combos,
-                        &mut self.outcomes,
                         &mut self.pyr_a,
-                    )?;
-                    self.dtcwt.forward_pooled(
-                        pool,
-                        slot,
                         &self.img_b,
-                        &mut self.combos,
-                        &mut self.outcomes,
+                        &mut self.combos_b,
                         &mut self.pyr_b,
+                        &mut self.outcomes,
                     )?;
+                    let t1 = std::time::Instant::now();
                     let fused = exclusive_pyramid(&mut self.fused);
                     fuse_pyramids_into(
                         &self.pyr_a,
@@ -467,19 +654,25 @@ impl FusionEngine {
                         &mut self.fusion_scratch,
                         fused,
                     );
-                    self.dtcwt.inverse_pooled(
+                    let t2 = std::time::Instant::now();
+                    // Leave the inverse running on the workers; the caller
+                    // overlaps capture/render with it until `fuse_finish`.
+                    self.dtcwt.inverse_pooled_submit(
                         pool,
                         slot,
                         &self.fused,
                         &mut self.inv_bufs,
-                        &mut self.outcomes,
-                        out,
                     )?;
+                    self.pending_inverse = true;
+                    split.inverse_in_flight = true;
+                    split.wall_forward_s = (t1 - t0).as_secs_f64();
+                    split.wall_fusion_s = (t2 - t1).as_secs_f64();
                 } else {
                     let kernel: &mut dyn FilterKernel = match backend {
                         Backend::Arm => &mut self.scalar,
                         _ => &mut self.simd,
                     };
+                    let t0 = std::time::Instant::now();
                     self.dtcwt.forward_into(
                         kernel,
                         a,
@@ -494,6 +687,7 @@ impl FusionEngine {
                         &mut self.scratch,
                         &mut self.pyr_b,
                     )?;
+                    let t1 = std::time::Instant::now();
                     let fused = exclusive_pyramid(&mut self.fused);
                     fuse_pyramids_into(
                         &self.pyr_a,
@@ -503,18 +697,26 @@ impl FusionEngine {
                         &mut self.fusion_scratch,
                         fused,
                     );
+                    let t2 = std::time::Instant::now();
                     self.dtcwt
                         .inverse_into(kernel, fused, &mut self.scratch, out)?;
+                    split.wall_forward_s = (t1 - t0).as_secs_f64();
+                    split.wall_fusion_s = (t2 - t1).as_secs_f64();
+                    split.wall_inverse_s = t2.elapsed().as_secs_f64();
                 }
                 let plan = self.cached_plan(w, h);
                 let dir_t = |d| match backend {
                     Backend::Arm => self.cost.arm_seconds(plan, d),
                     _ => self.cost.neon_seconds(plan, d),
                 };
-                Ok((2.0 * dir_t(Direction::Forward), dir_t(Direction::Inverse)))
+                split.forward_s = 2.0 * dir_t(Direction::Forward);
+                split.inverse_s = dir_t(Direction::Inverse);
+                Ok(split)
             }
             Backend::Fpga => {
+                let mut split = SubmitSplit::default();
                 self.fpga.reset_ledger();
+                let t0 = std::time::Instant::now();
                 self.dtcwt.forward_into(
                     &mut self.fpga,
                     a,
@@ -529,7 +731,8 @@ impl FusionEngine {
                     &mut self.scratch,
                     &mut self.pyr_b,
                 )?;
-                let fwd = self.fpga.ledger().elapsed_seconds;
+                let t1 = std::time::Instant::now();
+                split.forward_s = self.fpga.ledger().elapsed_seconds;
                 let fused = exclusive_pyramid(&mut self.fused);
                 fuse_pyramids_into(
                     &self.pyr_a,
@@ -539,14 +742,20 @@ impl FusionEngine {
                     &mut self.fusion_scratch,
                     fused,
                 );
+                let t2 = std::time::Instant::now();
                 self.fpga.reset_ledger();
                 self.dtcwt
                     .inverse_into(&mut self.fpga, fused, &mut self.scratch, out)?;
-                let inv = self.fpga.ledger().elapsed_seconds;
-                Ok((fwd, inv))
+                split.inverse_s = self.fpga.ledger().elapsed_seconds;
+                split.wall_forward_s = (t1 - t0).as_secs_f64();
+                split.wall_fusion_s = (t2 - t1).as_secs_f64();
+                split.wall_inverse_s = t2.elapsed().as_secs_f64();
+                Ok(split)
             }
             Backend::Hybrid => {
+                let mut split = SubmitSplit::default();
                 self.hybrid.reset();
+                let t0 = std::time::Instant::now();
                 self.dtcwt.forward_into(
                     &mut self.hybrid,
                     a,
@@ -561,7 +770,8 @@ impl FusionEngine {
                     &mut self.scratch,
                     &mut self.pyr_b,
                 )?;
-                let fwd = self.hybrid.elapsed_seconds();
+                let t1 = std::time::Instant::now();
+                split.forward_s = self.hybrid.elapsed_seconds();
                 let fused = exclusive_pyramid(&mut self.fused);
                 fuse_pyramids_into(
                     &self.pyr_a,
@@ -571,11 +781,15 @@ impl FusionEngine {
                     &mut self.fusion_scratch,
                     fused,
                 );
+                let t2 = std::time::Instant::now();
                 self.hybrid.reset();
                 self.dtcwt
                     .inverse_into(&mut self.hybrid, fused, &mut self.scratch, out)?;
-                let inv = self.hybrid.elapsed_seconds();
-                Ok((fwd, inv))
+                split.inverse_s = self.hybrid.elapsed_seconds();
+                split.wall_forward_s = (t1 - t0).as_secs_f64();
+                split.wall_fusion_s = (t2 - t1).as_secs_f64();
+                split.wall_inverse_s = t2.elapsed().as_secs_f64();
+                Ok(split)
             }
         }
     }

@@ -26,8 +26,10 @@ use crate::cost::{CostModel, Direction, RowOp};
 ///
 /// Time accounting: FPGA-routed rows accumulate in the wrapped
 /// [`FpgaKernel`]'s cycle ledger; SIMD-routed rows accumulate modeled NEON
-/// time from the calibrated cost model. [`HybridKernel::elapsed_seconds`]
-/// returns the sum.
+/// time from the calibrated cost model. The wrapped kernel runs with the
+/// async DMA overlap enabled, so [`HybridKernel::elapsed_seconds`] is the
+/// end of the combined PS/PL timeline — SIMD rows and driver work overlap
+/// in-flight PL engine runs instead of summing serially.
 ///
 /// # Examples
 ///
@@ -68,9 +70,14 @@ impl HybridKernel {
     /// Creates a hybrid kernel routing rows shorter than `threshold`
     /// output samples to the SIMD engine.
     pub fn with_threshold(threshold: usize) -> Self {
+        let mut fpga = FpgaKernel::new();
+        // The hybrid schedule is exactly the async-overlap scenario: the PS
+        // runs SIMD rows (and driver/copy work) while the PL engine owns
+        // long rows in flight, so enable the double-buffered DMA timeline.
+        fpga.set_dma_overlap(true);
         HybridKernel {
             simd: SimdKernel::new(),
-            fpga: FpgaKernel::new(),
+            fpga,
             cost: CostModel::calibrated(),
             threshold,
             simd_seconds: 0.0,
@@ -90,10 +97,19 @@ impl HybridKernel {
         self.fpga.set_telemetry(telemetry);
     }
 
-    /// Total modeled elapsed seconds since the last reset (FPGA ledger plus
+    /// Total modeled elapsed seconds since the last reset.
+    ///
+    /// With the async DMA overlap enabled (the default), this is the end of
+    /// the combined PS/PL timeline: SIMD rows, driver overhead and user
+    /// copies advance the PS lane while engine runs retire on the PL lane,
+    /// so host compute in flight with the engine is not double-charged.
+    /// Without overlap it degrades to the serial sum (FPGA ledger plus
     /// modeled SIMD time).
     pub fn elapsed_seconds(&self) -> f64 {
-        self.fpga.ledger().elapsed_seconds + self.simd_seconds
+        match self.fpga.dma_timeline() {
+            Some(tl) => tl.elapsed_seconds(),
+            None => self.fpga.ledger().elapsed_seconds + self.simd_seconds,
+        }
     }
 
     /// Rows routed to the SIMD engine since the last reset.
@@ -140,7 +156,9 @@ impl FilterKernel for HybridKernel {
         if row_len < self.threshold {
             self.simd.analyze_row(ext, left, h0, h1, phase, lo, hi);
             let macs = lo.len() as u64 * (h0.len() + h1.len()) as u64;
-            self.simd_seconds += self.cost.neon_row_seconds(macs, Direction::Forward);
+            let s = self.cost.neon_row_seconds(macs, Direction::Forward);
+            self.simd_seconds += s;
+            self.fpga.push_host_seconds(s);
             self.rows_simd += 1;
         } else {
             self.fpga.analyze_row(ext, left, h0, h1, phase, lo, hi);
@@ -162,7 +180,9 @@ impl FilterKernel for HybridKernel {
             self.simd
                 .synthesize_row(lo_ext, hi_ext, left, g0, g1, phase, out);
             let macs = (out.len() as u64 * (g0.len() + g1.len()) as u64).div_ceil(2);
-            self.simd_seconds += self.cost.neon_row_seconds(macs, Direction::Inverse);
+            let s = self.cost.neon_row_seconds(macs, Direction::Inverse);
+            self.simd_seconds += s;
+            self.fpga.push_host_seconds(s);
             self.rows_simd += 1;
         } else {
             self.fpga

@@ -103,6 +103,10 @@ pub struct VideoFusionPipeline {
     /// Free list of thermal frame buffers ping-ponged through the gate, so
     /// the double-buffered steady state captures without allocating.
     thermal_free: Vec<Frame>,
+    /// Whether the next frame's captures already ran, overlapped with the
+    /// previous frame's in-flight inverse transform (software pipelining;
+    /// only set when the engine runs a worker pool).
+    prefetched: bool,
 }
 
 impl VideoFusionPipeline {
@@ -127,6 +131,7 @@ impl VideoFusionPipeline {
             telemetry: None,
             visible: Frame::new(Image::zeros(0, 0), 0),
             thermal_free: Vec::with_capacity(4),
+            prefetched: false,
         })
     }
 
@@ -184,34 +189,36 @@ impl VideoFusionPipeline {
     /// fields while only one is consumed — excess fields drop at the gate
     /// exactly as in the paper's hardware FIFO.
     ///
+    /// When the engine runs a worker pool, the step is software-pipelined:
+    /// after the frame's transforms are submitted, the *next* frame's
+    /// captures run while the inverse transform is still in flight on the
+    /// workers, and the following step skips the captures it already has.
+    /// The capture sequence (and hence every fused frame and statistic) is
+    /// identical to the serial schedule — only the wall-clock overlap
+    /// differs.
+    ///
     /// # Errors
     ///
     /// Propagates capture and transform errors.
     pub fn step_with_burst(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
-        for _ in 0..burst.max(1) {
-            // Double-buffered capture: reuse a frame from the free list (or
-            // grow it once, on the first frames) and reclaim the buffer
-            // immediately when the occupied gate rejects the field.
-            let mut field = self
-                .thermal_free
-                .pop()
-                .unwrap_or_else(|| Frame::new(Image::zeros(0, 0), 0));
-            self.thermal.capture_into(&mut field)?;
-            if let Some(rejected) = self.gate.offer_reclaiming(field) {
-                self.thermal_free.push(rejected);
-            }
+        // One thermal field and the visible frame may already be captured,
+        // overlapped with the previous step's in-flight inverse.
+        let prefetched = std::mem::take(&mut self.prefetched);
+        for _ in 0..burst.max(1) - usize::from(prefetched) {
+            self.capture_thermal_field()?;
         }
         let thermal = self.gate.take().expect("gate holds at least one field");
-        self.web.capture_into(&mut self.visible);
-        let visible = &self.visible;
+        if !prefetched {
+            self.web.capture_into(&mut self.visible);
+        }
 
-        let (w, h) = visible.image().dims();
+        let (w, h) = self.visible.image().dims();
         let backend = match &mut self.backend {
             BackendChoice::Fixed(b) => *b,
             BackendChoice::Adaptive(s) => s.choose(w, h)?,
         };
         let out = {
-            // The frame span stays open across `fuse`, so the engine's
+            // The frame span stays open across the fusion, so the engine's
             // per-phase spans nest under it and its modeled duration is
             // exactly the clock advance (= the frame's PhaseTiming total).
             let _frame = self.telemetry.as_ref().map(|tel| {
@@ -222,8 +229,28 @@ impl VideoFusionPipeline {
                     .attr("height", h);
                 span
             });
-            self.engine
-                .fuse(visible.image(), thermal.image(), backend)?
+            let pending =
+                self.engine
+                    .fuse_submit(self.visible.image(), thermal.image(), backend)?;
+            if pending.inverse_in_flight() {
+                // Software pipelining: the inverse of this frame runs on
+                // the workers while we capture the next frame pair here.
+                // (A capture error abandons the pending frame; the engine
+                // recovers the stray batch on its next submission.)
+                // Inlined thermal capture: the open telemetry span borrows
+                // `self.telemetry`, so only disjoint fields are touched.
+                let mut field = self
+                    .thermal_free
+                    .pop()
+                    .unwrap_or_else(|| Frame::new(Image::zeros(0, 0), 0));
+                self.thermal.capture_into(&mut field)?;
+                if let Some(rejected) = self.gate.offer_reclaiming(field) {
+                    self.thermal_free.push(rejected);
+                }
+                self.web.capture_into(&mut self.visible);
+                self.prefetched = true;
+            }
+            self.engine.fuse_finish(pending)?
         };
         // The consumed thermal frame's buffer goes back to the free list
         // for the next capture.
@@ -298,6 +325,21 @@ impl VideoFusionPipeline {
     pub fn engine(&self) -> &FusionEngine {
         &self.engine
     }
+
+    /// Captures one thermal field into a free-list buffer and offers it to
+    /// the gate, reclaiming the buffer immediately if the occupied gate
+    /// rejects it (the paper's depth-1 FIFO drop).
+    fn capture_thermal_field(&mut self) -> Result<(), FusionError> {
+        let mut field = self
+            .thermal_free
+            .pop()
+            .unwrap_or_else(|| Frame::new(Image::zeros(0, 0), 0));
+        self.thermal.capture_into(&mut field)?;
+        if let Some(rejected) = self.gate.offer_reclaiming(field) {
+            self.thermal_free.push(rejected);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +382,17 @@ mod tests {
             let a = serial.step().unwrap();
             let b = pooled.step().unwrap();
             assert_eq!(a.image, b.image);
+            serial.recycle(a);
+            pooled.recycle(b);
+        }
+        assert_eq!(serial.stats(), pooled.stats());
+        // Bursty thermal production must also be schedule-invariant: the
+        // software-pipelined prefetch accounts for the field it already
+        // offered, so gate drops and fused frames stay identical.
+        for burst in [2, 1, 3] {
+            let a = serial.step_with_burst(burst).unwrap();
+            let b = pooled.step_with_burst(burst).unwrap();
+            assert_eq!(a.image, b.image, "burst {burst}");
             serial.recycle(a);
             pooled.recycle(b);
         }

@@ -406,6 +406,76 @@ impl Dtcwt {
         Ok(())
     }
 
+    /// Forward transforms of **two** images dispatched onto the pool as one
+    /// eight-job batch, so both streams' tree combinations fill every worker
+    /// concurrently (the visible/thermal forwards of a fusion frame are data
+    /// independent — running them serially leaves half the pool idle).
+    ///
+    /// Results are bit-identical to two serial [`Dtcwt::forward_into`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_pooled`]; if both images fail, the error of
+    /// the earliest-submitted failing job (image `a` first) is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_pooled_pair(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        kernel: usize,
+        img_a: &Arc<Image>,
+        combos_a: &mut ComboStore,
+        out_a: &mut CwtPyramid,
+        img_b: &Arc<Image>,
+        combos_b: &mut ComboStore,
+        out_b: &mut CwtPyramid,
+        outcomes: &mut Vec<JobOutcome>,
+    ) -> Result<(), DtcwtError> {
+        self.check_levels(img_a)?;
+        self.check_levels(img_b)?;
+        for (tag, (img, combos)) in [(img_a, &mut *combos_a), (img_b, &mut *combos_b)]
+            .into_iter()
+            .enumerate()
+        {
+            for (ci, slot) in combos.slots.iter_mut().enumerate() {
+                pool.submit(Job::ForwardCombo {
+                    transform: Arc::clone(self),
+                    img: Arc::clone(img),
+                    tag: tag as u32,
+                    combo: ci,
+                    kernel,
+                    detail: std::mem::take(&mut slot.detail),
+                    ll: std::mem::take(&mut slot.ll),
+                });
+            }
+        }
+        outcomes.clear();
+        pool.drain(2 * COMBOS.len(), outcomes);
+        // Outcomes arrive in submission order (tag-major), so the first
+        // error seen while placing is the deterministic one to report.
+        let mut first_err = None;
+        for oc in outcomes.drain(..) {
+            let combos = if oc.tag == 0 {
+                &mut *combos_a
+            } else {
+                &mut *combos_b
+            };
+            if first_err.is_none() {
+                if let Some(e) = oc.error {
+                    first_err = Some(e);
+                }
+            }
+            if let JobPayload::Forward { detail, ll } = oc.payload {
+                combos.slots[oc.combo] = ComboSlot { detail, ll };
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.assemble_pyramid_into(img_a.dims(), combos_a, out_a);
+        self.assemble_pyramid_into(img_b.dims(), combos_b, out_b);
+        Ok(())
+    }
+
     /// Forward transform with the four tree combinations executed on an
     /// ephemeral four-worker pool, one kernel per worker (see
     /// [`Dtcwt::forward_pooled`] for the persistent-pool variant).
@@ -703,6 +773,27 @@ impl Dtcwt {
         outcomes: &mut Vec<JobOutcome>,
         out: &mut Image,
     ) -> Result<(), DtcwtError> {
+        self.inverse_pooled_submit(pool, kernel, pyr, bufs)?;
+        self.inverse_pooled_finish(pool, bufs, outcomes, out)
+    }
+
+    /// Publishes the four inverse combo jobs of `pyr` onto the pool and
+    /// returns immediately — the synthesis runs while the caller does other
+    /// work (e.g. capturing the next frame). Exactly one
+    /// [`Dtcwt::inverse_pooled_finish`] must follow before any further
+    /// submission to the same pool.
+    ///
+    /// # Errors
+    ///
+    /// [`DtcwtError::MalformedPyramid`] if `pyr` has the wrong level count
+    /// (nothing is submitted in that case).
+    pub fn inverse_pooled_submit(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        kernel: usize,
+        pyr: &Arc<CwtPyramid>,
+        bufs: &mut Vec<Image>,
+    ) -> Result<(), DtcwtError> {
         self.check_pyramid(pyr)?;
         for ci in 0..COMBOS.len() {
             pool.submit(Job::InverseCombo {
@@ -714,6 +805,44 @@ impl Dtcwt {
                 out: bufs.pop().unwrap_or_default(),
             });
         }
+        Ok(())
+    }
+
+    /// Abandons an in-flight [`Dtcwt::inverse_pooled_submit`] whose result
+    /// is no longer wanted: drains the four outcomes (blocking until the
+    /// workers finish) and recycles their buffers into `bufs`, leaving the
+    /// pool quiescent for the next batch. Errors are discarded.
+    pub fn inverse_pooled_abandon(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        bufs: &mut Vec<Image>,
+        outcomes: &mut Vec<JobOutcome>,
+    ) {
+        outcomes.clear();
+        pool.drain(COMBOS.len(), outcomes);
+        for oc in outcomes.drain(..) {
+            if let JobPayload::Inverse { out } = oc.payload {
+                bufs.push(out);
+            }
+        }
+    }
+
+    /// Completes an in-flight [`Dtcwt::inverse_pooled_submit`]: drains the
+    /// four combo outcomes, accumulates them in combo order (bit-identical
+    /// to the serial inverse at any thread count), and recycles the output
+    /// buffers into `bufs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::inverse_with`], plus [`DtcwtError::MalformedPyramid`]
+    /// if a worker lacks the requested kernel slot.
+    pub fn inverse_pooled_finish(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        bufs: &mut Vec<Image>,
+        outcomes: &mut Vec<JobOutcome>,
+        out: &mut Image,
+    ) -> Result<(), DtcwtError> {
         outcomes.clear();
         pool.drain(COMBOS.len(), outcomes);
         let mut slots: [Option<Image>; 4] = [None, None, None, None];

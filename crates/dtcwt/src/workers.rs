@@ -1,24 +1,43 @@
 //! Long-lived worker pool for the DT-CWT's four-tree fan-out.
 //!
-//! Earlier revisions spawned fresh `std::thread::scope` workers for every
-//! transform call; this module replaces that with a pool created once (per
-//! [`crate::Dtcwt`] user, typically a fusion engine) and reused across
-//! frames — the thread-level analogue of the scratch arenas in
-//! [`crate::scratch`].
+//! Earlier revisions funnelled every job through a single `Mutex<VecDeque>`
+//! guarded by two condvars: each job took the global lock twice (enqueue,
+//! dequeue) and every completion took a second global lock to push its
+//! result, which is why two threads used to lose to one on small frames.
+//! This revision replaces the queue with a **batch slot array** scheduler:
+//!
+//! * Jobs are published into a fixed ring of per-job slots; each slot has
+//!   its own mutex, and because every index is written by the dispatcher
+//!   once and claimed by exactly one worker once, those locks are never
+//!   contended — they only order the hand-off.
+//! * Workers claim work as `(start, end)` *chunks* of the batch index range
+//!   via a compare-and-swap loop on one shared atomic cursor (the
+//!   range-splitting scheme: the chunk size adapts to the work remaining so
+//!   large batches split across workers while small batches stay
+//!   fine-grained for load balance). A job itself stays combo-granular —
+//!   this crate forbids `unsafe`, so a mutable output buffer cannot be
+//!   row-banded across threads; the cursor splits the *batch*, not a row.
+//! * Completion is a single atomic counter plus a per-slot outcome cell;
+//!   there is no drained results vector and no global results lock.
+//! * Errors additionally record the lowest errored submission index in a
+//!   lock-free `fetch_min` cell, so error reporting is deterministic no
+//!   matter which worker hit the failure first.
+//! * Idle workers spin briefly (claims are typically microseconds apart in
+//!   the frame loop) and then park on a condvar; the dispatcher's
+//!   [`WorkerPool::drain`] does the same while waiting for the batch.
 //!
 //! Because this crate forbids `unsafe`, the pool never shares borrowed data
 //! with workers. A [`Job`] *owns* everything it needs: `Arc`s of the
 //! immutable transform/inputs and moved output buffers that ping-pong
 //! between the dispatcher and the workers each frame. Steady-state dispatch
-//! therefore performs no heap allocation: the job queue and result vector
-//! are pre-reserved, job payloads are moves, and `Arc` clones are reference
-//! count bumps.
+//! therefore performs no heap allocation: slots are pre-allocated, job
+//! payloads are moves, and `Arc` clones are reference count bumps.
 //!
 //! Each worker owns one [`Scratch`] and one boxed kernel per backend slot
 //! (built once by the construction-time factory), mirroring the paper's
 //! model of fixed per-engine line buffers.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -110,16 +129,91 @@ pub struct JobOutcome {
     pub error: Option<DtcwtError>,
 }
 
-struct JobQueue {
-    q: VecDeque<Job>,
-    shutdown: bool,
+/// Capacity of the slot ring: the largest batch that may be in flight
+/// between two drains. The fusion engine submits at most eight jobs (two
+/// concurrent four-combo forwards); the rest is headroom for stress tests
+/// and future batches. Fixed so steady-state dispatch never reallocates.
+pub const BATCH_SLOTS: usize = 64;
+
+/// Claim-chunk divisor: a claim takes `max(1, remaining / (threads * 4))`
+/// jobs, so large batches split into a few chunks per worker (amortizing
+/// the CAS) while the frame path's 4-8 heavy combo jobs stay job-granular
+/// for load balance.
+const CLAIM_SPLIT: usize = 4;
+
+/// Spin iterations before an idle worker parks on the condvar.
+const WORKER_SPINS: usize = 2_048;
+
+/// Spin iterations before a draining dispatcher parks on the condvar.
+const DRAIN_SPINS: usize = 2_048;
+
+/// Sentinel for "no errored job recorded".
+const NO_ERROR: usize = usize::MAX;
+
+/// One job's hand-off cell. The dispatcher stores the job before
+/// publishing the index; exactly one worker takes it, runs it, and stores
+/// the outcome; the dispatcher takes the outcome during drain. Each mutex
+/// therefore only ever orders a single writer/reader pair.
+#[derive(Default)]
+struct Slot {
+    job: Mutex<Option<Job>>,
+    outcome: Mutex<Option<JobOutcome>>,
 }
 
 struct Shared {
-    jobs: Mutex<JobQueue>,
-    job_ready: Condvar,
-    results: Mutex<Vec<JobOutcome>>,
-    result_ready: Condvar,
+    /// Fixed ring of job/outcome cells, indexed by `sequence % BATCH_SLOTS`.
+    slots: Vec<Slot>,
+    /// Jobs published so far (monotonic; slot `limit - 1` is readable once
+    /// this is stored).
+    limit: AtomicUsize,
+    /// Next unclaimed job sequence (monotonic; always `<= limit`).
+    cursor: AtomicUsize,
+    /// Jobs completed so far (monotonic).
+    completed: AtomicUsize,
+    /// Outcomes harvested by `drain` so far (monotonic; dispatcher-only).
+    harvested: AtomicUsize,
+    /// Lowest errored submission sequence since the last drain that
+    /// observed it (`NO_ERROR` if none) — `fetch_min` keeps it
+    /// deterministic under any completion order.
+    first_error: AtomicUsize,
+    shutdown: AtomicBool,
+    threads: usize,
+    /// Number of workers parked on `wake` (Dekker-style flag: submitters
+    /// only take the park lock when a worker might be sleeping).
+    parked: AtomicUsize,
+    park: Mutex<()>,
+    wake: Condvar,
+    /// Whether the dispatcher is parked in `drain` (same flag pattern).
+    drain_waiting: AtomicBool,
+    drain_park: Mutex<()>,
+    drained: Condvar,
+}
+
+impl Shared {
+    fn work_available(&self) -> bool {
+        self.cursor.load(SeqCst) < self.limit.load(SeqCst)
+    }
+
+    /// Claims the next chunk of unclaimed job sequences, splitting the
+    /// remaining range adaptively. Returns `None` when the batch is empty.
+    fn claim(&self) -> Option<(usize, usize)> {
+        loop {
+            let limit = self.limit.load(SeqCst);
+            let cur = self.cursor.load(SeqCst);
+            if cur >= limit {
+                return None;
+            }
+            let avail = limit - cur;
+            let chunk = (avail / (self.threads * CLAIM_SPLIT)).clamp(1, avail);
+            if self
+                .cursor
+                .compare_exchange(cur, cur + chunk, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some((cur, cur + chunk));
+            }
+        }
+    }
 }
 
 /// Builds the kernel slots one worker owns. Called once per worker at pool
@@ -129,10 +223,10 @@ pub type KernelFactory<'a> = &'a mut dyn FnMut(usize) -> Vec<Box<dyn FilterKerne
 
 /// A fixed set of worker threads executing DT-CWT combo jobs.
 ///
-/// Intended for a **single dispatcher**: submit a batch of jobs, then
-/// [`WorkerPool::drain`] exactly that many outcomes before submitting the
-/// next batch. Workers and their kernels/scratch live as long as the pool;
-/// dropping the pool joins all threads.
+/// Intended for a **single dispatcher**: submit a batch of jobs (at most
+/// [`BATCH_SLOTS`]), then [`WorkerPool::drain`] exactly that many outcomes
+/// before submitting the next batch. Workers and their kernels/scratch live
+/// as long as the pool; dropping the pool joins all threads.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -153,13 +247,20 @@ impl WorkerPool {
     pub fn new(threads: usize, factory: KernelFactory<'_>) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            jobs: Mutex::new(JobQueue {
-                q: VecDeque::with_capacity(16),
-                shutdown: false,
-            }),
-            job_ready: Condvar::new(),
-            results: Mutex::new(Vec::with_capacity(16)),
-            result_ready: Condvar::new(),
+            slots: (0..BATCH_SLOTS).map(|_| Slot::default()).collect(),
+            limit: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            harvested: AtomicUsize::new(0),
+            first_error: AtomicUsize::new(NO_ERROR),
+            shutdown: AtomicBool::new(false),
+            threads,
+            parked: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            drain_waiting: AtomicBool::new(false),
+            drain_park: Mutex::new(()),
+            drained: Condvar::new(),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -183,37 +284,94 @@ impl WorkerPool {
         self.threads
     }
 
-    /// Enqueues one job and wakes a worker.
+    /// Publishes one job; an idle worker may start it immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`BATCH_SLOTS`] jobs are submitted without an
+    /// intervening [`WorkerPool::drain`] (a dispatcher protocol bug).
     pub fn submit(&self, job: Job) {
-        let mut jobs = self.shared.jobs.lock().expect("worker pool poisoned");
-        jobs.q.push_back(job);
-        drop(jobs);
-        self.shared.job_ready.notify_one();
+        let shared = &self.shared;
+        let seq = shared.limit.load(SeqCst);
+        assert!(
+            seq - shared.harvested.load(SeqCst) < BATCH_SLOTS,
+            "worker pool batch capacity ({BATCH_SLOTS}) exceeded without a drain"
+        );
+        *shared.slots[seq % BATCH_SLOTS]
+            .job
+            .lock()
+            .expect("worker pool poisoned") = Some(job);
+        // Publish: the slot store above happens-before this (SeqCst), so a
+        // worker that observes the new limit sees the job.
+        shared.limit.store(seq + 1, SeqCst);
+        if shared.parked.load(SeqCst) > 0 {
+            let _g = shared.park.lock().expect("worker pool poisoned");
+            shared.wake.notify_one();
+        }
     }
 
-    /// Blocks until `n` outcomes are available and moves them into `out`
-    /// (appended; `out` is not cleared). The caller must have submitted
-    /// exactly `n` jobs since the last drain.
-    pub fn drain(&self, n: usize, out: &mut Vec<JobOutcome>) {
-        let mut results = self.shared.results.lock().expect("worker pool poisoned");
-        while results.len() < n {
-            results = self
-                .shared
-                .result_ready
-                .wait(results)
-                .expect("worker pool poisoned");
+    /// Blocks until the `n` outstanding jobs complete and appends their
+    /// outcomes to `out` **in submission order** (`out` is not cleared).
+    /// Returns the batch-relative index of the earliest-submitted errored
+    /// job, if any failed.
+    ///
+    /// `n` must equal the number of jobs submitted since the last drain —
+    /// the whole batch is collected, so every slot is quiescent when this
+    /// returns.
+    pub fn drain(&self, n: usize, out: &mut Vec<JobOutcome>) -> Option<usize> {
+        let shared = &self.shared;
+        let start = shared.harvested.load(SeqCst);
+        let target = start + n;
+        assert_eq!(
+            target,
+            shared.limit.load(SeqCst),
+            "drain must collect the full outstanding batch"
+        );
+        let mut spins = 0usize;
+        while shared.completed.load(SeqCst) < target {
+            spins += 1;
+            if spins < DRAIN_SPINS {
+                std::hint::spin_loop();
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+                continue;
+            }
+            let mut g = shared.drain_park.lock().expect("worker pool poisoned");
+            shared.drain_waiting.store(true, SeqCst);
+            while shared.completed.load(SeqCst) < target {
+                g = shared.drained.wait(g).expect("worker pool poisoned");
+            }
+            shared.drain_waiting.store(false, SeqCst);
+            break;
         }
-        out.extend(results.drain(..));
+        for seq in start..target {
+            let outcome = shared.slots[seq % BATCH_SLOTS]
+                .outcome
+                .lock()
+                .expect("worker pool poisoned")
+                .take()
+                .expect("completed slot holds an outcome");
+            out.push(outcome);
+        }
+        shared.harvested.store(target, SeqCst);
+        let first = shared.first_error.load(SeqCst);
+        if (start..target).contains(&first) {
+            shared.first_error.store(NO_ERROR, SeqCst);
+            Some(first - start)
+        } else {
+            None
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
         {
-            let mut jobs = self.shared.jobs.lock().expect("worker pool poisoned");
-            jobs.shutdown = true;
+            let _g = self.shared.park.lock().expect("worker pool poisoned");
+            self.shared.wake.notify_all();
         }
-        self.shared.job_ready.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -222,24 +380,64 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &Shared, mut kernels: Vec<Box<dyn FilterKernel + Send>>) {
     let mut scratch = Scratch::new();
+    let mut spins = 0usize;
     loop {
-        let job = {
-            let mut jobs = shared.jobs.lock().expect("worker pool poisoned");
-            loop {
-                if let Some(j) = jobs.q.pop_front() {
-                    break j;
-                }
-                if jobs.shutdown {
-                    return;
-                }
-                jobs = shared.job_ready.wait(jobs).expect("worker pool poisoned");
+        if let Some((start, end)) = shared.claim() {
+            spins = 0;
+            for seq in start..end {
+                run_slot(shared, seq, &mut kernels, &mut scratch);
             }
-        };
-        let outcome = run_job(job, &mut kernels, &mut scratch);
-        let mut results = shared.results.lock().expect("worker pool poisoned");
-        results.push(outcome);
-        drop(results);
-        shared.result_ready.notify_all();
+            continue;
+        }
+        if shared.shutdown.load(SeqCst) {
+            return;
+        }
+        spins += 1;
+        if spins < WORKER_SPINS {
+            std::hint::spin_loop();
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        // Park. The recheck below runs after `parked` is visible, and
+        // `submit` checks `parked` after publishing, so one side always
+        // sees the other (no lost wakeup).
+        let mut g = shared.park.lock().expect("worker pool poisoned");
+        shared.parked.fetch_add(1, SeqCst);
+        while !shared.shutdown.load(SeqCst) && !shared.work_available() {
+            g = shared.wake.wait(g).expect("worker pool poisoned");
+        }
+        shared.parked.fetch_sub(1, SeqCst);
+        drop(g);
+        spins = 0;
+    }
+}
+
+/// Takes the claimed slot's job, runs it, and publishes the outcome plus
+/// completion/error bookkeeping.
+fn run_slot(
+    shared: &Shared,
+    seq: usize,
+    kernels: &mut [Box<dyn FilterKernel + Send>],
+    scratch: &mut Scratch,
+) {
+    let slot = &shared.slots[seq % BATCH_SLOTS];
+    let job = slot
+        .job
+        .lock()
+        .expect("worker pool poisoned")
+        .take()
+        .expect("claimed slot holds a job");
+    let outcome = run_job(job, kernels, scratch);
+    if outcome.error.is_some() {
+        shared.first_error.fetch_min(seq, SeqCst);
+    }
+    *slot.outcome.lock().expect("worker pool poisoned") = Some(outcome);
+    shared.completed.fetch_add(1, SeqCst);
+    if shared.drain_waiting.load(SeqCst) {
+        let _g = shared.drain_park.lock().expect("worker pool poisoned");
+        shared.drained.notify_all();
     }
 }
 
@@ -376,5 +574,124 @@ mod tests {
         let pool = WorkerPool::new(3, &mut boxed_scalar);
         assert_eq!(pool.threads(), 3);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn outcomes_arrive_in_submission_order() {
+        let pool = WorkerPool::new(3, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::from_fn(16, 16, |x, y| (x + 2 * y) as f32));
+        for round in 0..8 {
+            let mut combos = ComboStore::new();
+            for (ci, slot) in combos.slots.iter_mut().enumerate() {
+                pool.submit(Job::ForwardCombo {
+                    transform: Arc::clone(&t),
+                    img: Arc::clone(&img),
+                    tag: round,
+                    combo: ci,
+                    kernel: 0,
+                    detail: std::mem::take(&mut slot.detail),
+                    ll: std::mem::take(&mut slot.ll),
+                });
+            }
+            let mut outcomes = Vec::new();
+            assert_eq!(pool.drain(4, &mut outcomes), None);
+            let order: Vec<usize> = outcomes.iter().map(|o| o.combo).collect();
+            assert_eq!(order, vec![0, 1, 2, 3], "round {round}");
+            assert!(outcomes.iter().all(|o| o.tag == round));
+        }
+    }
+
+    #[test]
+    fn chunked_claims_cover_large_batches() {
+        // More jobs than threads by a wide margin: the adaptive chunking
+        // must still run every job exactly once and report the earliest
+        // error deterministically.
+        let pool = WorkerPool::new(4, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::filled(8, 8, 0.5));
+        let mut outcomes = Vec::new();
+        let n = BATCH_SLOTS;
+        for i in 0..n {
+            pool.submit(Job::ForwardCombo {
+                transform: Arc::clone(&t),
+                img: Arc::clone(&img),
+                tag: i as u32,
+                // Every third job asks for a missing kernel slot.
+                combo: i % 4,
+                kernel: if i % 3 == 2 { 7 } else { 0 },
+                detail: Vec::new(),
+                ll: Image::zeros(0, 0),
+            });
+        }
+        let first_err = pool.drain(n, &mut outcomes);
+        assert_eq!(outcomes.len(), n);
+        assert_eq!(first_err, Some(2), "job 2 is the earliest injected failure");
+        for (i, oc) in outcomes.iter().enumerate() {
+            assert_eq!(oc.tag, i as u32);
+            assert_eq!(oc.error.is_some(), i % 3 == 2);
+        }
+    }
+
+    #[test]
+    fn stress_many_tiny_batches_with_failures_and_shutdown() {
+        // Shutdown/error stress: across several pool widths, hammer the
+        // scheduler with back-to-back full batches of tiny jobs, a rotating
+        // injected-failure pattern, and finally a shutdown with a full
+        // undrained batch in flight. Every batch must report exactly its
+        // own completions (none lost, none duplicated), the earliest error
+        // deterministically, and the drop must join cleanly.
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::from_fn(8, 8, |x, y| (x * 5 + y) as f32));
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads, &mut boxed_scalar);
+            let mut outcomes = Vec::new();
+            for batch in 0..25usize {
+                let n = BATCH_SLOTS;
+                // Rotate which residue fails so error-free batches occur too.
+                let fail_mod = 2 + batch % 5;
+                let fail_offset = batch % fail_mod;
+                for i in 0..n {
+                    pool.submit(Job::ForwardCombo {
+                        transform: Arc::clone(&t),
+                        img: Arc::clone(&img),
+                        tag: (batch * n + i) as u32,
+                        combo: i % 4,
+                        kernel: if i % fail_mod == fail_offset { 9 } else { 0 },
+                        detail: Vec::new(),
+                        ll: Image::zeros(0, 0),
+                    });
+                }
+                let first_err = pool.drain(n, &mut outcomes);
+                assert_eq!(outcomes.len(), n, "threads {threads} batch {batch}");
+                assert_eq!(
+                    first_err,
+                    Some(fail_offset),
+                    "threads {threads} batch {batch}: earliest injected failure"
+                );
+                for (i, oc) in outcomes.iter().enumerate() {
+                    assert_eq!(oc.tag, (batch * n + i) as u32);
+                    assert_eq!(
+                        oc.error.is_some(),
+                        i % fail_mod == fail_offset,
+                        "threads {threads} batch {batch} job {i}"
+                    );
+                }
+                outcomes.clear();
+            }
+            // Leave a full batch in flight and drop: must join, not hang.
+            for i in 0..BATCH_SLOTS {
+                pool.submit(Job::ForwardCombo {
+                    transform: Arc::clone(&t),
+                    img: Arc::clone(&img),
+                    tag: i as u32,
+                    combo: i % 4,
+                    kernel: 0,
+                    detail: Vec::new(),
+                    ll: Image::zeros(0, 0),
+                });
+            }
+            drop(pool);
+        }
     }
 }

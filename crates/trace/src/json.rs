@@ -75,12 +75,17 @@ impl JsonValue {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::Num(n) => {
-                if n.is_finite() {
-                    // `{:?}` round-trips f64 ("5.0", "0.1", "1e300") and is
-                    // always a valid JSON number for finite values.
-                    let _ = write!(out, "{n:?}");
-                } else {
+                if !n.is_finite() {
                     out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+                    // Integral values within f64's exact-integer range
+                    // serialize as integers ("64", not "64.0") — counts and
+                    // sizes round-trip as what they are.
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    // `{:?}` round-trips f64 ("0.1", "1e300") and is always
+                    // a valid JSON number for finite values.
+                    let _ = write!(out, "{n:?}");
                 }
             }
             JsonValue::Str(s) => write_json_string(s, out),
@@ -432,6 +437,27 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
         assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn integral_values_render_without_fraction() {
+        assert_eq!(JsonValue::Num(64.0).render(), "64");
+        assert_eq!(JsonValue::Num(-3.0).render(), "-3");
+        assert_eq!(JsonValue::Num(0.0).render(), "0");
+        assert_eq!(88usize.to_json().render(), "88");
+        assert_eq!(
+            JsonValue::Arr(vec![JsonValue::Num(88.0), JsonValue::Num(72.0)]).render(),
+            "[88,72]"
+        );
+        // Non-integral and huge values keep the round-trippable float form.
+        assert_eq!(JsonValue::Num(12.5).render(), "12.5");
+        assert_eq!(JsonValue::Num(1e300).render(), "1e300");
+        let big = 9_007_199_254_740_992.0f64; // 2^53: not exactly integral-safe
+        assert!(JsonValue::parse(&JsonValue::Num(big).render())
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .eq(&big));
     }
 
     #[test]

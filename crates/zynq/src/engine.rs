@@ -40,6 +40,25 @@ pub struct EngineRun {
     pub words_out: usize,
 }
 
+/// A row pass in flight, returned by the `submit_*` half of the split
+/// interface. The engine stays [`status::BUSY`] until the ticket is redeemed
+/// with [`WaveletEngine::wait`], which retires the run and flips the status
+/// register to [`status::DONE`] — the handshake the PS uses to overlap its
+/// own work with the PL engine.
+#[derive(Debug)]
+#[must_use = "a submitted row stays BUSY until waited on"]
+pub struct RowTicket {
+    run: EngineRun,
+}
+
+impl RowTicket {
+    /// Cycle cost and traffic of the in-flight run (known at submit time in
+    /// the model; the real engine exposes it once DONE).
+    pub fn run(&self) -> EngineRun {
+        self.run
+    }
+}
+
 /// The simulated PL wavelet engine.
 ///
 /// # Examples
@@ -75,6 +94,9 @@ pub struct WaveletEngine {
     // Shadow copies of the loaded taps for cache checks.
     loaded_analysis: Option<(Vec<f32>, Vec<f32>)>,
     loaded_synthesis: Option<(Vec<f32>, Vec<f32>)>,
+    // The datapath's input shift register, persistent so steady-state row
+    // passes never touch the allocator.
+    sr: Vec<f32>,
 }
 
 impl WaveletEngine {
@@ -92,6 +114,7 @@ impl WaveletEngine {
             s_hp_odd: vec![0.0; t / 2 + 1],
             loaded_analysis: None,
             loaded_synthesis: None,
+            sr: vec![0.0; t],
         }
     }
 
@@ -139,7 +162,7 @@ impl WaveletEngine {
         }
         fill_reversed_front_padded(&mut self.c_lp, h0);
         fill_reversed_front_padded(&mut self.c_hp, h1);
-        self.loaded_analysis = Some((h0.to_vec(), h1.to_vec()));
+        store_shadow(&mut self.loaded_analysis, h0, h1);
         let mut ps = self.regs.write(
             EngineReg::Mode,
             EngineMode::LoadCoefficients.encode(),
@@ -168,7 +191,7 @@ impl WaveletEngine {
         }
         fill_polyphase(&mut self.s_lp_even, &mut self.s_lp_odd, g0);
         fill_polyphase(&mut self.s_hp_even, &mut self.s_hp_odd, g1);
-        self.loaded_synthesis = Some((g0.to_vec(), g1.to_vec()));
+        store_shadow(&mut self.loaded_synthesis, g0, g1);
         let mut ps = self.regs.write(
             EngineReg::Mode,
             EngineMode::LoadCoefficients.encode(),
@@ -178,7 +201,9 @@ impl WaveletEngine {
         Ok(ps)
     }
 
-    /// Runs one forward (decimating) row through the datapath (mode 2).
+    /// Runs one forward (decimating) row through the datapath (mode 2),
+    /// blocking until DONE: equivalent to [`Self::submit_forward_row`]
+    /// immediately followed by [`Self::wait`].
     ///
     /// Semantics match [`wavefuse_dtcwt::FilterKernel::analyze_row`]: `ext`
     /// is the extended row, outputs `k` use the window ending at
@@ -196,6 +221,26 @@ impl WaveletEngine {
         lo: &mut [f32],
         hi: &mut [f32],
     ) -> Result<EngineRun, ZynqError> {
+        let ticket = self.submit_forward_row(ext, left, phase, lo, hi)?;
+        Ok(self.wait(ticket))
+    }
+
+    /// Arms one forward row and returns without the completion handshake:
+    /// the status register reads [`status::BUSY`] until the returned ticket
+    /// is redeemed with [`Self::wait`], letting the PS overlap other work
+    /// with the in-flight run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::forward_row`].
+    pub fn submit_forward_row(
+        &mut self,
+        ext: &[f32],
+        left: usize,
+        phase: usize,
+        lo: &mut [f32],
+        hi: &mut [f32],
+    ) -> Result<RowTicket, ZynqError> {
         if self.loaded_analysis.is_none() {
             return Err(ZynqError::CoefficientsNotLoaded);
         }
@@ -218,7 +263,7 @@ impl WaveletEngine {
 
         self.regs.hw_set(EngineReg::Status, status::BUSY);
         let t = self.cfg.max_taps;
-        let mut sr = vec![0.0f32; t];
+        self.sr.fill(0.0);
         let at = |p: isize| -> f32 {
             if p >= 0 && (p as usize) < ext.len() {
                 ext[p as usize]
@@ -231,14 +276,14 @@ impl WaveletEngine {
         // Warm the shift register up to the first output's window.
         let c0 = (left + phase) as isize;
         for p in (c0 - t as isize + 1)..=c0 {
-            shift_in(&mut sr, at(p));
+            shift_in(&mut self.sr, at(p));
         }
-        emit(&sr, &self.c_lp, &self.c_hp, &mut lo[0], &mut hi[0]);
+        emit(&self.sr, &self.c_lp, &self.c_hp, &mut lo[0], &mut hi[0]);
         for k in 1..n_out {
             let c = c0 + 2 * k as isize;
-            shift_in(&mut sr, at(c - 1));
-            shift_in(&mut sr, at(c));
-            emit(&sr, &self.c_lp, &self.c_hp, &mut lo[k], &mut hi[k]);
+            shift_in(&mut self.sr, at(c - 1));
+            shift_in(&mut self.sr, at(c));
+            emit(&self.sr, &self.c_lp, &self.c_hp, &mut lo[k], &mut hi[k]);
         }
 
         let words_in = ext.len();
@@ -247,16 +292,18 @@ impl WaveletEngine {
             + self.cfg.pipeline_flush_pl_cycles
             + n_out as u64
             + acp_burst_pl_cycles(words_out, &self.cfg);
-        self.regs.hw_set(EngineReg::Status, status::DONE);
-        self.regs.read(EngineReg::Status); // completion poll
-        Ok(EngineRun {
-            pl_cycles,
-            words_in,
-            words_out,
+        Ok(RowTicket {
+            run: EngineRun {
+                pl_cycles,
+                words_in,
+                words_out,
+            },
         })
     }
 
-    /// Runs one inverse (interpolating) row through the datapath (mode 3).
+    /// Runs one inverse (interpolating) row through the datapath (mode 3),
+    /// blocking until DONE: equivalent to [`Self::submit_inverse_row`]
+    /// immediately followed by [`Self::wait`].
     ///
     /// Semantics match [`wavefuse_dtcwt::FilterKernel::synthesize_row`].
     ///
@@ -272,6 +319,24 @@ impl WaveletEngine {
         phase: usize,
         out: &mut [f32],
     ) -> Result<EngineRun, ZynqError> {
+        let ticket = self.submit_inverse_row(lo_ext, hi_ext, left, phase, out)?;
+        Ok(self.wait(ticket))
+    }
+
+    /// Arms one inverse row without the completion handshake; see
+    /// [`Self::submit_forward_row`] for the split-interface contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::inverse_row`].
+    pub fn submit_inverse_row(
+        &mut self,
+        lo_ext: &[f32],
+        hi_ext: &[f32],
+        left: usize,
+        phase: usize,
+        out: &mut [f32],
+    ) -> Result<RowTicket, ZynqError> {
         if self.loaded_synthesis.is_none() {
             return Err(ZynqError::CoefficientsNotLoaded);
         }
@@ -313,13 +378,36 @@ impl WaveletEngine {
             + self.cfg.pipeline_flush_pl_cycles
             + words_out as u64
             + acp_burst_pl_cycles(words_out, &self.cfg);
-        self.regs.hw_set(EngineReg::Status, status::DONE);
-        self.regs.read(EngineReg::Status);
-        Ok(EngineRun {
-            pl_cycles,
-            words_in,
-            words_out,
+        Ok(RowTicket {
+            run: EngineRun {
+                pl_cycles,
+                words_in,
+                words_out,
+            },
         })
+    }
+
+    /// Retires an in-flight row: flips the status register to
+    /// [`status::DONE`], performs the PS's completion poll, and returns the
+    /// run's cycle accounting.
+    pub fn wait(&mut self, ticket: RowTicket) -> EngineRun {
+        self.regs.hw_set(EngineReg::Status, status::DONE);
+        self.regs.read(EngineReg::Status); // completion poll
+        ticket.run
+    }
+}
+
+/// Refreshes a loaded-filter shadow copy in place, reusing its allocations
+/// so steady-state coefficient reloads stay off the allocator.
+fn store_shadow(slot: &mut Option<(Vec<f32>, Vec<f32>)>, a: &[f32], b: &[f32]) {
+    match slot {
+        Some((sa, sb)) => {
+            sa.clear();
+            sa.extend_from_slice(a);
+            sb.clear();
+            sb.extend_from_slice(b);
+        }
+        None => *slot = Some((a.to_vec(), b.to_vec())),
     }
 }
 
@@ -370,10 +458,20 @@ fn fill_reversed_front_padded(dst: &mut [f32], taps: &[f32]) {
 }
 
 fn fill_polyphase(even: &mut [f32], odd: &mut [f32], taps: &[f32]) {
-    let e: Vec<f32> = taps.iter().copied().step_by(2).collect();
-    let o: Vec<f32> = taps.iter().copied().skip(1).step_by(2).collect();
-    fill_reversed_front_padded(&mut even[..], &e);
-    fill_reversed_front_padded(&mut odd[..], &o);
+    // Even/odd tap subsequences, reversed and front-padded like the analysis
+    // banks — written directly so reloads never allocate.
+    even.fill(0.0);
+    odd.fill(0.0);
+    let ne = taps.len().div_ceil(2);
+    let no = taps.len() / 2;
+    let off_e = even.len() - ne;
+    let off_o = odd.len() - no;
+    for (i, &v) in taps.iter().step_by(2).enumerate() {
+        even[off_e + (ne - 1 - i)] = v;
+    }
+    for (i, &v) in taps.iter().skip(1).step_by(2).enumerate() {
+        odd[off_o + (no - 1 - i)] = v;
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +639,27 @@ mod tests {
         let (mut lo, mut hi) = (vec![0.0f32; 4], vec![0.0f32; 4]);
         eng.forward_row(&ext, 2, 0, &mut lo, &mut hi).unwrap();
         assert_eq!(eng.registers().read(EngineReg::Status), status::DONE);
+    }
+
+    #[test]
+    fn split_submit_wait_reports_busy_until_waited() {
+        let mut eng = WaveletEngine::new(ZynqConfig::default());
+        use crate::bus::EngineReg;
+        let h = std::f32::consts::FRAC_1_SQRT_2;
+        eng.load_analysis_filters(&[h, h], &[h, -h]).unwrap();
+        let ext = vec![1.0f32; 12];
+        let (mut lo, mut hi) = (vec![0.0f32; 4], vec![0.0f32; 4]);
+        let ticket = eng
+            .submit_forward_row(&ext, 2, 0, &mut lo, &mut hi)
+            .unwrap();
+        assert_eq!(eng.registers().read(EngineReg::Status), status::BUSY);
+        let run = eng.wait(ticket);
+        assert_eq!(eng.registers().read(EngineReg::Status), status::DONE);
+        assert_eq!(run.words_in, 12);
+        assert_eq!(run.words_out, 8);
+        // Split and blocking paths charge identical cycles.
+        let blocking = eng.forward_row(&ext, 2, 0, &mut lo, &mut hi).unwrap();
+        assert_eq!(blocking, run);
     }
 
     #[test]

@@ -25,6 +25,60 @@ use crate::ZynqError;
 use wavefuse_dtcwt::FilterKernel;
 use wavefuse_trace::Telemetry;
 
+/// Double-buffered DMA timeline: the opt-in asynchronous overlap model.
+///
+/// The serial ledger charges every row `overhead + max(copy, engine)` — the
+/// PS is assumed to block on each engine run. The real ACP engine does not
+/// require that: with the split submit/wait interface the PS can keep
+/// issuing driver work (or, for the hybrid backend, run short rows on the
+/// SIMD unit) while the PL engine owns an in-flight row, bounded only by
+/// the two ping-pong DMA buffers. This struct tracks that schedule: a
+/// PS timeline advancing serially through overheads, user copies and host
+/// compute, and per-buffer PL completion times; elapsed time is the longer
+/// of the two timelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DmaTimeline {
+    ps_s: f64,
+    buf_free: [f64; 2],
+    next: usize,
+    pl_done: f64,
+}
+
+impl DmaTimeline {
+    /// Advances the PS timeline by `s` seconds of host-side work.
+    pub fn push_ps(&mut self, s: f64) {
+        self.ps_s += s;
+    }
+
+    /// Accounts one row: the driver overhead and user copy run serially on
+    /// the PS; the engine run is then dispatched onto whichever ping-pong
+    /// buffer frees first, no earlier than the PS finished feeding it.
+    pub fn push_row(&mut self, overhead_s: f64, copy_s: f64, engine_s: f64) {
+        self.ps_s += overhead_s + copy_s;
+        let start = self.ps_s.max(self.buf_free[self.next]);
+        let done = start + engine_s;
+        self.buf_free[self.next] = done;
+        self.next ^= 1;
+        self.pl_done = self.pl_done.max(done);
+    }
+
+    /// End of the combined timeline: when both the PS and the last PL run
+    /// have retired.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.ps_s.max(self.pl_done)
+    }
+
+    /// Position of the PS timeline alone.
+    pub fn ps_seconds(&self) -> f64 {
+        self.ps_s
+    }
+
+    /// When the last dispatched PL run retires.
+    pub fn pl_done_seconds(&self) -> f64 {
+        self.pl_done
+    }
+}
+
 /// The FPGA-backed filter kernel with cycle accounting.
 ///
 /// See the crate-level example for end-to-end use. Construction is cheap;
@@ -37,6 +91,12 @@ pub struct FpgaKernel {
     driver: WaveletDriver,
     ledger: CycleLedger,
     telemetry: Option<Arc<Telemetry>>,
+    /// Present when the async overlap model is enabled; tracks the
+    /// overlapped schedule alongside the ledger's serial accounting.
+    overlap: Option<DmaTimeline>,
+    /// Row staging scratch (interleaved outputs / combined channels),
+    /// persistent so steady-state rows never allocate.
+    row_scratch: Vec<f32>,
 }
 
 impl Default for FpgaKernel {
@@ -59,6 +119,36 @@ impl FpgaKernel {
             ledger: CycleLedger::new(),
             cfg,
             telemetry: None,
+            overlap: None,
+            row_scratch: Vec::new(),
+        }
+    }
+
+    /// Enables (or disables) the asynchronous double-buffered DMA overlap
+    /// model. Off by default: the ledger then charges the paper's serial
+    /// Fig. 5 schedule. When on, [`Self::dma_timeline`] tracks the
+    /// overlapped schedule the split submit/wait interface permits; results
+    /// are bit-identical either way — only time accounting differs.
+    pub fn set_dma_overlap(&mut self, enabled: bool) {
+        self.overlap = if enabled {
+            Some(DmaTimeline::default())
+        } else {
+            None
+        };
+    }
+
+    /// The async overlap timeline, when enabled via
+    /// [`Self::set_dma_overlap`].
+    pub fn dma_timeline(&self) -> Option<&DmaTimeline> {
+        self.overlap.as_ref()
+    }
+
+    /// Charges `s` seconds of host-side compute onto the PS timeline of the
+    /// overlap model (no-op when overlap is disabled). The hybrid kernel
+    /// uses this for SIMD-routed rows that run while the PL engine is busy.
+    pub fn push_host_seconds(&mut self, s: f64) {
+        if let Some(tl) = &mut self.overlap {
+            tl.push_ps(s);
         }
     }
 
@@ -101,9 +191,13 @@ impl FpgaKernel {
         &self.ledger
     }
 
-    /// Resets the accounting to zero (e.g. between benchmark phases).
+    /// Resets the accounting to zero (e.g. between benchmark phases),
+    /// including the overlap timeline when enabled.
     pub fn reset_ledger(&mut self) {
         self.ledger.reset();
+        if let Some(tl) = &mut self.overlap {
+            *tl = DmaTimeline::default();
+        }
     }
 
     /// The underlying engine (for inspection).
@@ -128,6 +222,9 @@ impl FpgaKernel {
         let engine_s = pl as f64 * self.cfg.pl_period();
         let row_s = overhead_ps as f64 * self.cfg.ps_period() + copy_s.max(engine_s);
         self.ledger.elapsed_seconds += row_s;
+        if let Some(tl) = &mut self.overlap {
+            tl.push_row(overhead_ps as f64 * self.cfg.ps_period(), copy_s, engine_s);
+        }
         if let Some(tel) = &self.telemetry {
             let m = tel.metrics();
             m.counter_add("wavefuse_fpga_engine_calls_total", &[], 1.0);
@@ -187,6 +284,9 @@ impl FpgaKernel {
             self.ledger.coeff_loads += 1;
             self.ledger.ps_overhead_cycles += ps;
             self.ledger.elapsed_seconds += ps as f64 * self.cfg.ps_period();
+            if let Some(tl) = &mut self.overlap {
+                tl.push_ps(ps as f64 * self.cfg.ps_period());
+            }
             if let Some(tel) = &self.telemetry {
                 tel.metrics()
                     .counter_add("wavefuse_fpga_coeff_loads_total", &[], 1.0);
@@ -198,21 +298,24 @@ impl FpgaKernel {
         self.driver.ioctl(IoctlRequest::SetReadOffset(0))?;
         self.driver.ioctl(IoctlRequest::SetWriteOffset(0))?;
 
-        // User copy in, engine run on the accelerator's view, user copy out.
+        // User copy in, submit on the accelerator's view (borrowed in
+        // place), stage results while the run is in flight, then wait and
+        // copy out. Staging reuses the persistent scratch so steady-state
+        // rows never allocate.
         let mut copy_ps = self.driver.copy_from_user(ext)?;
-        let input = self.driver.accelerator_input(ext.len())?.to_vec();
-        let run = self.engine.forward_row(&input, left, phase, lo, hi)?;
-        let mut interleaved = vec![0.0f32; lo.len() * 2];
+        let input = self.driver.accelerator_input(ext.len())?;
+        let ticket = self.engine.submit_forward_row(input, left, phase, lo, hi)?;
+        self.row_scratch.resize(lo.len() * 2, 0.0);
         for k in 0..lo.len() {
-            interleaved[2 * k] = hi[k];
-            interleaved[2 * k + 1] = lo[k];
+            self.row_scratch[2 * k] = hi[k];
+            self.row_scratch[2 * k + 1] = lo[k];
         }
-        self.driver.accelerator_write(&interleaved)?;
-        let mut out = vec![0.0f32; interleaved.len()];
-        copy_ps += self.driver.copy_to_user(&mut out)?;
+        self.driver.accelerator_write(&self.row_scratch)?;
+        let run = self.engine.wait(ticket);
+        copy_ps += self.driver.copy_to_user(&mut self.row_scratch)?;
         for k in 0..lo.len() {
-            hi[k] = out[2 * k];
-            lo[k] = out[2 * k + 1];
+            hi[k] = self.row_scratch[2 * k];
+            lo[k] = self.row_scratch[2 * k + 1];
         }
         self.ledger.dma_words += (run.words_in + run.words_out) as u64;
         if let Some(tel) = &self.telemetry {
@@ -243,6 +346,9 @@ impl FpgaKernel {
             self.ledger.coeff_loads += 1;
             self.ledger.ps_overhead_cycles += ps;
             self.ledger.elapsed_seconds += ps as f64 * self.cfg.ps_period();
+            if let Some(tl) = &mut self.overlap {
+                tl.push_ps(ps as f64 * self.cfg.ps_period());
+            }
             if let Some(tel) = &self.telemetry {
                 tel.metrics()
                     .counter_add("wavefuse_fpga_coeff_loads_total", &[], 1.0);
@@ -255,19 +361,18 @@ impl FpgaKernel {
 
         // Both channels arrive in one driver request (interleaved), which is
         // why the inverse's per-call overhead is lower.
-        let mut combined = Vec::with_capacity(lo_ext.len() + hi_ext.len());
-        combined.extend_from_slice(lo_ext);
-        combined.extend_from_slice(hi_ext);
-        let mut copy_ps = self.driver.copy_from_user(&combined)?;
-        let input = self.driver.accelerator_input(combined.len())?.to_vec();
+        self.row_scratch.clear();
+        self.row_scratch.extend_from_slice(lo_ext);
+        self.row_scratch.extend_from_slice(hi_ext);
+        let mut copy_ps = self.driver.copy_from_user(&self.row_scratch)?;
+        let input = self.driver.accelerator_input(lo_ext.len() + hi_ext.len())?;
         let (lo_view, hi_view) = input.split_at(lo_ext.len());
-        let run = self
+        let ticket = self
             .engine
-            .inverse_row(lo_view, hi_view, left, phase, out)?;
+            .submit_inverse_row(lo_view, hi_view, left, phase, out)?;
         self.driver.accelerator_write(out)?;
-        let mut user_out = vec![0.0f32; out.len()];
-        copy_ps += self.driver.copy_to_user(&mut user_out)?;
-        out.copy_from_slice(&user_out);
+        let run = self.engine.wait(ticket);
+        copy_ps += self.driver.copy_to_user(out)?;
         self.ledger.dma_words += (run.words_in + run.words_out) as u64;
         if let Some(tel) = &self.telemetry {
             tel.metrics().counter_add(
@@ -395,6 +500,70 @@ mod tests {
             "loads {loads} should be far below calls {}",
             fpga.ledger().engine_calls
         );
+    }
+
+    #[test]
+    fn dma_overlap_is_faster_than_serial_and_bit_identical() {
+        let img = test_image(64, 48);
+        let t = Dtcwt::new(3).unwrap();
+        let mut serial = FpgaKernel::new();
+        let p_serial = t.forward_with(&mut serial, &img).unwrap();
+        let mut overlapped = FpgaKernel::new();
+        overlapped.set_dma_overlap(true);
+        let p_overlap = t.forward_with(&mut overlapped, &img).unwrap();
+        // Bit-identical results: only the time accounting differs.
+        for level in 0..3 {
+            for (a, b) in p_serial
+                .subbands(level)
+                .iter()
+                .zip(p_overlap.subbands(level))
+            {
+                assert_eq!(a.re.max_abs_diff(&b.re), 0.0);
+                assert_eq!(a.im.max_abs_diff(&b.im), 0.0);
+            }
+        }
+        let tl = *overlapped.dma_timeline().unwrap();
+        let serial_s = overlapped.ledger().elapsed_seconds;
+        assert_eq!(serial.ledger().elapsed_seconds, serial_s);
+        // The overlapped schedule can never beat the PS's serial work nor
+        // the PL critical path, and must beat the fully serial charge.
+        assert!(tl.elapsed_seconds() <= serial_s);
+        assert!(tl.elapsed_seconds() >= tl.ps_seconds());
+        assert!(tl.elapsed_seconds() >= overlapped.ledger().pl_busy_seconds(overlapped.config()));
+        // Ledger counters are schedule-independent.
+        assert_eq!(
+            serial.ledger().engine_calls,
+            overlapped.ledger().engine_calls
+        );
+        assert_eq!(serial.ledger().pl_cycles, overlapped.ledger().pl_cycles);
+    }
+
+    #[test]
+    fn overlap_timeline_interleaves_host_work() {
+        let mut tl = DmaTimeline::default();
+        // Row engine time dominates the copy: PS runs ahead, PL lags.
+        tl.push_row(1e-6, 1e-6, 10e-6);
+        assert!((tl.ps_seconds() - 2e-6).abs() < 1e-12);
+        assert!((tl.pl_done_seconds() - 12e-6).abs() < 1e-12);
+        // Host work shorter than the in-flight engine run hides entirely.
+        tl.push_ps(5e-6);
+        assert!((tl.elapsed_seconds() - 12e-6).abs() < 1e-12);
+        // A third row on the first buffer again: it must wait for the
+        // earlier run on that buffer even though the PS is ready.
+        tl.push_row(1e-6, 1e-6, 10e-6);
+        tl.push_row(1e-6, 1e-6, 10e-6);
+        assert!(tl.pl_done_seconds() >= 22e-6);
+    }
+
+    #[test]
+    fn reset_clears_overlap_timeline() {
+        let mut k = FpgaKernel::new();
+        k.set_dma_overlap(true);
+        let t = Dtcwt::new(2).unwrap();
+        let _ = t.forward_with(&mut k, &test_image(16, 16)).unwrap();
+        assert!(k.dma_timeline().unwrap().elapsed_seconds() > 0.0);
+        k.reset_ledger();
+        assert_eq!(k.dma_timeline().unwrap().elapsed_seconds(), 0.0);
     }
 
     #[test]

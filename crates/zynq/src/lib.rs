@@ -60,5 +60,5 @@ mod error;
 
 pub use config::ZynqConfig;
 pub use error::ZynqError;
-pub use kernel::FpgaKernel;
+pub use kernel::{DmaTimeline, FpgaKernel};
 pub use ledger::CycleLedger;

@@ -17,6 +17,7 @@ use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline
 use wavefuse_core::Backend;
 use wavefuse_dtcwt::{ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch};
 use wavefuse_simd::AutoVecKernel;
+use wavefuse_zynq::FpgaKernel;
 
 struct CountingAlloc;
 
@@ -139,4 +140,39 @@ fn steady_state_transform_paths_do_not_allocate() {
             "{name}: pooled transform allocated {allocs} times ({bytes} bytes)"
         );
     }
+}
+
+// The simulated FPGA path stages rows through the driver's DMA areas and
+// the engine's shift register; all of that scratch is persistent, so after
+// one warm-up transform (which also sizes the coefficient-shadow copies)
+// repeated transforms must stay off the allocator too.
+#[test]
+fn steady_state_fpga_transform_path_does_not_allocate() {
+    let img = Image::from_fn(88, 72, |x, y| ((x * 13 + y * 29) % 97) as f32 * 0.02);
+    let t = Dtcwt::new(3).expect("three levels");
+
+    let mut fpga = FpgaKernel::new();
+    let mut combos = ComboStore::new();
+    let mut scratch = Scratch::new();
+    let mut pyr = CwtPyramid::empty();
+    let mut rec = Image::zeros(0, 0);
+
+    t.forward_into(&mut fpga, &img, &mut combos, &mut scratch, &mut pyr)
+        .expect("warm-up forward");
+    t.inverse_into(&mut fpga, &pyr, &mut scratch, &mut rec)
+        .expect("warm-up inverse");
+
+    let (allocs, bytes, ()) = counted(|| {
+        for _ in 0..2 {
+            t.forward_into(&mut fpga, &img, &mut combos, &mut scratch, &mut pyr)
+                .expect("steady forward");
+            t.inverse_into(&mut fpga, &pyr, &mut scratch, &mut rec)
+                .expect("steady inverse");
+        }
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "fpga: transform allocated {allocs} times ({bytes} bytes)"
+    );
 }

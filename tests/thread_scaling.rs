@@ -1,0 +1,81 @@
+//! Thread-scaling tests: the worker pool must change the wall-clock, never
+//! the pixels.
+//!
+//! Bit-identity is exact and deterministic, so it is asserted directly.
+//! Speedup is a statement about the host machine, so the timing check uses
+//! a best-of-N retry discipline: each attempt times the same steady-state
+//! frame sequence at one and two threads, and the test passes as soon as
+//! one attempt shows the two-thread run at least matching the one-thread
+//! run. Only a machine where two threads *consistently* lose to one fails.
+
+use std::time::Instant;
+
+use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::Backend;
+use wavefuse_dtcwt::Image;
+
+fn pipeline(backend: Backend, threads: usize) -> VideoFusionPipeline {
+    VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Fixed(backend),
+        scene_seed: 2016,
+        threads,
+    })
+    .expect("default geometry supports three levels")
+}
+
+fn fused_frames(backend: Backend, threads: usize, n: usize) -> Vec<Image> {
+    let mut pipe = pipeline(backend, threads);
+    (0..n).map(|_| pipe.step().expect("step").image).collect()
+}
+
+#[test]
+fn threaded_pipeline_is_bit_identical_to_serial() {
+    for backend in [Backend::Arm, Backend::Neon] {
+        let serial = fused_frames(backend, 1, 6);
+        for threads in [2, 4] {
+            let pooled = fused_frames(backend, threads, 6);
+            for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "{backend:?} frame {i}: {threads}-thread output diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_threads_do_not_lose_to_one() {
+    const WARMUP: usize = 3;
+    const TIMED: usize = 12;
+    const ATTEMPTS: usize = 5;
+
+    let time_run = |threads: usize| {
+        let mut pipe = pipeline(Backend::Arm, threads);
+        for _ in 0..WARMUP {
+            let out = pipe.step().expect("warm-up step");
+            pipe.recycle(out);
+        }
+        let start = Instant::now();
+        for _ in 0..TIMED {
+            let out = pipe.step().expect("timed step");
+            pipe.recycle(out);
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let mut best = 0.0f64;
+    for attempt in 0..ATTEMPTS {
+        let t1 = time_run(1);
+        let t2 = time_run(2);
+        let speedup = t1 / t2;
+        best = best.max(speedup);
+        if speedup >= 1.0 {
+            println!("attempt {attempt}: speedup {speedup:.2}x (t1 {t1:.4}s, t2 {t2:.4}s)");
+            return;
+        }
+    }
+    panic!("two threads never matched one across {ATTEMPTS} attempts (best {best:.2}x)");
+}

@@ -14,6 +14,9 @@ cargo test --workspace -q
 echo "== allocation regression (steady-state hot path)"
 cargo test -q --release --test alloc_steady_state
 
+echo "== columnar bit-identity (transpose-free column passes)"
+cargo test -q --release --test columnar_identity
+
 echo "== throughput bench smoke (repro bench --frames 16)"
 # Smoke only: must run to completion and emit the JSON report; the
 # numbers themselves are host-dependent and not asserted here.
@@ -27,6 +30,13 @@ echo "== threaded bench smoke (repro bench --frames 16 --threads 2)"
 cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 16 --threads 2 --bench-out target/BENCH_smoke_t2.json
 test -s target/BENCH_smoke_t2.json
+
+echo "== fallback bench smoke (repro bench --frames 16 --no-columnar)"
+# The staged-transpose fallback must stay runnable end to end; the report
+# rows record columnar=false so regressions in the flag plumbing surface.
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 16 --no-columnar --bench-out target/BENCH_smoke_fallback.json
+grep -q '"columnar":false' target/BENCH_smoke_fallback.json
 
 echo "== cargo fmt --check"
 cargo fmt --all --check

@@ -17,6 +17,9 @@
 //! in the current directory; `--frames <n>` sets the timed frames per
 //! configuration (default 64) and `--threads <n>` the worker count of
 //! the threaded rows (default: host parallelism clamped to 2..=4).
+//! `--no-columnar` disables the transpose-free columnar column passes so
+//! the staged-transpose fallback can be measured; each report row records
+//! the kernel name and the effective `columnar` setting.
 //!
 //! The `eval` subcommand runs an instrumented pipeline and exports its
 //! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
@@ -31,7 +34,7 @@ use wavefuse_bench::report;
 use wavefuse_trace::{export, ToJson};
 
 const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
-[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--threads <n>] [--bench-out <path>]";
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--threads <n>] [--bench-out <path>] [--no-columnar]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +47,11 @@ fn main() -> ExitCode {
             if name == "help" {
                 eprintln!("{USAGE}");
                 return ExitCode::from(2);
+            }
+            // Valueless flags.
+            if name == "no-columnar" {
+                options.push((name.to_string(), "true".to_string()));
+                continue;
             }
             let Some(value) = it.next() else {
                 eprintln!("option --{name} needs a value\n{USAGE}");
@@ -164,8 +172,9 @@ fn main() -> ExitCode {
                 Some(v) => Some(v.parse().map_err(|_| format!("bad --threads '{v}'"))?),
                 None => None,
             };
+            let columnar = opt("no-columnar").is_none();
             eprintln!("measuring pipeline throughput ({frames} timed frames per configuration)...");
-            let bench = experiments::pipeline_bench(frames, threads)?;
+            let bench = experiments::pipeline_bench(frames, threads, columnar)?;
             println!("{}", report::render_bench(&bench));
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
             std::fs::write(&path, bench.to_json().render())?;

@@ -659,6 +659,10 @@ pub struct BenchRow {
     pub backend: String,
     /// Worker threads driving the engine (1 = serial, no pool).
     pub threads: usize,
+    /// Kernel implementation name behind this backend (e.g. `neon-simd`).
+    pub kernel: String,
+    /// Whether the transpose-free columnar column passes were enabled.
+    pub columnar: bool,
     /// Wall-clock seconds of the fastest timed window.
     pub wall_s: f64,
     /// Throughput of the fastest window, fused frames per second.
@@ -712,7 +716,11 @@ pub struct BenchReport {
 /// # Errors
 ///
 /// Propagates pipeline errors (none occur for the default geometry).
-pub fn pipeline_bench(frames: usize, threads: Option<usize>) -> Result<BenchReport, FusionError> {
+pub fn pipeline_bench(
+    frames: usize,
+    threads: Option<usize>,
+    columnar: bool,
+) -> Result<BenchReport, FusionError> {
     let frames = frames.max(1);
     let threaded = threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -735,6 +743,7 @@ pub fn pipeline_bench(frames: usize, threads: Option<usize>) -> Result<BenchRepo
             scene_seed: SCENE_SEED,
             threads,
         })?;
+        pipe.engine_mut().set_columnar(columnar);
         pipe.run(BENCH_WARMUP_FRAMES)?;
         let warm_wall = pipe.engine().wall_phase_totals();
         let mut best_s = f64::INFINITY;
@@ -766,6 +775,8 @@ pub fn pipeline_bench(frames: usize, threads: Option<usize>) -> Result<BenchRepo
         rows.push(BenchRow {
             backend: backend.label().to_string(),
             threads,
+            kernel: pipe.engine().kernel_name(backend).to_string(),
+            columnar: pipe.engine().columnar(),
             wall_s: best_s,
             frames_per_second: frames as f64 / best_s.max(1e-12),
             ns_per_frame: best_s * 1e9 / frames as f64,
@@ -919,6 +930,8 @@ impl ToJson for BenchRow {
         obj(vec![
             ("backend", self.backend.to_json()),
             ("threads", self.threads.to_json()),
+            ("kernel", self.kernel.to_json()),
+            ("columnar", self.columnar.to_json()),
             ("wall_s", self.wall_s.to_json()),
             ("frames_per_second", self.frames_per_second.to_json()),
             ("ns_per_frame", self.ns_per_frame.to_json()),

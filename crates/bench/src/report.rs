@@ -251,15 +251,20 @@ pub fn render_bench(bench: &BenchReport) -> String {
         bench.frame_size.0, bench.frame_size.1, bench.levels, bench.reps, bench.frames
     ));
     out.push_str(&format!(
-        "{:>8} | {:>7} | {:>10} {:>10} {:>12} | {:>14}\n",
-        "backend", "threads", "fps", "mean fps", "ns/frame", "pool hit/miss"
+        "{:>8} | {:>16} | {:>7} | {:>10} {:>10} {:>12} | {:>14}\n",
+        "backend", "kernel", "threads", "fps", "mean fps", "ns/frame", "pool hit/miss"
     ));
-    out.push_str(&"-".repeat(73));
+    out.push_str(&"-".repeat(92));
     out.push('\n');
     for r in &bench.rows {
         out.push_str(&format!(
-            "{:>8} | {:>7} | {:>10.1} {:>10.1} {:>12.0} | {:>8}/{}\n",
+            "{:>8} | {:>16} | {:>7} | {:>10.1} {:>10.1} {:>12.0} | {:>8}/{}\n",
             r.backend,
+            if r.columnar {
+                r.kernel.clone()
+            } else {
+                format!("{}*", r.kernel)
+            },
             r.threads,
             r.frames_per_second,
             r.mean_frames_per_second,
@@ -267,6 +272,9 @@ pub fn render_bench(bench: &BenchReport) -> String {
             r.pool_hits,
             r.pool_misses
         ));
+    }
+    if bench.rows.iter().any(|r| !r.columnar) {
+        out.push_str("* columnar column passes disabled (staged-transpose fallback)\n");
     }
     out
 }

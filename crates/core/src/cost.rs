@@ -199,6 +199,72 @@ impl TransformPlan {
     pub fn inverse_ops(&self) -> &[RowOp] {
         &self.inverse_ops
     }
+
+    /// Enumerates the columnar scheduling of the column passes: per level
+    /// and channel image, vertical strips of `lanes` whole columns (plus
+    /// one ragged remainder strip per image when the width doesn't divide).
+    /// This is the job shape `Job::ColumnStrip` parallelizes over.
+    ///
+    /// Purely additive over the row-op enumeration: the strips of a level
+    /// cover exactly the columns of its column-pass [`RowOp`] batch (the
+    /// transposed-row entries), so total MACs are identical — pinned by a
+    /// test. The row-op batches themselves are unchanged and remain the
+    /// FPGA/hybrid models' input.
+    pub fn column_strips(&self, lanes: usize, dir: Direction) -> Vec<ColStripOp> {
+        let lanes = lanes.max(1);
+        let ops = match dir {
+            Direction::Forward => &self.forward_ops,
+            Direction::Inverse => &self.inverse_ops,
+        };
+        let mut strips = Vec::new();
+        // Column-pass batches are the odd entries (each level pushes a row
+        // pass then a column pass). Each batch spans 8 channel images (4
+        // tree combinations x 2 row-filtered channels) of equal width.
+        for op in ops.iter().skip(1).step_by(2) {
+            let cols_per_image = (op.count / 8) as usize;
+            let (rows_in, rows_out) = match dir {
+                Direction::Forward => (op.words_out, op.iterations),
+                Direction::Inverse => (op.words_out / 2, op.words_out),
+            };
+            let full = cols_per_image / lanes;
+            let rem = cols_per_image % lanes;
+            if full > 0 {
+                strips.push(ColStripOp {
+                    count: 8 * full as u64,
+                    cols: lanes,
+                    rows_in,
+                    rows_out,
+                    macs: lanes as u64 * op.macs,
+                });
+            }
+            if rem > 0 {
+                strips.push(ColStripOp {
+                    count: 8,
+                    cols: rem,
+                    rows_in,
+                    rows_out,
+                    macs: rem as u64 * op.macs,
+                });
+            }
+        }
+        strips
+    }
+}
+
+/// One batch of identical column-strip operations of the columnar path
+/// (see [`TransformPlan::column_strips`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColStripOp {
+    /// Number of identical strips in this batch.
+    pub count: u64,
+    /// Columns per strip (one SIMD lane group, or the ragged remainder).
+    pub cols: usize,
+    /// Input rows each column convolves over.
+    pub rows_in: usize,
+    /// Output rows each column produces.
+    pub rows_out: usize,
+    /// MACs per strip.
+    pub macs: u64,
 }
 
 /// Transform direction, for model parameters that differ between the two.
@@ -543,6 +609,39 @@ mod tests {
         let cheap = m.fusion_seconds(&plan, FusionRule::MaxMagnitude);
         let rich = m.fusion_seconds(&plan, FusionRule::WindowEnergy { radius: 2 });
         assert!(rich > 3.0 * cheap);
+    }
+
+    #[test]
+    fn column_strips_conserve_column_pass_macs() {
+        // The strip enumeration is a re-tiling of the column-pass row ops:
+        // strip MACs must sum to exactly the column-pass MAC total, and
+        // strip columns to the column count, for dividing and non-dividing
+        // widths and both lane widths.
+        for (w, h) in [(88usize, 72usize), (40, 36), (34, 28)] {
+            let plan = TransformPlan::dtcwt(w, h, 3).unwrap();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let ops = match dir {
+                    Direction::Forward => plan.forward_ops(),
+                    Direction::Inverse => plan.inverse_ops(),
+                };
+                let col_macs: u64 = ops
+                    .iter()
+                    .skip(1)
+                    .step_by(2)
+                    .map(|op| op.count * op.macs)
+                    .sum();
+                let col_cols: u64 = ops.iter().skip(1).step_by(2).map(|op| op.count).sum();
+                for lanes in [4usize, 8] {
+                    let strips = plan.column_strips(lanes, dir);
+                    let strip_macs: u64 = strips.iter().map(|s| s.count * s.macs).sum();
+                    let strip_cols: u64 = strips.iter().map(|s| s.count * s.cols as u64).sum();
+                    assert_eq!(strip_macs, col_macs, "{w}x{h} {dir:?} lanes={lanes}");
+                    assert_eq!(strip_cols, col_cols, "{w}x{h} {dir:?} lanes={lanes}");
+                    assert!(strips.iter().all(|s| s.cols <= lanes && s.cols > 0));
+                    assert!(strips.iter().all(|s| s.rows_out > 0 && s.rows_in > 0));
+                }
+            }
+        }
     }
 
     #[test]

@@ -150,6 +150,12 @@ pub struct FusionEngine {
     out_pool: PoolHandle,
     /// Pool counters already reported to telemetry (delta tracking).
     reported_pool: PoolStats,
+    /// Transpose-bytes counter value already reported (delta tracking, same
+    /// scheme as the pool counters).
+    reported_transpose: u64,
+    /// Whether the CPU kernels run the transpose-free columnar column
+    /// passes (the default) or the transpose-staged fallback.
+    columnar: bool,
     /// Persistent transform workers; `None` runs the serial in-place path.
     pool: Option<WorkerPool>,
     /// Whether a pooled inverse batch is in flight (set by
@@ -248,6 +254,8 @@ impl FusionEngine {
             inv_bufs: Vec::new(),
             out_pool: PoolHandle::new(),
             reported_pool: PoolStats::default(),
+            reported_transpose: wavefuse_dtcwt::transpose_bytes_total(),
+            columnar: true,
             pool: None,
             pending_inverse: false,
             wall: PhaseTiming::default(),
@@ -265,10 +273,13 @@ impl FusionEngine {
         if threads <= 1 {
             self.pool = None;
         } else {
+            let columnar = self.columnar;
             self.pool = Some(WorkerPool::new(threads, &mut |_| {
+                let mut simd = SimdKernel::new();
+                simd.set_columnar(columnar);
                 vec![
                     Box::new(ScalarKernel::new()) as Box<dyn FilterKernel + Send>,
-                    Box::new(SimdKernel::new()) as Box<dyn FilterKernel + Send>,
+                    Box::new(simd) as Box<dyn FilterKernel + Send>,
                 ]
             }));
         }
@@ -277,6 +288,40 @@ impl FusionEngine {
     /// Number of transform threads (1 when running serially).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// Enables or disables the transpose-free columnar column passes on the
+    /// SIMD kernels (enabled by default), including the pool workers'
+    /// kernels. Disabling routes every column pass through the
+    /// transpose-staged fallback — useful for A/B benchmarking, since the
+    /// two paths are bit-identical by construction. The scalar, FPGA, and
+    /// hybrid kernels always use the fallback either way.
+    pub fn set_columnar(&mut self, enabled: bool) {
+        self.columnar = enabled;
+        self.scalar.set_columnar(enabled);
+        self.simd.set_columnar(enabled);
+        self.fpga.set_columnar(enabled);
+        self.hybrid.set_columnar(enabled);
+        if let Some(pool) = &self.pool {
+            // Rebuild the pool so worker-owned kernels pick up the flag.
+            let threads = pool.threads();
+            self.set_threads(threads);
+        }
+    }
+
+    /// Whether the SIMD kernels run the columnar column passes.
+    pub fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Name of the filter kernel a backend executes with.
+    pub fn kernel_name(&self, backend: Backend) -> &'static str {
+        match backend {
+            Backend::Arm => self.scalar.name(),
+            Backend::Neon => self.simd.name(),
+            Backend::Fpga => self.fpga.name(),
+            Backend::Hybrid => self.hybrid.name(),
+        }
     }
 
     /// The frame buffer pool fused output images are drawn from. Release
@@ -317,6 +362,11 @@ impl FusionEngine {
         telemetry.metrics().describe(
             "wavefuse_pool_bytes_allocated_total",
             "Bytes allocated by frame-buffer pool misses",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_transpose_bytes",
+            "Bytes copied by Image::transpose_into staging (zero in steady \
+             state on the columnar SIMD backends)",
         );
         self.fpga.set_telemetry(Arc::clone(&telemetry));
         self.hybrid.set_telemetry(Arc::clone(&telemetry));
@@ -568,6 +618,15 @@ impl FusionEngine {
                     (stats.bytes_allocated - prev.bytes_allocated) as f64,
                 );
                 self.reported_pool = stats;
+            }
+            let transposed = wavefuse_dtcwt::transpose_bytes_total();
+            if transposed != self.reported_transpose {
+                tel.metrics().counter_add(
+                    "wavefuse_transpose_bytes",
+                    &[("backend", backend.label())],
+                    (transposed - self.reported_transpose) as f64,
+                );
+                self.reported_transpose = transposed;
             }
         }
         Ok(FusionOutput {
@@ -958,6 +1017,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn columnar_toggle_is_bit_identical_and_propagates() {
+        let (a, b) = inputs(40, 40);
+        let mut on = FusionEngine::new(3).unwrap();
+        let mut off = FusionEngine::new(3).unwrap();
+        off.set_columnar(false);
+        assert!(on.columnar() && !off.columnar());
+        for backend in [Backend::Neon, Backend::Arm] {
+            let x = on.fuse(&a, &b, backend).unwrap();
+            let y = off.fuse(&a, &b, backend).unwrap();
+            assert_eq!(x.image, y.image, "{backend:?}");
+        }
+        // Pool workers pick the flag up through the rebuilt kernel factory.
+        off.set_threads(2);
+        let pooled_off = off.fuse(&a, &b, Backend::Neon).unwrap();
+        off.set_columnar(true);
+        let pooled_on = off.fuse(&a, &b, Backend::Neon).unwrap();
+        let serial_on = on.fuse(&a, &b, Backend::Neon).unwrap();
+        assert_eq!(pooled_off.image, serial_on.image);
+        assert_eq!(pooled_on.image, serial_on.image);
+    }
+
+    #[test]
+    fn kernel_names_per_backend() {
+        let eng = FusionEngine::new(2).unwrap();
+        assert_eq!(eng.kernel_name(Backend::Arm), "arm-scalar");
+        assert_eq!(eng.kernel_name(Backend::Neon), "neon-simd");
+        assert_eq!(eng.kernel_name(Backend::Fpga), "zynq-fpga");
+        assert_eq!(eng.kernel_name(Backend::Hybrid), "hybrid-neon-fpga");
     }
 
     #[test]

@@ -326,6 +326,12 @@ impl VideoFusionPipeline {
         &self.engine
     }
 
+    /// Mutable engine access (e.g. to toggle the columnar column passes
+    /// or reconfigure telemetry between runs).
+    pub fn engine_mut(&mut self) -> &mut FusionEngine {
+        &mut self.engine
+    }
+
     /// Captures one thermal field into a free-list buffer and offers it to
     /// the gate, reclaiming the buffer immediately if the occupied gate
     /// rejects it (the paper's depth-1 FIFO drop).

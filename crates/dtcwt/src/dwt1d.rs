@@ -132,8 +132,8 @@ pub fn analyze(
 ///
 /// Returns [`DtcwtError::BadDimensions`] if `x` is empty or of odd length,
 /// or if `lo`/`hi` are not exactly `x.len() / 2` long.
-pub fn analyze_into(
-    kernel: &mut dyn FilterKernel,
+pub fn analyze_into<K: FilterKernel + ?Sized>(
+    kernel: &mut K,
     taps: &BankTaps,
     x: &[f32],
     phase: Phase,
@@ -197,8 +197,8 @@ pub fn synthesize(
 ///
 /// Returns [`DtcwtError::BadDimensions`] if the channels are empty or of
 /// different lengths, or if `out` is not exactly `2 * lo.len()` long.
-pub fn synthesize_into(
-    kernel: &mut dyn FilterKernel,
+pub fn synthesize_into<K: FilterKernel + ?Sized>(
+    kernel: &mut K,
     taps: &BankTaps,
     lo: &[f32],
     hi: &[f32],

@@ -11,7 +11,7 @@ use crate::dwt1d::{analyze, analyze_into, synthesize, synthesize_into, BankTaps,
 use crate::filters::FilterBank;
 use crate::image::Image;
 use crate::kernel::{FilterKernel, ScalarKernel};
-use crate::scratch::{Scratch1d, Scratch2d};
+use crate::scratch::{ColScratch, Scratch1d, Scratch2d};
 use crate::DtcwtError;
 
 /// The three detail subbands of one decomposition level.
@@ -89,7 +89,7 @@ pub fn analyze_level(
         low.row_mut(y).copy_from_slice(&lo);
         high.row_mut(y).copy_from_slice(&hi);
     }
-    // Column pass: transpose so columns become contiguous rows.
+    // Column pass: routed through the kernel (columnar or transpose-based).
     let (ll, lh) = analyze_columns(kernel, cols, &low)?;
     let (hl, hh) = analyze_columns(kernel, cols, &high)?;
     Ok(OneLevel {
@@ -103,16 +103,14 @@ fn analyze_columns(
     spec: &AxisSpec<'_>,
     img: &Image,
 ) -> Result<(Image, Image), DtcwtError> {
-    let t = img.transpose(); // width = original height
-    let (w, h) = t.dims();
-    let mut low = Image::zeros(w / 2, h);
-    let mut high = Image::zeros(w / 2, h);
-    for y in 0..h {
-        let (lo, hi) = analyze(kernel, spec.taps, t.row(y), spec.phase)?;
-        low.row_mut(y).copy_from_slice(&lo);
-        high.row_mut(y).copy_from_slice(&hi);
-    }
-    Ok((low.transpose(), high.transpose()))
+    let mut low = Image::zeros(0, 0);
+    let mut high = Image::zeros(0, 0);
+    let mut cs = ColScratch::new();
+    let mut s1 = Scratch1d::new();
+    kernel.analyze_cols(
+        spec.taps, spec.phase, img, &mut low, &mut high, &mut cs, &mut s1,
+    )?;
+    Ok((low, high))
 }
 
 /// Allocation-free variant of [`analyze_level`]: writes the approximation
@@ -142,13 +140,7 @@ pub fn analyze_level_into(
             reason: "2-d analysis requires even non-zero dimensions",
         });
     }
-    let Scratch2d {
-        low,
-        high,
-        ta,
-        tb,
-        tc,
-    } = s2;
+    let Scratch2d { low, high, col } = s2;
     // Row pass: filter along x, straight into the half-width staging images.
     low.reshape(w / 2, h);
     high.reshape(w / 2, h);
@@ -163,51 +155,17 @@ pub fn analyze_level_into(
             s1,
         )?;
     }
-    // Column pass: transpose so columns become contiguous rows.
-    analyze_columns_into(kernel, cols, low, ta, tb, tc, ll, &mut detail.lh, s1)?;
-    analyze_columns_into(
-        kernel,
-        cols,
+    // Column pass: routed through the kernel (columnar or transpose-based).
+    kernel.analyze_cols(cols.taps, cols.phase, low, ll, &mut detail.lh, col, s1)?;
+    kernel.analyze_cols(
+        cols.taps,
+        cols.phase,
         high,
-        ta,
-        tb,
-        tc,
         &mut detail.hl,
         &mut detail.hh,
+        col,
         s1,
     )?;
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn analyze_columns_into(
-    kernel: &mut dyn FilterKernel,
-    spec: &AxisSpec<'_>,
-    img: &Image,
-    ta: &mut Image,
-    tb: &mut Image,
-    tc: &mut Image,
-    out_low: &mut Image,
-    out_high: &mut Image,
-    s1: &mut Scratch1d,
-) -> Result<(), DtcwtError> {
-    img.transpose_into(ta); // width = original height
-    let (w, h) = ta.dims();
-    tb.reshape(w / 2, h);
-    tc.reshape(w / 2, h);
-    for y in 0..h {
-        analyze_into(
-            kernel,
-            spec.taps,
-            ta.row(y),
-            spec.phase,
-            tb.row_mut(y),
-            tc.row_mut(y),
-            s1,
-        )?;
-    }
-    tb.transpose_into(out_low);
-    tc.transpose_into(out_high);
     Ok(())
 }
 
@@ -259,15 +217,11 @@ fn synthesize_columns(
     lo: &Image,
     hi: &Image,
 ) -> Result<Image, DtcwtError> {
-    let lo_t = lo.transpose();
-    let hi_t = hi.transpose();
-    let (w, h) = lo_t.dims();
-    let mut out_t = Image::zeros(w * 2, h);
-    for y in 0..h {
-        let row = synthesize(kernel, spec.taps, lo_t.row(y), hi_t.row(y), spec.phase)?;
-        out_t.row_mut(y).copy_from_slice(&row);
-    }
-    Ok(out_t.transpose())
+    let mut out = Image::zeros(0, 0);
+    let mut cs = ColScratch::new();
+    let mut s1 = Scratch1d::new();
+    kernel.synthesize_cols(spec.taps, spec.phase, lo, hi, &mut out, &mut cs, &mut s1)?;
+    Ok(out)
 }
 
 /// Allocation-free variant of [`synthesize_level`]: reconstructs from the
@@ -308,16 +262,10 @@ pub fn synthesize_level_into(
             reason: "empty subbands",
         });
     }
-    let Scratch2d {
-        low,
-        high,
-        ta,
-        tb,
-        tc,
-    } = s2;
+    let Scratch2d { low, high, col } = s2;
     // Invert the column pass.
-    synthesize_columns_into(kernel, cols, ll, lh, ta, tb, tc, low, s1)?;
-    synthesize_columns_into(kernel, cols, hl, hh, ta, tb, tc, high, s1)?;
+    kernel.synthesize_cols(cols.taps, cols.phase, ll, lh, low, col, s1)?;
+    kernel.synthesize_cols(cols.taps, cols.phase, hl, hh, high, col, s1)?;
     // Invert the row pass.
     let h = bh * 2;
     out.reshape(bw * 2, h);
@@ -335,35 +283,86 @@ pub fn synthesize_level_into(
     Ok(())
 }
 
+/// Vertical-pass analysis of the column strip `x0..x1` of `img`, writing the
+/// strip's decimated halves into `lo`/`hi` (reshaped to `x1 - x0` x
+/// `height / 2`).
+///
+/// Because every column is filtered independently of its neighbors — lane
+/// grouping only batches columns, it never mixes them — a strip's output
+/// columns are bit-identical to the corresponding columns of a full-width
+/// [`FilterKernel::analyze_cols`], for *any* kernel (the transpose fallback
+/// filters the same per-column samples). This is what lets the worker pool
+/// split one column pass into parallel strip jobs.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] for an empty or out-of-range strip,
+/// or any error of the underlying column analysis.
 #[allow(clippy::too_many_arguments)]
-fn synthesize_columns_into(
+pub fn analyze_cols_strip(
+    kernel: &mut dyn FilterKernel,
+    spec: &AxisSpec<'_>,
+    img: &Image,
+    x0: usize,
+    x1: usize,
+    lo: &mut Image,
+    hi: &mut Image,
+    stage: &mut Image,
+    cs: &mut ColScratch,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    if x0 >= x1 || x1 > img.width() {
+        return Err(DtcwtError::BadDimensions {
+            width: x0,
+            height: x1,
+            reason: "column strip bounds must be non-empty and within the image",
+        });
+    }
+    img.crop_into(x0, 0, x1 - x0, img.height(), stage);
+    kernel.analyze_cols(spec.taps, spec.phase, stage, lo, hi, cs, s1)
+}
+
+/// Vertical-pass synthesis of the column strip `x0..x1`: reconstructs the
+/// strip's columns from the decimated channel images into `out` (reshaped to
+/// `x1 - x0` x `2 * height`). Bit-identical to the corresponding columns of
+/// a full-width [`FilterKernel::synthesize_cols`] — see
+/// [`analyze_cols_strip`] for why.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::BadDimensions`] if the channels disagree in size or
+/// the strip is empty or out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_cols_strip(
     kernel: &mut dyn FilterKernel,
     spec: &AxisSpec<'_>,
     lo: &Image,
     hi: &Image,
-    ta: &mut Image,
-    tb: &mut Image,
-    tc: &mut Image,
+    x0: usize,
+    x1: usize,
     out: &mut Image,
+    stage_lo: &mut Image,
+    stage_hi: &mut Image,
+    cs: &mut ColScratch,
     s1: &mut Scratch1d,
 ) -> Result<(), DtcwtError> {
-    lo.transpose_into(ta);
-    hi.transpose_into(tb);
-    let (w, h) = ta.dims();
-    tc.reshape(w * 2, h);
-    for y in 0..h {
-        synthesize_into(
-            kernel,
-            spec.taps,
-            ta.row(y),
-            tb.row(y),
-            spec.phase,
-            tc.row_mut(y),
-            s1,
-        )?;
+    if lo.dims() != hi.dims() {
+        return Err(DtcwtError::BadDimensions {
+            width: hi.width(),
+            height: hi.height(),
+            reason: "column strip channels disagree in size",
+        });
     }
-    tc.transpose_into(out);
-    Ok(())
+    if x0 >= x1 || x1 > lo.width() {
+        return Err(DtcwtError::BadDimensions {
+            width: x0,
+            height: x1,
+            reason: "column strip bounds must be non-empty and within the image",
+        });
+    }
+    lo.crop_into(x0, 0, x1 - x0, lo.height(), stage_lo);
+    hi.crop_into(x0, 0, x1 - x0, hi.height(), stage_hi);
+    kernel.synthesize_cols(spec.taps, spec.phase, stage_lo, stage_hi, out, cs, s1)
 }
 
 /// A multi-level real DWT pyramid.

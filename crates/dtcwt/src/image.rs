@@ -4,7 +4,23 @@
 //! [`ComplexImage`] holds one oriented DT-CWT subband as separate real and
 //! imaginary planes (structure-of-arrays, which the SIMD kernels prefer).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::DtcwtError;
+
+/// Process-wide count of bytes moved by [`Image::transpose_into`]. The
+/// columnar kernel path exists precisely to keep this flat in the steady
+/// state; the telemetry layer exports deltas as `wavefuse_transpose_bytes`
+/// and the allocation tests pin it to zero for the SIMD backends.
+static TRANSPOSE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative bytes copied by transpose operations since process start.
+///
+/// Monotonic; callers interested in a window (one frame, one bench rep)
+/// should subtract two snapshots.
+pub fn transpose_bytes_total() -> u64 {
+    TRANSPOSE_BYTES.load(Ordering::Relaxed)
+}
 
 /// A row-major single-channel `f32` image.
 ///
@@ -204,6 +220,10 @@ impl Image {
     pub fn transpose_into(&self, out: &mut Image) {
         out.reshape(self.height, self.width);
         let (w, h) = (self.width, self.height);
+        TRANSPOSE_BYTES.fetch_add(
+            (w * h * std::mem::size_of::<f32>()) as u64,
+            Ordering::Relaxed,
+        );
         const T: usize = Image::TRANSPOSE_TILE;
         for y0 in (0..h).step_by(T) {
             let y1 = (y0 + T).min(h);

@@ -26,6 +26,21 @@
 //!
 //! For **synthesis**, the decimated `lo`/`hi` channels arrive left-extended
 //! and the kernel computes the two polyphase dot products per output sample.
+//!
+//! # Column passes
+//!
+//! The separable 2-D transforms also route their **vertical** pass through
+//! the kernel ([`FilterKernel::analyze_cols`] /
+//! [`FilterKernel::synthesize_cols`]). The default implementations transpose
+//! the image and reuse the row primitives — exactly the pre-columnar
+//! behavior, so scalar and FPGA kernels work unchanged — while SIMD kernels
+//! override them with a transpose-free path that filters adjacent columns in
+//! vector lanes.
+
+use crate::dwt1d::{analyze_into, synthesize_into, BankTaps, Phase};
+use crate::image::Image;
+use crate::scratch::{ColScratch, Scratch1d};
+use crate::DtcwtError;
 
 /// Decimating/interpolating dual-filter row kernel.
 ///
@@ -84,6 +99,138 @@ pub trait FilterKernel {
         phase: usize,
         out: &mut [f32],
     );
+
+    /// Whether this kernel's column passes run transpose-free.
+    ///
+    /// `false` (the default) means [`FilterKernel::analyze_cols`] and
+    /// [`FilterKernel::synthesize_cols`] stage the image through transposes
+    /// and the row primitives.
+    fn columnar(&self) -> bool {
+        false
+    }
+
+    /// Enables or disables the transpose-free column path. A no-op for
+    /// kernels without one; kernels that have one must default to enabled.
+    fn set_columnar(&mut self, _enabled: bool) {}
+
+    /// Decimating analysis of every **column** of `img` (the vertical pass
+    /// of one separable 2-D analysis level).
+    ///
+    /// Writes the vertically decimated lowpass/highpass halves into `lo` and
+    /// `hi` (each reshaped to `width` x `height / 2`). Semantics per column
+    /// `x`: `lo[x][k] = Σ_j h0[j] · img[x][(2k + phase − j) mod height]`,
+    /// exactly [`FilterKernel::analyze_row`] applied to the transposed image
+    /// — implementations must be bit-identical to that staging, which the
+    /// default implementation performs literally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::BadDimensions`] for empty images or odd heights.
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        img: &Image,
+        lo: &mut Image,
+        hi: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        fallback_analyze_cols(self, taps, phase, img, lo, hi, cs, s1)
+    }
+
+    /// Interpolating synthesis of every **column** (inverse of
+    /// [`FilterKernel::analyze_cols`]): reconstructs `out` (reshaped to
+    /// `width` x `2 * height`) from the decimated channel images `lo` and
+    /// `hi`, including the final delay-compensating rotation along the
+    /// column axis. Implementations must be bit-identical to transposing,
+    /// running [`crate::dwt1d::synthesize_into`] per row, and transposing
+    /// back — which the default implementation performs literally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::BadDimensions`] if the channel images are empty
+    /// or disagree in size.
+    #[allow(clippy::too_many_arguments)]
+    fn synthesize_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        lo: &Image,
+        hi: &Image,
+        out: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        fallback_synthesize_cols(self, taps, phase, lo, hi, out, cs, s1)
+    }
+}
+
+/// Transpose-based column analysis: the behavior every kernel had before the
+/// columnar path existed, kept as the [`FilterKernel::analyze_cols`] default
+/// and as the explicit fallback columnar kernels delegate to when disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn fallback_analyze_cols<K: FilterKernel + ?Sized>(
+    kernel: &mut K,
+    taps: &BankTaps,
+    phase: Phase,
+    img: &Image,
+    lo: &mut Image,
+    hi: &mut Image,
+    cs: &mut ColScratch,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    img.transpose_into(&mut cs.ta); // width = original height
+    let (w, h) = cs.ta.dims();
+    cs.tb.reshape(w / 2, h);
+    cs.tc.reshape(w / 2, h);
+    for y in 0..h {
+        analyze_into(
+            kernel,
+            taps,
+            cs.ta.row(y),
+            phase,
+            cs.tb.row_mut(y),
+            cs.tc.row_mut(y),
+            s1,
+        )?;
+    }
+    cs.tb.transpose_into(lo);
+    cs.tc.transpose_into(hi);
+    Ok(())
+}
+
+/// Transpose-based column synthesis: the [`FilterKernel::synthesize_cols`]
+/// default, see [`fallback_analyze_cols`].
+#[allow(clippy::too_many_arguments)]
+pub fn fallback_synthesize_cols<K: FilterKernel + ?Sized>(
+    kernel: &mut K,
+    taps: &BankTaps,
+    phase: Phase,
+    lo: &Image,
+    hi: &Image,
+    out: &mut Image,
+    cs: &mut ColScratch,
+    s1: &mut Scratch1d,
+) -> Result<(), DtcwtError> {
+    lo.transpose_into(&mut cs.ta);
+    hi.transpose_into(&mut cs.tb);
+    let (w, h) = cs.ta.dims();
+    cs.tc.reshape(w * 2, h);
+    for y in 0..h {
+        synthesize_into(
+            kernel,
+            taps,
+            cs.ta.row(y),
+            cs.tb.row(y),
+            phase,
+            cs.tc.row_mut(y),
+            s1,
+        )?;
+    }
+    cs.tc.transpose_into(out);
+    Ok(())
 }
 
 /// Reference scalar implementation, modeling plain ARM Cortex-A9 execution.

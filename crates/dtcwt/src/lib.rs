@@ -49,7 +49,7 @@ pub use dtcwt::{CwtPyramid, Dtcwt, Orientation};
 pub use dwt2d::{Dwt2d, DwtPyramid};
 pub use error::DtcwtError;
 pub use filters::FilterBank;
-pub use image::{ComplexImage, Image};
+pub use image::{transpose_bytes_total, ComplexImage, Image};
 pub use kernel::{FilterKernel, ScalarKernel};
-pub use scratch::{ComboSlot, ComboStore, PoolHandle, PoolStats, Scratch};
+pub use scratch::{ColScratch, ComboSlot, ComboStore, PoolHandle, PoolStats, Scratch};
 pub use workers::{Job, JobOutcome, JobPayload, WorkerPool};

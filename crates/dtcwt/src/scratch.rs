@@ -135,20 +135,56 @@ impl Scratch1d {
     }
 }
 
-/// Level-transform scratch: the row-pass halves and the cache-blocked
-/// transpose staging images of one separable 2-D step.
+/// Column-pass scratch shared by every [`crate::kernel::FilterKernel`]
+/// implementation of the vertical pass.
+///
+/// Columnar kernels use only the wrapped row-index windows (`idx0`/`idx1`),
+/// leaving the staging images empty; the transpose-based fallback uses the
+/// staging images and never touches the index windows. Both sets live here
+/// so one warmed scratch serves either path without reallocation.
+#[derive(Debug)]
+pub struct ColScratch {
+    /// Fallback transposed staging A (input of the column pass).
+    pub ta: Image,
+    /// Fallback transposed staging B (second input / low output).
+    pub tb: Image,
+    /// Fallback transposed staging C (high output / raw column synthesis).
+    pub tc: Image,
+    /// Columnar path: wrapped source-row indices of the lowpass tap window.
+    pub idx0: Vec<usize>,
+    /// Columnar path: wrapped source-row indices of the highpass tap window.
+    pub idx1: Vec<usize>,
+}
+
+impl ColScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ColScratch {
+            ta: Image::zeros(0, 0),
+            tb: Image::zeros(0, 0),
+            tc: Image::zeros(0, 0),
+            idx0: Vec::new(),
+            idx1: Vec::new(),
+        }
+    }
+}
+
+impl Default for ColScratch {
+    fn default() -> Self {
+        ColScratch::new()
+    }
+}
+
+/// Level-transform scratch: the row-pass halves and the column-pass scratch
+/// of one separable 2-D step.
 #[derive(Debug)]
 pub struct Scratch2d {
     /// Row-pass lowpass half (analysis) / column-synthesized low half.
     pub(crate) low: Image,
     /// Row-pass highpass half / column-synthesized high half.
     pub(crate) high: Image,
-    /// Transposed staging A (input of the column pass).
-    pub(crate) ta: Image,
-    /// Transposed staging B (second input / low output).
-    pub(crate) tb: Image,
-    /// Transposed staging C (high output / raw column synthesis).
-    pub(crate) tc: Image,
+    /// Column-pass scratch (index windows; transpose staging for fallbacks).
+    pub(crate) col: ColScratch,
 }
 
 impl Scratch2d {
@@ -157,9 +193,7 @@ impl Scratch2d {
         Scratch2d {
             low: Image::zeros(0, 0),
             high: Image::zeros(0, 0),
-            ta: Image::zeros(0, 0),
-            tb: Image::zeros(0, 0),
-            tc: Image::zeros(0, 0),
+            col: ColScratch::new(),
         }
     }
 }

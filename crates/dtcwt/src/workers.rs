@@ -85,6 +85,61 @@ pub enum Job {
         /// Reconstruction output buffer (moved back via the outcome).
         out: Image,
     },
+    /// Run the columnar analysis of one vertical strip `[x0, x1)` of `img`
+    /// (one level's column pass, split across workers in strips of whole
+    /// SIMD lane groups). Because every column is filtered independently,
+    /// reassembled strips are bit-identical to the full-width column pass.
+    ColumnStrip {
+        /// The transform (shared, immutable) — supplies the level's column
+        /// filter taps and phase.
+        transform: Arc<Dtcwt>,
+        /// Row-filtered level input (shared, immutable).
+        img: Arc<Image>,
+        /// Caller-chosen batch tag.
+        tag: u32,
+        /// Strip index within the batch (reported as the outcome `combo`).
+        strip: usize,
+        /// Pyramid level the column taps belong to.
+        level: usize,
+        /// Whether the column axis uses tree B's filters.
+        tree_b: bool,
+        /// Index into the worker's kernel slots.
+        kernel: usize,
+        /// First column of the strip (inclusive).
+        x0: usize,
+        /// One past the last column of the strip.
+        x1: usize,
+        /// Lowpass strip output buffer (moved back via the outcome).
+        lo: Image,
+        /// Highpass strip output buffer (moved back via the outcome).
+        hi: Image,
+    },
+    /// Run the columnar synthesis of one vertical strip `[x0, x1)` of the
+    /// decimated channel pair (the inverse column pass, strip-parallel).
+    InverseColumnStrip {
+        /// The transform (shared, immutable).
+        transform: Arc<Dtcwt>,
+        /// Lowpass channel (shared, immutable).
+        lo: Arc<Image>,
+        /// Highpass channel (shared, immutable).
+        hi: Arc<Image>,
+        /// Caller-chosen batch tag.
+        tag: u32,
+        /// Strip index within the batch (reported as the outcome `combo`).
+        strip: usize,
+        /// Pyramid level the column taps belong to.
+        level: usize,
+        /// Whether the column axis uses tree B's filters.
+        tree_b: bool,
+        /// Index into the worker's kernel slots.
+        kernel: usize,
+        /// First column of the strip (inclusive).
+        x0: usize,
+        /// One past the last column of the strip.
+        x1: usize,
+        /// Reconstruction strip output buffer (moved back via the outcome).
+        out: Image,
+    },
 }
 
 impl Job {
@@ -92,6 +147,9 @@ impl Job {
         match self {
             Job::ForwardCombo { tag, combo, .. } | Job::InverseCombo { tag, combo, .. } => {
                 (*tag, *combo)
+            }
+            Job::ColumnStrip { tag, strip, .. } | Job::InverseColumnStrip { tag, strip, .. } => {
+                (*tag, *strip)
             }
         }
     }
@@ -112,6 +170,22 @@ pub enum JobPayload {
         /// This combination's reconstruction.
         out: Image,
     },
+    /// Output of a [`Job::ColumnStrip`].
+    ColumnStrip {
+        /// First column of the strip in the full image.
+        x0: usize,
+        /// Lowpass columns `[x0, x0 + lo.width())`.
+        lo: Image,
+        /// Highpass columns of the same range.
+        hi: Image,
+    },
+    /// Output of a [`Job::InverseColumnStrip`].
+    InverseColumnStrip {
+        /// First column of the strip in the full image.
+        x0: usize,
+        /// Reconstructed columns `[x0, x0 + out.width())`.
+        out: Image,
+    },
     /// The job panicked and its buffers could not be recovered.
     Lost,
 }
@@ -121,7 +195,7 @@ pub enum JobPayload {
 pub struct JobOutcome {
     /// The job's batch tag.
     pub tag: u32,
-    /// The job's tree-combination index.
+    /// The job's tree-combination index (strip index for column-strip jobs).
     pub combo: usize,
     /// Returned buffers (valid only when `error` is `None`).
     pub payload: JobPayload,
@@ -523,6 +597,83 @@ fn execute(
                 error,
             }
         }
+        Job::ColumnStrip {
+            transform,
+            img,
+            tag,
+            strip,
+            level,
+            tree_b,
+            kernel,
+            x0,
+            x1,
+            mut lo,
+            mut hi,
+        } => {
+            let error = match kernels.get_mut(kernel) {
+                Some(k) => crate::dwt2d::analyze_cols_strip(
+                    k.as_mut(),
+                    &transform.col_axis(level, tree_b),
+                    &img,
+                    x0,
+                    x1,
+                    &mut lo,
+                    &mut hi,
+                    &mut scratch.s2.low,
+                    &mut scratch.s2.col,
+                    &mut scratch.s1,
+                )
+                .err(),
+                None => Some(DtcwtError::MalformedPyramid(format!(
+                    "worker has no kernel slot {kernel}"
+                ))),
+            };
+            JobOutcome {
+                tag,
+                combo: strip,
+                payload: JobPayload::ColumnStrip { x0, lo, hi },
+                error,
+            }
+        }
+        Job::InverseColumnStrip {
+            transform,
+            lo,
+            hi,
+            tag,
+            strip,
+            level,
+            tree_b,
+            kernel,
+            x0,
+            x1,
+            mut out,
+        } => {
+            let error = match kernels.get_mut(kernel) {
+                Some(k) => crate::dwt2d::synthesize_cols_strip(
+                    k.as_mut(),
+                    &transform.col_axis(level, tree_b),
+                    &lo,
+                    &hi,
+                    x0,
+                    x1,
+                    &mut out,
+                    &mut scratch.s2.low,
+                    &mut scratch.s2.high,
+                    &mut scratch.s2.col,
+                    &mut scratch.s1,
+                )
+                .err(),
+                None => Some(DtcwtError::MalformedPyramid(format!(
+                    "worker has no kernel slot {kernel}"
+                ))),
+            };
+            JobOutcome {
+                tag,
+                combo: strip,
+                payload: JobPayload::InverseColumnStrip { x0, out },
+                error,
+            }
+        }
     }
 }
 
@@ -631,6 +782,135 @@ mod tests {
             assert_eq!(oc.tag, i as u32);
             assert_eq!(oc.error.is_some(), i % 3 == 2);
         }
+    }
+
+    #[test]
+    fn column_strip_jobs_reassemble_bit_identical() {
+        // Splitting a level's column pass into strips of whole lane groups
+        // and reassembling the outcomes must reproduce the full-width column
+        // pass bit-for-bit, at every pool width. Strip bounds deliberately
+        // mix 8-, 4-, and ragged-width strips.
+        use crate::scratch::{ColScratch, Scratch1d};
+        let t = Arc::new(Dtcwt::new(2).unwrap());
+        let img = Arc::new(Image::from_fn(44, 24, |x, y| {
+            ((x * 11 + y * 5) % 37) as f32 * 0.23 - 2.0
+        }));
+        let bounds = [(0usize, 8usize), (8, 16), (16, 32), (32, 44)];
+        for tree_b in [false, true] {
+            // Full-width reference on a serial kernel.
+            let mut k = ScalarKernel::new();
+            let spec = t.col_axis(0, tree_b);
+            let mut ref_lo = Image::zeros(0, 0);
+            let mut ref_hi = Image::zeros(0, 0);
+            let mut cs = ColScratch::new();
+            let mut s1 = Scratch1d::new();
+            k.analyze_cols(
+                spec.taps,
+                spec.phase,
+                &img,
+                &mut ref_lo,
+                &mut ref_hi,
+                &mut cs,
+                &mut s1,
+            )
+            .unwrap();
+            let mut ref_out = Image::zeros(0, 0);
+            k.synthesize_cols(
+                spec.taps,
+                spec.phase,
+                &ref_lo,
+                &ref_hi,
+                &mut ref_out,
+                &mut cs,
+                &mut s1,
+            )
+            .unwrap();
+            let ref_lo = Arc::new(ref_lo);
+            let ref_hi = Arc::new(ref_hi);
+            for threads in [1usize, 2, 4] {
+                let pool = WorkerPool::new(threads, &mut boxed_scalar);
+                for (si, &(x0, x1)) in bounds.iter().enumerate() {
+                    pool.submit(Job::ColumnStrip {
+                        transform: Arc::clone(&t),
+                        img: Arc::clone(&img),
+                        tag: 1,
+                        strip: si,
+                        level: 0,
+                        tree_b,
+                        kernel: 0,
+                        x0,
+                        x1,
+                        lo: Image::zeros(0, 0),
+                        hi: Image::zeros(0, 0),
+                    });
+                }
+                let mut outcomes = Vec::new();
+                assert_eq!(pool.drain(bounds.len(), &mut outcomes), None);
+                let mut got_lo = Image::zeros(44, 12);
+                let mut got_hi = Image::zeros(44, 12);
+                for oc in outcomes.drain(..) {
+                    let JobPayload::ColumnStrip { x0, lo, hi } = oc.payload else {
+                        panic!("wrong payload kind");
+                    };
+                    for y in 0..lo.height() {
+                        got_lo.row_mut(y)[x0..x0 + lo.width()].copy_from_slice(lo.row(y));
+                        got_hi.row_mut(y)[x0..x0 + hi.width()].copy_from_slice(hi.row(y));
+                    }
+                }
+                assert_eq!(got_lo, *ref_lo, "lo tree_b={tree_b} threads={threads}");
+                assert_eq!(got_hi, *ref_hi, "hi tree_b={tree_b} threads={threads}");
+
+                for (si, &(x0, x1)) in bounds.iter().enumerate() {
+                    pool.submit(Job::InverseColumnStrip {
+                        transform: Arc::clone(&t),
+                        lo: Arc::clone(&ref_lo),
+                        hi: Arc::clone(&ref_hi),
+                        tag: 2,
+                        strip: si,
+                        level: 0,
+                        tree_b,
+                        kernel: 0,
+                        x0,
+                        x1,
+                        out: Image::zeros(0, 0),
+                    });
+                }
+                assert_eq!(pool.drain(bounds.len(), &mut outcomes), None);
+                let mut got_out = Image::zeros(44, 24);
+                for oc in outcomes.drain(..) {
+                    let JobPayload::InverseColumnStrip { x0, out } = oc.payload else {
+                        panic!("wrong payload kind");
+                    };
+                    for y in 0..out.height() {
+                        got_out.row_mut(y)[x0..x0 + out.width()].copy_from_slice(out.row(y));
+                    }
+                }
+                assert_eq!(got_out, ref_out, "out tree_b={tree_b} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_strip_rejects_bad_bounds() {
+        let pool = WorkerPool::new(1, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::filled(16, 8, 1.0));
+        pool.submit(Job::ColumnStrip {
+            transform: Arc::clone(&t),
+            img: Arc::clone(&img),
+            tag: 0,
+            strip: 0,
+            level: 0,
+            tree_b: false,
+            kernel: 0,
+            x0: 12,
+            x1: 20, // past the right edge
+            lo: Image::zeros(0, 0),
+            hi: Image::zeros(0, 0),
+        });
+        let mut outcomes = Vec::new();
+        assert_eq!(pool.drain(1, &mut outcomes), Some(0));
+        assert!(outcomes[0].error.is_some());
     }
 
     #[test]

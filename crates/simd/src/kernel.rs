@@ -11,10 +11,26 @@
 //! (`-mfpu=neon -ftree-vectorize`): straight-line safe Rust with four
 //! independent accumulators and fixed trip counts, the shape LLVM (like GCC
 //! in the paper) vectorizes without intrinsics.
+//!
+//! # Columnar column passes
+//!
+//! Both kernels additionally override the [`FilterKernel`] column-pass
+//! methods with a **transpose-free columnar path**: vector lanes hold 8
+//! (then 4, then 1) *adjacent columns*, rows are loaded stride-1, and each
+//! lane accumulates its own column's convolution — no transposes and no
+//! horizontal sums. Bit-identity with the transpose-staged row path is
+//! preserved by replicating the row dot product's exact summation structure
+//! per column: four partial accumulators indexed by `tap_index % 4` (the
+//! four lanes of the row path's accumulator register) folded as
+//! `(p0 + p2) + (p1 + p3)` ([`F32x4::horizontal_sum`]'s documented order).
+//! Since every column is independent, lane-group width and strip splitting
+//! never change any column's value.
 
-use crate::vector::F32x4;
-use wavefuse_dtcwt::kernel::taps_changed;
-use wavefuse_dtcwt::FilterKernel;
+use crate::vector::{F32x4, F32x8};
+use wavefuse_dtcwt::dwt1d::{BankTaps, Phase};
+use wavefuse_dtcwt::kernel::{fallback_analyze_cols, fallback_synthesize_cols, taps_changed};
+use wavefuse_dtcwt::scratch::{ColScratch, Scratch1d};
+use wavefuse_dtcwt::{DtcwtError, FilterKernel, Image};
 
 /// Pads `taps` (reversed) to a multiple of four lanes with leading or
 /// trailing zeros.
@@ -59,6 +75,394 @@ fn simd_dot(window: &[f32], taps4: &[f32]) -> f32 {
     acc.horizontal_sum()
 }
 
+/// Two dot products over one shared window (equal-length padded taps): each
+/// window vector is loaded once and fed to both accumulators. Per filter the
+/// accumulation sequence is exactly [`simd_dot`]'s, so the pairing changes
+/// load traffic only, never a result bit.
+fn simd_dot2(window: &[f32], taps0: &[f32], taps1: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(taps0.len(), taps1.len());
+    debug_assert!(taps0.len().is_multiple_of(4));
+    debug_assert!(window.len() >= taps0.len());
+    let mut acc0 = F32x4::ZERO;
+    let mut acc1 = F32x4::ZERO;
+    for ((w, t0), t1) in window
+        .chunks_exact(4)
+        .zip(taps0.chunks_exact(4))
+        .zip(taps1.chunks_exact(4))
+    {
+        let wv = F32x4::load(w);
+        acc0 = acc0.mul_add(wv, F32x4::load(t0));
+        acc1 = acc1.mul_add(wv, F32x4::load(t1));
+    }
+    (acc0.horizontal_sum(), acc1.horizontal_sum())
+}
+
+/// Lane-width-generic column vector for the columnar path. The column loop
+/// batches a lane group of adjacent columns per accumulator, falling from
+/// 8 to 4 to 1 lanes at the right image edge; per-lane arithmetic is the
+/// identical `acc + value * tap` expression at every width, so the grouping
+/// never changes any individual column's result.
+trait ColVec: Copy {
+    fn zero() -> Self;
+    fn load(src: &[f32]) -> Self;
+    fn splat(v: f32) -> Self;
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn add(self, rhs: Self) -> Self;
+    fn store(self, dst: &mut [f32]);
+}
+
+impl ColVec for F32x8 {
+    #[inline(always)]
+    fn zero() -> Self {
+        F32x8::ZERO
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        F32x8::load(src)
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        F32x8::splat(v)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        F32x8::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        F32x8::store(self, dst)
+    }
+}
+
+impl ColVec for F32x4 {
+    #[inline(always)]
+    fn zero() -> Self {
+        F32x4::ZERO
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        F32x4::load(src)
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        F32x4::splat(v)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        F32x4::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        F32x4::store(self, dst)
+    }
+}
+
+/// Scalar tail for images narrower than a lane group.
+impl ColVec for f32 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        src[0]
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        dst[0] = self;
+    }
+}
+
+/// Per-column vertical dot product over a lane group starting at column
+/// `x0`: `offs[i]` is the flat offset (`wrapped_row * stride`) of padded
+/// tap `i`'s source row in the image's backing slice, and the four
+/// partial accumulators indexed by `i % 4` replicate the lanes of the row
+/// path's accumulator register, folded in [`F32x4::horizontal_sum`]'s
+/// `(p0 + p2) + (p1 + p3)` order — this is what makes the columnar result
+/// bit-identical to `simd_dot` (and [`AutoVecKernel::unrolled_dot`], which
+/// shares the same structure) per column.
+#[inline(always)]
+fn col_dot<V: ColVec>(data: &[f32], offs: &[usize], taps: &[f32], x0: usize) -> V {
+    debug_assert!(taps.len().is_multiple_of(4));
+    debug_assert_eq!(offs.len(), taps.len());
+    let (mut p0, mut p1, mut p2, mut p3) = (V::zero(), V::zero(), V::zero(), V::zero());
+    let mut i = 0;
+    while i < taps.len() {
+        p0 = p0.mul_add(V::load(&data[offs[i] + x0..]), V::splat(taps[i]));
+        p1 = p1.mul_add(V::load(&data[offs[i + 1] + x0..]), V::splat(taps[i + 1]));
+        p2 = p2.mul_add(V::load(&data[offs[i + 2] + x0..]), V::splat(taps[i + 2]));
+        p3 = p3.mul_add(V::load(&data[offs[i + 3] + x0..]), V::splat(taps[i + 3]));
+        i += 4;
+    }
+    p0.add(p2).add(p1.add(p3))
+}
+
+/// Fills `idx` with `len` flat row *offsets* (`row * stride` into the image's
+/// backing slice) for circularly wrapped row indices starting at `base`
+/// (which may be negative or beyond `n`, as tap windows reach across the
+/// image borders — the same values the row path reads from its materialized
+/// circular extension). Interior windows skip the modular arithmetic; only
+/// the few border rows pay for `rem_euclid`.
+fn fill_wrapped(idx: &mut Vec<usize>, base: isize, len: usize, n: usize, stride: usize) {
+    idx.clear();
+    if base >= 0 && base as usize + len <= n {
+        idx.extend((base as usize..base as usize + len).map(|r| r * stride));
+    } else {
+        idx.extend((0..len).map(|i| (base + i as isize).rem_euclid(n as isize) as usize * stride));
+    }
+}
+
+/// Fused lowpass + highpass vertical dot product for filters sharing one
+/// offset window (equal tap counts, e.g. the q-shift banks): every source
+/// row vector is loaded once and feeds both filters' partial accumulators.
+/// Each filter's per-column accumulation sequence is exactly [`col_dot`]'s,
+/// so the fusion changes memory traffic, not one bit of output.
+#[inline(always)]
+fn col_dot2<V: ColVec>(data: &[f32], offs: &[usize], t0: &[f32], t1: &[f32], x0: usize) -> (V, V) {
+    debug_assert!(t0.len().is_multiple_of(4));
+    debug_assert_eq!(t0.len(), t1.len());
+    debug_assert_eq!(offs.len(), t0.len());
+    let (mut a0, mut a1, mut a2, mut a3) = (V::zero(), V::zero(), V::zero(), V::zero());
+    let (mut b0, mut b1, mut b2, mut b3) = (V::zero(), V::zero(), V::zero(), V::zero());
+    let mut i = 0;
+    while i < t0.len() {
+        let r0 = V::load(&data[offs[i] + x0..]);
+        a0 = a0.mul_add(r0, V::splat(t0[i]));
+        b0 = b0.mul_add(r0, V::splat(t1[i]));
+        let r1 = V::load(&data[offs[i + 1] + x0..]);
+        a1 = a1.mul_add(r1, V::splat(t0[i + 1]));
+        b1 = b1.mul_add(r1, V::splat(t1[i + 1]));
+        let r2 = V::load(&data[offs[i + 2] + x0..]);
+        a2 = a2.mul_add(r2, V::splat(t0[i + 2]));
+        b2 = b2.mul_add(r2, V::splat(t1[i + 2]));
+        let r3 = V::load(&data[offs[i + 3] + x0..]);
+        a3 = a3.mul_add(r3, V::splat(t0[i + 3]));
+        b3 = b3.mul_add(r3, V::splat(t1[i + 3]));
+        i += 4;
+    }
+    (a0.add(a2).add(a1.add(a3)), b0.add(b2).add(b1.add(b3)))
+}
+
+/// Filters one output row of both analysis channels in a single pass over
+/// the shared offset window (see [`col_dot2`]).
+fn filter_cols2(
+    data: &[f32],
+    idx: &[usize],
+    t0: &[f32],
+    t1: &[f32],
+    lo: &mut [f32],
+    hi: &mut [f32],
+) {
+    let w = lo.len();
+    let mut x = 0;
+    while x + 8 <= w {
+        let (a, b) = col_dot2::<F32x8>(data, idx, t0, t1, x);
+        a.store(&mut lo[x..]);
+        b.store(&mut hi[x..]);
+        x += 8;
+    }
+    while x + 4 <= w {
+        let (a, b) = col_dot2::<F32x4>(data, idx, t0, t1, x);
+        a.store(&mut lo[x..]);
+        b.store(&mut hi[x..]);
+        x += 4;
+    }
+    while x < w {
+        let (a, b) = col_dot2::<f32>(data, idx, t0, t1, x);
+        a.store(&mut lo[x..]);
+        b.store(&mut hi[x..]);
+        x += 1;
+    }
+}
+
+/// Filters one output row of the columnar analysis across all column groups.
+fn filter_cols(data: &[f32], idx: &[usize], taps: &[f32], out: &mut [f32]) {
+    let w = out.len();
+    let mut x = 0;
+    while x + 8 <= w {
+        col_dot::<F32x8>(data, idx, taps, x).store(&mut out[x..]);
+        x += 8;
+    }
+    while x + 4 <= w {
+        col_dot::<F32x4>(data, idx, taps, x).store(&mut out[x..]);
+        x += 4;
+    }
+    while x < w {
+        col_dot::<f32>(data, idx, taps, x).store(&mut out[x..]);
+        x += 1;
+    }
+}
+
+/// Reconstructs one output row of the columnar synthesis (the lane-wise sum
+/// of the two channel dot products, matching the row path's
+/// `simd_dot(lo) + simd_dot(hi)` per column).
+#[allow(clippy::too_many_arguments)]
+fn synth_cols(
+    lo: &[f32],
+    hi: &[f32],
+    idx0: &[usize],
+    idx1: &[usize],
+    t0: &[f32],
+    t1: &[f32],
+    out: &mut [f32],
+) {
+    let w = out.len();
+    let mut x = 0;
+    while x + 8 <= w {
+        let v = col_dot::<F32x8>(lo, idx0, t0, x).add(col_dot::<F32x8>(hi, idx1, t1, x));
+        v.store(&mut out[x..]);
+        x += 8;
+    }
+    while x + 4 <= w {
+        let v = col_dot::<F32x4>(lo, idx0, t0, x).add(col_dot::<F32x4>(hi, idx1, t1, x));
+        v.store(&mut out[x..]);
+        x += 4;
+    }
+    while x < w {
+        let v = col_dot::<f32>(lo, idx0, t0, x).add(col_dot::<f32>(hi, idx1, t1, x));
+        v.store(&mut out[x..]);
+        x += 1;
+    }
+}
+
+/// Columnar analysis shared by both kernels (their row dot products have the
+/// same summation structure, so one columnar body is bit-identical to both).
+/// Tap caches are the caller's `reversed_padded` vectors.
+#[allow(clippy::too_many_arguments)]
+fn columnar_analyze(
+    rev0: &[f32],
+    rev1: &[f32],
+    l0: usize,
+    l1: usize,
+    phase: Phase,
+    img: &Image,
+    lo: &mut Image,
+    hi: &mut Image,
+    cs: &mut ColScratch,
+) {
+    let (w, h) = img.dims();
+    let half = h / 2;
+    lo.reshape(w, half);
+    hi.reshape(w, half);
+    let phase = phase.offset();
+    let data = img.as_slice();
+    // Equal-length filters (the orthonormal banks, e.g. q-shift at DT-CWT
+    // levels >= 2) share one offset window per output row — fuse the two
+    // channel filters so each source row is loaded once.
+    let fused = l0 == l1 && rev0.len() == rev1.len();
+    for k in 0..half {
+        // Window top of output row k: source rows (2k + phase + 1 - l .. ],
+        // wrapped circularly; trailing zero-pad taps read (and ignore) the
+        // rows the row path's right extension margin covers.
+        let c = (2 * k + phase) as isize;
+        fill_wrapped(&mut cs.idx0, c + 1 - l0 as isize, rev0.len(), h, w);
+        if fused {
+            filter_cols2(data, &cs.idx0, rev0, rev1, lo.row_mut(k), hi.row_mut(k));
+        } else {
+            fill_wrapped(&mut cs.idx1, c + 1 - l1 as isize, rev1.len(), h, w);
+            filter_cols(data, &cs.idx0, rev0, lo.row_mut(k));
+            filter_cols(data, &cs.idx1, rev1, hi.row_mut(k));
+        }
+    }
+}
+
+/// Columnar polyphase synthesis shared by both kernels; the final
+/// delay-compensating rotation is fused into the destination row index.
+#[allow(clippy::too_many_arguments)]
+fn columnar_synthesize(
+    g0_even: &[f32],
+    g0_odd: &[f32],
+    g1_even: &[f32],
+    g1_odd: &[f32],
+    phase: Phase,
+    delay: usize,
+    lo: &Image,
+    hi: &Image,
+    out: &mut Image,
+    cs: &mut ColScratch,
+) {
+    let (w, nh) = lo.dims();
+    let n = nh * 2;
+    out.reshape(w, n);
+    let d = delay % n;
+    let phase = phase.offset();
+    let lo_data = lo.as_slice();
+    let hi_data = hi.as_slice();
+    for m in 0..n {
+        let mp = m as isize - phase as isize;
+        let parity = (mp & 1) as usize;
+        let (t0, t1) = if parity == 0 {
+            (g0_even, g1_even)
+        } else {
+            (g0_odd, g1_odd)
+        };
+        let k_top = (mp - parity as isize) / 2; // highest contributing k
+        fill_wrapped(&mut cs.idx0, k_top + 1 - t0.len() as isize, t0.len(), nh, w);
+        if t0.len() == t1.len() {
+            cs.idx1.clone_from(&cs.idx0);
+        } else {
+            fill_wrapped(&mut cs.idx1, k_top + 1 - t1.len() as isize, t1.len(), nh, w);
+        }
+        // Raw sample m lands at output row (m - delay) mod n — the rotation
+        // the row path applies as a separate copy.
+        let dst = (m + n - d) % n;
+        synth_cols(
+            lo_data,
+            hi_data,
+            &cs.idx0,
+            &cs.idx1,
+            t0,
+            t1,
+            out.row_mut(dst),
+        );
+    }
+}
+
+/// Validation shared by the columnar analysis entry points.
+fn check_cols_input(img: &Image) -> Result<(), DtcwtError> {
+    let (w, h) = img.dims();
+    if w == 0 || h == 0 || !h.is_multiple_of(2) {
+        return Err(DtcwtError::BadDimensions {
+            width: w,
+            height: h,
+            reason: "column analysis requires even non-zero height",
+        });
+    }
+    Ok(())
+}
+
+/// Validation shared by the columnar synthesis entry points.
+fn check_cols_channels(lo: &Image, hi: &Image) -> Result<(), DtcwtError> {
+    if lo.is_empty() || lo.dims() != hi.dims() {
+        return Err(DtcwtError::BadDimensions {
+            width: hi.width(),
+            height: hi.height(),
+            reason: "column synthesis channels must be non-empty and equal-sized",
+        });
+    }
+    Ok(())
+}
+
 /// Manual 4-lane vectorized kernel (the paper's NEON-intrinsics flavor).
 ///
 /// # Examples
@@ -80,7 +484,7 @@ fn simd_dot(window: &[f32], taps4: &[f32]) -> f32 {
 /// }
 /// # Ok::<(), wavefuse_dtcwt::DtcwtError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimdKernel {
     rev0: Vec<f32>,
     rev1: Vec<f32>,
@@ -92,10 +496,29 @@ pub struct SimdKernel {
     a_key1: Vec<f32>,
     s_key0: Vec<f32>,
     s_key1: Vec<f32>,
+    columnar: bool,
+}
+
+impl Default for SimdKernel {
+    fn default() -> Self {
+        SimdKernel {
+            rev0: Vec::new(),
+            rev1: Vec::new(),
+            g0_even: Vec::new(),
+            g0_odd: Vec::new(),
+            g1_even: Vec::new(),
+            g1_odd: Vec::new(),
+            a_key0: Vec::new(),
+            a_key1: Vec::new(),
+            s_key0: Vec::new(),
+            s_key1: Vec::new(),
+            columnar: true,
+        }
+    }
 }
 
 impl SimdKernel {
-    /// Creates a new manual-SIMD kernel.
+    /// Creates a new manual-SIMD kernel (columnar column passes enabled).
     pub fn new() -> Self {
         SimdKernel::default()
     }
@@ -126,10 +549,21 @@ impl FilterKernel for SimdKernel {
             reversed_padded(h1, false, &mut self.rev1);
         }
         let (l0, l1) = (h0.len(), h1.len());
-        for k in 0..lo.len() {
-            let center = left + 2 * k + phase;
-            lo[k] = simd_dot(&ext[center + 1 - l0..], &self.rev0);
-            hi[k] = simd_dot(&ext[center + 1 - l1..], &self.rev1);
+        if l0 == l1 && self.rev0.len() == self.rev1.len() {
+            // Equal-length pair (the q-shift orthonormal banks): both filters
+            // read the same window, so share its loads across the two dots.
+            for k in 0..lo.len() {
+                let center = left + 2 * k + phase;
+                let (a, b) = simd_dot2(&ext[center + 1 - l0..], &self.rev0, &self.rev1);
+                lo[k] = a;
+                hi[k] = b;
+            }
+        } else {
+            for k in 0..lo.len() {
+                let center = left + 2 * k + phase;
+                lo[k] = simd_dot(&ext[center + 1 - l0..], &self.rev0);
+                hi[k] = simd_dot(&ext[center + 1 - l1..], &self.rev1);
+            }
         }
     }
 
@@ -167,12 +601,95 @@ impl FilterKernel for SimdKernel {
             *o = simd_dot(&lo_ext[start0..], t0) + simd_dot(&hi_ext[start1..], t1);
         }
     }
+
+    fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    fn set_columnar(&mut self, enabled: bool) {
+        self.columnar = enabled;
+    }
+
+    // Note on summation order: the *row* path differs from the scalar kernel
+    // (4-lane partials vs a single running sum), which is why row results are
+    // compared against scalar with a small tolerance. The *column* path below
+    // replicates the row path's own order per column, so columnar output is
+    // bit-identical to this kernel's transpose-staged fallback — not merely
+    // close to it.
+    fn analyze_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        img: &Image,
+        lo: &mut Image,
+        hi: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        if !self.columnar {
+            return fallback_analyze_cols(self, taps, phase, img, lo, hi, cs, s1);
+        }
+        check_cols_input(img)?;
+        if taps_changed(&mut self.a_key0, &taps.h0) {
+            reversed_padded(&taps.h0, false, &mut self.rev0);
+        }
+        if taps_changed(&mut self.a_key1, &taps.h1) {
+            reversed_padded(&taps.h1, false, &mut self.rev1);
+        }
+        columnar_analyze(
+            &self.rev0,
+            &self.rev1,
+            taps.h0.len(),
+            taps.h1.len(),
+            phase,
+            img,
+            lo,
+            hi,
+            cs,
+        );
+        Ok(())
+    }
+
+    fn synthesize_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        lo: &Image,
+        hi: &Image,
+        out: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        if !self.columnar {
+            return fallback_synthesize_cols(self, taps, phase, lo, hi, out, cs, s1);
+        }
+        check_cols_channels(lo, hi)?;
+        if taps_changed(&mut self.s_key0, &taps.g0) {
+            polyphase_reversed(&taps.g0, &mut self.g0_even, &mut self.g0_odd);
+        }
+        if taps_changed(&mut self.s_key1, &taps.g1) {
+            polyphase_reversed(&taps.g1, &mut self.g1_even, &mut self.g1_odd);
+        }
+        columnar_synthesize(
+            &self.g0_even,
+            &self.g0_odd,
+            &self.g1_even,
+            &self.g1_odd,
+            phase,
+            taps.delay(),
+            lo,
+            hi,
+            out,
+            cs,
+        );
+        Ok(())
+    }
 }
 
 /// Compiler-auto-vectorization flavor: plain loops with four independent
 /// accumulators and no lane intrinsics, the shape `-ftree-vectorize`
 /// exploits in the paper's auto-vectorized build.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AutoVecKernel {
     rev0: Vec<f32>,
     rev1: Vec<f32>,
@@ -184,10 +701,30 @@ pub struct AutoVecKernel {
     a_key1: Vec<f32>,
     s_key0: Vec<f32>,
     s_key1: Vec<f32>,
+    columnar: bool,
+}
+
+impl Default for AutoVecKernel {
+    fn default() -> Self {
+        AutoVecKernel {
+            rev0: Vec::new(),
+            rev1: Vec::new(),
+            g0_even: Vec::new(),
+            g0_odd: Vec::new(),
+            g1_even: Vec::new(),
+            g1_odd: Vec::new(),
+            a_key0: Vec::new(),
+            a_key1: Vec::new(),
+            s_key0: Vec::new(),
+            s_key1: Vec::new(),
+            columnar: true,
+        }
+    }
 }
 
 impl AutoVecKernel {
-    /// Creates a new auto-vectorization-shaped kernel.
+    /// Creates a new auto-vectorization-shaped kernel (columnar column
+    /// passes enabled).
     pub fn new() -> Self {
         AutoVecKernel::default()
     }
@@ -203,6 +740,28 @@ impl AutoVecKernel {
             acc[3] += w[3] * t[3];
         }
         (acc[0] + acc[2]) + (acc[1] + acc[3])
+    }
+
+    /// Shared-window pair of [`AutoVecKernel::unrolled_dot`]s — same
+    /// load-sharing trick as [`simd_dot2`], same bit-identity argument: each
+    /// filter's per-lane accumulation order is unchanged.
+    #[inline(always)]
+    fn unrolled_dot2(window: &[f32], taps0: &[f32], taps1: &[f32]) -> (f32, f32) {
+        debug_assert_eq!(taps0.len(), taps1.len());
+        debug_assert!(taps0.len().is_multiple_of(4));
+        let mut a = [0.0f32; 4];
+        let mut b = [0.0f32; 4];
+        for ((w, t0), t1) in window
+            .chunks_exact(4)
+            .zip(taps0.chunks_exact(4))
+            .zip(taps1.chunks_exact(4))
+        {
+            for l in 0..4 {
+                a[l] += w[l] * t0[l];
+                b[l] += w[l] * t1[l];
+            }
+        }
+        ((a[0] + a[2]) + (a[1] + a[3]), (b[0] + b[2]) + (b[1] + b[3]))
     }
 }
 
@@ -228,10 +787,19 @@ impl FilterKernel for AutoVecKernel {
             reversed_padded(h1, false, &mut self.rev1);
         }
         let (l0, l1) = (h0.len(), h1.len());
-        for k in 0..lo.len() {
-            let center = left + 2 * k + phase;
-            lo[k] = Self::unrolled_dot(&ext[center + 1 - l0..], &self.rev0);
-            hi[k] = Self::unrolled_dot(&ext[center + 1 - l1..], &self.rev1);
+        if l0 == l1 && self.rev0.len() == self.rev1.len() {
+            for k in 0..lo.len() {
+                let center = left + 2 * k + phase;
+                let (a, b) = Self::unrolled_dot2(&ext[center + 1 - l0..], &self.rev0, &self.rev1);
+                lo[k] = a;
+                hi[k] = b;
+            }
+        } else {
+            for k in 0..lo.len() {
+                let center = left + 2 * k + phase;
+                lo[k] = Self::unrolled_dot(&ext[center + 1 - l0..], &self.rev0);
+                hi[k] = Self::unrolled_dot(&ext[center + 1 - l1..], &self.rev1);
+            }
         }
     }
 
@@ -265,6 +833,87 @@ impl FilterKernel for AutoVecKernel {
             *o = Self::unrolled_dot(&lo_ext[start0..], t0)
                 + Self::unrolled_dot(&hi_ext[start1..], t1);
         }
+    }
+
+    fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    fn set_columnar(&mut self, enabled: bool) {
+        self.columnar = enabled;
+    }
+
+    // `unrolled_dot` has the exact same per-lane summation structure as
+    // `simd_dot` (four partials folded `(p0 + p2) + (p1 + p3)`), so both
+    // kernels share one columnar body and each stays bit-identical to its
+    // own transpose-staged fallback.
+    fn analyze_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        img: &Image,
+        lo: &mut Image,
+        hi: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        if !self.columnar {
+            return fallback_analyze_cols(self, taps, phase, img, lo, hi, cs, s1);
+        }
+        check_cols_input(img)?;
+        if taps_changed(&mut self.a_key0, &taps.h0) {
+            reversed_padded(&taps.h0, false, &mut self.rev0);
+        }
+        if taps_changed(&mut self.a_key1, &taps.h1) {
+            reversed_padded(&taps.h1, false, &mut self.rev1);
+        }
+        columnar_analyze(
+            &self.rev0,
+            &self.rev1,
+            taps.h0.len(),
+            taps.h1.len(),
+            phase,
+            img,
+            lo,
+            hi,
+            cs,
+        );
+        Ok(())
+    }
+
+    fn synthesize_cols(
+        &mut self,
+        taps: &BankTaps,
+        phase: Phase,
+        lo: &Image,
+        hi: &Image,
+        out: &mut Image,
+        cs: &mut ColScratch,
+        s1: &mut Scratch1d,
+    ) -> Result<(), DtcwtError> {
+        if !self.columnar {
+            return fallback_synthesize_cols(self, taps, phase, lo, hi, out, cs, s1);
+        }
+        check_cols_channels(lo, hi)?;
+        if taps_changed(&mut self.s_key0, &taps.g0) {
+            polyphase_reversed(&taps.g0, &mut self.g0_even, &mut self.g0_odd);
+        }
+        if taps_changed(&mut self.s_key1, &taps.g1) {
+            polyphase_reversed(&taps.g1, &mut self.g1_even, &mut self.g1_odd);
+        }
+        columnar_synthesize(
+            &self.g0_even,
+            &self.g0_odd,
+            &self.g1_even,
+            &self.g1_odd,
+            phase,
+            taps.delay(),
+            lo,
+            hi,
+            out,
+            cs,
+        );
+        Ok(())
     }
 }
 
@@ -399,6 +1048,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Runs one kernel's column analysis + synthesis round trip.
+    fn cols_round_trip(
+        k: &mut dyn FilterKernel,
+        taps: &BankTaps,
+        phase: Phase,
+        img: &Image,
+    ) -> (Image, Image, Image) {
+        let mut lo = Image::zeros(0, 0);
+        let mut hi = Image::zeros(0, 0);
+        let mut rec = Image::zeros(0, 0);
+        let mut cs = ColScratch::new();
+        let mut s1 = Scratch1d::new();
+        k.analyze_cols(taps, phase, img, &mut lo, &mut hi, &mut cs, &mut s1)
+            .unwrap();
+        k.synthesize_cols(taps, phase, &lo, &hi, &mut rec, &mut cs, &mut s1)
+            .unwrap();
+        (lo, hi, rec)
+    }
+
+    #[test]
+    fn columnar_bit_identical_to_fallback() {
+        // The columnar path must reproduce the transpose-staged fallback
+        // bit-for-bit: same kernel type, columnar on vs off, exact equality.
+        // Widths below the 4-lane group force the scalar tail; width 13
+        // exercises the 8-, 4-, and 1-lane groups together.
+        for bank in banks() {
+            let taps = BankTaps::new(&bank);
+            for phase in [Phase::A, Phase::B] {
+                for (w, h) in [(2usize, 8usize), (3, 12), (13, 10), (16, 22), (40, 36)] {
+                    let img =
+                        Image::from_fn(w, h, |x, y| ((x * 13 + y * 7) % 29) as f32 * 0.31 - 4.0);
+                    let what = format!("{} {phase:?} {w}x{h}", bank.name());
+                    let mut on = SimdKernel::new();
+                    let mut off = SimdKernel::new();
+                    off.set_columnar(false);
+                    assert!(on.columnar() && !off.columnar());
+                    let (lo_c, hi_c, rec_c) = cols_round_trip(&mut on, &taps, phase, &img);
+                    let (lo_f, hi_f, rec_f) = cols_round_trip(&mut off, &taps, phase, &img);
+                    assert_eq!(lo_c.as_slice(), lo_f.as_slice(), "simd lo {what}");
+                    assert_eq!(hi_c.as_slice(), hi_f.as_slice(), "simd hi {what}");
+                    assert_eq!(rec_c.as_slice(), rec_f.as_slice(), "simd rec {what}");
+
+                    let mut av_on = AutoVecKernel::new();
+                    let mut av_off = AutoVecKernel::new();
+                    av_off.set_columnar(false);
+                    let (alo_c, ahi_c, arec_c) = cols_round_trip(&mut av_on, &taps, phase, &img);
+                    let (alo_f, ahi_f, arec_f) = cols_round_trip(&mut av_off, &taps, phase, &img);
+                    assert_eq!(alo_c.as_slice(), alo_f.as_slice(), "autovec lo {what}");
+                    assert_eq!(ahi_c.as_slice(), ahi_f.as_slice(), "autovec hi {what}");
+                    assert_eq!(arec_c.as_slice(), arec_f.as_slice(), "autovec rec {what}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_full_pyramids_bit_identical() {
+        // End to end: the whole DT-CWT forward + inverse must not change by
+        // a single bit when the columnar path replaces the transpose path.
+        let img = Image::from_fn(88, 72, |x, y| ((x * 3 + y * 7) % 23) as f32 * 0.5);
+        let t = Dtcwt::new(3).unwrap();
+        let mut on = SimdKernel::new();
+        let mut off = SimdKernel::new();
+        off.set_columnar(false);
+        let p_on = t.forward_with(&mut on, &img).unwrap();
+        let p_off = t.forward_with(&mut off, &img).unwrap();
+        for level in 0..3 {
+            for (a, b) in p_on.subbands(level).iter().zip(p_off.subbands(level)) {
+                assert_eq!(a.re.as_slice(), b.re.as_slice(), "re level {level}");
+                assert_eq!(a.im.as_slice(), b.im.as_slice(), "im level {level}");
+            }
+        }
+        let r_on = t.inverse_with(&mut on, &p_on).unwrap();
+        let r_off = t.inverse_with(&mut off, &p_off).unwrap();
+        assert_eq!(r_on.as_slice(), r_off.as_slice());
+    }
+
+    #[test]
+    fn columnar_rejects_bad_shapes() {
+        let taps = BankTaps::new(&FilterBank::cdf_9_7().unwrap());
+        let mut k = SimdKernel::new();
+        let odd = Image::from_fn(8, 7, |_, _| 1.0);
+        let mut lo = Image::zeros(0, 0);
+        let mut hi = Image::zeros(0, 0);
+        let mut cs = ColScratch::new();
+        let mut s1 = Scratch1d::new();
+        assert!(k
+            .analyze_cols(&taps, Phase::A, &odd, &mut lo, &mut hi, &mut cs, &mut s1)
+            .is_err());
+        let a = Image::from_fn(8, 4, |_, _| 1.0);
+        let b = Image::from_fn(8, 5, |_, _| 1.0);
+        let mut out = Image::zeros(0, 0);
+        assert!(k
+            .synthesize_cols(&taps, Phase::A, &a, &b, &mut out, &mut cs, &mut s1)
+            .is_err());
     }
 
     #[test]

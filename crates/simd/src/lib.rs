@@ -17,7 +17,10 @@
 //!   aliasing), mirroring the paper's `__restrict` + masked-length C code.
 //!
 //! Both kernels implement [`wavefuse_dtcwt::FilterKernel`] and are verified
-//! bit-for-bit-close against the scalar reference in the tests.
+//! bit-for-bit-close against the scalar reference in the tests. They also
+//! override the trait's *column passes* with a transpose-free columnar path
+//! ([`F32x8`] / [`F32x4`] lanes each owning one image column) that is
+//! bit-identical to the transpose-staged fallback — see [`kernel`].
 //!
 //! # Examples
 //!
@@ -40,7 +43,11 @@ pub mod kernel;
 pub mod vector;
 
 pub use kernel::{AutoVecKernel, SimdKernel};
-pub use vector::F32x4;
+pub use vector::{F32x4, F32x8};
 
 /// Number of `f32` lanes in the modeled NEON quad register.
+///
+/// This stays 4 (the Cortex-A9 quad register) even though the columnar
+/// column passes additionally batch two quad registers per iteration via
+/// [`F32x8`] — cost-model calibration is keyed to the 4-lane row primitive.
 pub const LANES: usize = 4;

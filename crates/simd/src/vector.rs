@@ -69,6 +69,14 @@ impl F32x4 {
 
     /// Sum of the four lanes (`vpadd` reduction), folded pairwise the way
     /// the paper's manual code reduces its accumulator register.
+    ///
+    /// The fold order is part of the numerical contract, not an
+    /// implementation detail: for lanes `[a, b, c, d]` the result is exactly
+    /// `(a + c) + (b + d)` — lane 0 plus lane 2 first, then lane 1 plus
+    /// lane 3, then the two partial sums. Every consumer that must be
+    /// bit-identical to `simd_dot` (the `AutoVecKernel` unrolled fold and
+    /// the columnar kernels' per-column partial-accumulator fold) replicates
+    /// this exact association instead of a left-to-right sum.
     #[inline(always)]
     pub fn horizontal_sum(self) -> f32 {
         let [a, b, c, d] = self.0;
@@ -134,6 +142,119 @@ impl AddAssign for F32x4 {
     }
 }
 
+/// Eight `f32` lanes — a software model of a NEON quad-register *pair*
+/// (`float32x4x2_t`), used by the columnar kernels to filter eight adjacent
+/// image columns per accumulator.
+///
+/// Like [`F32x4`], every operation is a plain IEEE-754 single-precision lane
+/// op with no fused multiply-add, so each lane's value is bit-identical to a
+/// scalar evaluation of the same expression tree. The columnar path relies on
+/// this: widening from 4 to 8 lanes changes only how many columns are batched,
+/// never any individual column's arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F32x8([f32; 8]);
+
+impl F32x8 {
+    /// All-zero vector.
+    pub const ZERO: F32x8 = F32x8([0.0; 8]);
+
+    /// Creates a vector from eight lanes.
+    #[inline(always)]
+    pub const fn new(lanes: [f32; 8]) -> Self {
+        F32x8(lanes)
+    }
+
+    /// Broadcasts one value to all eight lanes.
+    #[inline(always)]
+    pub const fn splat(v: f32) -> Self {
+        F32x8([v; 8])
+    }
+
+    /// Loads eight consecutive values from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < 8`.
+    #[inline(always)]
+    pub fn load(src: &[f32]) -> Self {
+        F32x8([
+            src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7],
+        ])
+    }
+
+    /// Stores the eight lanes to the head of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < 8`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f32]) {
+        dst[..8].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise multiply-accumulate `self + a * b` (separate multiply then
+    /// add, no FMA — see [`F32x4::mul_add`]).
+    #[inline(always)]
+    pub fn mul_add(self, a: F32x8, b: F32x8) -> Self {
+        self + a * b
+    }
+
+    /// Borrows the lanes.
+    #[inline(always)]
+    pub fn lanes(&self) -> &[f32; 8] {
+        &self.0
+    }
+}
+
+impl From<[f32; 8]> for F32x8 {
+    fn from(lanes: [f32; 8]) -> Self {
+        F32x8(lanes)
+    }
+}
+
+impl Add for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a + b;
+        }
+        F32x8(out)
+    }
+}
+
+impl Sub for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a - b;
+        }
+        F32x8(out)
+    }
+}
+
+impl Mul for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [0.0f32; 8];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a * b;
+        }
+        F32x8(out)
+    }
+}
+
+impl AddAssign for F32x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +305,41 @@ mod tests {
         // (a + c) + (b + d): check against that exact association.
         let v = F32x4::new([1e8, 1.0, -1e8, 1.0]);
         assert_eq!(v.horizontal_sum(), (1e8 + -1e8) + (1.0 + 1.0));
+    }
+
+    #[test]
+    fn wide_elementwise_ops() {
+        let a = F32x8::new([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(0.5);
+        assert_eq!((a + b).lanes()[7], 8.5);
+        assert_eq!((a - b).lanes()[0], 0.5);
+        assert_eq!((a * b).lanes()[3], 2.0);
+        assert_eq!(F32x8::ZERO.lanes(), &[0.0; 8]);
+    }
+
+    #[test]
+    fn wide_load_store_round_trip() {
+        let src: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let v = F32x8::load(&src[1..]);
+        let mut dst = [0.0f32; 8];
+        v.store(&mut dst);
+        assert_eq!(dst, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wide_short_load_panics() {
+        let _ = F32x8::load(&[1.0; 7]);
+    }
+
+    #[test]
+    fn wide_mul_add_matches_lane_arithmetic() {
+        let acc = F32x8::splat(1.0);
+        let a = F32x8::new([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(0.25);
+        let r = acc.mul_add(a, b);
+        for i in 0..8 {
+            assert_eq!(r.lanes()[i], 1.0 + a.lanes()[i] * 0.25);
+        }
     }
 }

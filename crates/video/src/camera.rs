@@ -243,10 +243,20 @@ impl ThermalCamera {
 fn yuv422_from_gray_into(img: &Image, out: &mut RawFrame) {
     let (w, h) = img.dims();
     let mut bytes = out.take_storage();
-    bytes.resize(w * h * 2, 0);
+    if bytes.len() != w * h * 2 {
+        // Neutral Cb/Cr bytes are invariant — prefill them once per
+        // geometry; steady-state captures only rewrite the luma bytes.
+        bytes.clear();
+        bytes.resize(w * h * 2, 0x80);
+    }
     for (pair, &v) in bytes.chunks_exact_mut(2).zip(img.as_slice()) {
-        pair[0] = 0x80; // neutral Cb/Cr alternating
-        pair[1] = (v.clamp(0.0, 1.0) * 253.0).round() as u8 + 1;
+        // Integer round-half-up: bit-identical to `.round() as u8` on the
+        // clamped [0, 253] range (positive halves round away from zero
+        // either way), but lowers to SSE2-vectorizable converts instead of
+        // a scalar `roundf` call per pixel.
+        let x = v.clamp(0.0, 1.0) * 253.0;
+        let t = x as i32;
+        pair[1] = (t + i32::from(x - t as f32 >= 0.5)) as u8 + 1;
     }
     out.assign(PixelFormat::Yuv422, w, h, bytes)
         .expect("geometry is consistent");

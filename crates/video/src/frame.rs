@@ -148,8 +148,13 @@ impl RawFrame {
             }
             PixelFormat::Yuv422 => {
                 // Packed Cb Y0 Cr Y1: luma sits at odd byte positions.
-                for (i, dst) in img.as_mut_slice().iter_mut().enumerate() {
-                    *dst = self.bytes[2 * i + 1] as f32 / 255.0;
+                // Paired iteration keeps the loop free of bounds checks.
+                for (dst, pair) in img
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.bytes.chunks_exact(2))
+                {
+                    *dst = pair[1] as f32 / 255.0;
                 }
             }
             PixelFormat::Rgb888 => {

@@ -12,12 +12,26 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::Mutex;
 
 use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
 use wavefuse_core::Backend;
-use wavefuse_dtcwt::{ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch};
+use wavefuse_dtcwt::{
+    transpose_bytes_total, ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch,
+};
 use wavefuse_simd::AutoVecKernel;
 use wavefuse_zynq::FpgaKernel;
+
+/// `transpose_bytes_total()` is a process-wide counter, and the scalar and
+/// FPGA kernels legitimately stage transposes. Serializing the tests in
+/// this binary keeps each delta measurement attributable to one kernel.
+static TRANSPOSE_GATE: Mutex<()> = Mutex::new(());
+
+fn transpose_gate() -> std::sync::MutexGuard<'static, ()> {
+    TRANSPOSE_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 struct CountingAlloc;
 
@@ -75,6 +89,7 @@ fn pipeline(backend: Backend) -> VideoFusionPipeline {
 
 #[test]
 fn steady_state_pipeline_steps_do_not_allocate() {
+    let _gate = transpose_gate();
     for backend in [Backend::Arm, Backend::Neon] {
         let mut pipe = pipeline(backend);
         // Warm-up: the first frames size the scratch arenas, pool slots,
@@ -83,6 +98,7 @@ fn steady_state_pipeline_steps_do_not_allocate() {
             let out = pipe.step().expect("warm-up step");
             pipe.recycle(out);
         }
+        let transposed0 = transpose_bytes_total();
         for frame in 2..5 {
             let (allocs, bytes, out) = counted(|| pipe.step().expect("steady step"));
             let (rallocs, rbytes, ()) = counted(|| pipe.recycle(out));
@@ -98,6 +114,20 @@ fn steady_state_pipeline_steps_do_not_allocate() {
             );
         }
         assert_eq!(pipe.stats().frames, 5);
+        // The columnar column passes keep the SIMD backend transpose-free
+        // in the steady-state frame loop; the scalar backend still stages
+        // its vertical passes through `Image::transpose_into`.
+        let transposed = transpose_bytes_total() - transposed0;
+        match backend {
+            Backend::Neon => assert_eq!(
+                transposed, 0,
+                "{backend:?}: steady-state frames transposed {transposed} bytes"
+            ),
+            _ => assert!(
+                transposed > 0,
+                "{backend:?}: expected the scalar fallback to charge the transpose counter"
+            ),
+        }
     }
 }
 
@@ -106,6 +136,7 @@ fn steady_state_pipeline_steps_do_not_allocate() {
 // allocation-free after one warm-up pass of the same geometry.
 #[test]
 fn steady_state_transform_paths_do_not_allocate() {
+    let _gate = transpose_gate();
     let img = Image::from_fn(88, 72, |x, y| ((x * 31 + y * 17) % 101) as f32 * 0.01);
     let t = Dtcwt::new(3).expect("three levels");
 
@@ -126,6 +157,7 @@ fn steady_state_transform_paths_do_not_allocate() {
         t.inverse_into(kernel, &pyr, &mut scratch, &mut rec)
             .expect("warm-up inverse");
 
+        let transposed0 = transpose_bytes_total();
         let (allocs, bytes, ()) = counted(|| {
             for _ in 0..3 {
                 t.forward_into(kernel, &img, &mut combos, &mut scratch, &mut pyr)
@@ -139,6 +171,20 @@ fn steady_state_transform_paths_do_not_allocate() {
             (0, 0),
             "{name}: pooled transform allocated {allocs} times ({bytes} bytes)"
         );
+        // AutoVec rides the columnar column passes and must never touch
+        // the transpose staging; the scalar reference keeps using it.
+        let transposed = transpose_bytes_total() - transposed0;
+        if name == "autovec" {
+            assert_eq!(
+                transposed, 0,
+                "{name}: steady transforms transposed {transposed} bytes"
+            );
+        } else {
+            assert!(
+                transposed > 0,
+                "{name}: expected transpose staging on the fallback path"
+            );
+        }
     }
 }
 
@@ -148,6 +194,7 @@ fn steady_state_transform_paths_do_not_allocate() {
 // repeated transforms must stay off the allocator too.
 #[test]
 fn steady_state_fpga_transform_path_does_not_allocate() {
+    let _gate = transpose_gate();
     let img = Image::from_fn(88, 72, |x, y| ((x * 13 + y * 29) % 97) as f32 * 0.02);
     let t = Dtcwt::new(3).expect("three levels");
 

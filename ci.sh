@@ -31,6 +31,26 @@ cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 16 --threads 2 --bench-out target/BENCH_smoke_t2.json
 test -s target/BENCH_smoke_t2.json
 
+echo "== bench regression gate (repro bench --check, serial rows, ±25%)"
+# Gates a fresh serial measurement against the committed baseline: fps
+# must not drop — and energy/p99 must not climb — beyond ±25% per
+# (backend, threads, columnar) row, else the gate exits non-zero and
+# fails CI. `--threads 1` restricts the run to the serial rows: the
+# pooled rows oversubscribe single-vCPU CI hosts and their wall-clock is
+# too noisy to gate (the baseline's threads=2 rows are simply skipped).
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 16 --threads 1 --bench-out target/BENCH_gate.json \
+    --check BENCH_pipeline.json --tolerance 25
+
+echo "== flight recorder smoke (repro eval --flight-record)"
+# The eval reconciles the flight recorder's per-frame energy sum against
+# the pipeline total (0.1% limit) and must round-trip both export files.
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    eval --frames 12 --flight-record target/flight.jsonl
+test -s target/flight.jsonl
+grep -q '"energy_mj"' target/flight.jsonl
+grep -q '"traceEvents"' target/flight.jsonl.trace.json
+
 echo "== fallback bench smoke (repro bench --frames 16 --no-columnar)"
 # The staged-transpose fallback must stay runnable end to end; the report
 # rows record columnar=false so regressions in the flag plumbing surface.

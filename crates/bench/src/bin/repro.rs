@@ -21,20 +21,31 @@
 //! the staged-transpose fallback can be measured; each report row records
 //! the kernel name and the effective `columnar` setting.
 //!
+//! `bench --check <baseline.json>` additionally gates the fresh run
+//! against a committed baseline report and exits non-zero when
+//! `frames_per_second` drops — or `energy_mj_per_frame` /
+//! `p99_ns_per_frame` climbs — beyond `--tolerance <pct>` (default 25).
+//!
 //! The `eval` subcommand runs an instrumented pipeline and exports its
 //! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
 //! or `chrome://tracing`), `--metrics <path>` writes a Prometheus text
 //! exposition, `--jsonl <path>` writes the raw events as JSON Lines, and
 //! `--frames <n>` sets the run length (default 20).
+//! `--flight-record <path>` dumps the pipeline's per-frame flight
+//! recorder as JSONL at `<path>` plus a Chrome trace on the modeled
+//! clock at `<path>.trace.json`. The eval also reconciles the flight
+//! recorder's per-frame energy sum against the pipeline's accumulated
+//! total and fails when they disagree by more than 0.1%.
 
 use std::process::ExitCode;
 
 use wavefuse_bench::experiments::{self, Quantity};
-use wavefuse_bench::report;
-use wavefuse_trace::{export, ToJson};
+use wavefuse_bench::{gate, report};
+use wavefuse_trace::{export, JsonValue, ToJson};
 
 const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
-[--trace <path>] [--metrics <path>] [--jsonl <path>] [--frames <n>] [--threads <n>] [--bench-out <path>] [--no-columnar]";
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--flight-record <path>] [--frames <n>] [--threads <n>] [--bench-out <path>] [--no-columnar] \
+[--check <baseline.json>] [--tolerance <pct>]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -179,6 +190,31 @@ fn main() -> ExitCode {
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
             std::fs::write(&path, bench.to_json().render())?;
             eprintln!("wrote throughput benchmark to {path}");
+            if let Some(baseline_path) = opt("check") {
+                let tolerance: f64 = match opt("tolerance").as_deref() {
+                    Some(v) => {
+                        v.parse::<f64>()
+                            .map_err(|_| format!("bad --tolerance '{v}'"))?
+                            / 100.0
+                    }
+                    None => 0.25,
+                };
+                let text = std::fs::read_to_string(&baseline_path)
+                    .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+                let baseline = JsonValue::parse(&text)
+                    .map_err(|e| format!("cannot parse baseline {baseline_path}: {e}"))?;
+                let outcome = gate::check_against_baseline(&bench, &baseline, tolerance);
+                println!("{}", gate::render_gate(&outcome));
+                if !outcome.passed() {
+                    return Err(format!(
+                        "bench regression gate failed: {} metric(s) regressed beyond ±{:.0}% \
+                         of {baseline_path}",
+                        outcome.regressions(),
+                        tolerance * 100.0
+                    )
+                    .into());
+                }
+            }
         }
         if wants("eval") {
             let frames: usize = match opt("frames").as_deref() {
@@ -199,6 +235,25 @@ fn main() -> ExitCode {
             if let Some(path) = opt("jsonl") {
                 std::fs::write(&path, export::jsonl(eval.telemetry.tracer()))?;
                 eprintln!("wrote JSONL events to {path}");
+            }
+            if let Some(path) = opt("flight-record") {
+                std::fs::write(&path, eval.flight.jsonl())?;
+                let trace_path = format!("{path}.trace.json");
+                std::fs::write(&trace_path, eval.flight.chrome_trace())?;
+                eprintln!(
+                    "wrote flight recorder ({} frames) to {path} and {trace_path}",
+                    eval.flight.len()
+                );
+            }
+            if eval.energy_error > 0.001 {
+                return Err(format!(
+                    "flight-recorder energy {:.4} mJ disagrees with pipeline total {:.4} mJ \
+                     by {:.4}% (limit 0.1%)",
+                    eval.flight_energy_mj,
+                    eval.stats.energy_mj,
+                    eval.energy_error * 100.0
+                )
+                .into());
             }
             if eval.max_phase_error > 0.01 {
                 return Err(format!(

@@ -592,6 +592,14 @@ pub struct TelemetryEval {
     pub phase_check: Vec<(String, f64, f64)>,
     /// Largest relative disagreement between trace and stats over the phases.
     pub max_phase_error: f64,
+    /// The pipeline's flight recorder (a clone of the ring after the run),
+    /// for `--flight-record` export.
+    pub flight: wavefuse_trace::FlightRecorder,
+    /// Per-frame energy summed over the flight recorder, millijoules.
+    pub flight_energy_mj: f64,
+    /// Relative disagreement between the recorder's per-frame energy sum
+    /// and `stats.energy_mj` (the 0.1 % reconciliation gate).
+    pub energy_error: f64,
 }
 
 /// Runs an instrumented pipeline (online-adaptive at the paper's 88x72,
@@ -621,6 +629,19 @@ pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
     }
     let stats = pipe.stats();
 
+    // Energy reconciliation: the flight recorder copies each frame's
+    // modeled energy verbatim, so its sum must reproduce the aggregate
+    // stat (to rounding). The default run is far below the ring capacity,
+    // so no frame has been overwritten.
+    let flight = pipe.flight_recorder().clone();
+    let flight_energy_mj: f64 = flight.iter().map(|r| r.energy_mj).sum();
+    let energy_error = if flight.wrapped() {
+        // The ring lost the oldest frames; the sum is no longer comparable.
+        0.0
+    } else {
+        (flight_energy_mj - stats.energy_mj).abs() / stats.energy_mj.max(1e-12)
+    };
+
     let events = telemetry.tracer().events();
     let mut phase_check = Vec::new();
     let mut max_phase_error: f64 = 0.0;
@@ -639,6 +660,9 @@ pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
         stats,
         phase_check,
         max_phase_error,
+        flight,
+        flight_energy_mj,
+        energy_error,
     })
 }
 
@@ -671,6 +695,18 @@ pub struct BenchRow {
     pub ns_per_frame: f64,
     /// Mean throughput across all [`BENCH_REPS`] windows.
     pub mean_frames_per_second: f64,
+    /// Modeled energy per fused frame, millijoules (deterministic: from
+    /// the cost/power models over the timed frames).
+    pub energy_mj_per_frame: f64,
+    /// Measured throughput per modeled watt of this backend's execution
+    /// mode — the paper's energy-efficiency figure of merit.
+    pub fps_per_watt: f64,
+    /// Median wall-clock nanoseconds per `step()` — exact sorted-sample
+    /// quantile within a window, best (lowest) window kept.
+    pub p50_ns_per_frame: f64,
+    /// 99th-percentile wall-clock nanoseconds per `step()` (same
+    /// discipline as the p50).
+    pub p99_ns_per_frame: f64,
     /// Measured per-frame wall-clock phase split, `(phase, seconds)` in
     /// timeline order — from the engine's `Instant`-based accounting of
     /// this row's own run, so backend and thread count both show up.
@@ -746,16 +782,37 @@ pub fn pipeline_bench(
         pipe.engine_mut().set_columnar(columnar);
         pipe.run(BENCH_WARMUP_FRAMES)?;
         let warm_wall = pipe.engine().wall_phase_totals();
+        let warm_energy_mj = pipe.stats().energy_mj;
         let mut best_s = f64::INFINITY;
         let mut total_s = 0.0;
+        let mut best_p50_ns = f64::INFINITY;
+        let mut best_p99_ns = f64::INFINITY;
+        // Per-step samples, reused across windows (sized once, no timed
+        // allocation). Each step is timed individually so the row carries
+        // real latency quantiles, not just window means.
+        let mut samples_ns: Vec<u64> = Vec::with_capacity(frames);
         for _ in 0..BENCH_REPS {
+            samples_ns.clear();
             let start = std::time::Instant::now();
-            pipe.run(frames)?;
+            for _ in 0..frames {
+                let t0 = std::time::Instant::now();
+                let out = pipe.step()?;
+                pipe.recycle(out);
+                samples_ns.push(t0.elapsed().as_nanos() as u64);
+            }
             let window_s = start.elapsed().as_secs_f64();
             best_s = best_s.min(window_s);
             total_s += window_s;
+            samples_ns.sort_unstable();
+            // Keep the best window's quantiles — the min-time discipline
+            // applied per order statistic, robust against one noisy window.
+            best_p50_ns = best_p50_ns.min(sorted_quantile_ns(&samples_ns, 0.50));
+            best_p99_ns = best_p99_ns.min(sorted_quantile_ns(&samples_ns, 0.99));
         }
         let timed_frames = (BENCH_REPS * frames) as f64;
+        let energy_mj_per_frame = (pipe.stats().energy_mj - warm_energy_mj) / timed_frames;
+        let power_w = wavefuse_power::PowerModel::zc702().power_w(backend.execution_mode());
+        let frames_per_second = frames as f64 / best_s.max(1e-12);
         // Measured (not modeled) phase split: the engine's wall-clock
         // accounting for this row's own timed windows, so every
         // backend x threads configuration reports its own numbers.
@@ -778,9 +835,13 @@ pub fn pipeline_bench(
             kernel: pipe.engine().kernel_name(backend).to_string(),
             columnar: pipe.engine().columnar(),
             wall_s: best_s,
-            frames_per_second: frames as f64 / best_s.max(1e-12),
+            frames_per_second,
             ns_per_frame: best_s * 1e9 / frames as f64,
             mean_frames_per_second: timed_frames / total_s.max(1e-12),
+            energy_mj_per_frame,
+            fps_per_watt: frames_per_second / power_w.max(1e-12),
+            p50_ns_per_frame: best_p50_ns,
+            p99_ns_per_frame: best_p99_ns,
             phase_s: per_frame
                 .phases()
                 .iter()
@@ -800,6 +861,15 @@ pub fn pipeline_bench(
         reps: BENCH_REPS,
         rows,
     })
+}
+
+/// Exact ceil-rank quantile of an ascending-sorted sample set, as f64 ns.
+fn sorted_quantile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
 }
 
 /// Builds a JSON object from field pairs (report-row serialization).
@@ -939,6 +1009,10 @@ impl ToJson for BenchRow {
                 "mean_frames_per_second",
                 self.mean_frames_per_second.to_json(),
             ),
+            ("energy_mj_per_frame", self.energy_mj_per_frame.to_json()),
+            ("fps_per_watt", self.fps_per_watt.to_json()),
+            ("p50_ns_per_frame", self.p50_ns_per_frame.to_json()),
+            ("p99_ns_per_frame", self.p99_ns_per_frame.to_json()),
             (
                 "phase_s",
                 JsonValue::Obj(

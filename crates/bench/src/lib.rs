@@ -22,5 +22,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod paper;
 pub mod report;

@@ -147,6 +147,17 @@ pub fn render_telemetry(eval: &crate::experiments::TelemetryEval) -> String {
         eval.telemetry.tracer().dropped(),
         eval.max_phase_error * 100.0,
     ));
+    out.push_str(&format!(
+        "flight recorder {} frames{} | per-frame energy sum {:.2} mJ | reconciliation error {:.4}%\n",
+        eval.flight.len(),
+        if eval.flight.wrapped() {
+            " (wrapped)"
+        } else {
+            ""
+        },
+        eval.flight_energy_mj,
+        eval.energy_error * 100.0,
+    ));
     out
 }
 
@@ -251,14 +262,23 @@ pub fn render_bench(bench: &BenchReport) -> String {
         bench.frame_size.0, bench.frame_size.1, bench.levels, bench.reps, bench.frames
     ));
     out.push_str(&format!(
-        "{:>8} | {:>16} | {:>7} | {:>10} {:>10} {:>12} | {:>14}\n",
-        "backend", "kernel", "threads", "fps", "mean fps", "ns/frame", "pool hit/miss"
+        "{:>8} | {:>16} | {:>7} | {:>10} {:>10} {:>12} {:>12} | {:>9} {:>8} | {:>14}\n",
+        "backend",
+        "kernel",
+        "threads",
+        "fps",
+        "mean fps",
+        "p50 ns",
+        "p99 ns",
+        "mJ/frame",
+        "fps/W",
+        "pool hit/miss"
     ));
-    out.push_str(&"-".repeat(92));
+    out.push_str(&"-".repeat(122));
     out.push('\n');
     for r in &bench.rows {
         out.push_str(&format!(
-            "{:>8} | {:>16} | {:>7} | {:>10.1} {:>10.1} {:>12.0} | {:>8}/{}\n",
+            "{:>8} | {:>16} | {:>7} | {:>10.1} {:>10.1} {:>12.0} {:>12.0} | {:>9.3} {:>8.1} | {:>8}/{}\n",
             r.backend,
             if r.columnar {
                 r.kernel.clone()
@@ -268,7 +288,10 @@ pub fn render_bench(bench: &BenchReport) -> String {
             r.threads,
             r.frames_per_second,
             r.mean_frames_per_second,
-            r.ns_per_frame,
+            r.p50_ns_per_frame,
+            r.p99_ns_per_frame,
+            r.energy_mj_per_frame,
+            r.fps_per_watt,
             r.pool_hits,
             r.pool_misses
         ));

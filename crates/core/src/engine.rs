@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use wavefuse_dtcwt::{
     ComboStore, CwtPyramid, Dtcwt, FilterKernel, Image, JobOutcome, PoolHandle, PoolStats,
-    ScalarKernel, Scratch, WorkerPool,
+    ScalarKernel, Scratch, WorkerPool, WorkerSchedStats,
 };
 use wavefuse_power::PowerModel;
 use wavefuse_simd::SimdKernel;
@@ -56,6 +56,13 @@ pub struct FusionOutput {
     pub backend: Backend,
     /// Modeled energy, millijoules.
     pub energy_mj: f64,
+    /// Seconds the PL engine was busy this frame (0 on CPU-only backends);
+    /// the flight recorder charges the power model's PL increment over it.
+    pub pl_busy_s: f64,
+    /// Cost model's predicted total frame seconds for this backend and
+    /// geometry — the governor rationale recorded next to the measured
+    /// `timing` so prediction error is visible per frame.
+    pub predicted_s: f64,
 }
 
 /// An in-flight fusion started by [`FusionEngine::fuse_submit`].
@@ -81,6 +88,8 @@ pub struct PendingFusion {
     wall_forward_s: f64,
     wall_fusion_s: f64,
     wall_inverse_s: f64,
+    /// PL-busy seconds accumulated across the frame's transforms.
+    pl_busy_s: f64,
 }
 
 impl PendingFusion {
@@ -153,6 +162,9 @@ pub struct FusionEngine {
     /// Transpose-bytes counter value already reported (delta tracking, same
     /// scheme as the pool counters).
     reported_transpose: u64,
+    /// Per-worker scheduler counters already reported to telemetry (delta
+    /// tracking; sized to the pool's thread count).
+    reported_sched: Vec<WorkerSchedStats>,
     /// Whether the CPU kernels run the transpose-free columnar column
     /// passes (the default) or the transpose-staged fallback.
     columnar: bool,
@@ -178,6 +190,8 @@ struct SubmitSplit {
     wall_forward_s: f64,
     wall_fusion_s: f64,
     wall_inverse_s: f64,
+    /// PL engine busy seconds (FPGA/hybrid backends only).
+    pl_busy_s: f64,
 }
 
 /// Worker kernel-slot index of the scalar (ARM) kernel.
@@ -255,6 +269,7 @@ impl FusionEngine {
             out_pool: PoolHandle::new(),
             reported_pool: PoolStats::default(),
             reported_transpose: wavefuse_dtcwt::transpose_bytes_total(),
+            reported_sched: Vec::new(),
             columnar: true,
             pool: None,
             pending_inverse: false,
@@ -272,6 +287,7 @@ impl FusionEngine {
         self.recover_pending_inverse();
         if threads <= 1 {
             self.pool = None;
+            self.reported_sched.clear();
         } else {
             let columnar = self.columnar;
             self.pool = Some(WorkerPool::new(threads, &mut |_| {
@@ -282,6 +298,10 @@ impl FusionEngine {
                     Box::new(simd) as Box<dyn FilterKernel + Send>,
                 ]
             }));
+            // A fresh pool starts its counters at zero.
+            self.reported_sched.clear();
+            self.reported_sched
+                .resize(threads, WorkerSchedStats::default());
         }
     }
 
@@ -367,6 +387,19 @@ impl FusionEngine {
             "wavefuse_transpose_bytes",
             "Bytes copied by Image::transpose_into staging (zero in steady \
              state on the columnar SIMD backends)",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_batches_claimed_total",
+            "Work-stealing claim chunks taken from the shared cursor, per worker",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_steals_total",
+            "Claims that continued a range another worker had been running, \
+             per worker",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_worker_parked_seconds_total",
+            "Seconds workers spent parked on the idle condvar, per worker",
         );
         self.fpga.set_telemetry(Arc::clone(&telemetry));
         self.hybrid.set_telemetry(Arc::clone(&telemetry));
@@ -491,6 +524,7 @@ impl FusionEngine {
                 wall_forward_s: split.wall_forward_s,
                 wall_fusion_s: split.wall_fusion_s,
                 wall_inverse_s: split.wall_inverse_s,
+                pl_busy_s: split.pl_busy_s,
             }),
             Err(e) => {
                 self.out_pool.release(image);
@@ -517,6 +551,7 @@ impl FusionEngine {
             wall_forward_s,
             wall_fusion_s,
             mut wall_inverse_s,
+            pl_busy_s,
         } = pending;
         if inverse_in_flight {
             let t0 = std::time::Instant::now();
@@ -561,6 +596,7 @@ impl FusionEngine {
             inverse_s,
             overhead_s: self.cost.frame_overhead_seconds(plan),
         };
+        let predicted_s = self.predict_with_plan(plan, backend).total_seconds();
         let energy_mj = self
             .power
             .energy_mj(backend.execution_mode(), timing.total_seconds());
@@ -628,13 +664,54 @@ impl FusionEngine {
                 );
                 self.reported_transpose = transposed;
             }
+            // Scheduler counters, per worker, as deltas since the last
+            // report (same monotone-counter scheme as the pool stats).
+            if let Some(pool) = &self.pool {
+                for worker in 0..pool.threads().min(self.reported_sched.len()) {
+                    let cur = pool.sched_stats(worker);
+                    let prev = self.reported_sched[worker];
+                    if cur == prev {
+                        continue;
+                    }
+                    let label = worker_label(worker);
+                    let m = tel.metrics();
+                    m.counter_add(
+                        "wavefuse_batches_claimed_total",
+                        &[("worker", label)],
+                        (cur.batches_claimed - prev.batches_claimed) as f64,
+                    );
+                    m.counter_add(
+                        "wavefuse_steals_total",
+                        &[("worker", label)],
+                        (cur.steals - prev.steals) as f64,
+                    );
+                    m.counter_add(
+                        "wavefuse_worker_parked_seconds_total",
+                        &[("worker", label)],
+                        (cur.parked_ns - prev.parked_ns) as f64 * 1e-9,
+                    );
+                    self.reported_sched[worker] = cur;
+                }
+            }
         }
         Ok(FusionOutput {
             image,
             timing,
             backend,
             energy_mj,
+            pl_busy_s,
+            predicted_s,
         })
+    }
+
+    /// Summed scheduler counters of the worker pool (zeros when running
+    /// serially). Allocation-free; the pipeline's flight recorder charges
+    /// per-frame deltas of this.
+    pub fn sched_totals(&self) -> WorkerSchedStats {
+        self.pool
+            .as_ref()
+            .map(WorkerPool::sched_totals)
+            .unwrap_or_default()
     }
 
     /// Drains a stray in-flight inverse batch (a [`PendingFusion`] that was
@@ -792,6 +869,9 @@ impl FusionEngine {
                 )?;
                 let t1 = std::time::Instant::now();
                 split.forward_s = self.fpga.ledger().elapsed_seconds;
+                // The ledger resets between phases, so PL-busy time must be
+                // sampled per phase and summed.
+                split.pl_busy_s = self.fpga.ledger().pl_busy_seconds(self.fpga.config());
                 let fused = exclusive_pyramid(&mut self.fused);
                 fuse_pyramids_into(
                     &self.pyr_a,
@@ -806,6 +886,7 @@ impl FusionEngine {
                 self.dtcwt
                     .inverse_into(&mut self.fpga, fused, &mut self.scratch, out)?;
                 split.inverse_s = self.fpga.ledger().elapsed_seconds;
+                split.pl_busy_s += self.fpga.ledger().pl_busy_seconds(self.fpga.config());
                 split.wall_forward_s = (t1 - t0).as_secs_f64();
                 split.wall_fusion_s = (t2 - t1).as_secs_f64();
                 split.wall_inverse_s = t2.elapsed().as_secs_f64();
@@ -831,6 +912,7 @@ impl FusionEngine {
                 )?;
                 let t1 = std::time::Instant::now();
                 split.forward_s = self.hybrid.elapsed_seconds();
+                split.pl_busy_s = self.hybrid.pl_busy_seconds();
                 let fused = exclusive_pyramid(&mut self.fused);
                 fuse_pyramids_into(
                     &self.pyr_a,
@@ -845,6 +927,7 @@ impl FusionEngine {
                 self.dtcwt
                     .inverse_into(&mut self.hybrid, fused, &mut self.scratch, out)?;
                 split.inverse_s = self.hybrid.elapsed_seconds();
+                split.pl_busy_s += self.hybrid.pl_busy_seconds();
                 split.wall_forward_s = (t1 - t0).as_secs_f64();
                 split.wall_fusion_s = (t2 - t1).as_secs_f64();
                 split.wall_inverse_s = t2.elapsed().as_secs_f64();
@@ -869,33 +952,40 @@ impl FusionEngine {
         backend: Backend,
     ) -> Result<PhaseTiming, FusionError> {
         let plan = TransformPlan::dtcwt(width, height, self.levels)?;
+        Ok(self.predict_with_plan(&plan, backend))
+    }
+
+    /// [`FusionEngine::predict`] against an already-built plan — pure cost
+    /// arithmetic, so the hot path can record the governor's predicted
+    /// frame cost without allocating.
+    fn predict_with_plan(&self, plan: &TransformPlan, backend: Backend) -> PhaseTiming {
         let (fwd1, inv1) = match backend {
             Backend::Arm => (
-                self.cost.arm_seconds(&plan, Direction::Forward),
-                self.cost.arm_seconds(&plan, Direction::Inverse),
+                self.cost.arm_seconds(plan, Direction::Forward),
+                self.cost.arm_seconds(plan, Direction::Inverse),
             ),
             Backend::Neon => (
-                self.cost.neon_seconds(&plan, Direction::Forward),
-                self.cost.neon_seconds(&plan, Direction::Inverse),
+                self.cost.neon_seconds(plan, Direction::Forward),
+                self.cost.neon_seconds(plan, Direction::Inverse),
             ),
             Backend::Fpga => (
-                self.cost.fpga_seconds(&plan, Direction::Forward),
-                self.cost.fpga_seconds(&plan, Direction::Inverse),
+                self.cost.fpga_seconds(plan, Direction::Forward),
+                self.cost.fpga_seconds(plan, Direction::Inverse),
             ),
             Backend::Hybrid => {
                 let th = self.cost.hybrid_row_threshold();
                 (
-                    self.cost.hybrid_seconds(&plan, Direction::Forward, th),
-                    self.cost.hybrid_seconds(&plan, Direction::Inverse, th),
+                    self.cost.hybrid_seconds(plan, Direction::Forward, th),
+                    self.cost.hybrid_seconds(plan, Direction::Inverse, th),
                 )
             }
         };
-        Ok(PhaseTiming {
+        PhaseTiming {
             forward_s: 2.0 * fwd1,
-            fusion_s: self.cost.fusion_seconds(&plan, self.rule),
+            fusion_s: self.cost.fusion_seconds(plan, self.rule),
             inverse_s: inv1,
-            overhead_s: self.cost.frame_overhead_seconds(&plan),
-        })
+            overhead_s: self.cost.frame_overhead_seconds(plan),
+        }
     }
 
     /// Modeled energy (millijoules) for one fused frame on a backend.
@@ -914,6 +1004,14 @@ impl FusionEngine {
             .power
             .energy_mj(backend.execution_mode(), t.total_seconds()))
     }
+}
+
+/// Static label strings for per-worker metric series, so per-frame delta
+/// reporting never formats. Pools larger than the table fold the excess
+/// workers into the last label.
+fn worker_label(worker: usize) -> &'static str {
+    const LABELS: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+    LABELS[worker.min(LABELS.len() - 1)]
 }
 
 /// Copies `src` into a shared input slot. In steady state the engine holds

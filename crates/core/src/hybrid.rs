@@ -112,6 +112,14 @@ impl HybridKernel {
         }
     }
 
+    /// Seconds the PL engine spent busy since the last reset — the
+    /// FPGA-routed rows' DMA/pipeline/MAC cycles on the PL clock. The
+    /// power model charges its PL increment over this window; SIMD rows
+    /// never touch it.
+    pub fn pl_busy_seconds(&self) -> f64 {
+        self.fpga.ledger().pl_busy_seconds(self.fpga.config())
+    }
+
     /// Rows routed to the SIMD engine since the last reset.
     pub fn rows_on_simd(&self) -> u64 {
         self.rows_simd

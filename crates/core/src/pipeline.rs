@@ -7,18 +7,24 @@
 //! adaptively chosen backend, accumulating modeled time and energy.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use wavefuse_dtcwt::Image;
-use wavefuse_trace::Telemetry;
+use wavefuse_dtcwt::{Image, PoolStats, WorkerSchedStats};
+use wavefuse_trace::{FlightRecorder, FrameRecord, LogHistogram, Telemetry};
 use wavefuse_video::camera::{ThermalCamera, WebCamera};
 use wavefuse_video::fifo::FrameGate;
 use wavefuse_video::scene::ScenePair;
 use wavefuse_video::Frame;
 
-use crate::adaptive::AdaptiveScheduler;
+use crate::adaptive::{AdaptiveScheduler, Objective, Policy};
 use crate::backend::{Backend, BackendCounts};
-use crate::engine::{FusionEngine, FusionOutput, PhaseTiming};
+use crate::engine::{FusionEngine, FusionOutput, PhaseTiming, PHASE_NAMES};
 use crate::FusionError;
+
+/// Frames the always-on flight recorder retains (the paper profiles runs
+/// of tens of frames; 1024 covers every harness in this workspace without
+/// wrapping while still bounding memory at ~300 KiB).
+pub const FLIGHT_CAPACITY: usize = 1024;
 
 /// How the pipeline picks a backend per frame.
 #[derive(Debug)]
@@ -107,6 +113,22 @@ pub struct VideoFusionPipeline {
     /// previous frame's in-flight inverse transform (software pipelining;
     /// only set when the engine runs a worker pool).
     prefetched: bool,
+    /// Always-on per-frame flight recorder (ring of the last
+    /// [`FLIGHT_CAPACITY`] frames; recording is allocation-free).
+    flight: FlightRecorder,
+    /// Host wall-clock origin for flight-record timestamps.
+    wall_origin: Instant,
+    /// Engine scheduler totals already charged to flight records.
+    last_sched: WorkerSchedStats,
+    /// Buffer-pool counters already charged to flight records.
+    last_pool: PoolStats,
+    /// Always-on sharded histogram of modeled frame latency, seconds.
+    hist_frame_s: LogHistogram,
+    /// Always-on sharded histogram of modeled frame energy, mJ.
+    hist_energy_mj: LogHistogram,
+    /// Per-phase latency histograms, index-aligned with
+    /// [`PHASE_NAMES`](crate::engine::PHASE_NAMES).
+    hist_phase_s: [LogHistogram; 4],
 }
 
 impl VideoFusionPipeline {
@@ -132,6 +154,18 @@ impl VideoFusionPipeline {
             visible: Frame::new(Image::zeros(0, 0), 0),
             thermal_free: Vec::with_capacity(4),
             prefetched: false,
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
+            wall_origin: Instant::now(),
+            last_sched: WorkerSchedStats::default(),
+            last_pool: PoolStats::default(),
+            hist_frame_s: LogHistogram::with_defaults(),
+            hist_energy_mj: LogHistogram::with_defaults(),
+            hist_phase_s: [
+                LogHistogram::with_defaults(),
+                LogHistogram::with_defaults(),
+                LogHistogram::with_defaults(),
+                LogHistogram::with_defaults(),
+            ],
         })
     }
 
@@ -158,6 +192,18 @@ impl VideoFusionPipeline {
         telemetry.metrics().describe(
             "wavefuse_pipeline_energy_millijoules",
             "Accumulated modeled energy over the pipeline run",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_frame_latency_seconds",
+            "Sharded histogram of modeled frame latency across all backends",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_frame_energy_millijoules",
+            "Sharded histogram of modeled per-frame energy",
+        );
+        telemetry.metrics().describe(
+            "wavefuse_phase_latency_seconds",
+            "Sharded histogram of modeled per-phase latency",
         );
         self.engine.set_telemetry(Arc::clone(&telemetry));
         if let BackendChoice::Adaptive(s) = &mut self.backend {
@@ -201,6 +247,7 @@ impl VideoFusionPipeline {
     ///
     /// Propagates capture and transform errors.
     pub fn step_with_burst(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
+        let wall_start = self.wall_origin.elapsed();
         // One thermal field and the visible frame may already be captured,
         // overlapped with the previous step's in-flight inverse.
         let prefetched = std::mem::take(&mut self.prefetched);
@@ -260,11 +307,84 @@ impl VideoFusionPipeline {
         }
 
         let drops_before = self.stats.gate_drops;
+        let frame_index = self.stats.frames;
+        // Modeled clock position of this frame = everything fused so far.
+        let model_start_s = self.stats.timing.total_seconds();
         self.stats.frames += 1;
         self.stats.timing.accumulate(&out.timing);
         self.stats.energy_mj += out.energy_mj;
         self.stats.backend_usage[backend] += 1;
         self.stats.gate_drops = self.gate.dropped();
+
+        // --- flight record + histograms (always on, allocation-free) ---
+        let model_dur_s = out.timing.total_seconds();
+        self.hist_frame_s.observe(model_dur_s);
+        self.hist_energy_mj.observe(out.energy_mj);
+        let power_w = self.engine.power_model().power_w(backend.execution_mode());
+        let mut phase_s = [0.0; 4];
+        let mut phase_mj = [0.0; 4];
+        for (i, (_, dur)) in out.timing.phases().iter().enumerate() {
+            phase_s[i] = *dur;
+            phase_mj[i] = power_w * dur * 1e3;
+            self.hist_phase_s[i].observe(*dur);
+        }
+        // PS/PL energy split: the PL increment is charged only over the PL
+        // engine's busy window (from the cycle ledger / DMA timeline); the
+        // PS share absorbs the rest, including the PL idle/static part of
+        // the mode's rail power, so ps_mj + pl_mj == energy_mj exactly.
+        let pl_mj =
+            (self.engine.power_model().pl_increment_w() * out.pl_busy_s * 1e3).min(out.energy_mj);
+        let ps_mj = out.energy_mj - pl_mj;
+        let decision = match &self.backend {
+            BackendChoice::Fixed(_) => "fixed",
+            BackendChoice::Adaptive(s) => match s.policy() {
+                Policy::Threshold { .. } => "threshold",
+                Policy::Model(Objective::Time) => "model-time",
+                Policy::Model(Objective::Energy) => "model-energy",
+                Policy::Online(Objective::Time) => "online-time",
+                Policy::Online(Objective::Energy) => "online-energy",
+            },
+        };
+        // Per-frame deltas of cumulative engine counters. `saturating_sub`
+        // because an `engine_mut()` reconfiguration (set_threads /
+        // set_columnar) swaps in a fresh pool with zeroed counters mid-run.
+        let sched = self.engine.sched_totals();
+        let steals = sched.steals.saturating_sub(self.last_sched.steals);
+        let batches_claimed = sched
+            .batches_claimed
+            .saturating_sub(self.last_sched.batches_claimed);
+        let parked_ns = sched.parked_ns.saturating_sub(self.last_sched.parked_ns);
+        self.last_sched = sched;
+        let pool_stats = self.engine.buffer_pool().stats();
+        let pool_hit = pool_stats.hits > self.last_pool.hits;
+        self.last_pool = pool_stats;
+        let wall_end = self.wall_origin.elapsed();
+        self.flight.record(FrameRecord {
+            frame: frame_index,
+            backend: backend.label(),
+            kernel: self.engine.kernel_name(backend),
+            decision,
+            columnar: self.engine.columnar(),
+            threads: self.engine.threads() as u64,
+            wall_start_us: wall_start.as_secs_f64() * 1e6,
+            wall_dur_us: (wall_end - wall_start).as_secs_f64() * 1e6,
+            model_start_s,
+            model_dur_s,
+            phase_s,
+            phase_mj,
+            energy_mj: out.energy_mj,
+            ps_mj,
+            pl_mj,
+            pl_busy_s: out.pl_busy_s,
+            predicted_s: out.predicted_s,
+            deadline_s: 1.0 / self.web.fps(),
+            pool_hit,
+            gate_drops: self.stats.gate_drops - drops_before,
+            batches_claimed,
+            steals,
+            parked_ns,
+        });
+
         if let Some(tel) = &self.telemetry {
             let m = tel.metrics();
             m.counter_add(
@@ -289,6 +409,27 @@ impl VideoFusionPipeline {
                     "gate_drop",
                     "pipeline",
                     vec![("dropped".into(), dropped_now.into())],
+                );
+            }
+            // Publish the sharded histograms into the registry so the
+            // Prometheus exporter sees them. (Snapshotting allocates, which
+            // is fine here: the telemetry path is outside the
+            // zero-allocation guarantee; the histograms themselves are not.)
+            m.set_histogram(
+                "wavefuse_frame_latency_seconds",
+                &[],
+                self.hist_frame_s.snapshot(),
+            );
+            m.set_histogram(
+                "wavefuse_frame_energy_millijoules",
+                &[],
+                self.hist_energy_mj.snapshot(),
+            );
+            for (i, phase) in PHASE_NAMES.iter().enumerate() {
+                m.set_histogram(
+                    "wavefuse_phase_latency_seconds",
+                    &[("phase", phase)],
+                    self.hist_phase_s[i].snapshot(),
                 );
             }
         }
@@ -319,6 +460,24 @@ impl VideoFusionPipeline {
     /// Accumulated statistics.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// The always-on per-frame flight recorder (the last
+    /// [`FLIGHT_CAPACITY`] frames, oldest overwritten first).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Estimated `q`-quantile of modeled frame latency, seconds, from the
+    /// always-on sharded histogram. Allocation-free.
+    pub fn frame_latency_quantile(&self, q: f64) -> f64 {
+        self.hist_frame_s.quantile(q)
+    }
+
+    /// Estimated `q`-quantile of modeled per-frame energy, mJ, from the
+    /// always-on sharded histogram. Allocation-free.
+    pub fn frame_energy_quantile(&self, q: f64) -> f64 {
+        self.hist_energy_mj.quantile(q)
     }
 
     /// The engine (e.g. for prediction queries).
@@ -475,6 +634,84 @@ mod tests {
             2,
             "small frames -> NEON"
         );
+    }
+
+    #[test]
+    fn flight_recorder_reconciles_with_stats() {
+        for backend in Backend::ALL_EXTENDED {
+            let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+                frame_size: (48, 40),
+                levels: 3,
+                backend: BackendChoice::Fixed(backend),
+                scene_seed: 11,
+                threads: 1,
+            })
+            .unwrap();
+            pipe.run(6).unwrap();
+            let rec = pipe.flight_recorder();
+            assert_eq!(rec.len(), 6);
+            assert!(!rec.wrapped());
+            // Per-frame energy sums back to the aggregate stat exactly
+            // (each record copies the frame's energy verbatim), and the
+            // PS/PL split partitions it.
+            let sum: f64 = rec.iter().map(|r| r.energy_mj).sum();
+            let stats = pipe.stats();
+            assert!(
+                (sum - stats.energy_mj).abs() <= 1e-9 * stats.energy_mj,
+                "{backend:?}: recorder {sum} vs stats {}",
+                stats.energy_mj
+            );
+            for r in rec.iter() {
+                assert_eq!(r.backend, backend.label());
+                assert_eq!(r.decision, "fixed");
+                assert!((r.ps_mj + r.pl_mj - r.energy_mj).abs() < 1e-12);
+                assert!(r.predicted_s > 0.0);
+                assert!((r.deadline_s - 1.0 / 30.0).abs() < 1e-12);
+                match backend {
+                    // The accelerator backends must charge PL-busy time...
+                    Backend::Fpga | Backend::Hybrid => {
+                        assert!(r.pl_busy_s > 0.0, "{backend:?}: no PL busy time");
+                        assert!(r.pl_mj > 0.0);
+                    }
+                    // ...and the CPU ones must not.
+                    _ => {
+                        assert_eq!(r.pl_busy_s, 0.0);
+                        assert_eq!(r.pl_mj, 0.0);
+                    }
+                }
+            }
+            // Frame indices are recorded in order.
+            let frames: Vec<u64> = rec.iter().map(|r| r.frame).collect();
+            assert_eq!(frames, [0, 1, 2, 3, 4, 5]);
+            // The always-on histograms saw every frame.
+            assert!(pipe.frame_latency_quantile(0.5) > 0.0);
+            assert!(pipe.frame_energy_quantile(0.99) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fpga_predictions_track_measured_frame_cost() {
+        // The analytic FPGA prediction is validated against the simulator
+        // elsewhere at 2%; the flight record carries both sides.
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (88, 72),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Fpga),
+            scene_seed: 2016,
+            threads: 1,
+        })
+        .unwrap();
+        pipe.run(3).unwrap();
+        for r in pipe.flight_recorder().iter() {
+            let err = (r.predicted_s - r.model_dur_s).abs() / r.model_dur_s;
+            assert!(
+                err < 0.05,
+                "frame {}: predicted {} vs measured {}",
+                r.frame,
+                r.predicted_s,
+                r.model_dur_s
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! (built once by the construction-time factory), mirroring the paper's
 //! model of fixed per-engine line buffers.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -224,6 +224,49 @@ const DRAIN_SPINS: usize = 2_048;
 /// Sentinel for "no errored job recorded".
 const NO_ERROR: usize = usize::MAX;
 
+/// Sentinel for "no worker has claimed yet" in `last_claimer`.
+const NO_WORKER: usize = usize::MAX;
+
+/// Per-worker scheduler counters, snapshotted from the pool's atomics.
+///
+/// `steals` counts claims whose immediately preceding claim (pool-wide)
+/// was made by a *different* worker — i.e. the chunk continued a batch
+/// range another worker had been working through. The very first claim
+/// after pool construction is not a steal. On a single-threaded pool
+/// `steals` is always zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSchedStats {
+    /// Claim chunks this worker took from the shared cursor.
+    pub batches_claimed: u64,
+    /// Claims that continued another worker's run (see type docs).
+    pub steals: u64,
+    /// Individual jobs executed by this worker.
+    pub jobs: u64,
+    /// Nanoseconds this worker spent parked on the idle condvar.
+    pub parked_ns: u64,
+}
+
+impl WorkerSchedStats {
+    /// Adds another snapshot's counters into this one.
+    pub fn merge(&mut self, other: &WorkerSchedStats) {
+        self.batches_claimed += other.batches_claimed;
+        self.steals += other.steals;
+        self.jobs += other.jobs;
+        self.parked_ns += other.parked_ns;
+    }
+}
+
+/// One worker's live counter cells (written by that worker only; read by
+/// anyone). Observation sites are chunk-granular, far below the contention
+/// regime where cache-line padding would matter.
+#[derive(Default)]
+struct WorkerCell {
+    claims: AtomicU64,
+    steals: AtomicU64,
+    jobs: AtomicU64,
+    parked_ns: AtomicU64,
+}
+
 /// One job's hand-off cell. The dispatcher stores the job before
 /// publishing the index; exactly one worker takes it, runs it, and stores
 /// the outcome; the dispatcher takes the outcome during drain. Each mutex
@@ -261,6 +304,11 @@ struct Shared {
     drain_waiting: AtomicBool,
     drain_park: Mutex<()>,
     drained: Condvar,
+    /// Per-worker scheduler counters, indexed by worker.
+    stats: Vec<WorkerCell>,
+    /// Worker index of the most recent successful claim (`NO_WORKER`
+    /// until the first), used to classify cross-worker steals.
+    last_claimer: AtomicUsize,
 }
 
 impl Shared {
@@ -268,9 +316,10 @@ impl Shared {
         self.cursor.load(SeqCst) < self.limit.load(SeqCst)
     }
 
-    /// Claims the next chunk of unclaimed job sequences, splitting the
-    /// remaining range adaptively. Returns `None` when the batch is empty.
-    fn claim(&self) -> Option<(usize, usize)> {
+    /// Claims the next chunk of unclaimed job sequences for worker `me`,
+    /// splitting the remaining range adaptively and charging the claim /
+    /// steal / job counters. Returns `None` when the batch is empty.
+    fn claim(&self, me: usize) -> Option<(usize, usize)> {
         loop {
             let limit = self.limit.load(SeqCst);
             let cur = self.cursor.load(SeqCst);
@@ -284,6 +333,13 @@ impl Shared {
                 .compare_exchange(cur, cur + chunk, SeqCst, SeqCst)
                 .is_ok()
             {
+                let cell = &self.stats[me];
+                cell.claims.fetch_add(1, SeqCst);
+                cell.jobs.fetch_add(chunk as u64, SeqCst);
+                let prev = self.last_claimer.swap(me, SeqCst);
+                if prev != me && prev != NO_WORKER {
+                    cell.steals.fetch_add(1, SeqCst);
+                }
                 return Some((cur, cur + chunk));
             }
         }
@@ -335,6 +391,8 @@ impl WorkerPool {
             drain_waiting: AtomicBool::new(false),
             drain_park: Mutex::new(()),
             drained: Condvar::new(),
+            stats: (0..threads).map(|_| WorkerCell::default()).collect(),
+            last_claimer: AtomicUsize::new(NO_WORKER),
         });
         let handles = (0..threads)
             .map(|i| {
@@ -342,7 +400,7 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("wavefuse-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, kernels))
+                    .spawn(move || worker_loop(&shared, i, kernels))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -356,6 +414,30 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of one worker's scheduler counters. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= threads`.
+    pub fn sched_stats(&self, worker: usize) -> WorkerSchedStats {
+        let cell = &self.shared.stats[worker];
+        WorkerSchedStats {
+            batches_claimed: cell.claims.load(SeqCst),
+            steals: cell.steals.load(SeqCst),
+            jobs: cell.jobs.load(SeqCst),
+            parked_ns: cell.parked_ns.load(SeqCst),
+        }
+    }
+
+    /// Sum of every worker's scheduler counters. Allocation-free.
+    pub fn sched_totals(&self) -> WorkerSchedStats {
+        let mut total = WorkerSchedStats::default();
+        for worker in 0..self.threads {
+            total.merge(&self.sched_stats(worker));
+        }
+        total
     }
 
     /// Publishes one job; an idle worker may start it immediately.
@@ -452,11 +534,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared, mut kernels: Vec<Box<dyn FilterKernel + Send>>) {
+fn worker_loop(shared: &Shared, me: usize, mut kernels: Vec<Box<dyn FilterKernel + Send>>) {
     let mut scratch = Scratch::new();
     let mut spins = 0usize;
     loop {
-        if let Some((start, end)) = shared.claim() {
+        if let Some((start, end)) = shared.claim(me) {
             spins = 0;
             for seq in start..end {
                 run_slot(shared, seq, &mut kernels, &mut scratch);
@@ -477,6 +559,7 @@ fn worker_loop(shared: &Shared, mut kernels: Vec<Box<dyn FilterKernel + Send>>) 
         // Park. The recheck below runs after `parked` is visible, and
         // `submit` checks `parked` after publishing, so one side always
         // sees the other (no lost wakeup).
+        let park_start = std::time::Instant::now();
         let mut g = shared.park.lock().expect("worker pool poisoned");
         shared.parked.fetch_add(1, SeqCst);
         while !shared.shutdown.load(SeqCst) && !shared.work_available() {
@@ -484,6 +567,9 @@ fn worker_loop(shared: &Shared, mut kernels: Vec<Box<dyn FilterKernel + Send>>) 
         }
         shared.parked.fetch_sub(1, SeqCst);
         drop(g);
+        shared.stats[me]
+            .parked_ns
+            .fetch_add(park_start.elapsed().as_nanos() as u64, SeqCst);
         spins = 0;
     }
 }
@@ -725,6 +811,47 @@ mod tests {
         let pool = WorkerPool::new(3, &mut boxed_scalar);
         assert_eq!(pool.threads(), 3);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn sched_counters_account_for_every_job() {
+        let pool = WorkerPool::new(2, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(2).unwrap());
+        let img = Arc::new(Image::from_fn(32, 24, |x, y| ((x + 5 * y) % 11) as f32));
+        let mut combos = ComboStore::new();
+        let mut outcomes = Vec::new();
+        let mut out = CwtPyramid::empty();
+        for _ in 0..4 {
+            t.forward_pooled(&pool, 0, &img, &mut combos, &mut outcomes, &mut out)
+                .unwrap();
+        }
+        let totals = pool.sched_totals();
+        // Every executed job was claimed through the shared cursor; each
+        // forward batch submits four combo jobs.
+        assert_eq!(totals.jobs, 16, "totals: {totals:?}");
+        assert!(totals.batches_claimed >= 1 && totals.batches_claimed <= totals.jobs);
+        // A steal is a kind of claim, never more than all of them. (Steal
+        // and park counts depend on scheduling luck, so no lower bound.)
+        assert!(totals.steals <= totals.batches_claimed);
+        let per_worker: u64 = (0..pool.threads()).map(|w| pool.sched_stats(w).jobs).sum();
+        assert_eq!(per_worker, totals.jobs);
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let pool = WorkerPool::new(1, &mut boxed_scalar);
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::filled(16, 16, 0.25));
+        let mut combos = ComboStore::new();
+        let mut outcomes = Vec::new();
+        let mut out = CwtPyramid::empty();
+        for _ in 0..3 {
+            t.forward_pooled(&pool, 0, &img, &mut combos, &mut outcomes, &mut out)
+                .unwrap();
+        }
+        let stats = pool.sched_stats(0);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.jobs, 12);
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //!   clock that the cost models and the cycle-level ZYNQ simulator advance.
 //! * [`metrics::MetricsRegistry`] — counters, gauges and log2-bucketed
 //!   histograms with label support (backend, phase, frame size).
+//! * [`histogram::LogHistogram`] — an allocation-free, lock-free,
+//!   thread-sharded log-bucketed histogram for hot-path samples
+//!   (per-frame latency, per-phase durations, per-frame energy); its
+//!   snapshots publish into the registry for Prometheus export.
+//! * [`flight::FlightRecorder`] — a fixed-capacity per-frame flight
+//!   recorder ring ([`flight::FrameRecord`] per fused frame: dual-clock
+//!   timestamps, phase/energy splits, governor rationale, scheduler
+//!   counters) with JSONL and Chrome-trace export.
 //! * [`export`] — three exporters: Prometheus text exposition,
 //!   JSON Lines, and the Chrome trace-event format (loadable in Perfetto
 //!   or `chrome://tracing`).
@@ -43,11 +51,15 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
 mod telemetry;
 pub mod tracer;
 
+pub use flight::{FlightRecorder, FrameRecord};
+pub use histogram::LogHistogram;
 pub use json::{JsonValue, ToJson};
 pub use metrics::{MetricValue, MetricsRegistry, SeriesKey};
 pub use telemetry::Telemetry;

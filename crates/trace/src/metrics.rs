@@ -204,6 +204,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Inserts or replaces a histogram series with an externally built
+    /// [`HistogramData`] — the publication path for
+    /// [`LogHistogram`](crate::LogHistogram) snapshots, which maintain
+    /// their counters outside the registry for allocation-free recording.
+    pub fn set_histogram(&self, name: &str, labels: &[(&str, &str)], data: HistogramData) {
+        let mut series = self.series.lock().expect("series map");
+        series.insert(SeriesKey::new(name, labels), MetricValue::Histogram(data));
+    }
+
     /// Current value of a counter (0 if the series does not exist).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
         match self

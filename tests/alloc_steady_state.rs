@@ -20,6 +20,7 @@ use wavefuse_dtcwt::{
     transpose_bytes_total, ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch,
 };
 use wavefuse_simd::AutoVecKernel;
+use wavefuse_trace::{FlightRecorder, FrameRecord, LogHistogram};
 use wavefuse_zynq::FpgaKernel;
 
 /// `transpose_bytes_total()` is a process-wide counter, and the scalar and
@@ -221,5 +222,46 @@ fn steady_state_fpga_transform_path_does_not_allocate() {
         (allocs, bytes),
         (0, 0),
         "fpga: transform allocated {allocs} times ({bytes} bytes)"
+    );
+}
+
+// The flight recorder and the log-bucketed histograms ride along on every
+// pipeline step (they are always on), so the pipeline steady-state test
+// above already proves they stay off the allocator in situ. This test
+// pins the same guarantee on the primitives directly: once constructed,
+// observing, querying quantiles, and recording frames must never allocate.
+#[test]
+fn observability_primitives_do_not_allocate_after_construction() {
+    // Construction sizes the sharded counters and the record ring.
+    let hist = LogHistogram::with_defaults();
+    let mut flight = FlightRecorder::new(64);
+    // One warm-up observation binds this thread's shard ordinal.
+    hist.observe(1.0);
+    flight.record(FrameRecord::default());
+
+    let (allocs, bytes, ()) = counted(|| {
+        for i in 0..1000u64 {
+            hist.observe(1e-5 * (i + 1) as f64);
+            flight.record(FrameRecord {
+                frame: i,
+                energy_mj: i as f64 * 0.25,
+                ..FrameRecord::default()
+            });
+        }
+        // Quantile/aggregate queries merge the shards in place.
+        assert!(hist.quantile(0.5) > 0.0);
+        assert!(hist.quantile(0.99) >= hist.quantile(0.5));
+        assert!(hist.max() > 0.0);
+        assert!(hist.sum() > 0.0);
+        assert_eq!(hist.count(), 1001);
+        // The ring wrapped several times and kept the newest records.
+        assert!(flight.wrapped());
+        assert_eq!(flight.len(), 64);
+        assert_eq!(flight.iter().last().expect("newest").frame, 999);
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "observability primitives allocated {allocs} times ({bytes} bytes)"
     );
 }

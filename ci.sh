@@ -17,6 +17,11 @@ cargo test -q --release --test alloc_steady_state
 echo "== columnar bit-identity (transpose-free column passes)"
 cargo test -q --release --test columnar_identity
 
+echo "== depth-k pipelining bit-identity (incl. the release-only VGA matrix)"
+# Depth {1,2,3} x threads {1,2,4} x frame sizes must reproduce the serial
+# pixel stream exactly; the 640x480 matrix is debug-ignored and runs here.
+cargo test -q --release --test depth_identity -- --include-ignored
+
 echo "== throughput bench smoke (repro bench --frames 16)"
 # Smoke only: must run to completion and emit the JSON report; the
 # numbers themselves are host-dependent and not asserted here.
@@ -41,6 +46,22 @@ echo "== bench regression gate (repro bench --check, serial rows, ±25%)"
 cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 16 --threads 1 --bench-out target/BENCH_gate.json \
     --check BENCH_pipeline.json --tolerance 25
+
+echo "== large-frame bench smoke (repro bench --frame-size 640x480, serial)"
+# One reduced-frame VGA serial row: large-frame geometry must stay
+# runnable end to end and the row must record its own size.
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 4 --threads 1 --frame-size 640x480 \
+    --bench-out target/BENCH_smoke_vga.json
+grep -q '"frame_size":\[640,480\]' target/BENCH_smoke_vga.json
+
+echo "== depth-2 bench smoke (repro bench --depth 2 --threads 2)"
+# A depth-2 pooled run must complete and record the effective depth on
+# its threaded rows (serial rows degrade to depth 1 by design).
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 8 --threads 2 --depth 2 \
+    --bench-out target/BENCH_smoke_d2.json
+grep -q '"depth":2' target/BENCH_smoke_d2.json
 
 echo "== flight recorder smoke (repro eval --flight-record)"
 # The eval reconciles the flight recorder's per-frame energy sum against

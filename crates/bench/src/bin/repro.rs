@@ -17,6 +17,11 @@
 //! in the current directory; `--frames <n>` sets the timed frames per
 //! configuration (default 64) and `--threads <n>` the worker count of
 //! the threaded rows (default: host parallelism clamped to 2..=4).
+//! `--frame-size <WxH>` changes the measured geometry (default `88x72`)
+//! and `--depth <k>` requests depth-k software pipelining for the
+//! threaded rows (serial rows always run at depth 1). `--matrix`
+//! additionally records the NEON scaling curve — 1/2/4/8 threads x
+//! {88x72, 640x480, 1920x1080} x depth {1,2,3} — as extra report rows.
 //! `--no-columnar` disables the transpose-free columnar column passes so
 //! the staged-transpose fallback can be measured; each report row records
 //! the kernel name and the effective `columnar` setting.
@@ -44,8 +49,8 @@ use wavefuse_bench::{gate, report};
 use wavefuse_trace::{export, JsonValue, ToJson};
 
 const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
-[--trace <path>] [--metrics <path>] [--jsonl <path>] [--flight-record <path>] [--frames <n>] [--threads <n>] [--bench-out <path>] [--no-columnar] \
-[--check <baseline.json>] [--tolerance <pct>]";
+[--trace <path>] [--metrics <path>] [--jsonl <path>] [--flight-record <path>] [--frames <n>] [--threads <n>] [--frame-size <WxH>] [--depth <k>] [--matrix] \
+[--bench-out <path>] [--no-columnar] [--check <baseline.json>] [--tolerance <pct>]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +65,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             // Valueless flags.
-            if name == "no-columnar" {
+            if name == "no-columnar" || name == "matrix" {
                 options.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -184,8 +189,29 @@ fn main() -> ExitCode {
                 None => None,
             };
             let columnar = opt("no-columnar").is_none();
+            let frame_size: (usize, usize) = match opt("frame-size").as_deref() {
+                Some(v) => {
+                    let parse = || -> Option<(usize, usize)> {
+                        let (w, h) = v.split_once(['x', 'X'])?;
+                        Some((w.trim().parse().ok()?, h.trim().parse().ok()?))
+                    };
+                    parse().ok_or_else(|| format!("bad --frame-size '{v}' (expected WxH)"))?
+                }
+                None => (88, 72),
+            };
+            let depth: usize = match opt("depth").as_deref() {
+                Some(v) => v.parse().map_err(|_| format!("bad --depth '{v}'"))?,
+                None => 1,
+            };
             eprintln!("measuring pipeline throughput ({frames} timed frames per configuration)...");
-            let bench = experiments::pipeline_bench(frames, threads, columnar)?;
+            let bench = if opt("matrix").is_some() {
+                eprintln!(
+                    "recording NEON scaling matrix (threads x frame sizes x pipeline depths)..."
+                );
+                experiments::pipeline_bench_with_matrix(frames, threads, columnar)?
+            } else {
+                experiments::pipeline_bench(frames, threads, columnar, frame_size, depth)?
+            };
             println!("{}", report::render_bench(&bench));
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
             std::fs::write(&path, bench.to_json().render())?;

@@ -60,6 +60,7 @@ pub fn collect_matrix() -> Result<Vec<MatrixEntry>, FusionError> {
                 backend: BackendChoice::Fixed(backend),
                 scene_seed: SCENE_SEED,
                 threads: 1,
+                depth: 1,
             })?;
             let stats = pipe.run(FRAMES_PER_RUN)?;
             rows.push(MatrixEntry {
@@ -620,6 +621,7 @@ pub fn telemetry_eval(frames: usize) -> Result<TelemetryEval, FusionError> {
         ))),
         scene_seed: SCENE_SEED,
         threads: 1,
+        depth: 1,
     })?;
     pipe.set_telemetry(std::sync::Arc::clone(&telemetry));
     for i in 0..frames.max(1) {
@@ -676,13 +678,22 @@ pub const BENCH_WARMUP_FRAMES: usize = 4;
 /// the mean.
 pub const BENCH_REPS: usize = 3;
 
-/// One measured pipeline configuration: a backend at a thread count.
+/// One measured pipeline configuration: a backend at a thread count,
+/// frame size and pipelining depth.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
     /// Backend label (paper naming).
     pub backend: String,
     /// Worker threads driving the engine (1 = serial, no pool).
     pub threads: usize,
+    /// Frame geometry of this row (rows of one report may differ when
+    /// the scaling matrix is included).
+    pub frame_size: (usize, usize),
+    /// Effective pipelining depth (frames in flight; 1 = no software
+    /// pipelining beyond the single-frame capture overlap).
+    pub depth: usize,
+    /// Timed frames per window for this row (large frames measure fewer).
+    pub frames: usize,
     /// Kernel implementation name behind this backend (e.g. `neon-simd`).
     pub kernel: String,
     /// Whether the transpose-free columnar column passes were enabled.
@@ -740,24 +751,133 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
 }
 
-/// Measures real wall-clock pipeline throughput (fixed seed, default
-/// 88x72 geometry) for `frames` timed steps per configuration. Unlike
-/// [`throughput_report`], which inverts the *modeled* per-frame time,
-/// this times actual execution with `std::time::Instant`, after a
+/// One configuration of the wall-clock benchmark.
+#[derive(Debug, Clone, Copy)]
+struct BenchCase {
+    backend: Backend,
+    threads: usize,
+    /// Requested pipelining depth (the pipeline's degrade rule applies).
+    depth: usize,
+    frame_size: (usize, usize),
+    /// Timed frames per window.
+    frames: usize,
+    /// Untimed warm-up frames (covers the depth-k prologue).
+    warmup: usize,
+}
+
+/// Measures one configuration: warm-up, [`BENCH_REPS`] timed windows,
+/// per-step latency quantiles, measured phase split and pool counters.
+fn bench_case(case: BenchCase, columnar: bool) -> Result<BenchRow, FusionError> {
+    let frames = case.frames.max(1);
+    let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: case.frame_size,
+        levels: LEVELS,
+        backend: BackendChoice::Fixed(case.backend),
+        scene_seed: SCENE_SEED,
+        threads: case.threads,
+        depth: case.depth,
+    })?;
+    pipe.engine_mut().set_columnar(columnar);
+    pipe.run(case.warmup)?;
+    let warm_wall = pipe.engine().wall_phase_totals();
+    let warm_energy_mj = pipe.stats().energy_mj;
+    let mut best_s = f64::INFINITY;
+    let mut total_s = 0.0;
+    let mut best_p50_ns = f64::INFINITY;
+    let mut best_p99_ns = f64::INFINITY;
+    // Per-step samples, reused across windows (sized once, no timed
+    // allocation). Each step is timed individually so the row carries
+    // real latency quantiles, not just window means. At depth > 1 a
+    // "step" is retire-one-submit-one in the steady state, so the
+    // quantiles remain per-delivered-frame figures.
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(frames);
+    for _ in 0..BENCH_REPS {
+        samples_ns.clear();
+        let start = std::time::Instant::now();
+        for _ in 0..frames {
+            let t0 = std::time::Instant::now();
+            let out = pipe.step()?;
+            pipe.recycle(out);
+            samples_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        let window_s = start.elapsed().as_secs_f64();
+        best_s = best_s.min(window_s);
+        total_s += window_s;
+        samples_ns.sort_unstable();
+        // Keep the best window's quantiles — the min-time discipline
+        // applied per order statistic, robust against one noisy window.
+        best_p50_ns = best_p50_ns.min(sorted_quantile_ns(&samples_ns, 0.50));
+        best_p99_ns = best_p99_ns.min(sorted_quantile_ns(&samples_ns, 0.99));
+    }
+    let timed_frames = (BENCH_REPS * frames) as f64;
+    let energy_mj_per_frame = (pipe.stats().energy_mj - warm_energy_mj) / timed_frames;
+    let power_w = wavefuse_power::PowerModel::zc702().power_w(case.backend.execution_mode());
+    let frames_per_second = frames as f64 / best_s.max(1e-12);
+    // Measured (not modeled) phase split: the engine's wall-clock
+    // accounting for this row's own timed windows, so every
+    // backend x threads configuration reports its own numbers.
+    let wall = pipe.engine().wall_phase_totals();
+    let forward_s = (wall.forward_s - warm_wall.forward_s) / timed_frames;
+    let fusion_s = (wall.fusion_s - warm_wall.fusion_s) / timed_frames;
+    let inverse_s = (wall.inverse_s - warm_wall.inverse_s) / timed_frames;
+    let per_frame = PhaseTiming {
+        forward_s,
+        fusion_s,
+        inverse_s,
+        // Everything outside the engine phases: capture, gating,
+        // telemetry and pipeline bookkeeping.
+        overhead_s: (total_s / timed_frames - forward_s - fusion_s - inverse_s).max(0.0),
+    };
+    let pool = pipe.engine().buffer_pool().stats();
+    Ok(BenchRow {
+        backend: case.backend.label().to_string(),
+        threads: case.threads,
+        frame_size: case.frame_size,
+        depth: pipe.depth(),
+        frames,
+        kernel: pipe.engine().kernel_name(case.backend).to_string(),
+        columnar: pipe.engine().columnar(),
+        wall_s: best_s,
+        frames_per_second,
+        ns_per_frame: best_s * 1e9 / frames as f64,
+        mean_frames_per_second: timed_frames / total_s.max(1e-12),
+        energy_mj_per_frame,
+        fps_per_watt: frames_per_second / power_w.max(1e-12),
+        p50_ns_per_frame: best_p50_ns,
+        p99_ns_per_frame: best_p99_ns,
+        phase_s: per_frame
+            .phases()
+            .iter()
+            .map(|&(name, s)| (name.to_string(), s))
+            .collect(),
+        pool_hits: pool.hits,
+        pool_misses: pool.misses,
+        pool_bytes: pool.bytes_allocated,
+    })
+}
+
+/// Measures real wall-clock pipeline throughput (fixed seed) for
+/// `frames` timed steps per configuration. Unlike [`throughput_report`],
+/// which inverts the *modeled* per-frame time, this times actual
+/// execution with `std::time::Instant`, after a
 /// [`BENCH_WARMUP_FRAMES`]-frame warm-up so pools and plan caches are
 /// hot. Each backend runs serially; ARM and NEON additionally run on
 /// the persistent worker pool with `threads` workers (defaulting to the
-/// host parallelism clamped to 2..=4).
+/// host parallelism clamped to 2..=4), at the requested pipelining
+/// `depth` (serial rows degrade to depth 1 per the pipeline rule).
 ///
 /// # Errors
 ///
-/// Propagates pipeline errors (none occur for the default geometry).
+/// Propagates pipeline errors (none occur for supported geometries).
 pub fn pipeline_bench(
     frames: usize,
     threads: Option<usize>,
     columnar: bool,
+    frame_size: (usize, usize),
+    depth: usize,
 ) -> Result<BenchReport, FusionError> {
     let frames = frames.max(1);
+    let depth = depth.max(1);
     let threaded = threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map_or(2, usize::from)
@@ -769,88 +889,19 @@ pub fn pipeline_bench(
         configs.push((Backend::Neon, threaded));
     }
 
-    let frame_size = (88, 72);
     let mut rows = Vec::new();
     for (backend, threads) in configs {
-        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
-            frame_size,
-            levels: LEVELS,
-            backend: BackendChoice::Fixed(backend),
-            scene_seed: SCENE_SEED,
-            threads,
-        })?;
-        pipe.engine_mut().set_columnar(columnar);
-        pipe.run(BENCH_WARMUP_FRAMES)?;
-        let warm_wall = pipe.engine().wall_phase_totals();
-        let warm_energy_mj = pipe.stats().energy_mj;
-        let mut best_s = f64::INFINITY;
-        let mut total_s = 0.0;
-        let mut best_p50_ns = f64::INFINITY;
-        let mut best_p99_ns = f64::INFINITY;
-        // Per-step samples, reused across windows (sized once, no timed
-        // allocation). Each step is timed individually so the row carries
-        // real latency quantiles, not just window means.
-        let mut samples_ns: Vec<u64> = Vec::with_capacity(frames);
-        for _ in 0..BENCH_REPS {
-            samples_ns.clear();
-            let start = std::time::Instant::now();
-            for _ in 0..frames {
-                let t0 = std::time::Instant::now();
-                let out = pipe.step()?;
-                pipe.recycle(out);
-                samples_ns.push(t0.elapsed().as_nanos() as u64);
-            }
-            let window_s = start.elapsed().as_secs_f64();
-            best_s = best_s.min(window_s);
-            total_s += window_s;
-            samples_ns.sort_unstable();
-            // Keep the best window's quantiles — the min-time discipline
-            // applied per order statistic, robust against one noisy window.
-            best_p50_ns = best_p50_ns.min(sorted_quantile_ns(&samples_ns, 0.50));
-            best_p99_ns = best_p99_ns.min(sorted_quantile_ns(&samples_ns, 0.99));
-        }
-        let timed_frames = (BENCH_REPS * frames) as f64;
-        let energy_mj_per_frame = (pipe.stats().energy_mj - warm_energy_mj) / timed_frames;
-        let power_w = wavefuse_power::PowerModel::zc702().power_w(backend.execution_mode());
-        let frames_per_second = frames as f64 / best_s.max(1e-12);
-        // Measured (not modeled) phase split: the engine's wall-clock
-        // accounting for this row's own timed windows, so every
-        // backend x threads configuration reports its own numbers.
-        let wall = pipe.engine().wall_phase_totals();
-        let forward_s = (wall.forward_s - warm_wall.forward_s) / timed_frames;
-        let fusion_s = (wall.fusion_s - warm_wall.fusion_s) / timed_frames;
-        let inverse_s = (wall.inverse_s - warm_wall.inverse_s) / timed_frames;
-        let per_frame = PhaseTiming {
-            forward_s,
-            fusion_s,
-            inverse_s,
-            // Everything outside the engine phases: capture, gating,
-            // telemetry and pipeline bookkeeping.
-            overhead_s: (total_s / timed_frames - forward_s - fusion_s - inverse_s).max(0.0),
-        };
-        let pool = pipe.engine().buffer_pool().stats();
-        rows.push(BenchRow {
-            backend: backend.label().to_string(),
-            threads,
-            kernel: pipe.engine().kernel_name(backend).to_string(),
-            columnar: pipe.engine().columnar(),
-            wall_s: best_s,
-            frames_per_second,
-            ns_per_frame: best_s * 1e9 / frames as f64,
-            mean_frames_per_second: timed_frames / total_s.max(1e-12),
-            energy_mj_per_frame,
-            fps_per_watt: frames_per_second / power_w.max(1e-12),
-            p50_ns_per_frame: best_p50_ns,
-            p99_ns_per_frame: best_p99_ns,
-            phase_s: per_frame
-                .phases()
-                .iter()
-                .map(|&(name, s)| (name.to_string(), s))
-                .collect(),
-            pool_hits: pool.hits,
-            pool_misses: pool.misses,
-            pool_bytes: pool.bytes_allocated,
-        });
+        rows.push(bench_case(
+            BenchCase {
+                backend,
+                threads,
+                depth,
+                frame_size,
+                frames,
+                warmup: BENCH_WARMUP_FRAMES.max(depth + 1),
+            },
+            columnar,
+        )?);
     }
     Ok(BenchReport {
         frame_size,
@@ -861,6 +912,88 @@ pub fn pipeline_bench(
         reps: BENCH_REPS,
         rows,
     })
+}
+
+/// The frame sizes of the recorded scaling curve: the paper's camera
+/// default, VGA, and full HD.
+pub const SCALING_SIZES: [(usize, usize); 3] = [(88, 72), (640, 480), (1920, 1080)];
+
+/// Thread counts of the recorded scaling curve.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Pipelining depths of the recorded scaling curve.
+pub const SCALING_DEPTHS: [usize; 3] = [1, 2, 3];
+
+/// Timed frames per window for a scaling-curve cell: large frames
+/// measure fewer so the full matrix stays tractable.
+fn scaling_frames(frames: usize, (w, h): (usize, usize)) -> usize {
+    match w * h {
+        0..=65_535 => frames,
+        65_536..=1_000_000 => (frames / 8).max(4),
+        _ => (frames / 16).max(3),
+    }
+}
+
+/// The NEON scaling curve: [`SCALING_THREADS`] x [`SCALING_SIZES`] x
+/// [`SCALING_DEPTHS`], one measured row per cell. Serial cells run only
+/// at depth 1 (the pipeline degrades depth without a worker pool, so
+/// deeper serial cells would duplicate the same measurement).
+///
+/// # Errors
+///
+/// Propagates pipeline errors (none occur for supported geometries).
+pub fn scaling_matrix(frames: usize, columnar: bool) -> Result<Vec<BenchRow>, FusionError> {
+    let mut rows = Vec::new();
+    for frame_size in SCALING_SIZES {
+        let cell_frames = scaling_frames(frames.max(1), frame_size);
+        for threads in SCALING_THREADS {
+            for depth in SCALING_DEPTHS {
+                if threads == 1 && depth > 1 {
+                    continue;
+                }
+                rows.push(bench_case(
+                    BenchCase {
+                        backend: Backend::Neon,
+                        threads,
+                        depth,
+                        frame_size,
+                        frames: cell_frames,
+                        warmup: BENCH_WARMUP_FRAMES.max(depth + 1),
+                    },
+                    columnar,
+                )?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// [`pipeline_bench`] plus the [`scaling_matrix`] rows, deduplicated by
+/// the five-tuple row identity `(backend, threads, columnar, frame_size,
+/// depth)` so the default rows are never measured twice.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn pipeline_bench_with_matrix(
+    frames: usize,
+    threads: Option<usize>,
+    columnar: bool,
+) -> Result<BenchReport, FusionError> {
+    let mut bench = pipeline_bench(frames, threads, columnar, (88, 72), 1)?;
+    for row in scaling_matrix(frames, columnar)? {
+        let dup = bench.rows.iter().any(|r| {
+            r.backend == row.backend
+                && r.threads == row.threads
+                && r.columnar == row.columnar
+                && r.frame_size == row.frame_size
+                && r.depth == row.depth
+        });
+        if !dup {
+            bench.rows.push(row);
+        }
+    }
+    Ok(bench)
 }
 
 /// Exact ceil-rank quantile of an ascending-sorted sample set, as f64 ns.
@@ -1000,6 +1133,9 @@ impl ToJson for BenchRow {
         obj(vec![
             ("backend", self.backend.to_json()),
             ("threads", self.threads.to_json()),
+            ("frame_size", self.frame_size.to_json()),
+            ("depth", self.depth.to_json()),
+            ("frames", self.frames.to_json()),
             ("kernel", self.kernel.to_json()),
             ("columnar", self.columnar.to_json()),
             ("wall_s", self.wall_s.to_json()),

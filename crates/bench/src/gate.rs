@@ -10,12 +10,14 @@
 //!   current value climbs above `baseline * (1 + tolerance)` — more
 //!   energy or a fatter tail is bad, less is fine.
 //!
-//! Rows are matched by the `(backend, threads, columnar)` triple so a
-//! baseline captured with a different thread count or kernel matrix
-//! degrades to warnings, never false failures. Missing rows or missing
-//! metrics (e.g. a baseline predating the energy columns) are skipped
-//! with a warning rather than treated as regressions, so the gate can be
-//! adopted against historical baselines.
+//! Rows are matched by the `(backend, threads, columnar, frame_size,
+//! depth)` five-tuple so a baseline captured with a different thread
+//! count, geometry or kernel matrix degrades to warnings, never false
+//! failures. Baseline rows predating the `frame_size`/`depth` columns
+//! are read as the historical defaults (88x72, depth 1). Missing rows or
+//! missing metrics (e.g. a baseline predating the energy columns) are
+//! skipped with a warning rather than treated as regressions, so the
+//! gate can be adopted against historical baselines.
 
 use crate::experiments::{BenchReport, BenchRow};
 use wavefuse_trace::JsonValue;
@@ -29,6 +31,10 @@ pub struct GateCheck {
     pub threads: usize,
     /// Whether the columnar column passes were enabled for the row.
     pub columnar: bool,
+    /// Frame geometry of the row.
+    pub frame_size: (usize, usize),
+    /// Pipelining depth of the row.
+    pub depth: usize,
     /// Metric name (`frames_per_second`, `energy_mj_per_frame`,
     /// `p99_ns_per_frame`).
     pub metric: &'static str,
@@ -68,7 +74,27 @@ fn metric(row: &JsonValue, name: &str) -> Option<f64> {
     row.get(name).and_then(JsonValue::as_f64)
 }
 
-/// Finds the baseline row matching a current row's identity triple.
+/// Frame geometry of a baseline row; rows predating the column read as
+/// the historical default (88x72).
+fn baseline_frame_size(row: &JsonValue) -> (usize, usize) {
+    row.get("frame_size")
+        .and_then(JsonValue::as_arr)
+        .and_then(|a| match a {
+            [w, h] => Some((w.as_f64()? as usize, h.as_f64()? as usize)),
+            _ => None,
+        })
+        .unwrap_or((88, 72))
+}
+
+/// Pipelining depth of a baseline row; rows predating the column read as
+/// the historical default (1, no software pipelining).
+fn baseline_depth(row: &JsonValue) -> usize {
+    row.get("depth")
+        .and_then(JsonValue::as_f64)
+        .map_or(1, |d| d as usize)
+}
+
+/// Finds the baseline row matching a current row's identity five-tuple.
 fn find_baseline_row<'a>(rows: &'a [JsonValue], cur: &BenchRow) -> Option<&'a JsonValue> {
     rows.iter().find(|r| {
         r.get("backend").and_then(JsonValue::as_str) == Some(cur.backend.as_str())
@@ -76,6 +102,8 @@ fn find_baseline_row<'a>(rows: &'a [JsonValue], cur: &BenchRow) -> Option<&'a Js
             && r.get("columnar")
                 .map(|v| matches!(v, JsonValue::Bool(b) if *b == cur.columnar))
                 == Some(true)
+            && baseline_frame_size(r) == cur.frame_size
+            && baseline_depth(r) == cur.depth
     })
 }
 
@@ -108,8 +136,8 @@ pub fn check_against_baseline(
     };
     for cur in &current.rows {
         let ident = format!(
-            "{} threads={} columnar={}",
-            cur.backend, cur.threads, cur.columnar
+            "{} threads={} columnar={} size={}x{} depth={}",
+            cur.backend, cur.threads, cur.columnar, cur.frame_size.0, cur.frame_size.1, cur.depth
         );
         let Some(base) = find_baseline_row(base_rows, cur) else {
             if !base_rows.is_empty() {
@@ -156,6 +184,8 @@ pub fn check_against_baseline(
                 backend: cur.backend.clone(),
                 threads: cur.threads,
                 columnar: cur.columnar,
+                frame_size: cur.frame_size,
+                depth: cur.depth,
                 metric: name,
                 baseline: base_value,
                 current: cur_value,
@@ -179,17 +209,27 @@ pub fn render_gate(outcome: &GateOutcome) -> String {
         outcome.tolerance * 100.0
     ));
     out.push_str(&format!(
-        "{:>8} {:>7} {:>8} | {:>20} | {:>12} {:>12} | {}\n",
-        "backend", "threads", "columnar", "metric", "baseline", "current", "verdict"
+        "{:>8} {:>7} {:>8} {:>10} {:>5} | {:>20} | {:>12} {:>12} | {}\n",
+        "backend",
+        "threads",
+        "columnar",
+        "size",
+        "depth",
+        "metric",
+        "baseline",
+        "current",
+        "verdict"
     ));
-    out.push_str(&"-".repeat(92));
+    out.push_str(&"-".repeat(108));
     out.push('\n');
     for c in &outcome.checks {
         out.push_str(&format!(
-            "{:>8} {:>7} {:>8} | {:>20} | {:>12.3} {:>12.3} | {}\n",
+            "{:>8} {:>7} {:>8} {:>10} {:>5} | {:>20} | {:>12.3} {:>12.3} | {}\n",
             c.backend,
             c.threads,
             c.columnar,
+            format!("{}x{}", c.frame_size.0, c.frame_size.1),
+            c.depth,
             c.metric,
             c.baseline,
             c.current,
@@ -225,6 +265,9 @@ mod tests {
             rows: vec![BenchRow {
                 backend: "FPGA".into(),
                 threads: 2,
+                frame_size: (88, 72),
+                depth: 1,
+                frames: 8,
                 kernel: "zynq-sim".into(),
                 columnar: true,
                 wall_s: 0.1,
@@ -315,6 +358,40 @@ mod tests {
         assert!(out.passed());
         assert_eq!(out.checks.len(), 1); // fps still compared
         assert_eq!(out.warnings.len(), 2);
+    }
+
+    #[test]
+    fn legacy_baseline_rows_read_as_default_size_and_depth() {
+        // A baseline written before the frame_size/depth columns existed
+        // must still match a current (88x72, depth 1) row exactly...
+        let cur = report();
+        let mut legacy = cur.to_json();
+        if let JsonValue::Obj(pairs) = &mut legacy {
+            let rows = pairs.iter_mut().find(|(k, _)| k == "rows").unwrap();
+            if let JsonValue::Arr(rows) = &mut rows.1 {
+                if let JsonValue::Obj(row) = &mut rows[0] {
+                    row.retain(|(k, _)| k != "frame_size" && k != "depth" && k != "frames");
+                }
+            }
+        }
+        let out = check_against_baseline(&cur, &legacy, 0.25);
+        assert!(out.passed(), "{}", render_gate(&out));
+        assert_eq!(out.checks.len(), 3);
+        assert!(out.warnings.is_empty());
+
+        // ...and degrade a larger-frame or deeper row to a warning, not a
+        // false comparison against the 88x72 figures.
+        let mut vga = report();
+        vga.rows[0].frame_size = (640, 480);
+        let out = check_against_baseline(&vga, &legacy, 0.25);
+        assert!(out.checks.is_empty());
+        assert_eq!(out.warnings.len(), 1);
+
+        let mut deep = report();
+        deep.rows[0].depth = 2;
+        let out = check_against_baseline(&deep, &legacy, 0.25);
+        assert!(out.checks.is_empty());
+        assert_eq!(out.warnings.len(), 1);
     }
 
     #[test]

@@ -258,14 +258,16 @@ pub fn render_throughput(rows: &[ThroughputRow]) -> String {
 pub fn render_bench(bench: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "## Measured pipeline throughput ({}x{}, {} levels, best of {} x {} timed frames)\n",
-        bench.frame_size.0, bench.frame_size.1, bench.levels, bench.reps, bench.frames
+        "## Measured pipeline throughput ({} levels, best of {} windows, {} timed frames at {}x{})\n",
+        bench.levels, bench.reps, bench.frames, bench.frame_size.0, bench.frame_size.1
     ));
     out.push_str(&format!(
-        "{:>8} | {:>16} | {:>7} | {:>10} {:>10} {:>12} {:>12} | {:>9} {:>8} | {:>14}\n",
+        "{:>8} | {:>16} | {:>9} {:>7} {:>5} | {:>10} {:>10} {:>12} {:>12} | {:>9} {:>8} | {:>14}\n",
         "backend",
         "kernel",
+        "size",
         "threads",
+        "depth",
         "fps",
         "mean fps",
         "p50 ns",
@@ -274,18 +276,20 @@ pub fn render_bench(bench: &BenchReport) -> String {
         "fps/W",
         "pool hit/miss"
     ));
-    out.push_str(&"-".repeat(122));
+    out.push_str(&"-".repeat(138));
     out.push('\n');
     for r in &bench.rows {
         out.push_str(&format!(
-            "{:>8} | {:>16} | {:>7} | {:>10.1} {:>10.1} {:>12.0} {:>12.0} | {:>9.3} {:>8.1} | {:>8}/{}\n",
+            "{:>8} | {:>16} | {:>9} {:>7} {:>5} | {:>10.1} {:>10.1} {:>12.0} {:>12.0} | {:>9.3} {:>8.1} | {:>8}/{}\n",
             r.backend,
             if r.columnar {
                 r.kernel.clone()
             } else {
                 format!("{}*", r.kernel)
             },
+            format!("{}x{}", r.frame_size.0, r.frame_size.1),
             r.threads,
+            r.depth,
             r.frames_per_second,
             r.mean_frames_per_second,
             r.p50_ns_per_frame,

@@ -212,44 +212,89 @@ impl TransformPlan {
     /// FPGA/hybrid models' input.
     pub fn column_strips(&self, lanes: usize, dir: Direction) -> Vec<ColStripOp> {
         let lanes = lanes.max(1);
+        (0..self.levels)
+            .flat_map(|level| self.level_column_strips(level, lanes, dir))
+            .collect()
+    }
+
+    /// The column-pass [`RowOp`] of one level (the odd entries: each level
+    /// pushes a row pass then a column pass), with the derived per-image
+    /// column count and per-column row geometry.
+    fn column_pass(&self, level: usize, dir: Direction) -> (&RowOp, usize, usize, usize) {
         let ops = match dir {
             Direction::Forward => &self.forward_ops,
             Direction::Inverse => &self.inverse_ops,
         };
+        // Each batch spans 8 channel images (4 tree combinations x 2
+        // row-filtered channels) of equal width.
+        let op = &ops[2 * level + 1];
+        let cols_per_image = (op.count / 8) as usize;
+        let (rows_in, rows_out) = match dir {
+            Direction::Forward => (op.words_out, op.iterations),
+            Direction::Inverse => (op.words_out / 2, op.words_out),
+        };
+        (op, cols_per_image, rows_in, rows_out)
+    }
+
+    /// Strip enumeration of one level at an explicit strip width.
+    fn level_column_strips(&self, level: usize, lanes: usize, dir: Direction) -> Vec<ColStripOp> {
+        let (op, cols_per_image, rows_in, rows_out) = self.column_pass(level, dir);
         let mut strips = Vec::new();
-        // Column-pass batches are the odd entries (each level pushes a row
-        // pass then a column pass). Each batch spans 8 channel images (4
-        // tree combinations x 2 row-filtered channels) of equal width.
-        for op in ops.iter().skip(1).step_by(2) {
-            let cols_per_image = (op.count / 8) as usize;
-            let (rows_in, rows_out) = match dir {
-                Direction::Forward => (op.words_out, op.iterations),
-                Direction::Inverse => (op.words_out / 2, op.words_out),
-            };
-            let full = cols_per_image / lanes;
-            let rem = cols_per_image % lanes;
-            if full > 0 {
-                strips.push(ColStripOp {
-                    count: 8 * full as u64,
-                    cols: lanes,
-                    rows_in,
-                    rows_out,
-                    macs: lanes as u64 * op.macs,
-                });
-            }
-            if rem > 0 {
-                strips.push(ColStripOp {
-                    count: 8,
-                    cols: rem,
-                    rows_in,
-                    rows_out,
-                    macs: rem as u64 * op.macs,
-                });
-            }
+        let full = cols_per_image / lanes;
+        let rem = cols_per_image % lanes;
+        if full > 0 {
+            strips.push(ColStripOp {
+                count: 8 * full as u64,
+                cols: lanes,
+                rows_in,
+                rows_out,
+                macs: lanes as u64 * op.macs,
+            });
+        }
+        if rem > 0 {
+            strips.push(ColStripOp {
+                count: 8,
+                cols: rem,
+                rows_in,
+                rows_out,
+                macs: rem as u64 * op.macs,
+            });
         }
         strips
     }
+
+    /// Cache-blocked strip width (columns) for one level's column pass:
+    /// the widest strip whose working set — every input row the strip
+    /// convolves over plus the output rows it produces, f32 each — fits
+    /// the [`STRIP_CACHE_BUDGET_BYTES`] budget. Rounded down to a multiple
+    /// of 8 (a whole number of 8-lane SIMD groups), floored at 8, and
+    /// capped at the level's per-image column count, so small frames keep
+    /// full-width strips while tall frames (1080p level 1) narrow to the
+    /// lane-group minimum. Derived from the plan geometry, never
+    /// hardcoded per frame size.
+    pub fn strip_width(&self, level: usize, dir: Direction) -> usize {
+        let (_, cols_per_image, rows_in, rows_out) = self.column_pass(level, dir);
+        let bytes_per_col = 4 * (rows_in + rows_out).max(1);
+        let fitting = STRIP_CACHE_BUDGET_BYTES / bytes_per_col;
+        let lanes = (fitting / 8 * 8).max(8);
+        lanes.min(cols_per_image.max(1))
+    }
+
+    /// The columnar schedule the plan recommends: every level split at its
+    /// own cache-blocked [`strip_width`](Self::strip_width). A pure
+    /// re-tiling of the column passes — total MACs and columns are
+    /// conserved exactly (pinned by the strip-conservation test).
+    pub fn column_strips_planned(&self, dir: Direction) -> Vec<ColStripOp> {
+        (0..self.levels)
+            .flat_map(|level| self.level_column_strips(level, self.strip_width(level, dir), dir))
+            .collect()
+    }
 }
+
+/// Cache budget for one column strip's working set (input window plus
+/// produced rows): half a typical 64 KiB L1d, leaving room for taps,
+/// scratch indices and the stack.
+pub const STRIP_CACHE_BUDGET_BYTES: usize = 32 * 1024;
 
 /// One batch of identical column-strip operations of the columnar path
 /// (see [`TransformPlan::column_strips`]).
@@ -639,6 +684,63 @@ mod tests {
                     assert_eq!(strip_cols, col_cols, "{w}x{h} {dir:?} lanes={lanes}");
                     assert!(strips.iter().all(|s| s.cols <= lanes && s.cols > 0));
                     assert!(strips.iter().all(|s| s.rows_out > 0 && s.rows_in > 0));
+                }
+                // The cache-blocked schedule is the same re-tiling at
+                // per-level widths: conservation must hold there too.
+                let planned = plan.column_strips_planned(dir);
+                let planned_macs: u64 = planned.iter().map(|s| s.count * s.macs).sum();
+                let planned_cols: u64 = planned.iter().map(|s| s.count * s.cols as u64).sum();
+                assert_eq!(planned_macs, col_macs, "{w}x{h} {dir:?} planned");
+                assert_eq!(planned_cols, col_cols, "{w}x{h} {dir:?} planned");
+            }
+        }
+    }
+
+    #[test]
+    fn strip_width_narrows_with_frame_height_and_widens_per_level() {
+        // Tall frames must narrow to the 8-lane minimum at the full-height
+        // levels; small frames keep full-width strips; and because each
+        // level halves the rows, the budgeted width never shrinks as the
+        // level index grows (until the image itself runs out of columns).
+        let hd = TransformPlan::dtcwt(1920, 1080, 3).unwrap();
+        assert_eq!(hd.strip_width(0, Direction::Forward), 8);
+        assert_eq!(hd.strip_width(0, Direction::Inverse), 8);
+
+        let small = TransformPlan::dtcwt(88, 72, 3).unwrap();
+        let cols0 = small.forward_ops()[1].count as usize / 8;
+        assert_eq!(small.strip_width(0, Direction::Forward), cols0);
+
+        for (w, h) in [(640usize, 480usize), (1920, 1080), (88, 72)] {
+            let plan = TransformPlan::dtcwt(w, h, 3).unwrap();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut prev_unclamped = 0usize;
+                for level in 0..3 {
+                    let ops = match dir {
+                        Direction::Forward => plan.forward_ops(),
+                        Direction::Inverse => plan.inverse_ops(),
+                    };
+                    let cols = ops[2 * level + 1].count as usize / 8;
+                    let width = plan.strip_width(level, dir);
+                    assert!(width >= 8.min(cols.max(1)), "{w}x{h} L{level}");
+                    assert!(width <= cols.max(1), "{w}x{h} L{level}");
+                    assert!(
+                        width.is_multiple_of(8) || width == cols,
+                        "{w}x{h} {dir:?} L{level}: width {width} is neither a lane \
+                         multiple nor the full image width {cols}"
+                    );
+                    // Re-derive the pre-clamp width to check monotonicity
+                    // independent of the per-level column clamp.
+                    let rows = match dir {
+                        Direction::Forward => {
+                            ops[2 * level + 1].words_out + ops[2 * level + 1].iterations
+                        }
+                        Direction::Inverse => {
+                            ops[2 * level + 1].words_out / 2 + ops[2 * level + 1].words_out
+                        }
+                    };
+                    let unclamped = (STRIP_CACHE_BUDGET_BYTES / (4 * rows) / 8 * 8).max(8);
+                    assert!(unclamped >= prev_unclamped, "{w}x{h} {dir:?} L{level}");
+                    prev_unclamped = unclamped;
                 }
             }
         }

@@ -1,5 +1,6 @@
 //! The fusion engine: decompose → fuse → reconstruct on a chosen backend.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use wavefuse_dtcwt::{
@@ -80,6 +81,9 @@ pub struct PendingFusion {
     dims: (usize, usize),
     /// Whether four inverse combo jobs are still in flight on the pool.
     inverse_in_flight: bool,
+    /// Ring slot owning this frame's fused pyramid and inverse buffers
+    /// (pooled CPU path only — see [`FusionEngine::set_pipeline_depth`]).
+    slot: Option<usize>,
     /// Modeled forward seconds (both inputs).
     forward_s: f64,
     /// Modeled inverse seconds.
@@ -102,6 +106,47 @@ impl PendingFusion {
     /// The backend executing this frame.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The engine ring slot this frame's in-flight state lives in (`None`
+    /// on the serial, FPGA, and hybrid paths, which complete inside
+    /// [`FusionEngine::fuse_submit`]).
+    pub fn slot(&self) -> Option<usize> {
+        self.slot
+    }
+}
+
+/// One ring slot of the depth-k frame pipeline (see
+/// [`FusionEngine::set_pipeline_depth`]). Slots never alias: each owns its
+/// frame's fused pyramid, inverse combo buffers, and harvested-outcome
+/// stash, so several frames' inverse batches can be outstanding on the
+/// worker pool concurrently.
+#[derive(Debug)]
+struct FrameSlot {
+    /// This frame's fused pyramid, `Arc`-shared with the workers while its
+    /// inverse batch is in flight (exclusive again once harvested).
+    fused: Arc<CwtPyramid>,
+    /// Per-combo reconstruction buffers of this slot's pooled inverse.
+    inv_bufs: Vec<Image>,
+    /// Outcomes harvested ahead of this frame's `fuse_finish` (a later
+    /// submit clears the pool's ring prefix before its own full-batch
+    /// forward drain), awaiting combo-order accumulation.
+    stash: Vec<JobOutcome>,
+    /// Whether `stash` holds this slot's four harvested outcomes.
+    stashed: bool,
+    /// Whether this slot's inverse batch was submitted and not yet retired.
+    busy: bool,
+}
+
+impl FrameSlot {
+    fn new() -> Self {
+        FrameSlot {
+            fused: Arc::new(CwtPyramid::empty()),
+            inv_bufs: Vec::new(),
+            stash: Vec::with_capacity(INVERSE_BATCH_JOBS),
+            stashed: false,
+            busy: false,
+        }
     }
 }
 
@@ -142,9 +187,21 @@ pub struct FusionEngine {
     /// Forward pyramids of the two inputs.
     pyr_a: CwtPyramid,
     pyr_b: CwtPyramid,
-    /// Fused pyramid, in an `Arc` slot so the pooled inverse can share it
-    /// with workers without copying (exclusive again after each drain).
-    fused: Arc<CwtPyramid>,
+    /// Depth-k in-flight frame ring: one slot per frame whose inverse may
+    /// be outstanding on the pool (a single slot at the default depth 1,
+    /// reproducing the classic submit/finish overlap).
+    slots: Vec<FrameSlot>,
+    /// Busy slot indices, oldest submission first (in-order retirement).
+    inflight: VecDeque<usize>,
+    /// Next ring slot to submit into (round-robin; always idle thanks to
+    /// the ring-full backpressure in [`FusionEngine::fuse_submit`]).
+    next_slot: usize,
+    /// Configured pipelining depth = ring size, `>= 1`.
+    depth: usize,
+    /// Fused-pyramid staging of the serial CPU, FPGA, and hybrid paths,
+    /// which complete inside `fuse_submit` (pooled frames stage in their
+    /// ring slot's pyramid instead).
+    fused_serial: CwtPyramid,
     /// Input image slots for the pooled forward (same `Arc` discipline).
     img_a: Arc<Image>,
     img_b: Arc<Image>,
@@ -152,8 +209,6 @@ pub struct FusionEngine {
     fusion_scratch: FusionScratch,
     /// Worker outcome staging (drained and reused every dispatch).
     outcomes: Vec<JobOutcome>,
-    /// Per-combo reconstruction buffers of the pooled inverse.
-    inv_bufs: Vec<Image>,
     /// Pool the fused output images are drawn from; callers recycle via
     /// [`FusionEngine::recycle`] to keep the steady state allocation-free.
     out_pool: PoolHandle,
@@ -170,10 +225,6 @@ pub struct FusionEngine {
     columnar: bool,
     /// Persistent transform workers; `None` runs the serial in-place path.
     pool: Option<WorkerPool>,
-    /// Whether a pooled inverse batch is in flight (set by
-    /// [`FusionEngine::fuse_submit`], cleared by
-    /// [`FusionEngine::fuse_finish`] or the stray-batch recovery).
-    pending_inverse: bool,
     /// Cumulative measured wall-clock seconds per phase (host time, not the
     /// modeled platform clock) — see [`FusionEngine::wall_phase_totals`].
     wall: PhaseTiming,
@@ -185,6 +236,8 @@ pub struct FusionEngine {
 #[derive(Debug, Default)]
 struct SubmitSplit {
     inverse_in_flight: bool,
+    /// Ring slot the frame's in-flight state was parked in (pooled path).
+    slot: Option<usize>,
     forward_s: f64,
     inverse_s: f64,
     wall_forward_s: f64,
@@ -200,6 +253,8 @@ const WORKER_SLOT_SCALAR: usize = 0;
 const WORKER_SLOT_SIMD: usize = 1;
 /// Maximum cached cost plans (see [`FusionEngine::ensure_plan`]).
 const PLAN_CACHE_SLOTS: usize = 8;
+/// Jobs per pooled inverse batch: one per tree combination.
+const INVERSE_BATCH_JOBS: usize = 4;
 
 /// The four phase names, in timeline order, as they appear in span
 /// categories and the `phase` metric label.
@@ -260,19 +315,21 @@ impl FusionEngine {
             combos_b: ComboStore::new(),
             pyr_a: CwtPyramid::empty(),
             pyr_b: CwtPyramid::empty(),
-            fused: Arc::new(CwtPyramid::empty()),
+            slots: vec![FrameSlot::new()],
+            inflight: VecDeque::with_capacity(1),
+            next_slot: 0,
+            depth: 1,
+            fused_serial: CwtPyramid::empty(),
             img_a: Arc::new(Image::zeros(0, 0)),
             img_b: Arc::new(Image::zeros(0, 0)),
             fusion_scratch: FusionScratch::new(),
             outcomes: Vec::with_capacity(8),
-            inv_bufs: Vec::new(),
             out_pool: PoolHandle::new(),
             reported_pool: PoolStats::default(),
             reported_transpose: wavefuse_dtcwt::transpose_bytes_total(),
             reported_sched: Vec::new(),
             columnar: true,
             pool: None,
-            pending_inverse: false,
             wall: PhaseTiming::default(),
         })
     }
@@ -284,7 +341,7 @@ impl FusionEngine {
     /// combinations out across workers. The FPGA and hybrid backends always
     /// run serially (the modeled device is a single engine).
     pub fn set_threads(&mut self, threads: usize) {
-        self.recover_pending_inverse();
+        self.recover_in_flight();
         if threads <= 1 {
             self.pool = None;
             self.reported_sched.clear();
@@ -308,6 +365,71 @@ impl FusionEngine {
     /// Number of transform threads (1 when running serially).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// Sets the frame-pipelining depth: how many frames may have their
+    /// inverse transform outstanding on the worker pool at once. Depth 1
+    /// (the default) is the classic single-frame submit/finish overlap;
+    /// larger depths give every in-flight frame a private ring slot (fused
+    /// pyramid, inverse buffers, outcome stash), so `fuse_submit` of frame
+    /// N+k-1 runs while frames N..N+k-2 are still synthesizing. Pooled
+    /// frames must retire in submission order; submitting onto a full ring
+    /// abandons the oldest unfinished frame (backpressure a well-behaved
+    /// caller never triggers). Serial, FPGA, and hybrid frames complete
+    /// inside `fuse_submit` regardless of depth. Results are bit-identical
+    /// at every depth — combos are still accumulated in combo order at
+    /// each frame's own `fuse_finish`.
+    ///
+    /// Any currently in-flight frames are abandoned, as with
+    /// [`FusionEngine::set_threads`].
+    pub fn set_pipeline_depth(&mut self, depth: usize) {
+        let depth = depth.max(1);
+        self.recover_in_flight();
+        self.slots.resize_with(depth, FrameSlot::new);
+        self.inflight.reserve(depth);
+        self.next_slot = 0;
+        self.depth = depth;
+    }
+
+    /// The configured frame-pipelining depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pre-sizes every reconfigure-dependent buffer for `width` x `height`
+    /// frames, so first frames after a resolution/depth change don't pay
+    /// one-time allocations (and `pool_misses` don't spike): the plan
+    /// cache, each ring slot's four inverse combo buffers, both forward
+    /// combo stores, and `depth + 1` pooled output frames (the frames in
+    /// flight plus the one being retired). The output-pool reservation is
+    /// O(ring slots), not O(levels x buffers) — per-level staging lives in
+    /// the scratch arenas and combo stores, which are grown in place here,
+    /// never drawn from the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Transform`] if the geometry cannot support
+    /// the configured decomposition depth.
+    pub fn reserve_frame_buffers(
+        &mut self,
+        width: usize,
+        height: usize,
+    ) -> Result<(), FusionError> {
+        self.ensure_plan(width, height)?;
+        for slot in &mut self.slots {
+            while slot.inv_bufs.len() < INVERSE_BATCH_JOBS {
+                slot.inv_bufs.push(Image::zeros(0, 0));
+            }
+            for buf in &mut slot.inv_bufs {
+                if buf.width() * buf.height() < width * height {
+                    *buf = Image::zeros(width, height);
+                }
+            }
+        }
+        self.combos.reserve(width, height, self.levels);
+        self.combos_b.reserve(width, height, self.levels);
+        self.out_pool.preallocate(width, height, self.depth + 1);
+        Ok(())
     }
 
     /// Enables or disables the transpose-free columnar column passes on the
@@ -498,9 +620,13 @@ impl FusionEngine {
         b: &Image,
         backend: Backend,
     ) -> Result<PendingFusion, FusionError> {
-        // A dropped-without-finish pending frame would leave its batch on
-        // the pool; drain it so the slots are quiescent before submitting.
-        self.recover_pending_inverse();
+        // Ring-full backpressure: a well-behaved caller finishes the
+        // oldest frame before submitting onto a full ring. If that frame's
+        // token was dropped without a finish instead, abandon its batch so
+        // the ring (and the pool's slot window behind it) cannot overflow.
+        while self.inflight.len() >= self.depth {
+            self.abandon_oldest_in_flight();
+        }
         if a.dims() != b.dims() {
             return Err(FusionError::DimensionMismatch {
                 a: a.dims(),
@@ -519,6 +645,7 @@ impl FusionEngine {
                 backend,
                 dims: (w, h),
                 inverse_in_flight: split.inverse_in_flight,
+                slot: split.slot,
                 forward_s: split.forward_s,
                 inverse_s: split.inverse_s,
                 wall_forward_s: split.wall_forward_s,
@@ -546,6 +673,7 @@ impl FusionEngine {
             backend,
             dims: (w, h),
             inverse_in_flight,
+            slot,
             forward_s,
             inverse_s,
             wall_forward_s,
@@ -554,30 +682,46 @@ impl FusionEngine {
             pl_busy_s,
         } = pending;
         if inverse_in_flight {
+            let si = slot.expect("pooled frames carry their ring slot");
             let t0 = std::time::Instant::now();
-            let result = match &self.pool {
-                Some(pool) => {
-                    self.pending_inverse = false;
-                    self.dtcwt.inverse_pooled_finish(
-                        pool,
-                        &mut self.inv_bufs,
-                        &mut self.outcomes,
-                        &mut image,
-                    )
+            let result = if self.slots[si].busy {
+                // In-order retirement: pooled frames finish in submission
+                // order (the pipeline's own ring guarantees this).
+                let front = self.inflight.front().copied();
+                assert_eq!(
+                    front,
+                    Some(si),
+                    "fuse_finish out of submission order: slot {si}, oldest in flight {front:?}"
+                );
+                self.inflight.pop_front();
+                if !self.slots[si].stashed {
+                    if let Some(pool) = &self.pool {
+                        let fslot = &mut self.slots[si];
+                        fslot.stash.clear();
+                        pool.drain_partial(INVERSE_BATCH_JOBS, &mut fslot.stash);
+                        fslot.stashed = true;
+                    }
                 }
-                // The pool vanished under the pending frame (set_threads
-                // mid-flight already drained the batch); the fused pyramid
-                // is still staged, so recover with a serial inverse on the
-                // backend's own kernel.
-                None => {
-                    let fused = Arc::clone(&self.fused);
-                    let kernel: &mut dyn FilterKernel = match backend {
-                        Backend::Arm => &mut self.scalar,
-                        _ => &mut self.simd,
-                    };
-                    self.dtcwt
-                        .inverse_into(kernel, &fused, &mut self.scratch, &mut image)
-                }
+                let fslot = &mut self.slots[si];
+                fslot.busy = false;
+                fslot.stashed = false;
+                self.dtcwt.inverse_collect_outcomes(
+                    &mut fslot.stash,
+                    &mut fslot.inv_bufs,
+                    &mut image,
+                )
+            } else {
+                // The pool vanished (or was rebuilt) under the pending
+                // frame — the reconfigure already abandoned its batch —
+                // but the fused pyramid is still staged in the slot, so
+                // recover with a serial inverse on the backend's kernel.
+                let fused = Arc::clone(&self.slots[si].fused);
+                let kernel: &mut dyn FilterKernel = match backend {
+                    Backend::Arm => &mut self.scalar,
+                    _ => &mut self.simd,
+                };
+                self.dtcwt
+                    .inverse_into(kernel, &fused, &mut self.scratch, &mut image)
             };
             if let Err(e) = result {
                 self.out_pool.release(image);
@@ -714,18 +858,34 @@ impl FusionEngine {
             .unwrap_or_default()
     }
 
-    /// Drains a stray in-flight inverse batch (a [`PendingFusion`] that was
-    /// dropped without [`FusionEngine::fuse_finish`]), recycling its
-    /// buffers, so the pool is quiescent for the next submission.
-    fn recover_pending_inverse(&mut self) {
-        if !self.pending_inverse {
+    /// Abandons the oldest in-flight pooled frame (a [`PendingFusion`]
+    /// dropped without [`FusionEngine::fuse_finish`], or ring-full
+    /// backpressure): harvests its four outcomes if they are still on the
+    /// pool and recycles the buffers, leaving the slot idle. Errors are
+    /// discarded.
+    fn abandon_oldest_in_flight(&mut self) {
+        let Some(si) = self.inflight.pop_front() else {
             return;
+        };
+        let fslot = &mut self.slots[si];
+        if !fslot.stashed {
+            if let Some(pool) = &self.pool {
+                fslot.stash.clear();
+                pool.drain_partial(INVERSE_BATCH_JOBS, &mut fslot.stash);
+            }
         }
-        if let Some(pool) = &self.pool {
-            self.dtcwt
-                .inverse_pooled_abandon(pool, &mut self.inv_bufs, &mut self.outcomes);
+        Dtcwt::recycle_inverse_outcomes(&mut fslot.stash, &mut fslot.inv_bufs);
+        fslot.stashed = false;
+        fslot.busy = false;
+    }
+
+    /// Abandons every in-flight pooled frame, oldest first (see
+    /// [`FusionEngine::abandon_oldest_in_flight`]), so the pool is
+    /// quiescent for a reconfigure.
+    fn recover_in_flight(&mut self) {
+        while !self.inflight.is_empty() {
+            self.abandon_oldest_in_flight();
         }
-        self.pending_inverse = false;
     }
 
     /// Cumulative measured **wall-clock** seconds the engine has spent in
@@ -764,6 +924,21 @@ impl FusionEngine {
                 if let Some(pool) = &self.pool {
                     stage_image(&mut self.img_a, a);
                     stage_image(&mut self.img_b, b);
+                    // Harvest older frames' in-flight inverse outcomes into
+                    // their slots first (oldest first), so the full-batch
+                    // drain inside the forward below only waits on its own
+                    // eight jobs. Workers run the ring in submission order
+                    // either way, so stashing early costs no overlap — the
+                    // combo-order accumulation still happens at each
+                    // frame's own `fuse_finish`.
+                    for idx in 0..self.inflight.len() {
+                        let fslot = &mut self.slots[self.inflight[idx]];
+                        if !fslot.stashed {
+                            fslot.stash.clear();
+                            pool.drain_partial(INVERSE_BATCH_JOBS, &mut fslot.stash);
+                            fslot.stashed = true;
+                        }
+                    }
                     // Both inputs' forwards go out as one eight-job batch:
                     // the streams are data-independent, so all four workers
                     // stay busy instead of idling through two four-job
@@ -781,7 +956,9 @@ impl FusionEngine {
                         &mut self.outcomes,
                     )?;
                     let t1 = std::time::Instant::now();
-                    let fused = exclusive_pyramid(&mut self.fused);
+                    let si = self.next_slot;
+                    let fslot = &mut self.slots[si];
+                    let fused = exclusive_pyramid(&mut fslot.fused);
                     fuse_pyramids_into(
                         &self.pyr_a,
                         &self.pyr_b,
@@ -796,10 +973,15 @@ impl FusionEngine {
                     self.dtcwt.inverse_pooled_submit(
                         pool,
                         slot,
-                        &self.fused,
-                        &mut self.inv_bufs,
+                        &fslot.fused,
+                        &mut fslot.inv_bufs,
+                        si as u32,
                     )?;
-                    self.pending_inverse = true;
+                    fslot.busy = true;
+                    fslot.stashed = false;
+                    self.inflight.push_back(si);
+                    self.next_slot = (si + 1) % self.depth;
+                    split.slot = Some(si);
                     split.inverse_in_flight = true;
                     split.wall_forward_s = (t1 - t0).as_secs_f64();
                     split.wall_fusion_s = (t2 - t1).as_secs_f64();
@@ -824,7 +1006,7 @@ impl FusionEngine {
                         &mut self.pyr_b,
                     )?;
                     let t1 = std::time::Instant::now();
-                    let fused = exclusive_pyramid(&mut self.fused);
+                    let fused = &mut self.fused_serial;
                     fuse_pyramids_into(
                         &self.pyr_a,
                         &self.pyr_b,
@@ -872,7 +1054,7 @@ impl FusionEngine {
                 // The ledger resets between phases, so PL-busy time must be
                 // sampled per phase and summed.
                 split.pl_busy_s = self.fpga.ledger().pl_busy_seconds(self.fpga.config());
-                let fused = exclusive_pyramid(&mut self.fused);
+                let fused = &mut self.fused_serial;
                 fuse_pyramids_into(
                     &self.pyr_a,
                     &self.pyr_b,
@@ -913,7 +1095,7 @@ impl FusionEngine {
                 let t1 = std::time::Instant::now();
                 split.forward_s = self.hybrid.elapsed_seconds();
                 split.pl_busy_s = self.hybrid.pl_busy_seconds();
-                let fused = exclusive_pyramid(&mut self.fused);
+                let fused = &mut self.fused_serial;
                 fuse_pyramids_into(
                     &self.pyr_a,
                     &self.pyr_b,
@@ -1115,6 +1297,132 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn depth_k_pipelined_fusion_is_bit_identical() {
+        // With k frames in flight the combo accumulation still happens per
+        // frame in combo order, so every depth must reproduce the serial
+        // engine exactly — images and modeled timing both.
+        let mut serial = FusionEngine::new(3).unwrap();
+        for depth in [2usize, 3] {
+            let mut eng = FusionEngine::new(3).unwrap();
+            eng.set_threads(2);
+            eng.set_pipeline_depth(depth);
+            assert_eq!(eng.pipeline_depth(), depth);
+            let frames: Vec<(Image, Image)> = (0..6)
+                .map(|i| {
+                    (
+                        Image::from_fn(88, 72, move |x, y| {
+                            ((x * 5 + y * 2 + i) % 17) as f32 / 16.0
+                        }),
+                        Image::from_fn(88, 72, move |x, y| {
+                            ((x + y * y + 3 * i) % 23) as f32 / 22.0
+                        }),
+                    )
+                })
+                .collect();
+            let mut pending = VecDeque::new();
+            let mut got = Vec::new();
+            for (a, b) in &frames {
+                if pending.len() == depth {
+                    got.push(eng.fuse_finish(pending.pop_front().unwrap()).unwrap());
+                }
+                pending.push_back(eng.fuse_submit(a, b, Backend::Neon).unwrap());
+            }
+            while let Some(p) = pending.pop_front() {
+                got.push(eng.fuse_finish(p).unwrap());
+            }
+            assert_eq!(got.len(), frames.len());
+            for ((a, b), out) in frames.iter().zip(&got) {
+                let want = serial.fuse(a, b, Backend::Neon).unwrap();
+                assert_eq!(out.image, want.image, "depth {depth}");
+                assert_eq!(out.timing, want.timing, "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_full_submit_abandons_dropped_oldest() {
+        let (a, b) = inputs(40, 40);
+        let mut serial = FusionEngine::new(3).unwrap();
+        let want = serial.fuse(&a, &b, Backend::Neon).unwrap();
+        let mut eng = FusionEngine::new(3).unwrap();
+        eng.set_threads(2);
+        eng.set_pipeline_depth(2);
+        // Drop the first token without finishing it: the third submit
+        // fills the ring and must reclaim that abandoned slot instead of
+        // overflowing; the surviving frames still retire in order.
+        let p0 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        drop(p0);
+        let p1 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        let p2 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        let out1 = eng.fuse_finish(p1).unwrap();
+        let out2 = eng.fuse_finish(p2).unwrap();
+        assert_eq!(out1.image, want.image);
+        assert_eq!(out2.image, want.image);
+    }
+
+    #[test]
+    fn reconfigure_mid_flight_recovers_serially() {
+        let (a, b) = inputs(40, 40);
+        let mut serial = FusionEngine::new(3).unwrap();
+        let want = serial.fuse(&a, &b, Backend::Neon).unwrap();
+        let mut eng = FusionEngine::new(3).unwrap();
+        eng.set_threads(2);
+        eng.set_pipeline_depth(2);
+        let p0 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        let p1 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        // Dropping the pool abandons both in-flight batches; the staged
+        // per-slot pyramids still let the tokens finish (serial inverse).
+        eng.set_threads(1);
+        let out0 = eng.fuse_finish(p0).unwrap();
+        let out1 = eng.fuse_finish(p1).unwrap();
+        assert_eq!(out0.image, want.image);
+        assert_eq!(out1.image, want.image);
+    }
+
+    #[test]
+    fn reserved_buffers_keep_first_frame_pool_misses_flat() {
+        let (a, b) = inputs(96, 80);
+        let mut eng = FusionEngine::new(3).unwrap();
+        eng.set_threads(2);
+        eng.set_pipeline_depth(2);
+        eng.reserve_frame_buffers(96, 80).unwrap();
+        let stats0 = eng.buffer_pool().stats();
+        assert_eq!(
+            (stats0.hits, stats0.misses),
+            (0, 0),
+            "reservation must charge neither hits nor misses"
+        );
+        let p0 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        let p1 = eng.fuse_submit(&a, &b, Backend::Neon).unwrap();
+        let o0 = eng.fuse_finish(p0).unwrap();
+        let o1 = eng.fuse_finish(p1).unwrap();
+        let stats = eng.buffer_pool().stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (2, 0),
+            "depth-2 first frames must be served from the reservation"
+        );
+        eng.recycle(o0);
+        eng.recycle(o1);
+    }
+
+    #[test]
+    fn reservation_is_per_slot_not_per_level_at_1080p() {
+        // The output-pool reservation scales with the ring (depth + 1
+        // frames), not with levels x buffers — checked at the full-HD
+        // geometry without running a fusion.
+        let mut eng = FusionEngine::new(3).unwrap();
+        eng.set_pipeline_depth(3);
+        eng.reserve_frame_buffers(1920, 1080).unwrap();
+        assert_eq!(eng.buffer_pool().free_buffers(), 4);
+        let s = eng.buffer_pool().stats();
+        assert_eq!((s.hits, s.misses, s.bytes_allocated), (0, 0, 0));
+        // Re-reserving the same geometry is idempotent.
+        eng.reserve_frame_buffers(1920, 1080).unwrap();
+        assert_eq!(eng.buffer_pool().free_buffers(), 4);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! paper's output FIFO), then fused frame by frame on a fixed or
 //! adaptively chosen backend, accumulating modeled time and energy.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wavefuse_dtcwt::{Image, PoolStats, WorkerSchedStats};
 use wavefuse_trace::{FlightRecorder, FrameRecord, LogHistogram, Telemetry};
@@ -18,7 +19,7 @@ use wavefuse_video::Frame;
 
 use crate::adaptive::{AdaptiveScheduler, Objective, Policy};
 use crate::backend::{Backend, BackendCounts};
-use crate::engine::{FusionEngine, FusionOutput, PhaseTiming, PHASE_NAMES};
+use crate::engine::{FusionEngine, FusionOutput, PendingFusion, PhaseTiming, PHASE_NAMES};
 use crate::FusionError;
 
 /// Frames the always-on flight recorder retains (the paper profiles runs
@@ -51,6 +52,13 @@ pub struct PipelineConfig {
     /// above 1 spawn a persistent [`wavefuse_dtcwt::WorkerPool`] in the
     /// engine, reused for every frame.
     pub threads: usize,
+    /// Software-pipelining depth: how many frames may be in flight at
+    /// once (1 = the classic schedule with single-frame capture overlap).
+    /// Depth > 1 takes effect only on the pooled CPU backends
+    /// (`Fixed(Arm|Neon)` with `threads > 1`); any other configuration
+    /// silently degrades to 1 so the depth-1 schedule stays bit-for-bit
+    /// unchanged.
+    pub depth: usize,
 }
 
 impl Default for PipelineConfig {
@@ -63,8 +71,18 @@ impl Default for PipelineConfig {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 1,
             threads: 1,
+            depth: 1,
         }
     }
+}
+
+/// One frame submitted to the engine but not yet retired: everything the
+/// retirement step needs to finish it and write its flight record.
+#[derive(Debug)]
+struct InFlightFrame {
+    pending: PendingFusion,
+    backend: Backend,
+    wall_start: Duration,
 }
 
 /// Accumulated statistics of a pipeline run.
@@ -111,8 +129,14 @@ pub struct VideoFusionPipeline {
     thermal_free: Vec<Frame>,
     /// Whether the next frame's captures already ran, overlapped with the
     /// previous frame's in-flight inverse transform (software pipelining;
-    /// only set when the engine runs a worker pool).
+    /// only set when the engine runs a worker pool at depth 1).
     prefetched: bool,
+    /// Effective pipelining depth (after the degrade rule in
+    /// [`PipelineConfig::depth`]); 1 = the classic schedule.
+    depth: usize,
+    /// Frames submitted but not yet retired, oldest first (depth > 1).
+    /// In-order retirement: `step` always finishes the front.
+    in_flight: VecDeque<InFlightFrame>,
     /// Always-on per-frame flight recorder (ring of the last
     /// [`FLIGHT_CAPACITY`] frames; recording is allocation-free).
     flight: FlightRecorder,
@@ -143,6 +167,20 @@ impl VideoFusionPipeline {
         let scene = ScenePair::new(config.scene_seed);
         let mut engine = FusionEngine::new(config.levels)?;
         engine.set_threads(config.threads);
+        // Depth > 1 needs the worker-pool submit/finish split and a fixed
+        // CPU backend; everything else degrades to the depth-1 schedule.
+        let depth = match &config.backend {
+            BackendChoice::Fixed(Backend::Arm | Backend::Neon) if config.threads > 1 => {
+                config.depth.max(1)
+            }
+            _ => 1,
+        };
+        engine.set_pipeline_depth(depth);
+        if depth > 1 {
+            // Pre-reserve per-slot combo stores and the output pool from
+            // the plan, so first frames at large sizes don't miss-spike.
+            engine.reserve_frame_buffers(w, h)?;
+        }
         Ok(VideoFusionPipeline {
             engine,
             web: WebCamera::new(scene.clone(), w, h),
@@ -152,8 +190,10 @@ impl VideoFusionPipeline {
             stats: PipelineStats::default(),
             telemetry: None,
             visible: Frame::new(Image::zeros(0, 0), 0),
-            thermal_free: Vec::with_capacity(4),
+            thermal_free: Vec::with_capacity(4 + depth),
             prefetched: false,
+            depth,
+            in_flight: VecDeque::with_capacity(depth),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
             wall_origin: Instant::now(),
             last_sched: WorkerSchedStats::default(),
@@ -243,10 +283,24 @@ impl VideoFusionPipeline {
     /// identical to the serial schedule — only the wall-clock overlap
     /// differs.
     ///
+    /// At depth > 1 (see [`PipelineConfig::depth`]) the step runs the
+    /// depth-k schedule instead: the first call fills the ring by
+    /// capturing and submitting k frames, and every call thereafter
+    /// captures + submits frame `i+k-1` and retires frame `i` — so the
+    /// capture of a new frame overlaps the in-flight transforms of the
+    /// k-1 frames ahead of it. Captures keep their serial order, so the
+    /// fused frames and statistics are bit-identical to depth 1; `burst`
+    /// applies to each capture performed during the call (capture-time
+    /// semantics). Dropping or reconfiguring the pipeline abandons the
+    /// k-1 captured-but-unretired frames.
+    ///
     /// # Errors
     ///
     /// Propagates capture and transform errors.
     pub fn step_with_burst(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
+        if self.depth > 1 {
+            return self.step_pipelined(burst);
+        }
         let wall_start = self.wall_origin.elapsed();
         // One thermal field and the visible frame may already be captured,
         // overlapped with the previous step's in-flight inverse.
@@ -264,7 +318,7 @@ impl VideoFusionPipeline {
             BackendChoice::Fixed(b) => *b,
             BackendChoice::Adaptive(s) => s.choose(w, h)?,
         };
-        let out = {
+        let (out, slot) = {
             // The frame span stays open across the fusion, so the engine's
             // per-phase spans nest under it and its modeled duration is
             // exactly the clock advance (= the frame's PhaseTiming total).
@@ -297,7 +351,8 @@ impl VideoFusionPipeline {
                 self.web.capture_into(&mut self.visible);
                 self.prefetched = true;
             }
-            self.engine.fuse_finish(pending)?
+            let slot = pending.slot();
+            (self.engine.fuse_finish(pending)?, slot)
         };
         // The consumed thermal frame's buffer goes back to the free list
         // for the next capture.
@@ -305,7 +360,63 @@ impl VideoFusionPipeline {
         if let BackendChoice::Adaptive(s) = &mut self.backend {
             s.observe(w, h, backend, out.timing.total_seconds(), out.energy_mj);
         }
+        self.record_frame(&out, backend, wall_start, slot);
+        Ok(out)
+    }
 
+    /// Runs one depth-k schedule step: fill the in-flight ring to k
+    /// frames (one capture+submit in steady state, k of them on the first
+    /// call), then retire the oldest. See
+    /// [`step_with_burst`](Self::step_with_burst).
+    fn step_pipelined(&mut self, burst: usize) -> Result<FusionOutput, FusionError> {
+        while self.in_flight.len() < self.depth {
+            self.capture_and_submit(burst)?;
+        }
+        let frame = self.in_flight.pop_front().expect("ring was just filled");
+        let slot = frame.pending.slot();
+        let out = self.engine.fuse_finish(frame.pending)?;
+        self.record_frame(&out, frame.backend, frame.wall_start, slot);
+        Ok(out)
+    }
+
+    /// Captures one frame pair (thermal through the gate, `burst` fields
+    /// offered) and submits it to the engine, pushing the pending frame
+    /// onto the in-flight ring. Depth-k path only.
+    fn capture_and_submit(&mut self, burst: usize) -> Result<(), FusionError> {
+        let wall_start = self.wall_origin.elapsed();
+        for _ in 0..burst.max(1) {
+            self.capture_thermal_field()?;
+        }
+        let thermal = self.gate.take().expect("gate holds at least one field");
+        self.web.capture_into(&mut self.visible);
+        let backend = match &self.backend {
+            BackendChoice::Fixed(b) => *b,
+            // The constructor degrades adaptive configurations to depth 1.
+            BackendChoice::Adaptive(_) => unreachable!("depth > 1 requires a fixed backend"),
+        };
+        let pending = self
+            .engine
+            .fuse_submit(self.visible.image(), thermal.image(), backend)?;
+        // The forward + fuse phases ran inside the submit; only the
+        // inverse is still in flight, so both capture buffers are free.
+        self.thermal_free.push(thermal);
+        self.in_flight.push_back(InFlightFrame {
+            pending,
+            backend,
+            wall_start,
+        });
+        Ok(())
+    }
+
+    /// Accumulates statistics, histograms, the flight record and telemetry
+    /// for one retired frame (shared by the serial and depth-k paths).
+    fn record_frame(
+        &mut self,
+        out: &FusionOutput,
+        backend: Backend,
+        wall_start: Duration,
+        slot: Option<usize>,
+    ) {
         let drops_before = self.stats.gate_drops;
         let frame_index = self.stats.frames;
         // Modeled clock position of this frame = everything fused so far.
@@ -366,6 +477,8 @@ impl VideoFusionPipeline {
             decision,
             columnar: self.engine.columnar(),
             threads: self.engine.threads() as u64,
+            depth: self.depth as u64,
+            slot: slot.map_or(-1, |s| s as i64),
             wall_start_us: wall_start.as_secs_f64() * 1e6,
             wall_dur_us: (wall_end - wall_start).as_secs_f64() * 1e6,
             model_start_s,
@@ -433,7 +546,6 @@ impl VideoFusionPipeline {
                 );
             }
         }
-        Ok(out)
     }
 
     /// Runs `n` fused frames (the paper profiles runs of 10), recycling
@@ -460,6 +572,13 @@ impl VideoFusionPipeline {
     /// Accumulated statistics.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// Effective pipelining depth: the configured
+    /// [`PipelineConfig::depth`] after the degrade rule (1 unless a fixed
+    /// CPU backend runs on a worker pool).
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// The always-on per-frame flight recorder (the last
@@ -520,6 +639,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 3,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         let stats = pipe.run(10).unwrap();
@@ -540,6 +660,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 7,
             threads,
+            depth: 1,
         };
         let mut serial = VideoFusionPipeline::new(config(1)).unwrap();
         let mut pooled = VideoFusionPipeline::new(config(3)).unwrap();
@@ -565,6 +686,70 @@ mod tests {
     }
 
     #[test]
+    fn depth_k_pipeline_matches_serial_exactly() {
+        // The depth-k schedule reorders only wall-clock overlap: the
+        // capture sequence, fused frames, statistics and flight-recorded
+        // modeled quantities are all identical to the serial pipeline.
+        let config = |threads, depth| PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 13,
+            threads,
+            depth,
+        };
+        let mut serial = VideoFusionPipeline::new(config(1, 1)).unwrap();
+        for depth in [2usize, 3] {
+            let mut piped = VideoFusionPipeline::new(config(2, depth)).unwrap();
+            for i in 0..6 {
+                let a = serial.step().unwrap();
+                let b = piped.step().unwrap();
+                assert_eq!(a.image, b.image, "depth {depth} frame {i}");
+                assert_eq!(a.timing, b.timing, "depth {depth} frame {i}");
+                serial.recycle(a);
+                piped.recycle(b);
+            }
+            let rec = piped.flight_recorder();
+            assert_eq!(rec.len(), 6);
+            for r in rec.iter() {
+                assert_eq!(r.depth, depth as u64);
+                assert!(r.slot >= 0 && (r.slot as usize) < depth, "slot {}", r.slot);
+            }
+            assert_eq!(serial.stats(), piped.stats(), "depth {depth}");
+            serial = VideoFusionPipeline::new(config(1, 1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn depth_degrades_to_one_without_a_pool_or_fixed_cpu_backend() {
+        // Serial threads: depth silently degrades; the flight recorder
+        // shows the classic schedule.
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 3,
+            threads: 1,
+            depth: 3,
+        })
+        .unwrap();
+        pipe.run(2).unwrap();
+        assert!(pipe.flight_recorder().iter().all(|r| r.depth == 1));
+        // FPGA backend: also degrades, even on a pool.
+        let mut fpga = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (48, 40),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Fpga),
+            scene_seed: 3,
+            threads: 2,
+            depth: 3,
+        })
+        .unwrap();
+        fpga.run(2).unwrap();
+        assert!(fpga.flight_recorder().iter().all(|r| r.depth == 1));
+    }
+
+    #[test]
     fn steady_state_run_reuses_pooled_buffers() {
         // After the first frame warms the pool, `run` recycles the output
         // buffer each step: exactly one miss, the rest hits.
@@ -574,6 +759,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 3,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         pipe.run(6).unwrap();
@@ -590,6 +776,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 1,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         pipe.step_with_burst(3).unwrap();
@@ -608,6 +795,7 @@ mod tests {
             ))),
             scene_seed: 5,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         big.run(2).unwrap();
@@ -626,6 +814,7 @@ mod tests {
             ))),
             scene_seed: 5,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         small.run(2).unwrap();
@@ -645,6 +834,7 @@ mod tests {
                 backend: BackendChoice::Fixed(backend),
                 scene_seed: 11,
                 threads: 1,
+                depth: 1,
             })
             .unwrap();
             pipe.run(6).unwrap();
@@ -699,6 +889,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Fpga),
             scene_seed: 2016,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         pipe.run(3).unwrap();
@@ -722,6 +913,7 @@ mod tests {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: 9,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         let out = pipe.step().unwrap();

@@ -780,15 +780,19 @@ impl Dtcwt {
         outcomes: &mut Vec<JobOutcome>,
         out: &mut Image,
     ) -> Result<(), DtcwtError> {
-        self.inverse_pooled_submit(pool, kernel, pyr, bufs)?;
+        self.inverse_pooled_submit(pool, kernel, pyr, bufs, 0)?;
         self.inverse_pooled_finish(pool, bufs, outcomes, out)
     }
 
     /// Publishes the four inverse combo jobs of `pyr` onto the pool and
     /// returns immediately — the synthesis runs while the caller does other
-    /// work (e.g. capturing the next frame). Exactly one
-    /// [`Dtcwt::inverse_pooled_finish`] must follow before any further
-    /// submission to the same pool.
+    /// work (e.g. capturing the next frame). `tag` labels the batch (the
+    /// depth-k engine uses its frame-slot index) and comes back on every
+    /// outcome. Each submitted batch must eventually be collected, oldest
+    /// first: either by [`Dtcwt::inverse_pooled_finish`] while it is the
+    /// only batch in flight, or — with several batches stacked — by a
+    /// [`WorkerPool::drain_partial`] of its four outcomes followed by
+    /// [`Dtcwt::inverse_collect_outcomes`].
     ///
     /// # Errors
     ///
@@ -800,13 +804,14 @@ impl Dtcwt {
         kernel: usize,
         pyr: &Arc<CwtPyramid>,
         bufs: &mut Vec<Image>,
+        tag: u32,
     ) -> Result<(), DtcwtError> {
         self.check_pyramid(pyr)?;
         for ci in 0..COMBOS.len() {
             pool.submit(Job::InverseCombo {
                 transform: Arc::clone(self),
                 pyr: Arc::clone(pyr),
-                tag: 0,
+                tag,
                 combo: ci,
                 kernel,
                 out: bufs.pop().unwrap_or_default(),
@@ -827,11 +832,7 @@ impl Dtcwt {
     ) {
         outcomes.clear();
         pool.drain(COMBOS.len(), outcomes);
-        for oc in outcomes.drain(..) {
-            if let JobPayload::Inverse { out } = oc.payload {
-                bufs.push(out);
-            }
-        }
+        Self::recycle_inverse_outcomes(outcomes, bufs);
     }
 
     /// Completes an in-flight [`Dtcwt::inverse_pooled_submit`]: drains the
@@ -852,6 +853,27 @@ impl Dtcwt {
     ) -> Result<(), DtcwtError> {
         outcomes.clear();
         pool.drain(COMBOS.len(), outcomes);
+        self.inverse_collect_outcomes(outcomes, bufs, out)
+    }
+
+    /// Accumulates one already-harvested inverse batch (the four
+    /// [`JobOutcome`]s of a single [`Dtcwt::inverse_pooled_submit`], in any
+    /// order) into `out` and recycles the combo buffers into `bufs`. The
+    /// combos are summed in combo order, so the result is bit-identical to
+    /// the serial inverse — and to [`Dtcwt::inverse_pooled_finish`] —
+    /// regardless of worker completion order, thread count, or how many
+    /// other batches were in flight alongside this one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::inverse_pooled_finish`]: the lowest-combo error of
+    /// the batch, with all surviving buffers recycled first.
+    pub fn inverse_collect_outcomes(
+        &self,
+        outcomes: &mut Vec<JobOutcome>,
+        bufs: &mut Vec<Image>,
+        out: &mut Image,
+    ) -> Result<(), DtcwtError> {
         let mut slots: [Option<Image>; 4] = [None, None, None, None];
         let mut first_err: Option<(usize, DtcwtError)> = None;
         for oc in outcomes.drain(..) {
@@ -882,6 +904,17 @@ impl Dtcwt {
         }
         out.scale_in_place(0.25);
         Ok(())
+    }
+
+    /// Recycles the buffers of an already-harvested inverse batch without
+    /// accumulating it (the abandon counterpart of
+    /// [`Dtcwt::inverse_collect_outcomes`]). Errors are discarded.
+    pub fn recycle_inverse_outcomes(outcomes: &mut Vec<JobOutcome>, bufs: &mut Vec<Image>) {
+        for oc in outcomes.drain(..) {
+            if let JobPayload::Inverse { out } = oc.payload {
+                bufs.push(out);
+            }
+        }
     }
 
     /// Inverse transform with the four tree combinations inverted on an

@@ -109,6 +109,28 @@ impl PoolHandle {
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().expect("buffer pool poisoned").stats
     }
+
+    /// Pre-fills the free list so the next `count` acquisitions of
+    /// `width` x `height` images are hits. Only as many buffers as are
+    /// missing get allocated (free buffers with sufficient capacity count
+    /// toward `count`), bounded by the free-list capacity. Reservation is a
+    /// reconfigure-time action, so it charges neither the hit nor the miss
+    /// counters — those track steady-state behavior.
+    pub fn preallocate(&self, width: usize, height: usize, count: usize) {
+        let len = width * height;
+        let mut pool = self.inner.lock().expect("buffer pool poisoned");
+        let have = pool.free.iter().filter(|b| b.capacity() >= len).count();
+        let room = POOL_FREE_SLOTS.saturating_sub(pool.free.len());
+        for _ in 0..count.saturating_sub(have).min(room) {
+            pool.free.push(Vec::with_capacity(len));
+        }
+    }
+
+    /// Number of buffers currently on the free list (pre-allocated plus
+    /// released).
+    pub fn free_buffers(&self) -> usize {
+        self.inner.lock().expect("buffer pool poisoned").free.len()
+    }
 }
 
 impl Default for PoolHandle {
@@ -273,6 +295,34 @@ impl ComboStore {
     /// Creates an empty store; buffers grow on first use.
     pub fn new() -> Self {
         ComboStore::default()
+    }
+
+    /// Pre-sizes every combo slot for a `levels`-deep analysis of
+    /// `width` x `height` frames, so a reconfigure pays the buffer growth
+    /// once instead of spreading it over the first frame: each level's
+    /// detail subbands and the lowpass residual get their final dimensions
+    /// (each level pads to even, then halves — the same recurrence the
+    /// transform uses). Already-large-enough buffers are kept.
+    pub fn reserve(&mut self, width: usize, height: usize, levels: usize) {
+        let ensure = |img: &mut Image, w: usize, h: usize| {
+            if img.width() * img.height() < w * h {
+                *img = Image::zeros(w, h);
+            }
+        };
+        for slot in &mut self.slots {
+            while slot.detail.len() < levels {
+                slot.detail.push(Subbands::empty());
+            }
+            let (mut w, mut h) = (width, height);
+            for det in slot.detail.iter_mut().take(levels) {
+                let (sw, sh) = ((w + w % 2) / 2, (h + h % 2) / 2);
+                ensure(&mut det.lh, sw, sh);
+                ensure(&mut det.hl, sw, sh);
+                ensure(&mut det.hh, sw, sh);
+                (w, h) = (sw, sh);
+            }
+            ensure(&mut slot.ll, w, h);
+        }
     }
 }
 

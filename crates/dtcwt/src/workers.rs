@@ -519,6 +519,89 @@ impl WorkerPool {
             None
         }
     }
+
+    /// Blocks until the **oldest** `n` outstanding jobs complete and appends
+    /// their outcomes to `out` in submission order, leaving any
+    /// later-submitted jobs in flight. Returns the batch-relative index of
+    /// the earliest-submitted errored job among the harvested `n`, if any.
+    ///
+    /// This is the depth-k pipelining primitive: the dispatcher can keep
+    /// several four-job inverse batches in flight and harvest them batch by
+    /// batch as frames retire, interleaved with full [`WorkerPool::drain`]
+    /// calls for the forward batches submitted after them.
+    ///
+    /// Unlike `drain`, the shared `completed` counter cannot serve as the
+    /// wait condition (a later job may complete before an earlier one), so
+    /// this waits on each harvested slot's outcome cell individually —
+    /// spinning briefly, then parking on the drain condvar (`run_slot`
+    /// stores the outcome before testing `drain_waiting`, so the flag
+    /// store/recheck pair below cannot miss a wakeup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` jobs are outstanding.
+    pub fn drain_partial(&self, n: usize, out: &mut Vec<JobOutcome>) -> Option<usize> {
+        let shared = &self.shared;
+        let start = shared.harvested.load(SeqCst);
+        let target = start + n;
+        assert!(
+            target <= shared.limit.load(SeqCst),
+            "partial drain asked for more outcomes than jobs outstanding"
+        );
+        let mut first_err = None;
+        for (i, seq) in (start..target).enumerate() {
+            let slot = &shared.slots[seq % BATCH_SLOTS];
+            let mut spins = 0usize;
+            let outcome = loop {
+                if let Some(oc) = slot.outcome.lock().expect("worker pool poisoned").take() {
+                    break oc;
+                }
+                spins += 1;
+                if spins < DRAIN_SPINS {
+                    std::hint::spin_loop();
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+                let g = shared.drain_park.lock().expect("worker pool poisoned");
+                shared.drain_waiting.store(true, SeqCst);
+                // Recheck under the park lock (Dekker pairing with run_slot).
+                let oc = slot.outcome.lock().expect("worker pool poisoned").take();
+                if let Some(oc) = oc {
+                    shared.drain_waiting.store(false, SeqCst);
+                    break oc;
+                }
+                let _g = shared.drained.wait(g).expect("worker pool poisoned");
+                shared.drain_waiting.store(false, SeqCst);
+                spins = 0;
+            };
+            if first_err.is_none() && outcome.error.is_some() {
+                first_err = Some(i);
+            }
+            out.push(outcome);
+        }
+        shared.harvested.store(target, SeqCst);
+        // The harvested outcomes above carry their own errors, so the
+        // `first_error` cell is only cleaned here: entries for the harvested
+        // prefix are dropped, while an error recorded for a still-in-flight
+        // later job must survive for that job's own drain.
+        let cur = shared.first_error.load(SeqCst);
+        if cur < target {
+            let taken = shared.first_error.swap(NO_ERROR, SeqCst);
+            if taken != NO_ERROR && taken >= target {
+                // A later in-flight failure raced in between the load and
+                // the swap; put it back.
+                shared.first_error.fetch_min(taken, SeqCst);
+            }
+        }
+        first_err
+    }
+
+    /// Number of submitted jobs not yet harvested by a drain.
+    pub fn outstanding(&self) -> usize {
+        self.shared.limit.load(SeqCst) - self.shared.harvested.load(SeqCst)
+    }
 }
 
 impl Drop for WorkerPool {
@@ -1100,5 +1183,116 @@ mod tests {
             }
             drop(pool);
         }
+    }
+
+    /// Submits one four-job inverse batch tagged `tag` (kernel slot 9 on
+    /// `fail_combo` injects a missing-kernel failure).
+    fn submit_inverse_batch(
+        pool: &WorkerPool,
+        t: &Arc<Dtcwt>,
+        tag: u32,
+        fail_combo: Option<usize>,
+    ) {
+        let pyr = Arc::new(
+            t.forward(&Image::filled(16, 16, tag as f32 * 0.1 + 0.5))
+                .unwrap(),
+        );
+        for ci in 0..4 {
+            pool.submit(Job::InverseCombo {
+                transform: Arc::clone(t),
+                pyr: Arc::clone(&pyr),
+                tag,
+                combo: ci,
+                kernel: if fail_combo == Some(ci) { 9 } else { 0 },
+                out: Image::zeros(0, 0),
+            });
+        }
+    }
+
+    #[test]
+    fn partial_drains_harvest_interleaved_batches_in_order() {
+        // Depth-k shape: several inverse batches in flight at once, each
+        // harvested by its own partial drain while later batches keep
+        // running, interleaved with a full drain of a forward batch
+        // submitted on top. Outcomes must arrive batch-major in submission
+        // order at every pool width.
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let img = Arc::new(Image::from_fn(16, 16, |x, y| (3 * x + y) as f32 * 0.05));
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads, &mut boxed_scalar);
+            for tag in 0..3u32 {
+                submit_inverse_batch(&pool, &t, tag, None);
+            }
+            assert_eq!(pool.outstanding(), 12);
+            let mut outcomes = Vec::new();
+            // Harvest the two oldest batches; the third stays in flight.
+            assert_eq!(pool.drain_partial(8, &mut outcomes), None);
+            assert_eq!(pool.outstanding(), 4);
+            // Stack a forward batch on top and full-drain it together with
+            // the leftover inverse batch.
+            let mut combos = ComboStore::new();
+            for (ci, slot) in combos.slots.iter_mut().enumerate() {
+                pool.submit(Job::ForwardCombo {
+                    transform: Arc::clone(&t),
+                    img: Arc::clone(&img),
+                    tag: 7,
+                    combo: ci,
+                    kernel: 0,
+                    detail: std::mem::take(&mut slot.detail),
+                    ll: std::mem::take(&mut slot.ll),
+                });
+            }
+            assert_eq!(pool.drain(8, &mut outcomes), None);
+            assert_eq!(pool.outstanding(), 0);
+            let ids: Vec<(u32, usize)> = outcomes.iter().map(|o| (o.tag, o.combo)).collect();
+            let want: Vec<(u32, usize)> = [0u32, 1, 2, 7]
+                .into_iter()
+                .flat_map(|tag| (0..4).map(move |ci| (tag, ci)))
+                .collect();
+            assert_eq!(ids, want, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn partial_drain_keeps_later_in_flight_errors() {
+        // A failure in a *later* still-in-flight batch must not leak into
+        // the earlier batch's partial drain, nor be lost by it: each batch
+        // reports exactly its own earliest failure.
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads, &mut boxed_scalar);
+            submit_inverse_batch(&pool, &t, 0, None);
+            submit_inverse_batch(&pool, &t, 1, Some(2));
+            let mut outcomes = Vec::new();
+            assert_eq!(
+                pool.drain_partial(4, &mut outcomes),
+                None,
+                "threads {threads}: clean batch must not report the later failure"
+            );
+            assert!(outcomes.iter().all(|o| o.error.is_none()));
+            outcomes.clear();
+            assert_eq!(
+                pool.drain_partial(4, &mut outcomes),
+                Some(2),
+                "threads {threads}: failing batch reports its own combo"
+            );
+            assert!(outcomes[2].error.is_some());
+        }
+    }
+
+    #[test]
+    fn partial_drain_of_failing_prefix_reports_and_clears() {
+        // The earlier batch fails while a clean batch is still in flight:
+        // the partial drain reports the failure, and the follow-up drain of
+        // the clean batch sees no stale error.
+        let t = Arc::new(Dtcwt::new(1).unwrap());
+        let pool = WorkerPool::new(2, &mut boxed_scalar);
+        submit_inverse_batch(&pool, &t, 0, Some(1));
+        submit_inverse_batch(&pool, &t, 1, None);
+        let mut outcomes = Vec::new();
+        assert_eq!(pool.drain_partial(4, &mut outcomes), Some(1));
+        outcomes.clear();
+        assert_eq!(pool.drain(4, &mut outcomes), None);
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
     }
 }

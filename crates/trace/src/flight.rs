@@ -38,6 +38,12 @@ pub struct FrameRecord {
     pub columnar: bool,
     /// Worker threads configured on the engine (1 = serial).
     pub threads: u64,
+    /// Pipeline depth: frames the in-flight ring may hold (1 = no
+    /// software pipelining beyond the single-frame capture overlap).
+    pub depth: u64,
+    /// Engine ring slot this frame's inverse ran in, or -1 when the
+    /// frame completed outside the slot ring (serial/FPGA/hybrid paths).
+    pub slot: i64,
     /// Host wall-clock start of the step, µs since pipeline construction.
     pub wall_start_us: f64,
     /// Host wall-clock duration of the step in µs.
@@ -85,6 +91,8 @@ impl Default for FrameRecord {
             decision: "",
             columnar: false,
             threads: 1,
+            depth: 1,
+            slot: -1,
             wall_start_us: 0.0,
             wall_dur_us: 0.0,
             model_start_s: 0.0,
@@ -116,6 +124,8 @@ impl FrameRecord {
             ("decision".into(), JsonValue::Str(self.decision.into())),
             ("columnar".into(), JsonValue::Bool(self.columnar)),
             ("threads".into(), JsonValue::Num(self.threads as f64)),
+            ("depth".into(), JsonValue::Num(self.depth as f64)),
+            ("slot".into(), JsonValue::Num(self.slot as f64)),
             ("wall_start_us".into(), JsonValue::Num(self.wall_start_us)),
             ("wall_dur_us".into(), JsonValue::Num(self.wall_dur_us)),
             ("model_start_s".into(), JsonValue::Num(self.model_start_s)),
@@ -393,6 +403,8 @@ mod tests {
             );
             assert!(v.get("forward_s").is_some());
             assert!(v.get("overhead_mj").is_some());
+            assert_eq!(v.get("depth").and_then(JsonValue::as_f64), Some(1.0));
+            assert_eq!(v.get("slot").and_then(JsonValue::as_f64), Some(-1.0));
         }
     }
 

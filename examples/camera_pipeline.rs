@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))),
         scene_seed: 9,
         threads: 1,
+        depth: 1,
     })?;
 
     println!("\nframe | backend   | time (ms) | energy (mJ)");

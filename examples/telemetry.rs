@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))),
         scene_seed: 7,
         threads: 1,
+        depth: 1,
     })?;
     pipe.set_telemetry(Arc::clone(&telemetry));
 

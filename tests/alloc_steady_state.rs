@@ -84,6 +84,7 @@ fn pipeline(backend: Backend) -> VideoFusionPipeline {
         backend: BackendChoice::Fixed(backend),
         scene_seed: 2016,
         threads: 1,
+        depth: 1,
     })
     .expect("default geometry supports three levels")
 }
@@ -129,6 +130,51 @@ fn steady_state_pipeline_steps_do_not_allocate() {
                 "{backend:?}: expected the scalar fallback to charge the transpose counter"
             ),
         }
+    }
+}
+
+// Depth-k software pipelining keeps several frames in flight across the
+// worker pool; the dispatcher thread (the one calling `step()`) must stay
+// allocation-free once the prologue has filled the ring and sized every
+// per-slot combo store, inverse staging buffer and stash vector. Worker
+// threads are not the measuring thread, so the counters pin exactly the
+// dispatcher-side guarantee the in-flight ring makes.
+#[test]
+fn steady_state_depth_k_pipeline_does_not_allocate_on_the_dispatcher() {
+    let _gate = transpose_gate();
+    for depth in [2usize, 3] {
+        let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+            frame_size: (88, 72),
+            levels: 3,
+            backend: BackendChoice::Fixed(Backend::Neon),
+            scene_seed: 2016,
+            threads: 2,
+            depth,
+        })
+        .expect("default geometry supports three levels");
+        assert_eq!(pipe.depth(), depth);
+        // Warm-up: the prologue submits `depth` frames before the first
+        // retirement, and the first retired frames size the per-slot
+        // buffers, so give every slot one full submit/retire cycle.
+        for _ in 0..depth + 2 {
+            let out = pipe.step().expect("warm-up step");
+            pipe.recycle(out);
+        }
+        for frame in depth + 2..depth + 6 {
+            let (allocs, bytes, out) = counted(|| pipe.step().expect("steady step"));
+            let (rallocs, rbytes, ()) = counted(|| pipe.recycle(out));
+            assert_eq!(
+                (allocs, bytes),
+                (0, 0),
+                "depth {depth} frame {frame}: step() allocated {allocs} times ({bytes} bytes)"
+            );
+            assert_eq!(
+                (rallocs, rbytes),
+                (0, 0),
+                "depth {depth} frame {frame}: recycle() allocated {rallocs} times ({rbytes} bytes)"
+            );
+        }
+        assert_eq!(pipe.stats().frames as usize, depth + 6);
     }
 }
 

@@ -1,0 +1,111 @@
+//! Depth-k pipelining must change the schedule, never the pixels.
+//!
+//! The in-flight ring overlaps capture of frame N+k with the transform of
+//! frames N..N+k-1, but capture ordering, fusion arithmetic and the
+//! combo-order inverse accumulation are all schedule-invariant, so every
+//! (depth, threads, frame size) cell must reproduce the serial pipeline's
+//! output stream bit for bit — and the modeled per-frame statistics too,
+//! since the cost model is a function of the work, not the schedule.
+
+use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::Backend;
+use wavefuse_dtcwt::Image;
+
+fn pipeline(
+    size: (usize, usize),
+    backend: Backend,
+    threads: usize,
+    depth: usize,
+) -> VideoFusionPipeline {
+    VideoFusionPipeline::new(PipelineConfig {
+        frame_size: size,
+        levels: 3,
+        backend: BackendChoice::Fixed(backend),
+        scene_seed: 2016,
+        threads,
+        depth,
+    })
+    .expect("geometry supports three levels")
+}
+
+fn fused_frames(
+    size: (usize, usize),
+    backend: Backend,
+    threads: usize,
+    depth: usize,
+    n: usize,
+) -> Vec<Image> {
+    let mut pipe = pipeline(size, backend, threads, depth);
+    let frames = (0..n).map(|_| pipe.step().expect("step").image).collect();
+    // The effective depth must follow the degrade rule: full depth on a
+    // pooled CPU backend, 1 otherwise.
+    let expect = if threads > 1 { depth.max(1) } else { 1 };
+    assert_eq!(pipe.depth(), expect, "size {size:?} threads {threads}");
+    frames
+}
+
+fn assert_depth_matrix_matches_serial(size: (usize, usize), backend: Backend, n: usize) {
+    let serial = fused_frames(size, backend, 1, 1, n);
+    for depth in [1usize, 2, 3] {
+        for threads in [1usize, 2, 4] {
+            let piped = fused_frames(size, backend, threads, depth, n);
+            for (i, (a, b)) in serial.iter().zip(&piped).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "{backend:?} {}x{} frame {i}: depth {depth} x {threads} threads \
+                     diverged from serial",
+                    size.0, size.1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_matrix_is_bit_identical_at_88x72() {
+    assert_depth_matrix_matches_serial((88, 72), Backend::Neon, 6);
+    assert_depth_matrix_matches_serial((88, 72), Backend::Arm, 4);
+}
+
+#[test]
+fn depth_matrix_is_bit_identical_at_96x80() {
+    assert_depth_matrix_matches_serial((96, 80), Backend::Neon, 5);
+}
+
+// VGA frames are ~48x the default pixel count; the full matrix is release
+// material (ci.sh runs it with --include-ignored), not debug-profile
+// material.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "VGA identity matrix is too slow in debug builds; ci.sh runs it in release"
+)]
+fn depth_matrix_is_bit_identical_at_640x480() {
+    assert_depth_matrix_matches_serial((640, 480), Backend::Neon, 3);
+}
+
+#[test]
+fn depth_k_statistics_match_serial() {
+    // The modeled timing/energy accounting retires with the frame, so the
+    // aggregate statistics of a depth-3 run must equal the serial run's.
+    let mut serial = pipeline((88, 72), Backend::Neon, 1, 1);
+    let mut deep = pipeline((88, 72), Backend::Neon, 2, 3);
+    for _ in 0..6 {
+        let a = serial.step().expect("serial step");
+        serial.recycle(a);
+        let b = deep.step().expect("deep step");
+        deep.recycle(b);
+    }
+    let (s, d) = (serial.stats(), deep.stats());
+    assert_eq!(s.frames, d.frames);
+    assert_eq!(s.energy_mj.to_bits(), d.energy_mj.to_bits());
+    assert_eq!(
+        s.timing.total_seconds().to_bits(),
+        d.timing.total_seconds().to_bits()
+    );
+    // And the flight recorder labels every frame with its ring slot.
+    for rec in deep.flight_recorder().iter() {
+        assert_eq!(rec.depth, 3);
+        assert!((0..3).contains(&rec.slot), "slot {}", rec.slot);
+    }
+}

@@ -18,6 +18,7 @@ fn full_capture_path_produces_fused_video() {
         backend: BackendChoice::Fixed(Backend::Fpga),
         scene_seed: 42,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     let stats = pipe.run(5).unwrap();
@@ -41,6 +42,7 @@ fn pipeline_is_deterministic_for_a_seed() {
             backend: BackendChoice::Fixed(Backend::Neon),
             scene_seed: seed,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         let out = pipe.step().unwrap();
@@ -83,6 +85,7 @@ fn adaptive_pipeline_reacts_to_frame_size() {
             ))),
             scene_seed: 1,
             threads: 1,
+            depth: 1,
         })
         .unwrap();
         let stats = pipe.run(3).unwrap();
@@ -115,6 +118,7 @@ fn online_policy_converges_in_the_pipeline() {
         ))),
         scene_seed: 2,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     let stats = pipe.run(6).unwrap();
@@ -136,6 +140,7 @@ fn fused_stream_tracks_the_moving_body() {
         backend: BackendChoice::Fixed(Backend::Neon),
         scene_seed: 11,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     let first = pipe.step().unwrap().image;

@@ -30,6 +30,7 @@ fn hybrid_backend_runs_in_the_full_pipeline() {
         backend: BackendChoice::Fixed(Backend::Hybrid),
         scene_seed: 4,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     let stats = pipe.run(3).unwrap();
@@ -41,6 +42,7 @@ fn hybrid_backend_runs_in_the_full_pipeline() {
         backend: BackendChoice::Fixed(Backend::Fpga),
         scene_seed: 4,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     let fpga_stats = fpga.run(3).unwrap();

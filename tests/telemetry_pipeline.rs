@@ -21,6 +21,7 @@ fn instrumented_run(frames: usize) -> (Arc<Telemetry>, wavefuse::core::pipeline:
         ))),
         scene_seed: 11,
         threads: 1,
+        depth: 1,
     })
     .unwrap();
     pipe.set_telemetry(Arc::clone(&telemetry));

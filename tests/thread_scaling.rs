@@ -21,6 +21,7 @@ fn pipeline(backend: Backend, threads: usize) -> VideoFusionPipeline {
         backend: BackendChoice::Fixed(backend),
         scene_seed: 2016,
         threads,
+        depth: 1,
     })
     .expect("default geometry supports three levels")
 }

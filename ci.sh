@@ -79,6 +79,19 @@ cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 16 --no-columnar --bench-out target/BENCH_smoke_fallback.json
 grep -q '"columnar":false' target/BENCH_smoke_fallback.json
 
+echo "== multi-stream serving smoke (repro serve --streams 8 --frames 32)"
+# The shared-fleet serving path must drive 8 concurrent streams end to
+# end: full per-stream report, serve JSON export, and a SERVE row upsert.
+# CI upserts into a scratch copy so the committed baseline stays untouched
+# (serve wall-clock is host-dependent and not gated here).
+cp BENCH_pipeline.json target/BENCH_serve_smoke.json
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    serve --streams 8 --frames 32 \
+    --bench-out target/BENCH_serve_smoke.json \
+    --serve-out target/SERVE_smoke.json
+grep -q '"backend":"SERVE-8"' target/BENCH_serve_smoke.json
+grep -q '"per_stream"' target/SERVE_smoke.json
+
 echo "== cargo fmt --check"
 cargo fmt --all --check
 

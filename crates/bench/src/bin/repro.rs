@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `fig2`, `table1`, `fig9a`, `fig9b`, `fig9c`, `fig10`,
 //! `crossover`, `adaptive`, `ablation`, `quality`, `hybrid`, `levels`,
-//! `throughput`, `timeline`, `bench`, `eval`, `all`.
+//! `throughput`, `timeline`, `bench`, `serve`, `eval`, `all`.
 //!
 //! The `bench` subcommand measures real wall-clock pipeline throughput
 //! (frames/sec and ns/frame per backend, serial and on the worker pool,
@@ -30,6 +30,22 @@
 //! against a committed baseline report and exits non-zero when
 //! `frames_per_second` drops — or `energy_mj_per_frame` /
 //! `p99_ns_per_frame` climbs — beyond `--tolerance <pct>` (default 25).
+//! A missing, empty, or corrupt baseline file degrades the gate to
+//! warnings (the run still completes) so a fresh checkout can bootstrap
+//! its own baseline.
+//!
+//! The `serve` subcommand measures multi-stream serving: `--streams <n>`
+//! (default 64) independent fusion streams share one worker fleet
+//! (`--threads`, same default as `bench`) with cross-stream batch
+//! packing, each serving `--frames <n>` timed frames (default 32) after
+//! a warm-up window, followed by the sequential one-engine-per-stream
+//! baseline for the same budget. It prints aggregate fps, fairness,
+//! energy per frame, and per-stream p50/p99 latency, then upserts a
+//! `SERVE-<streams>` row into the `--bench-out` report (default
+//! `BENCH_pipeline.json`, preserving existing rows) so the regression
+//! gate covers serving; `--serve-out <path>` additionally writes the
+//! full per-stream JSON report, and `--check`/`--tolerance` gate the
+//! serve row like `bench` does.
 //!
 //! The `eval` subcommand runs an instrumented pipeline and exports its
 //! telemetry: `--trace <path>` writes a Chrome trace (load it in Perfetto
@@ -48,9 +64,9 @@ use wavefuse_bench::experiments::{self, Quantity};
 use wavefuse_bench::{gate, report};
 use wavefuse_trace::{export, JsonValue, ToJson};
 
-const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|eval|all]... \
+const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|serve|eval|all]... \
 [--trace <path>] [--metrics <path>] [--jsonl <path>] [--flight-record <path>] [--frames <n>] [--threads <n>] [--frame-size <WxH>] [--depth <k>] [--matrix] \
-[--bench-out <path>] [--no-columnar] [--check <baseline.json>] [--tolerance <pct>]";
+[--streams <n>] [--bench-out <path>] [--serve-out <path>] [--no-columnar] [--check <baseline.json>] [--tolerance <pct>]";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -214,32 +230,55 @@ fn main() -> ExitCode {
             };
             println!("{}", report::render_bench(&bench));
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-            std::fs::write(&path, bench.to_json().render())?;
+            std::fs::write(&path, format!("{}\n", bench.to_json().render()))?;
             eprintln!("wrote throughput benchmark to {path}");
             if let Some(baseline_path) = opt("check") {
-                let tolerance: f64 = match opt("tolerance").as_deref() {
-                    Some(v) => {
-                        v.parse::<f64>()
-                            .map_err(|_| format!("bad --tolerance '{v}'"))?
-                            / 100.0
-                    }
-                    None => 0.25,
+                gate_report(&bench, &baseline_path, opt("tolerance").as_deref())?;
+            }
+        }
+        if wants("serve") {
+            let streams: usize = match opt("streams").as_deref() {
+                Some(v) => v.parse().map_err(|_| format!("bad --streams '{v}'"))?,
+                None => 64,
+            };
+            let frames: usize = match opt("frames").as_deref() {
+                Some(v) => v.parse().map_err(|_| format!("bad --frames '{v}'"))?,
+                None => 32,
+            };
+            let threads: Option<usize> = match opt("threads").as_deref() {
+                Some(v) => Some(v.parse().map_err(|_| format!("bad --threads '{v}'"))?),
+                None => None,
+            };
+            let columnar = opt("no-columnar").is_none();
+            eprintln!(
+                "serving {streams} streams ({frames} timed frames each) on a shared fleet..."
+            );
+            let serve = experiments::serve_bench(streams, frames, threads, columnar)?;
+            println!("{}", report::render_serve(&serve));
+            if let Some(path) = opt("serve-out") {
+                std::fs::write(
+                    &path,
+                    format!("{}\n", experiments::serve_json(&serve).render()),
+                )?;
+                eprintln!("wrote serve report to {path}");
+            }
+            let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+            upsert_serve_row(&path, &serve)?;
+            eprintln!(
+                "upserted SERVE-{} row into {path} (other rows preserved)",
+                serve.streams
+            );
+            if let Some(baseline_path) = opt("check") {
+                let mini = experiments::BenchReport {
+                    frame_size: (88, 72),
+                    levels: wavefuse_bench::paper::LEVELS,
+                    scene_seed: experiments::SCENE_SEED,
+                    warmup_frames: experiments::BENCH_WARMUP_FRAMES,
+                    frames,
+                    reps: 1,
+                    rows: vec![experiments::serve_row(&serve)],
                 };
-                let text = std::fs::read_to_string(&baseline_path)
-                    .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-                let baseline = JsonValue::parse(&text)
-                    .map_err(|e| format!("cannot parse baseline {baseline_path}: {e}"))?;
-                let outcome = gate::check_against_baseline(&bench, &baseline, tolerance);
-                println!("{}", gate::render_gate(&outcome));
-                if !outcome.passed() {
-                    return Err(format!(
-                        "bench regression gate failed: {} metric(s) regressed beyond ±{:.0}% \
-                         of {baseline_path}",
-                        outcome.regressions(),
-                        tolerance * 100.0
-                    )
-                    .into());
-                }
+                gate_report(&mini, &baseline_path, opt("tolerance").as_deref())?;
             }
         }
         if wants("eval") {
@@ -299,4 +338,78 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Gates `current` against the baseline file, printing the outcome. A
+/// missing/empty/corrupt baseline degrades to warnings; a genuine metric
+/// regression beyond the tolerance is an error.
+fn gate_report(
+    current: &experiments::BenchReport,
+    baseline_path: &str,
+    tolerance: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let tolerance: f64 = match tolerance {
+        Some(v) => {
+            v.parse::<f64>()
+                .map_err(|_| format!("bad --tolerance '{v}'"))?
+                / 100.0
+        }
+        None => 0.25,
+    };
+    let (baseline, warning) = gate::load_baseline(baseline_path);
+    if let Some(w) = warning {
+        eprintln!("warning: {w}");
+    }
+    let outcome = gate::check_against_baseline(current, &baseline, tolerance);
+    println!("{}", gate::render_gate(&outcome));
+    if !outcome.passed() {
+        return Err(format!(
+            "bench regression gate failed: {} metric(s) regressed beyond ±{:.0}% \
+             of {baseline_path}",
+            outcome.regressions(),
+            tolerance * 100.0
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Replaces (or appends) the `SERVE-<streams>` row matching this run's
+/// `(backend, threads, columnar)` identity in the bench report at
+/// `path`, preserving every other row. A missing or unreadable report
+/// starts from an empty `{"rows": []}` document. The file is always
+/// written back newline-terminated.
+fn upsert_serve_row(
+    path: &str,
+    serve: &experiments::ServeBench,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let row = experiments::serve_row(serve).to_json();
+    let label = format!("SERVE-{}", serve.streams);
+    let (doc, _) = gate::load_baseline(path);
+    let mut pairs = match doc {
+        JsonValue::Obj(pairs) => pairs,
+        _ => Vec::new(),
+    };
+    if !pairs.iter().any(|(k, _)| k == "rows") {
+        pairs.push(("rows".to_string(), JsonValue::Arr(Vec::new())));
+    }
+    for (key, value) in &mut pairs {
+        if key != "rows" {
+            continue;
+        }
+        if let JsonValue::Arr(rows) = value {
+            rows.retain(|r| {
+                !(r.get("backend").and_then(JsonValue::as_str) == Some(label.as_str())
+                    && r.get("threads").and_then(JsonValue::as_f64) == Some(serve.threads as f64)
+                    && r.get("columnar")
+                        .map(|c| matches!(c, JsonValue::Bool(b) if *b == serve.columnar))
+                        == Some(true))
+            });
+            rows.push(row.clone());
+        } else {
+            *value = JsonValue::Arr(vec![row.clone()]);
+        }
+    }
+    std::fs::write(path, format!("{}\n", JsonValue::Obj(pairs).render()))
+        .map_err(|e| format!("cannot write {path}: {e}").into())
 }

@@ -14,9 +14,12 @@ use wavefuse_core::engine::PhaseTiming;
 use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
 use wavefuse_core::profile::profile_fusion;
 use wavefuse_core::rules::{FusionRule, LowpassRule};
+use wavefuse_core::serve::{FleetConfig, ServeReport, StreamConfig, StreamManager};
 use wavefuse_core::{Backend, BackendCounts, FusionEngine, FusionError};
 use wavefuse_dtcwt::{FilterBank, Image};
+use wavefuse_video::camera::{ThermalCamera, WebCamera};
 use wavefuse_video::scene::ScenePair;
+use wavefuse_video::Frame;
 use wavefuse_zynq::bus::gp_port_ps_cycles;
 use wavefuse_zynq::resources::{estimate, XC7Z020};
 
@@ -994,6 +997,216 @@ pub fn pipeline_bench_with_matrix(
         }
     }
     Ok(bench)
+}
+
+/// One measured multi-stream serving window plus its sequential baseline:
+/// the same total frame budget served the naive way (one stream at a
+/// time, each paying its own engine construction, worker-pool spawn, and
+/// warm-up — exactly the costs the shared fleet amortizes away).
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Concurrent streams on the shared fleet.
+    pub streams: usize,
+    /// Timed frames per stream.
+    pub frames_per_stream: usize,
+    /// Worker threads of the shared pool.
+    pub threads: usize,
+    /// Whether the fleet ran the columnar column passes.
+    pub columnar: bool,
+    /// The fleet window's measurements.
+    pub report: ServeReport,
+    /// Wall-clock seconds of the sequential baseline.
+    pub sequential_wall_s: f64,
+    /// Sequential baseline throughput, frames per second.
+    pub sequential_fps: f64,
+    /// `aggregate_fps / sequential_fps` — cross-stream packing's payoff.
+    pub speedup: f64,
+}
+
+/// Measures multi-stream serving: `streams` identical 88x72 NEON streams
+/// (distinct scene seeds) on one shared `threads`-worker fleet, after a
+/// [`BENCH_WARMUP_FRAMES`]-round warm-up, then the sequential baseline at
+/// the same thread count and frame budget. Both sides follow the bench
+/// convention of keeping the best of [`BENCH_REPS`] windows (the
+/// sequential sweep constructs fresh engines every repetition — cold
+/// per-stream setup is exactly what it measures).
+///
+/// # Errors
+///
+/// Propagates engine errors (none occur for supported geometries).
+pub fn serve_bench(
+    streams: usize,
+    frames: usize,
+    threads: Option<usize>,
+    columnar: bool,
+) -> Result<ServeBench, FusionError> {
+    let streams = streams.max(1);
+    let frames = frames.max(1);
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .clamp(2, 4)
+        })
+        .max(1);
+    let mut mgr = StreamManager::new(FleetConfig {
+        threads,
+        columnar,
+        max_in_flight: None,
+    });
+    for s in 0..streams {
+        mgr.admit(StreamConfig {
+            scene_seed: SCENE_SEED + s as u64,
+            ..StreamConfig::default()
+        })?;
+    }
+    // One full cold sweep: engine construction, private pool spawn, and
+    // the first fuse of every stream, exactly as the baseline measures.
+    let sequential_sweep = |streams: usize, frames: usize| -> Result<f64, FusionError> {
+        let t0 = std::time::Instant::now();
+        for s in 0..streams {
+            let mut engine = FusionEngine::new(LEVELS)?;
+            engine.set_columnar(columnar);
+            engine.set_threads(threads);
+            let scene = ScenePair::new(SCENE_SEED + s as u64);
+            let mut web = WebCamera::new(scene.clone(), 88, 72);
+            let mut thermal = ThermalCamera::new(scene, 88, 72);
+            let mut visible = Frame::new(Image::zeros(0, 0), 0);
+            let mut field = Frame::new(Image::zeros(0, 0), 0);
+            for _ in 0..frames {
+                thermal.capture_into(&mut field)?;
+                web.capture_into(&mut visible);
+                let out = engine.fuse(visible.image(), field.image(), Backend::Neon)?;
+                engine.recycle(out);
+            }
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    };
+    // Untimed burn: push the host past its frequency/scheduler ramp-up so
+    // neither side of the comparison is measured against a cold machine.
+    sequential_sweep(streams, frames.min(8))?;
+    // Each repetition pairs a fleet window with a temporally adjacent
+    // sequential sweep, so slow drift in the host's available CPU (the
+    // dominant noise on shared machines) cancels inside the pair; the
+    // reported repetition is the one with the *median* paired speedup —
+    // a self-consistent (window, sweep) pair, not a best-of mix. Each
+    // fleet window re-warms first because the sweep's fresh engines evict
+    // the fleet's working set.
+    let mut reps: Vec<(ServeReport, f64)> = Vec::with_capacity(BENCH_REPS);
+    for _ in 0..BENCH_REPS {
+        mgr.run(BENCH_WARMUP_FRAMES)?;
+        mgr.reset_latency_stats();
+        let window = mgr.run(frames)?;
+        let sweep_wall_s = sequential_sweep(streams, frames)?;
+        reps.push((window, sweep_wall_s));
+    }
+    // Paired speedup is proportional to `window fps * sweep wall` (the
+    // frame budget is constant), so sorting on that picks the median rep.
+    reps.sort_by(|a, b| {
+        (a.0.aggregate_fps * a.1)
+            .partial_cmp(&(b.0.aggregate_fps * b.1))
+            .expect("finite bench measurements")
+    });
+    let mid = reps.len() / 2;
+    let (report, sequential_wall_s) = reps.swap_remove(mid);
+    let sequential_fps = (streams * frames) as f64 / sequential_wall_s.max(1e-12);
+    Ok(ServeBench {
+        streams,
+        frames_per_stream: frames,
+        threads,
+        columnar,
+        speedup: report.aggregate_fps / sequential_fps.max(1e-12),
+        report,
+        sequential_wall_s,
+        sequential_fps,
+    })
+}
+
+/// Maps a serve window onto a [`BenchRow`] so the regression gate's
+/// five-tuple row identity `(backend, threads, columnar, frame_size,
+/// depth)` covers serving: the backend label is `SERVE-<streams>` and the
+/// kernel `fleet-shared-pool`, so serve rows never collide with
+/// single-stream rows. Latency quantiles are the **worst stream's**
+/// (gating fairness as well as tail latency); `frames` is per stream.
+pub fn serve_row(bench: &ServeBench) -> BenchRow {
+    let r = &bench.report;
+    let worst_p50 = r
+        .per_stream
+        .iter()
+        .map(|s| s.p50_latency_s)
+        .fold(0.0, f64::max);
+    let worst_p99 = r
+        .per_stream
+        .iter()
+        .map(|s| s.p99_latency_s)
+        .fold(0.0, f64::max);
+    let power_w = wavefuse_power::PowerModel::zc702().power_w(Backend::Neon.execution_mode());
+    BenchRow {
+        backend: format!("SERVE-{}", bench.streams),
+        threads: bench.threads,
+        frame_size: (88, 72),
+        depth: 1,
+        frames: bench.frames_per_stream,
+        kernel: "fleet-shared-pool".to_string(),
+        columnar: bench.columnar,
+        wall_s: r.wall_s,
+        frames_per_second: r.aggregate_fps,
+        ns_per_frame: r.wall_s * 1e9 / (r.total_frames.max(1) as f64),
+        mean_frames_per_second: r.aggregate_fps,
+        energy_mj_per_frame: r.energy_mj_per_frame,
+        fps_per_watt: r.aggregate_fps / power_w.max(1e-12),
+        p50_ns_per_frame: worst_p50 * 1e9,
+        p99_ns_per_frame: worst_p99 * 1e9,
+        phase_s: Vec::new(),
+        pool_hits: 0,
+        pool_misses: 0,
+        pool_bytes: 0,
+    }
+}
+
+/// Renders a serve window (with its per-stream breakdown and sequential
+/// baseline) as a JSON object — the `repro serve --serve-out` payload.
+pub fn serve_json(bench: &ServeBench) -> JsonValue {
+    let r = &bench.report;
+    let per_stream = r
+        .per_stream
+        .iter()
+        .map(|s| {
+            obj(vec![
+                ("stream", s.stream.to_json()),
+                ("backend", s.backend.to_json()),
+                ("levels", s.levels.to_json()),
+                ("depth", s.depth.to_json()),
+                ("frame_size", s.frame_size.to_json()),
+                ("frames", s.frames.to_json()),
+                ("drops", s.drops.to_json()),
+                ("deadline_misses", s.deadline_misses.to_json()),
+                ("fps", s.fps.to_json()),
+                ("p50_latency_s", s.p50_latency_s.to_json()),
+                ("p99_latency_s", s.p99_latency_s.to_json()),
+                ("energy_mj_per_frame", s.energy_mj_per_frame.to_json()),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("streams", r.streams.to_json()),
+        ("threads", r.threads.to_json()),
+        ("columnar", r.columnar.to_json()),
+        ("frames_per_stream", bench.frames_per_stream.to_json()),
+        ("wall_s", r.wall_s.to_json()),
+        ("total_frames", r.total_frames.to_json()),
+        ("total_drops", r.total_drops.to_json()),
+        ("aggregate_fps", r.aggregate_fps.to_json()),
+        ("fairness", r.fairness.to_json()),
+        ("energy_mj_per_frame", r.energy_mj_per_frame.to_json()),
+        ("plan_cache_entries", r.plan_cache_entries.to_json()),
+        ("plan_cache_hits", r.plan_cache_hits.to_json()),
+        ("qos_infeasible", r.qos_infeasible.to_json()),
+        ("sequential_wall_s", bench.sequential_wall_s.to_json()),
+        ("sequential_fps", bench.sequential_fps.to_json()),
+        ("speedup", bench.speedup.to_json()),
+        ("per_stream", JsonValue::Arr(per_stream)),
+    ])
 }
 
 /// Exact ceil-rank quantile of an ascending-sorted sample set, as f64 ns.

@@ -107,6 +107,44 @@ fn find_baseline_row<'a>(rows: &'a [JsonValue], cur: &BenchRow) -> Option<&'a Js
     })
 }
 
+/// Reads and parses a baseline report from disk, degrading every failure
+/// mode — missing file, unreadable file, empty file, truncated or
+/// otherwise corrupt JSON — to a warning instead of an error. In those
+/// cases the returned document is [`JsonValue::Null`], which
+/// [`check_against_baseline`] in turn degrades to per-row warnings, so a
+/// bench run with `--check` never hard-fails just because the baseline
+/// is absent or damaged (it still fails on genuine regressions).
+pub fn load_baseline(path: &str) -> (JsonValue, Option<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return (
+                JsonValue::Null,
+                Some(format!(
+                    "baseline {path} unreadable ({e}); gate degrades to warnings"
+                )),
+            );
+        }
+    };
+    if text.trim().is_empty() {
+        return (
+            JsonValue::Null,
+            Some(format!(
+                "baseline {path} is empty; gate degrades to warnings"
+            )),
+        );
+    }
+    match JsonValue::parse(&text) {
+        Ok(v) => (v, None),
+        Err(e) => (
+            JsonValue::Null,
+            Some(format!(
+                "baseline {path} is not valid JSON ({e}); gate degrades to warnings"
+            )),
+        ),
+    }
+}
+
 /// Compares `current` against a parsed baseline report, with a relative
 /// `tolerance` (fraction, e.g. `0.25`).
 ///
@@ -400,5 +438,64 @@ mod tests {
         let out = check_against_baseline(&cur, &JsonValue::Null, 0.25);
         assert!(out.passed());
         assert!(!out.warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_empty_and_truncated_baseline_files_degrade_to_warnings() {
+        let (doc, warning) = load_baseline("/nonexistent/BENCH_pipeline.json");
+        assert!(matches!(doc, JsonValue::Null));
+        assert!(warning.unwrap().contains("unreadable"));
+
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text, needle) in [
+            ("empty.json", "", "empty"),
+            (
+                "truncated.json",
+                "{\"rows\": [{\"backend\": \"FP",
+                "not valid JSON",
+            ),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            let (doc, warning) = load_baseline(path.to_str().unwrap());
+            assert!(
+                matches!(doc, JsonValue::Null),
+                "{name} should parse to Null"
+            );
+            assert!(warning.unwrap().contains(needle), "{name} warning text");
+            // A Null baseline must gate to warnings, never a failure.
+            let out = check_against_baseline(&report(), &doc, 0.25);
+            assert!(out.passed());
+            assert!(!out.warnings.is_empty());
+        }
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, report().to_json().render()).unwrap();
+        let (doc, warning) = load_baseline(good.to_str().unwrap());
+        assert!(warning.is_none());
+        assert!(check_against_baseline(&report(), &doc, 0.25).passed());
+    }
+
+    #[test]
+    fn serve_rows_are_gated_by_the_same_five_tuple() {
+        let mut cur = report();
+        cur.rows[0].backend = "SERVE-64".into();
+        cur.rows[0].kernel = "fleet-shared-pool".into();
+        let base = cur.to_json();
+        let out = check_against_baseline(&cur, &base, 0.25);
+        assert!(out.passed(), "{}", render_gate(&out));
+        assert_eq!(out.checks.len(), 3);
+
+        // A serve throughput collapse is a regression, not a warning.
+        cur.rows[0].frames_per_second = 1.0;
+        let out = check_against_baseline(&cur, &base, 0.25);
+        assert_eq!(out.regressions(), 1);
+
+        // A serve row never matches a single-stream row of the same
+        // threads/size/depth: the backend label disambiguates.
+        let single = report();
+        let out = check_against_baseline(&cur, &single.to_json(), 0.25);
+        assert!(out.checks.is_empty());
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::experiments::{
     AblationRow, BenchReport, CrossoverReport, HybridRow, LevelsRow, PolicyOutcome, QualityRow,
-    ResourceRow, SeriesRow, ThroughputRow,
+    ResourceRow, SeriesRow, ServeBench, ThroughputRow,
 };
 use wavefuse_core::Backend;
 
@@ -302,6 +302,68 @@ pub fn render_bench(bench: &BenchReport) -> String {
     }
     if bench.rows.iter().any(|r| !r.columnar) {
         out.push_str("* columnar column passes disabled (staged-transpose fallback)\n");
+    }
+    out
+}
+
+/// Renders a multi-stream serving window: fleet-level aggregates, the
+/// sequential baseline it beats, and the per-stream breakdown.
+pub fn render_serve(bench: &ServeBench) -> String {
+    let r = &bench.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## Multi-stream serving: {} streams x {} frames on a shared {}-thread fleet{}\n",
+        r.streams,
+        bench.frames_per_stream,
+        r.threads,
+        if r.columnar { "" } else { " (columnar off)" }
+    ));
+    out.push_str(&format!(
+        "aggregate {:.1} fps over {:.3} s wall | sequential baseline {:.1} fps over {:.3} s | speedup {:.2}x\n",
+        r.aggregate_fps, r.wall_s, bench.sequential_fps, bench.sequential_wall_s, bench.speedup
+    ));
+    out.push_str(&format!(
+        "fairness (min/max stream fps) {:.3} | energy {:.3} mJ/frame | drops {} | plan cache {} plans, {} hits | qos infeasible {}\n",
+        r.fairness,
+        r.energy_mj_per_frame,
+        r.total_drops,
+        r.plan_cache_entries,
+        r.plan_cache_hits,
+        r.qos_infeasible
+    ));
+    out.push_str(&format!(
+        "{:>6} | {:>8} | {:>9} {:>6} {:>5} | {:>8} {:>5} {:>6} | {:>8} {:>10} {:>10} | {:>9}\n",
+        "stream",
+        "backend",
+        "size",
+        "levels",
+        "depth",
+        "frames",
+        "drops",
+        "missed",
+        "fps",
+        "p50 ms",
+        "p99 ms",
+        "mJ/frame"
+    ));
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for s in &r.per_stream {
+        out.push_str(&format!(
+            "{:>6} | {:>8} | {:>9} {:>6} {:>5} | {:>8} {:>5} {:>6} | {:>8.1} {:>10.3} {:>10.3} | {:>9.3}\n",
+            s.stream,
+            s.backend,
+            format!("{}x{}", s.frame_size.0, s.frame_size.1),
+            s.levels,
+            s.depth,
+            s.frames,
+            s.drops,
+            s.deadline_misses,
+            s.fps,
+            s.p50_latency_s * 1e3,
+            s.p99_latency_s * 1e3,
+            s.energy_mj_per_frame
+        ));
     }
     out
 }

@@ -132,14 +132,46 @@ fn check_passes_against_own_baseline_and_fails_inflated_one() {
 }
 
 #[test]
-fn check_with_unreadable_baseline_fails() {
+fn check_with_unreadable_baseline_degrades_to_a_warning() {
+    // A missing, empty, or truncated baseline must not hard-fail the run
+    // (a fresh checkout has no history to gate against): the gate warns
+    // and every row degrades to a warning instead of a verdict.
     let dir = tmp_dir("nobase");
     let out = run_bench(
         &dir.join("bench.json"),
         &["--check", dir.join("missing.json").to_str().unwrap()],
     );
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+    assert!(
+        out.status.success(),
+        "missing baseline must degrade, not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("gate degrades to warnings"),
+        "expected a degradation warning on stderr:\n{stderr}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("gate: PASS"),
+        "an unreadable baseline leaves nothing to regress against"
+    );
+
+    // Truncated JSON degrades the same way.
+    let truncated = dir.join("truncated.json");
+    std::fs::write(&truncated, "{\"rows\":[{\"backend\":").unwrap();
+    let out = run_bench(
+        &dir.join("bench2.json"),
+        &["--check", truncated.to_str().unwrap()],
+    );
+    assert!(
+        out.status.success(),
+        "truncated baseline must degrade, not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("gate degrades to warnings"),
+        "expected a degradation warning for truncated JSON"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -175,8 +175,10 @@ pub struct FusionEngine {
     hybrid: HybridKernel,
     telemetry: Option<Arc<Telemetry>>,
     // --- steady-state reusable transform state (the zero-alloc hot path) ---
-    /// Per-geometry cost plans, so `fuse` never rebuilds op lists per frame.
-    plans: Vec<TransformPlan>,
+    /// Per-geometry cost plans, so `fuse` never rebuilds op lists per
+    /// frame. Shared (`Arc`) so a fleet owner can hand the same plan to
+    /// every same-geometry engine (see [`FusionEngine::adopt_plan`]).
+    plans: Vec<Arc<TransformPlan>>,
     /// Serial-path transform scratch (workers own their own).
     scratch: Scratch,
     /// Per-combo forward output staging (input `a`, and the serial paths).
@@ -224,10 +226,29 @@ pub struct FusionEngine {
     /// passes (the default) or the transpose-staged fallback.
     columnar: bool,
     /// Persistent transform workers; `None` runs the serial in-place path.
-    pool: Option<WorkerPool>,
+    /// Shared (`Arc`) so a fleet of engines can multiplex one pool — see
+    /// [`FusionEngine::set_shared_pool`].
+    pool: Option<Arc<WorkerPool>>,
+    /// Whether `pool` is a fleet-shared pool this engine must not rebuild
+    /// (reconfigures like [`FusionEngine::set_columnar`] leave it alone).
+    pool_shared: bool,
+    /// In-progress packed forward parked between
+    /// [`FusionEngine::packed_forward_submit`] and
+    /// [`FusionEngine::packed_forward_finish`].
+    packed: Option<PackedForward>,
     /// Cumulative measured wall-clock seconds per phase (host time, not the
     /// modeled platform clock) — see [`FusionEngine::wall_phase_totals`].
     wall: PhaseTiming,
+}
+
+/// Per-frame state parked between [`FusionEngine::packed_forward_submit`]
+/// and [`FusionEngine::packed_forward_finish`] while the eight forward
+/// jobs are in flight on the shared pool.
+#[derive(Debug)]
+struct PackedForward {
+    backend: Backend,
+    dims: (usize, usize),
+    submitted: std::time::Instant,
 }
 
 /// What [`FusionEngine::run_backend`] hands back to `fuse_submit`: the
@@ -330,6 +351,8 @@ impl FusionEngine {
             reported_sched: Vec::new(),
             columnar: true,
             pool: None,
+            pool_shared: false,
+            packed: None,
             wall: PhaseTiming::default(),
         })
     }
@@ -342,19 +365,12 @@ impl FusionEngine {
     /// run serially (the modeled device is a single engine).
     pub fn set_threads(&mut self, threads: usize) {
         self.recover_in_flight();
+        self.pool_shared = false;
         if threads <= 1 {
             self.pool = None;
             self.reported_sched.clear();
         } else {
-            let columnar = self.columnar;
-            self.pool = Some(WorkerPool::new(threads, &mut |_| {
-                let mut simd = SimdKernel::new();
-                simd.set_columnar(columnar);
-                vec![
-                    Box::new(ScalarKernel::new()) as Box<dyn FilterKernel + Send>,
-                    Box::new(simd) as Box<dyn FilterKernel + Send>,
-                ]
-            }));
+            self.pool = Some(Arc::new(build_worker_pool(threads, self.columnar)));
             // A fresh pool starts its counters at zero.
             self.reported_sched.clear();
             self.reported_sched
@@ -362,9 +378,30 @@ impl FusionEngine {
         }
     }
 
+    /// Attaches a fleet-shared [`WorkerPool`] (see [`build_worker_pool`])
+    /// instead of spawning a private one. The engine multiplexes its
+    /// transform batches onto the shared ring; reconfigures that would
+    /// rebuild a private pool ([`FusionEngine::set_columnar`]) leave a
+    /// shared pool untouched — the fleet owner picks the workers' kernel
+    /// flags at pool construction.
+    ///
+    /// Call this before any frames are in flight (at stream admission);
+    /// attaching mid-flight abandons in-flight frames like
+    /// [`FusionEngine::set_threads`], which on a *shared* ring would
+    /// harvest other engines' jobs — the fleet owner must retire every
+    /// engine's in-flight frames first.
+    pub fn set_shared_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.recover_in_flight();
+        self.reported_sched.clear();
+        self.reported_sched
+            .resize(pool.threads(), WorkerSchedStats::default());
+        self.pool = Some(pool);
+        self.pool_shared = true;
+    }
+
     /// Number of transform threads (1 when running serially).
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, WorkerPool::threads)
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Sets the frame-pipelining depth: how many frames may have their
@@ -444,6 +481,12 @@ impl FusionEngine {
         self.simd.set_columnar(enabled);
         self.fpga.set_columnar(enabled);
         self.hybrid.set_columnar(enabled);
+        if self.pool_shared {
+            // A fleet-shared pool's worker kernels are configured once by
+            // the fleet owner; rebuilding it here would orphan the other
+            // engines multiplexed onto it.
+            return;
+        }
         if let Some(pool) = &self.pool {
             // Rebuild the pool so worker-owned kernels pick up the flag.
             let threads = pool.threads();
@@ -565,13 +608,29 @@ impl FusionEngine {
             return Ok(());
         }
         let plan = TransformPlan::dtcwt(w, h, self.levels)?;
+        self.adopt_plan(Arc::new(plan));
+        Ok(())
+    }
+
+    /// Installs an externally built (typically fleet-shared) cost plan into
+    /// the engine's plan cache, so same-geometry engines in a fleet share
+    /// one plan instead of each rebuilding it. A plan for the same geometry
+    /// already in the cache is kept (first wins); the bounded-cache
+    /// eviction of [`FusionEngine::ensure_plan`] applies.
+    pub fn adopt_plan(&mut self, plan: Arc<TransformPlan>) {
+        if self
+            .plans
+            .iter()
+            .any(|p| p.frame_dims() == plan.frame_dims())
+        {
+            return;
+        }
         // Bound the cache so engines fed many geometries (size sweeps)
         // don't grow it without limit.
         if self.plans.len() == PLAN_CACHE_SLOTS {
             self.plans.remove(0);
         }
         self.plans.push(plan);
-        Ok(())
     }
 
     fn cached_plan(&self, w: usize, h: usize) -> &TransformPlan {
@@ -579,6 +638,7 @@ impl FusionEngine {
             .iter()
             .find(|p| p.frame_dims() == (w, h))
             .expect("ensure_plan caches before use")
+            .as_ref()
     }
 
     /// Fuses one frame pair on the given backend.
@@ -658,6 +718,171 @@ impl FusionEngine {
                 Err(e)
             }
         }
+    }
+
+    /// Stages one frame pair's eight forward DT-CWT jobs into the worker
+    /// pool **without draining them** — the packing half of cross-stream
+    /// batch coalescing. A fleet owner calls this for several engines in a
+    /// row so every stream's forwards land in the shared ring together,
+    /// then calls [`FusionEngine::packed_forward_finish`] on each engine in
+    /// the same order.
+    ///
+    /// Unlike [`FusionEngine::fuse_submit`] this never abandons frames as
+    /// ring backpressure (an abandon drains the *globally* oldest jobs,
+    /// which on a shared ring may belong to another stream) — the caller
+    /// must retire or stash this engine's oldest frame first when the ring
+    /// is full.
+    ///
+    /// # Errors
+    ///
+    /// * [`FusionError::DimensionMismatch`] if the frames differ in size.
+    /// * [`FusionError::Transform`] if the frames cannot support the
+    ///   configured decomposition depth.
+    ///
+    /// # Panics
+    ///
+    /// If the engine has no worker pool, `backend` is not a CPU backend, a
+    /// packed forward is already staged, or the frame ring is full.
+    pub fn packed_forward_submit(
+        &mut self,
+        a: &Image,
+        b: &Image,
+        backend: Backend,
+    ) -> Result<(), FusionError> {
+        assert!(
+            self.packed.is_none(),
+            "one packed forward per engine at a time"
+        );
+        assert!(
+            matches!(backend, Backend::Arm | Backend::Neon),
+            "packed forwards run on the pooled CPU backends"
+        );
+        assert!(
+            self.inflight.len() < self.depth,
+            "packed submit onto a full frame ring: retire the oldest frame first"
+        );
+        if a.dims() != b.dims() {
+            return Err(FusionError::DimensionMismatch {
+                a: a.dims(),
+                b: b.dims(),
+            });
+        }
+        let (w, h) = a.dims();
+        self.ensure_plan(w, h)?;
+        let kslot = match backend {
+            Backend::Arm => WORKER_SLOT_SCALAR,
+            _ => WORKER_SLOT_SIMD,
+        };
+        stage_image(&mut self.img_a, a);
+        stage_image(&mut self.img_b, b);
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("packed forwards need a worker pool");
+        self.dtcwt.forward_pooled_pair_submit(
+            pool,
+            kslot,
+            &self.img_a,
+            &mut self.combos,
+            &self.img_b,
+            &mut self.combos_b,
+        )?;
+        self.packed = Some(PackedForward {
+            backend,
+            dims: (w, h),
+            submitted: std::time::Instant::now(),
+        });
+        Ok(())
+    }
+
+    /// Harvests the packed forwards staged by
+    /// [`FusionEngine::packed_forward_submit`] (which must be the oldest
+    /// jobs left in the ring — collects run in submit order across the
+    /// fleet), fuses the pyramids, and leaves the inverse batch in flight,
+    /// exactly like the pooled path of [`FusionEngine::fuse_submit`].
+    /// Retire with [`FusionEngine::fuse_finish`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker errors from the forward jobs, earliest-submitted
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// If no packed forward is staged.
+    pub fn packed_forward_finish(&mut self) -> Result<PendingFusion, FusionError> {
+        let PackedForward {
+            backend,
+            dims: (w, h),
+            submitted,
+        } = self.packed.take().expect("no packed forward staged");
+        let kslot = match backend {
+            Backend::Arm => WORKER_SLOT_SCALAR,
+            _ => WORKER_SLOT_SIMD,
+        };
+        let pool = Arc::clone(
+            self.pool
+                .as_ref()
+                .expect("packed forwards need a worker pool"),
+        );
+        let image = self.out_pool.acquire(w, h);
+        if let Err(e) = self.dtcwt.forward_pooled_pair_collect(
+            &pool,
+            (w, h),
+            &mut self.combos,
+            &mut self.pyr_a,
+            &mut self.combos_b,
+            &mut self.pyr_b,
+            &mut self.outcomes,
+        ) {
+            self.out_pool.release(image);
+            return Err(e.into());
+        }
+        let t1 = std::time::Instant::now();
+        let si = self.next_slot;
+        let fslot = &mut self.slots[si];
+        let fused = exclusive_pyramid(&mut fslot.fused);
+        fuse_pyramids_into(
+            &self.pyr_a,
+            &self.pyr_b,
+            self.rule,
+            self.lowpass_rule,
+            &mut self.fusion_scratch,
+            fused,
+        );
+        let t2 = std::time::Instant::now();
+        if let Err(e) = self.dtcwt.inverse_pooled_submit(
+            &pool,
+            kslot,
+            &fslot.fused,
+            &mut fslot.inv_bufs,
+            si as u32,
+        ) {
+            self.out_pool.release(image);
+            return Err(e.into());
+        }
+        fslot.busy = true;
+        fslot.stashed = false;
+        self.inflight.push_back(si);
+        self.next_slot = (si + 1) % self.depth;
+        let plan = self.cached_plan(w, h);
+        let dir_t = |d| match backend {
+            Backend::Arm => self.cost.arm_seconds(plan, d),
+            _ => self.cost.neon_seconds(plan, d),
+        };
+        Ok(PendingFusion {
+            image,
+            backend,
+            dims: (w, h),
+            inverse_in_flight: true,
+            slot: Some(si),
+            forward_s: 2.0 * dir_t(Direction::Forward),
+            inverse_s: dir_t(Direction::Inverse),
+            wall_forward_s: (t1 - submitted).as_secs_f64(),
+            wall_fusion_s: (t2 - t1).as_secs_f64(),
+            wall_inverse_s: 0.0,
+            pl_busy_s: 0.0,
+        })
     }
 
     /// Completes an in-flight fusion: collects the pooled inverse (if one
@@ -854,8 +1079,41 @@ impl FusionEngine {
     pub fn sched_totals(&self) -> WorkerSchedStats {
         self.pool
             .as_ref()
-            .map(WorkerPool::sched_totals)
+            .map(|p| p.sched_totals())
             .unwrap_or_default()
+    }
+
+    /// Harvests the engine's **oldest unstashed** in-flight inverse batch
+    /// from the pool into its ring slot's outcome stash, returning whether
+    /// a batch was stashed. The frame itself stays pending — its
+    /// [`FusionEngine::fuse_finish`] later accumulates the stash without
+    /// touching the pool.
+    ///
+    /// This is the fleet hand-off primitive: `drain_partial` harvests the
+    /// *globally* oldest jobs in the shared ring, so a fleet owner
+    /// multiplexing engines over one pool must call this across its
+    /// engines in global submission order to empty the ring before packing
+    /// the next round of batches into it.
+    pub fn stash_oldest_in_flight(&mut self) -> bool {
+        let Some(pool) = &self.pool else {
+            return false;
+        };
+        for idx in 0..self.inflight.len() {
+            let si = self.inflight[idx];
+            let fslot = &mut self.slots[si];
+            if !fslot.stashed {
+                fslot.stash.clear();
+                pool.drain_partial(INVERSE_BATCH_JOBS, &mut fslot.stash);
+                fslot.stashed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Frames currently in flight on this engine's ring.
+    pub fn frames_in_flight(&self) -> usize {
+        self.inflight.len()
     }
 
     /// Abandons the oldest in-flight pooled frame (a [`PendingFusion`]
@@ -1186,6 +1444,23 @@ impl FusionEngine {
             .power
             .energy_mj(backend.execution_mode(), t.total_seconds()))
     }
+}
+
+/// Builds the standard transform [`WorkerPool`]: `threads` workers, each
+/// owning a scalar (ARM) kernel in slot 0 and a SIMD (NEON) kernel in slot
+/// 1 with the given columnar setting — the pool layout every
+/// [`FusionEngine`] expects. [`FusionEngine::set_threads`] builds one
+/// privately; a fleet owner builds one here and attaches it to many
+/// engines via [`FusionEngine::set_shared_pool`].
+pub fn build_worker_pool(threads: usize, columnar: bool) -> WorkerPool {
+    WorkerPool::new(threads, &mut |_| {
+        let mut simd = SimdKernel::new();
+        simd.set_columnar(columnar);
+        vec![
+            Box::new(ScalarKernel::new()) as Box<dyn FilterKernel + Send>,
+            Box::new(simd) as Box<dyn FilterKernel + Send>,
+        ]
+    })
 }
 
 /// Static label strings for per-worker metric series, so per-frame delta

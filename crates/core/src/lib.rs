@@ -47,6 +47,7 @@ pub mod hybrid;
 pub mod pipeline;
 pub mod profile;
 pub mod rules;
+pub mod serve;
 
 mod error;
 

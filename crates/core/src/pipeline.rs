@@ -472,6 +472,7 @@ impl VideoFusionPipeline {
         let wall_end = self.wall_origin.elapsed();
         self.flight.record(FrameRecord {
             frame: frame_index,
+            stream: -1,
             backend: backend.label(),
             kernel: self.engine.kernel_name(backend),
             decision,

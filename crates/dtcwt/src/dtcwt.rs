@@ -437,6 +437,39 @@ impl Dtcwt {
         out_b: &mut CwtPyramid,
         outcomes: &mut Vec<JobOutcome>,
     ) -> Result<(), DtcwtError> {
+        self.forward_pooled_pair_submit(pool, kernel, img_a, combos_a, img_b, combos_b)?;
+        self.forward_pooled_pair_collect(
+            pool,
+            img_a.dims(),
+            combos_a,
+            out_a,
+            combos_b,
+            out_b,
+            outcomes,
+        )
+    }
+
+    /// Submit half of [`Dtcwt::forward_pooled_pair`]: stages both images'
+    /// eight tree-combination jobs into the pool **without draining**, so a
+    /// caller multiplexing several streams over one pool can pack many
+    /// frames' forwards into the ring before harvesting any of them.
+    ///
+    /// Pair with [`Dtcwt::forward_pooled_pair_collect`], calling collects in
+    /// the same order as submits (the pool harvests oldest-first).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_pooled_pair`] for geometry checks; worker
+    /// errors surface at collect time.
+    pub fn forward_pooled_pair_submit(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        kernel: usize,
+        img_a: &Arc<Image>,
+        combos_a: &mut ComboStore,
+        img_b: &Arc<Image>,
+        combos_b: &mut ComboStore,
+    ) -> Result<(), DtcwtError> {
         self.check_levels(img_a)?;
         self.check_levels(img_b)?;
         for (tag, (img, combos)) in [(img_a, &mut *combos_a), (img_b, &mut *combos_b)]
@@ -455,8 +488,32 @@ impl Dtcwt {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Collect half of [`Dtcwt::forward_pooled_pair`]: harvests the
+    /// **oldest** `2 * COMBOS` outcomes from the pool (which must be this
+    /// pair's forward jobs — collects must run in submit order), places them
+    /// by tag, and assembles both pyramids. Later jobs from other frames or
+    /// streams stay in flight. Both images of a fusion pair share `dims`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtcwt::forward_pooled_pair`]; if both images fail, the error
+    /// of the earliest-submitted failing job (image `a` first) is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_pooled_pair_collect(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        dims: (usize, usize),
+        combos_a: &mut ComboStore,
+        out_a: &mut CwtPyramid,
+        combos_b: &mut ComboStore,
+        out_b: &mut CwtPyramid,
+        outcomes: &mut Vec<JobOutcome>,
+    ) -> Result<(), DtcwtError> {
         outcomes.clear();
-        pool.drain(2 * COMBOS.len(), outcomes);
+        pool.drain_partial(2 * COMBOS.len(), outcomes);
         // Outcomes arrive in submission order (tag-major), so the first
         // error seen while placing is the deterministic one to report.
         let mut first_err = None;
@@ -478,8 +535,8 @@ impl Dtcwt {
         if let Some(e) = first_err {
             return Err(e);
         }
-        self.assemble_pyramid_into(img_a.dims(), combos_a, out_a);
-        self.assemble_pyramid_into(img_b.dims(), combos_b, out_b);
+        self.assemble_pyramid_into(dims, combos_a, out_a);
+        self.assemble_pyramid_into(dims, combos_b, out_b);
         Ok(())
     }
 

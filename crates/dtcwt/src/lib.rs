@@ -52,4 +52,4 @@ pub use filters::FilterBank;
 pub use image::{transpose_bytes_total, ComplexImage, Image};
 pub use kernel::{FilterKernel, ScalarKernel};
 pub use scratch::{ColScratch, ComboSlot, ComboStore, PoolHandle, PoolStats, Scratch};
-pub use workers::{Job, JobOutcome, JobPayload, WorkerPool, WorkerSchedStats};
+pub use workers::{Job, JobOutcome, JobPayload, WorkerPool, WorkerSchedStats, BATCH_SLOTS};

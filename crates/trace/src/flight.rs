@@ -27,6 +27,9 @@ pub const PHASES: [&str; 4] = ["forward", "fusion", "inverse", "overhead"];
 pub struct FrameRecord {
     /// Zero-based frame index since pipeline construction.
     pub frame: u64,
+    /// Serving stream this frame belongs to, or -1 for a single-stream
+    /// pipeline (one recorder can then interleave a whole fleet's frames).
+    pub stream: i64,
     /// Backend label (e.g. `"NEON"`), `""` in a default record.
     pub backend: &'static str,
     /// Kernel name (e.g. `"neon-simd"`).
@@ -86,6 +89,7 @@ impl Default for FrameRecord {
     fn default() -> Self {
         FrameRecord {
             frame: 0,
+            stream: -1,
             backend: "",
             kernel: "",
             decision: "",
@@ -119,6 +123,7 @@ impl FrameRecord {
     fn to_json(self) -> JsonValue {
         let mut fields: Vec<(String, JsonValue)> = vec![
             ("frame".into(), JsonValue::Num(self.frame as f64)),
+            ("stream".into(), JsonValue::Num(self.stream as f64)),
             ("backend".into(), JsonValue::Str(self.backend.into())),
             ("kernel".into(), JsonValue::Str(self.kernel.into())),
             ("decision".into(), JsonValue::Str(self.decision.into())),

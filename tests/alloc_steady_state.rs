@@ -15,6 +15,7 @@ use std::cell::Cell;
 use std::sync::Mutex;
 
 use wavefuse_core::pipeline::{BackendChoice, PipelineConfig, VideoFusionPipeline};
+use wavefuse_core::serve::{FleetConfig, StreamConfig, StreamManager};
 use wavefuse_core::Backend;
 use wavefuse_dtcwt::{
     transpose_bytes_total, ComboStore, CwtPyramid, Dtcwt, Image, ScalarKernel, Scratch,
@@ -268,6 +269,44 @@ fn steady_state_fpga_transform_path_does_not_allocate() {
         (allocs, bytes),
         (0, 0),
         "fpga: transform allocated {allocs} times ({bytes} bytes)"
+    );
+}
+
+// Multi-stream serving packs many engines onto one pool from a single
+// dispatcher thread. A serving window does a fixed amount of bookkeeping
+// allocation (the before-snapshot and the returned per-stream report), but
+// none of it may scale with the number of frames served: once the warm-up
+// window has sized every engine's buffers and each stream's capture path,
+// the per-frame admit/capture/pack/retire cycle must stay off the
+// allocator. Windows of different lengths must therefore allocate exactly
+// the same amount — any per-frame allocation would separate them.
+#[test]
+fn steady_state_serving_windows_allocate_independently_of_length() {
+    let _gate = transpose_gate();
+    let mut mgr = StreamManager::new(FleetConfig {
+        threads: 2,
+        columnar: true,
+        max_in_flight: None,
+    });
+    for s in 0..3u64 {
+        mgr.admit(StreamConfig {
+            depth: 1 + (s as usize % 2),
+            scene_seed: 2016 + s,
+            ..StreamConfig::default()
+        })
+        .expect("default geometry supports three levels");
+    }
+    // Warm-up window: fills every stream's pipeline ring, sizes the
+    // per-slot stashes, and binds this thread's histogram shards.
+    mgr.run(4).expect("warm-up window");
+
+    let (short_allocs, short_bytes, _) = counted(|| mgr.run(2).expect("short window"));
+    let (long_allocs, long_bytes, _) = counted(|| mgr.run(9).expect("long window"));
+    assert_eq!(
+        (short_allocs, short_bytes),
+        (long_allocs, long_bytes),
+        "serving allocated per frame: 2-frame window {short_allocs} allocs \
+         ({short_bytes} B) vs 9-frame window {long_allocs} allocs ({long_bytes} B)"
     );
 }
 

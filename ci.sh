@@ -22,6 +22,12 @@ echo "== depth-k pipelining bit-identity (incl. the release-only VGA matrix)"
 # pixel stream exactly; the 640x480 matrix is debug-ignored and runs here.
 cargo test -q --release --test depth_identity -- --include-ignored
 
+echo "== strip-parallel fusion bit-identity (rules x radii x threads x strips)"
+# The strip-parallel SIMD fusion path must reproduce the scalar reference
+# bit for bit at every layer: raw ring jobs, the pooled engine, depth-k
+# pipelining, and the shared serve fleet.
+cargo test -q --release --test fusion_identity
+
 echo "== throughput bench smoke (repro bench --frames 16)"
 # Smoke only: must run to completion and emit the JSON report; the
 # numbers themselves are host-dependent and not asserted here.
@@ -62,6 +68,19 @@ cargo run --release -q -p wavefuse-bench --bin repro -- \
     bench --frames 8 --threads 2 --depth 2 \
     --bench-out target/BENCH_smoke_d2.json
 grep -q '"depth":2' target/BENCH_smoke_d2.json
+
+echo "== fusion-rule bench smoke (repro bench --rule, choose-max + weighted)"
+# The --rule flag must plumb through to the engine and stamp each row's
+# identity key, so rule-keyed rows gate independently of the default
+# window-energy rows.
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 8 --threads 2 --rule choose-max \
+    --bench-out target/BENCH_smoke_choosemax.json
+grep -q '"rule":"choose-max"' target/BENCH_smoke_choosemax.json
+cargo run --release -q -p wavefuse-bench --bin repro -- \
+    bench --frames 8 --threads 1 --rule weighted \
+    --bench-out target/BENCH_smoke_weighted.json
+grep -q '"rule":"weighted"' target/BENCH_smoke_weighted.json
 
 echo "== flight recorder smoke (repro eval --flight-record)"
 # The eval reconciles the flight recorder's per-frame energy sum against

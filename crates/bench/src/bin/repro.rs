@@ -24,7 +24,11 @@
 //! {88x72, 640x480, 1920x1080} x depth {1,2,3} — as extra report rows.
 //! `--no-columnar` disables the transpose-free columnar column passes so
 //! the staged-transpose fallback can be measured; each report row records
-//! the kernel name and the effective `columnar` setting.
+//! the kernel name and the effective `columnar` setting. `--rule
+//! choose-max|window-energy|weighted|activity-guided` selects the detail
+//! fusion rule (default `window-energy`, the paper's 3x3 neighborhood
+//! energy rule); the rule label is part of each row's identity key, so
+//! rows measured under different rules gate independently.
 //!
 //! `bench --check <baseline.json>` additionally gates the fresh run
 //! against a committed baseline report and exits non-zero when
@@ -66,6 +70,7 @@ use wavefuse_trace::{export, JsonValue, ToJson};
 
 const USAGE: &str = "usage: repro [fig2|table1|fig9a|fig9b|fig9c|fig10|crossover|adaptive|ablation|quality|hybrid|levels|throughput|timeline|bench|serve|eval|all]... \
 [--trace <path>] [--metrics <path>] [--jsonl <path>] [--flight-record <path>] [--frames <n>] [--threads <n>] [--frame-size <WxH>] [--depth <k>] [--matrix] \
+[--rule choose-max|window-energy|weighted|activity-guided] \
 [--streams <n>] [--bench-out <path>] [--serve-out <path>] [--no-columnar] [--check <baseline.json>] [--tolerance <pct>]";
 
 fn main() -> ExitCode {
@@ -219,14 +224,23 @@ fn main() -> ExitCode {
                 Some(v) => v.parse().map_err(|_| format!("bad --depth '{v}'"))?,
                 None => 1,
             };
+            let rule = match opt("rule").as_deref() {
+                Some(v) => experiments::parse_rule(v).ok_or_else(|| {
+                    format!(
+                        "bad --rule '{v}' (expected choose-max, window-energy, \
+                         weighted, or activity-guided)"
+                    )
+                })?,
+                None => wavefuse_core::rules::FusionRule::WindowEnergy { radius: 1 },
+            };
             eprintln!("measuring pipeline throughput ({frames} timed frames per configuration)...");
             let bench = if opt("matrix").is_some() {
                 eprintln!(
                     "recording NEON scaling matrix (threads x frame sizes x pipeline depths)..."
                 );
-                experiments::pipeline_bench_with_matrix(frames, threads, columnar)?
+                experiments::pipeline_bench_with_matrix(frames, threads, columnar, rule)?
             } else {
-                experiments::pipeline_bench(frames, threads, columnar, frame_size, depth)?
+                experiments::pipeline_bench(frames, threads, columnar, frame_size, depth, rule)?
             };
             println!("{}", report::render_bench(&bench));
             let path = opt("bench-out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());

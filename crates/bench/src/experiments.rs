@@ -699,6 +699,10 @@ pub struct BenchRow {
     pub frames: usize,
     /// Kernel implementation name behind this backend (e.g. `neon-simd`).
     pub kernel: String,
+    /// Detail fusion rule label this row ran under (see [`rule_label`]);
+    /// part of the row identity so rows for different rules gate
+    /// independently.
+    pub rule: String,
     /// Whether the transpose-free columnar column passes were enabled.
     pub columnar: bool,
     /// Wall-clock seconds of the fastest timed window.
@@ -766,6 +770,38 @@ struct BenchCase {
     frames: usize,
     /// Untimed warm-up frames (covers the depth-k prologue).
     warmup: usize,
+    /// Detail fusion rule the window runs under.
+    rule: FusionRule,
+}
+
+/// The stable row-key label of a fusion rule (what `BenchRow::rule`
+/// records and what `repro bench --rule` accepts). Parameters are folded
+/// into the label only when they change the work shape (the window
+/// radius); blend weights and thresholds don't.
+pub fn rule_label(rule: FusionRule) -> String {
+    match rule {
+        FusionRule::MaxMagnitude => "choose-max".to_string(),
+        FusionRule::WindowEnergy { radius: 1 } => "window-energy".to_string(),
+        FusionRule::WindowEnergy { radius } => format!("window-energy-r{radius}"),
+        FusionRule::Weighted { .. } => "weighted".to_string(),
+        FusionRule::ActivityGuided { radius: 1, .. } => "activity-guided".to_string(),
+        FusionRule::ActivityGuided { radius, .. } => format!("activity-guided-r{radius}"),
+    }
+}
+
+/// Parses a `--rule` argument back into a [`FusionRule`]. Accepts the
+/// labels [`rule_label`] produces for the parameterless presets.
+pub fn parse_rule(name: &str) -> Option<FusionRule> {
+    match name {
+        "choose-max" => Some(FusionRule::MaxMagnitude),
+        "window-energy" => Some(FusionRule::WindowEnergy { radius: 1 }),
+        "weighted" => Some(FusionRule::Weighted { alpha: 0.5 }),
+        "activity-guided" => Some(FusionRule::ActivityGuided {
+            radius: 1,
+            match_threshold: 0.75,
+        }),
+        _ => None,
+    }
 }
 
 /// Measures one configuration: warm-up, [`BENCH_REPS`] timed windows,
@@ -781,8 +817,10 @@ fn bench_case(case: BenchCase, columnar: bool) -> Result<BenchRow, FusionError> 
         depth: case.depth,
     })?;
     pipe.engine_mut().set_columnar(columnar);
+    pipe.engine_mut().set_rule(case.rule);
     pipe.run(case.warmup)?;
     let warm_wall = pipe.engine().wall_phase_totals();
+    let warm_capture = pipe.wall_capture_seconds();
     let warm_energy_mj = pipe.stats().energy_mj;
     let mut best_s = f64::INFINITY;
     let mut total_s = 0.0;
@@ -820,16 +858,19 @@ fn bench_case(case: BenchCase, columnar: bool) -> Result<BenchRow, FusionError> 
     // accounting for this row's own timed windows, so every
     // backend x threads configuration reports its own numbers.
     let wall = pipe.engine().wall_phase_totals();
+    let capture_s = (pipe.wall_capture_seconds() - warm_capture) / timed_frames;
     let forward_s = (wall.forward_s - warm_wall.forward_s) / timed_frames;
     let fusion_s = (wall.fusion_s - warm_wall.fusion_s) / timed_frames;
     let inverse_s = (wall.inverse_s - warm_wall.inverse_s) / timed_frames;
     let per_frame = PhaseTiming {
+        capture_s,
         forward_s,
         fusion_s,
         inverse_s,
-        // Everything outside the engine phases: capture, gating,
-        // telemetry and pipeline bookkeeping.
-        overhead_s: (total_s / timed_frames - forward_s - fusion_s - inverse_s).max(0.0),
+        // Everything outside the measured phases: gating, telemetry and
+        // pipeline bookkeeping.
+        overhead_s: (total_s / timed_frames - capture_s - forward_s - fusion_s - inverse_s)
+            .max(0.0),
     };
     let pool = pipe.engine().buffer_pool().stats();
     Ok(BenchRow {
@@ -839,6 +880,7 @@ fn bench_case(case: BenchCase, columnar: bool) -> Result<BenchRow, FusionError> 
         depth: pipe.depth(),
         frames,
         kernel: pipe.engine().kernel_name(case.backend).to_string(),
+        rule: rule_label(case.rule),
         columnar: pipe.engine().columnar(),
         wall_s: best_s,
         frames_per_second,
@@ -878,6 +920,7 @@ pub fn pipeline_bench(
     columnar: bool,
     frame_size: (usize, usize),
     depth: usize,
+    rule: FusionRule,
 ) -> Result<BenchReport, FusionError> {
     let frames = frames.max(1);
     let depth = depth.max(1);
@@ -902,6 +945,7 @@ pub fn pipeline_bench(
                 frame_size,
                 frames,
                 warmup: BENCH_WARMUP_FRAMES.max(depth + 1),
+                rule,
             },
             columnar,
         )?);
@@ -945,7 +989,11 @@ fn scaling_frames(frames: usize, (w, h): (usize, usize)) -> usize {
 /// # Errors
 ///
 /// Propagates pipeline errors (none occur for supported geometries).
-pub fn scaling_matrix(frames: usize, columnar: bool) -> Result<Vec<BenchRow>, FusionError> {
+pub fn scaling_matrix(
+    frames: usize,
+    columnar: bool,
+    rule: FusionRule,
+) -> Result<Vec<BenchRow>, FusionError> {
     let mut rows = Vec::new();
     for frame_size in SCALING_SIZES {
         let cell_frames = scaling_frames(frames.max(1), frame_size);
@@ -962,6 +1010,7 @@ pub fn scaling_matrix(frames: usize, columnar: bool) -> Result<Vec<BenchRow>, Fu
                         frame_size,
                         frames: cell_frames,
                         warmup: BENCH_WARMUP_FRAMES.max(depth + 1),
+                        rule,
                     },
                     columnar,
                 )?);
@@ -972,8 +1021,8 @@ pub fn scaling_matrix(frames: usize, columnar: bool) -> Result<Vec<BenchRow>, Fu
 }
 
 /// [`pipeline_bench`] plus the [`scaling_matrix`] rows, deduplicated by
-/// the five-tuple row identity `(backend, threads, columnar, frame_size,
-/// depth)` so the default rows are never measured twice.
+/// the six-tuple row identity `(backend, threads, columnar, frame_size,
+/// depth, rule)` so the default rows are never measured twice.
 ///
 /// # Errors
 ///
@@ -982,15 +1031,17 @@ pub fn pipeline_bench_with_matrix(
     frames: usize,
     threads: Option<usize>,
     columnar: bool,
+    rule: FusionRule,
 ) -> Result<BenchReport, FusionError> {
-    let mut bench = pipeline_bench(frames, threads, columnar, (88, 72), 1)?;
-    for row in scaling_matrix(frames, columnar)? {
+    let mut bench = pipeline_bench(frames, threads, columnar, (88, 72), 1, rule)?;
+    for row in scaling_matrix(frames, columnar, rule)? {
         let dup = bench.rows.iter().any(|r| {
             r.backend == row.backend
                 && r.threads == row.threads
                 && r.columnar == row.columnar
                 && r.frame_size == row.frame_size
                 && r.depth == row.depth
+                && r.rule == row.rule
         });
         if !dup {
             bench.rows.push(row);
@@ -1123,8 +1174,8 @@ pub fn serve_bench(
 }
 
 /// Maps a serve window onto a [`BenchRow`] so the regression gate's
-/// five-tuple row identity `(backend, threads, columnar, frame_size,
-/// depth)` covers serving: the backend label is `SERVE-<streams>` and the
+/// six-tuple row identity `(backend, threads, columnar, frame_size,
+/// depth, rule)` covers serving: the backend label is `SERVE-<streams>` and the
 /// kernel `fleet-shared-pool`, so serve rows never collide with
 /// single-stream rows. Latency quantiles are the **worst stream's**
 /// (gating fairness as well as tail latency); `frames` is per stream.
@@ -1148,6 +1199,7 @@ pub fn serve_row(bench: &ServeBench) -> BenchRow {
         depth: 1,
         frames: bench.frames_per_stream,
         kernel: "fleet-shared-pool".to_string(),
+        rule: rule_label(FusionRule::WindowEnergy { radius: 1 }),
         columnar: bench.columnar,
         wall_s: r.wall_s,
         frames_per_second: r.aggregate_fps,
@@ -1350,6 +1402,7 @@ impl ToJson for BenchRow {
             ("depth", self.depth.to_json()),
             ("frames", self.frames.to_json()),
             ("kernel", self.kernel.to_json()),
+            ("rule", self.rule.to_json()),
             ("columnar", self.columnar.to_json()),
             ("wall_s", self.wall_s.to_json()),
             ("frames_per_second", self.frames_per_second.to_json()),

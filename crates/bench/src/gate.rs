@@ -11,13 +11,14 @@
 //!   energy or a fatter tail is bad, less is fine.
 //!
 //! Rows are matched by the `(backend, threads, columnar, frame_size,
-//! depth)` five-tuple so a baseline captured with a different thread
-//! count, geometry or kernel matrix degrades to warnings, never false
-//! failures. Baseline rows predating the `frame_size`/`depth` columns
-//! are read as the historical defaults (88x72, depth 1). Missing rows or
-//! missing metrics (e.g. a baseline predating the energy columns) are
-//! skipped with a warning rather than treated as regressions, so the
-//! gate can be adopted against historical baselines.
+//! depth, rule)` six-tuple so a baseline captured with a different
+//! thread count, geometry, fusion rule or kernel matrix degrades to
+//! warnings, never false failures. Baseline rows predating the
+//! `frame_size`/`depth`/`rule` columns are read as the historical
+//! defaults (88x72, depth 1, `window-energy`). Missing rows or missing
+//! metrics (e.g. a baseline predating the energy columns) are skipped
+//! with a warning rather than treated as regressions, so the gate can be
+//! adopted against historical baselines.
 
 use crate::experiments::{BenchReport, BenchRow};
 use wavefuse_trace::JsonValue;
@@ -35,6 +36,8 @@ pub struct GateCheck {
     pub frame_size: (usize, usize),
     /// Pipelining depth of the row.
     pub depth: usize,
+    /// Detail fusion rule label of the row.
+    pub rule: String,
     /// Metric name (`frames_per_second`, `energy_mj_per_frame`,
     /// `p99_ns_per_frame`).
     pub metric: &'static str,
@@ -94,7 +97,15 @@ fn baseline_depth(row: &JsonValue) -> usize {
         .map_or(1, |d| d as usize)
 }
 
-/// Finds the baseline row matching a current row's identity five-tuple.
+/// Detail fusion rule label of a baseline row; rows predating the column
+/// read as the historical default rule (`window-energy`, radius 1).
+fn baseline_rule(row: &JsonValue) -> &str {
+    row.get("rule")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("window-energy")
+}
+
+/// Finds the baseline row matching a current row's identity six-tuple.
 fn find_baseline_row<'a>(rows: &'a [JsonValue], cur: &BenchRow) -> Option<&'a JsonValue> {
     rows.iter().find(|r| {
         r.get("backend").and_then(JsonValue::as_str) == Some(cur.backend.as_str())
@@ -104,6 +115,7 @@ fn find_baseline_row<'a>(rows: &'a [JsonValue], cur: &BenchRow) -> Option<&'a Js
                 == Some(true)
             && baseline_frame_size(r) == cur.frame_size
             && baseline_depth(r) == cur.depth
+            && baseline_rule(r) == cur.rule
     })
 }
 
@@ -174,8 +186,14 @@ pub fn check_against_baseline(
     };
     for cur in &current.rows {
         let ident = format!(
-            "{} threads={} columnar={} size={}x{} depth={}",
-            cur.backend, cur.threads, cur.columnar, cur.frame_size.0, cur.frame_size.1, cur.depth
+            "{} threads={} columnar={} size={}x{} depth={} rule={}",
+            cur.backend,
+            cur.threads,
+            cur.columnar,
+            cur.frame_size.0,
+            cur.frame_size.1,
+            cur.depth,
+            cur.rule
         );
         let Some(base) = find_baseline_row(base_rows, cur) else {
             if !base_rows.is_empty() {
@@ -224,6 +242,7 @@ pub fn check_against_baseline(
                 columnar: cur.columnar,
                 frame_size: cur.frame_size,
                 depth: cur.depth,
+                rule: cur.rule.clone(),
                 metric: name,
                 baseline: base_value,
                 current: cur_value,
@@ -247,27 +266,29 @@ pub fn render_gate(outcome: &GateOutcome) -> String {
         outcome.tolerance * 100.0
     ));
     out.push_str(&format!(
-        "{:>8} {:>7} {:>8} {:>10} {:>5} | {:>20} | {:>12} {:>12} | {}\n",
+        "{:>8} {:>7} {:>8} {:>10} {:>5} {:>15} | {:>20} | {:>12} {:>12} | {}\n",
         "backend",
         "threads",
         "columnar",
         "size",
         "depth",
+        "rule",
         "metric",
         "baseline",
         "current",
         "verdict"
     ));
-    out.push_str(&"-".repeat(108));
+    out.push_str(&"-".repeat(124));
     out.push('\n');
     for c in &outcome.checks {
         out.push_str(&format!(
-            "{:>8} {:>7} {:>8} {:>10} {:>5} | {:>20} | {:>12.3} {:>12.3} | {}\n",
+            "{:>8} {:>7} {:>8} {:>10} {:>5} {:>15} | {:>20} | {:>12.3} {:>12.3} | {}\n",
             c.backend,
             c.threads,
             c.columnar,
             format!("{}x{}", c.frame_size.0, c.frame_size.1),
             c.depth,
+            c.rule,
             c.metric,
             c.baseline,
             c.current,
@@ -307,6 +328,7 @@ mod tests {
                 depth: 1,
                 frames: 8,
                 kernel: "zynq-sim".into(),
+                rule: "window-energy".into(),
                 columnar: true,
                 wall_s: 0.1,
                 frames_per_second: 80.0,
@@ -400,15 +422,18 @@ mod tests {
 
     #[test]
     fn legacy_baseline_rows_read_as_default_size_and_depth() {
-        // A baseline written before the frame_size/depth columns existed
-        // must still match a current (88x72, depth 1) row exactly...
+        // A baseline written before the frame_size/depth/rule columns
+        // existed must still match a current (88x72, depth 1,
+        // window-energy) row exactly...
         let cur = report();
         let mut legacy = cur.to_json();
         if let JsonValue::Obj(pairs) = &mut legacy {
             let rows = pairs.iter_mut().find(|(k, _)| k == "rows").unwrap();
             if let JsonValue::Arr(rows) = &mut rows.1 {
                 if let JsonValue::Obj(row) = &mut rows[0] {
-                    row.retain(|(k, _)| k != "frame_size" && k != "depth" && k != "frames");
+                    row.retain(|(k, _)| {
+                        k != "frame_size" && k != "depth" && k != "frames" && k != "rule"
+                    });
                 }
             }
         }
@@ -428,6 +453,29 @@ mod tests {
         let mut deep = report();
         deep.rows[0].depth = 2;
         let out = check_against_baseline(&deep, &legacy, 0.25);
+        assert!(out.checks.is_empty());
+        assert_eq!(out.warnings.len(), 1);
+
+        // ...and a row measured under a different fusion rule must not be
+        // compared against the legacy (implicitly window-energy) figures.
+        let mut ruled = report();
+        ruled.rows[0].rule = "choose-max".into();
+        let out = check_against_baseline(&ruled, &legacy, 0.25);
+        assert!(out.checks.is_empty());
+        assert_eq!(out.warnings.len(), 1);
+    }
+
+    #[test]
+    fn rows_for_different_rules_gate_independently() {
+        let mut cur = report();
+        cur.rows[0].rule = "choose-max".into();
+        // Same-rule baseline: full comparison.
+        let base = cur.to_json();
+        let out = check_against_baseline(&cur, &base, 0.25);
+        assert!(out.passed(), "{}", render_gate(&out));
+        assert_eq!(out.checks.len(), 3);
+        // A window-energy baseline never gates a choose-max row.
+        let out = check_against_baseline(&cur, &report().to_json(), 0.25);
         assert!(out.checks.is_empty());
         assert_eq!(out.warnings.len(), 1);
     }
@@ -478,7 +526,7 @@ mod tests {
     }
 
     #[test]
-    fn serve_rows_are_gated_by_the_same_five_tuple() {
+    fn serve_rows_are_gated_by_the_same_six_tuple() {
         let mut cur = report();
         cur.rows[0].backend = "SERVE-64".into();
         cur.rows[0].kernel = "fleet-shared-pool".into();

@@ -262,9 +262,10 @@ pub fn render_bench(bench: &BenchReport) -> String {
         bench.levels, bench.reps, bench.frames, bench.frame_size.0, bench.frame_size.1
     ));
     out.push_str(&format!(
-        "{:>8} | {:>16} | {:>9} {:>7} {:>5} | {:>10} {:>10} {:>12} {:>12} | {:>9} {:>8} | {:>14}\n",
+        "{:>8} | {:>16} | {:>13} | {:>9} {:>7} {:>5} | {:>10} {:>10} {:>12} {:>12} | {:>9} {:>8} | {:>14}\n",
         "backend",
         "kernel",
+        "rule",
         "size",
         "threads",
         "depth",
@@ -276,17 +277,18 @@ pub fn render_bench(bench: &BenchReport) -> String {
         "fps/W",
         "pool hit/miss"
     ));
-    out.push_str(&"-".repeat(138));
+    out.push_str(&"-".repeat(154));
     out.push('\n');
     for r in &bench.rows {
         out.push_str(&format!(
-            "{:>8} | {:>16} | {:>9} {:>7} {:>5} | {:>10.1} {:>10.1} {:>12.0} {:>12.0} | {:>9.3} {:>8.1} | {:>8}/{}\n",
+            "{:>8} | {:>16} | {:>13} | {:>9} {:>7} {:>5} | {:>10.1} {:>10.1} {:>12.0} {:>12.0} | {:>9.3} {:>8.1} | {:>8}/{}\n",
             r.backend,
             if r.columnar {
                 r.kernel.clone()
             } else {
                 format!("{}*", r.kernel)
             },
+            r.rule,
             format!("{}x{}", r.frame_size.0, r.frame_size.1),
             r.threads,
             r.depth,

@@ -225,7 +225,7 @@ fn eval_flight_record_round_trips() {
         .get("traceEvents")
         .and_then(JsonValue::as_arr)
         .expect("traceEvents");
-    // One metadata event + per frame one span + four phase spans.
-    assert_eq!(events.len(), 1 + frames * 5);
+    // One metadata event + per frame one span + five phase spans.
+    assert_eq!(events.len(), 1 + frames * 6);
     std::fs::remove_dir_all(&dir).ok();
 }

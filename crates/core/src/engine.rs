@@ -4,8 +4,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use wavefuse_dtcwt::{
-    ComboStore, CwtPyramid, Dtcwt, FilterKernel, Image, JobOutcome, PoolHandle, PoolStats,
-    ScalarKernel, Scratch, WorkerPool, WorkerSchedStats,
+    ComboStore, CwtPyramid, Dtcwt, FilterKernel, FuseOp, Image, Job, JobOutcome, JobPayload,
+    PoolHandle, PoolStats, ScalarKernel, Scratch, WorkerPool, WorkerSchedStats, BATCH_SLOTS,
 };
 use wavefuse_power::PowerModel;
 use wavefuse_simd::SimdKernel;
@@ -15,30 +15,38 @@ use wavefuse_zynq::FpgaKernel;
 use crate::backend::Backend;
 use crate::cost::{CostModel, Direction, TransformPlan};
 use crate::hybrid::HybridKernel;
-use crate::rules::{fuse_pyramids_into, FusionRule, FusionScratch, LowpassRule};
+use crate::rules::{
+    fuse_lowpass_into, fuse_pyramids_into, fuse_pyramids_with_kernel, FusionRule, FusionScratch,
+    LowpassRule,
+};
 use crate::FusionError;
 
 /// Modeled time of one fused frame, split into the paper's Fig. 2 phases.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTiming {
+    /// Capture/scale of both inputs (sensor hand-off, color conversion,
+    /// geometry scaling — before the transforms start).
+    pub capture_s: f64,
     /// Forward DT-CWT of both inputs.
     pub forward_s: f64,
     /// Coefficient fusion (always on the PS).
     pub fusion_s: f64,
     /// Inverse DT-CWT of the fused pyramid.
     pub inverse_s: f64,
-    /// Capture/conversion/display overhead.
+    /// Residual display/bookkeeping overhead (everything not attributable
+    /// to capture or the transform phases).
     pub overhead_s: f64,
 }
 
 impl PhaseTiming {
     /// Sum of all phases, seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.forward_s + self.fusion_s + self.inverse_s + self.overhead_s
+        self.capture_s + self.forward_s + self.fusion_s + self.inverse_s + self.overhead_s
     }
 
     /// Adds another frame's phases into this accumulator.
     pub fn accumulate(&mut self, other: &PhaseTiming) {
+        self.capture_s += other.capture_s;
         self.forward_s += other.forward_s;
         self.fusion_s += other.fusion_s;
         self.inverse_s += other.inverse_s;
@@ -64,6 +72,9 @@ pub struct FusionOutput {
     /// geometry — the governor rationale recorded next to the measured
     /// `timing` so prediction error is visible per frame.
     pub predicted_s: f64,
+    /// Row-strip fusion jobs this frame fanned out across the worker pool
+    /// (0 when fusion ran serially on the dispatcher thread).
+    pub fusion_strips: usize,
 }
 
 /// An in-flight fusion started by [`FusionEngine::fuse_submit`].
@@ -94,6 +105,8 @@ pub struct PendingFusion {
     wall_inverse_s: f64,
     /// PL-busy seconds accumulated across the frame's transforms.
     pl_busy_s: f64,
+    /// Strip fusion jobs fanned out for this frame (0 = serial fusion).
+    fusion_strips: usize,
 }
 
 impl PendingFusion {
@@ -186,9 +199,12 @@ pub struct FusionEngine {
     /// Second combo store so both inputs' forwards can be in flight at once
     /// on the pool (input `b`).
     combos_b: ComboStore,
-    /// Forward pyramids of the two inputs.
-    pyr_a: CwtPyramid,
-    pyr_b: CwtPyramid,
+    /// Forward pyramids of the two inputs, `Arc`-shared with the workers
+    /// while a frame's fusion strip jobs are in flight (exclusive again at
+    /// the next frame's forward — strips are always drained within the
+    /// submit that spawned them).
+    pyr_a: Arc<CwtPyramid>,
+    pyr_b: Arc<CwtPyramid>,
     /// Depth-k in-flight frame ring: one slot per frame whose inverse may
     /// be outstanding on the pool (a single slot at the default depth 1,
     /// reproducing the classic submit/finish overlap).
@@ -209,6 +225,13 @@ pub struct FusionEngine {
     img_b: Arc<Image>,
     /// Fusion-rule energy-map scratch.
     fusion_scratch: FusionScratch,
+    /// Pooled output-row buffers of the strip-parallel fusion path: one
+    /// `(re, im)` pair per in-flight strip job, recycled every wave so the
+    /// steady state never allocates.
+    fuse_bufs: Vec<(Image, Image)>,
+    /// Per-wave strip-id → `(level, band)` placement map of the
+    /// strip-parallel fusion path (reused across frames).
+    fuse_map: Vec<(u32, u32)>,
     /// Worker outcome staging (drained and reused every dispatch).
     outcomes: Vec<JobOutcome>,
     /// Pool the fused output images are drawn from; callers recycle via
@@ -266,6 +289,8 @@ struct SubmitSplit {
     wall_inverse_s: f64,
     /// PL engine busy seconds (FPGA/hybrid backends only).
     pl_busy_s: f64,
+    /// Strip fusion jobs fanned out (0 = serial fusion).
+    fusion_strips: usize,
 }
 
 /// Worker kernel-slot index of the scalar (ARM) kernel.
@@ -277,14 +302,15 @@ const PLAN_CACHE_SLOTS: usize = 8;
 /// Jobs per pooled inverse batch: one per tree combination.
 const INVERSE_BATCH_JOBS: usize = 4;
 
-/// The four phase names, in timeline order, as they appear in span
+/// The five phase names, in timeline order, as they appear in span
 /// categories and the `phase` metric label.
-pub const PHASE_NAMES: [&str; 4] = ["forward", "fusion", "inverse", "overhead"];
+pub const PHASE_NAMES: [&str; 5] = ["capture", "forward", "fusion", "inverse", "overhead"];
 
 impl PhaseTiming {
     /// `(phase name, seconds)` pairs in [`PHASE_NAMES`] order.
-    pub fn phases(&self) -> [(&'static str, f64); 4] {
+    pub fn phases(&self) -> [(&'static str, f64); 5] {
         [
+            ("capture", self.capture_s),
             ("forward", self.forward_s),
             ("fusion", self.fusion_s),
             ("inverse", self.inverse_s),
@@ -334,8 +360,8 @@ impl FusionEngine {
             scratch: Scratch::new(),
             combos: ComboStore::new(),
             combos_b: ComboStore::new(),
-            pyr_a: CwtPyramid::empty(),
-            pyr_b: CwtPyramid::empty(),
+            pyr_a: Arc::new(CwtPyramid::empty()),
+            pyr_b: Arc::new(CwtPyramid::empty()),
             slots: vec![FrameSlot::new()],
             inflight: VecDeque::with_capacity(1),
             next_slot: 0,
@@ -344,6 +370,8 @@ impl FusionEngine {
             img_a: Arc::new(Image::zeros(0, 0)),
             img_b: Arc::new(Image::zeros(0, 0)),
             fusion_scratch: FusionScratch::new(),
+            fuse_bufs: Vec::new(),
+            fuse_map: Vec::new(),
             outcomes: Vec::with_capacity(8),
             out_pool: PoolHandle::new(),
             reported_pool: PoolStats::default(),
@@ -376,6 +404,15 @@ impl FusionEngine {
             self.reported_sched
                 .resize(threads, WorkerSchedStats::default());
         }
+    }
+
+    /// Sets the detail-coefficient fusion rule for subsequent frames.
+    /// In-flight frames are abandoned first (their fused pyramids were
+    /// produced under the old rule, so letting them retire would mix
+    /// rules within one benchmark window).
+    pub fn set_rule(&mut self, rule: FusionRule) {
+        self.recover_in_flight();
+        self.rule = rule;
     }
 
     /// Attaches a fleet-shared [`WorkerPool`] (see [`build_worker_pool`])
@@ -641,6 +678,18 @@ impl FusionEngine {
             .as_ref()
     }
 
+    /// [`FusionEngine::cached_plan`] as a cheap `Arc` clone, so the strip
+    /// dispatch can hold the plan across mutable borrows of other engine
+    /// fields.
+    fn cached_plan_arc(&self, w: usize, h: usize) -> Arc<TransformPlan> {
+        Arc::clone(
+            self.plans
+                .iter()
+                .find(|p| p.frame_dims() == (w, h))
+                .expect("ensure_plan caches before use"),
+        )
+    }
+
     /// Fuses one frame pair on the given backend.
     ///
     /// Functionally, all backends produce the same fused image (within
@@ -712,6 +761,7 @@ impl FusionEngine {
                 wall_fusion_s: split.wall_fusion_s,
                 wall_inverse_s: split.wall_inverse_s,
                 pl_busy_s: split.pl_busy_s,
+                fusion_strips: split.fusion_strips,
             }),
             Err(e) => {
                 self.out_pool.release(image);
@@ -830,9 +880,9 @@ impl FusionEngine {
             &pool,
             (w, h),
             &mut self.combos,
-            &mut self.pyr_a,
+            exclusive_pyramid(&mut self.pyr_a),
             &mut self.combos_b,
-            &mut self.pyr_b,
+            exclusive_pyramid(&mut self.pyr_b),
             &mut self.outcomes,
         ) {
             self.out_pool.release(image);
@@ -840,17 +890,55 @@ impl FusionEngine {
         }
         let t1 = std::time::Instant::now();
         let si = self.next_slot;
-        let fslot = &mut self.slots[si];
-        let fused = exclusive_pyramid(&mut fslot.fused);
-        fuse_pyramids_into(
-            &self.pyr_a,
-            &self.pyr_b,
-            self.rule,
-            self.lowpass_rule,
-            &mut self.fusion_scratch,
-            fused,
-        );
+        let plan = self.cached_plan_arc(w, h);
+        let fusion_strips = if self.pool_shared {
+            // Strip jobs would drain other streams' jobs on a fleet-shared
+            // ring; fuse on the dispatcher with the backend's vectorized
+            // kernel instead (bit-identical by the fold-order contract).
+            let fslot = &mut self.slots[si];
+            let fused = exclusive_pyramid(&mut fslot.fused);
+            let kernel: &mut dyn FilterKernel = match backend {
+                Backend::Arm => &mut self.scalar,
+                _ => &mut self.simd,
+            };
+            fuse_pyramids_with_kernel(
+                kernel,
+                &self.pyr_a,
+                &self.pyr_b,
+                self.rule,
+                self.lowpass_rule,
+                &mut self.fusion_scratch,
+                fused,
+            );
+            0
+        } else {
+            // Private pool: the stash/collect protocol left the ring
+            // empty, so fan the fusion out as row-strip jobs.
+            let fslot = &mut self.slots[si];
+            let fused = exclusive_pyramid(&mut fslot.fused);
+            match fuse_strips_pooled(
+                &pool,
+                kslot,
+                si as u32,
+                &self.pyr_a,
+                &self.pyr_b,
+                self.rule.to_op(),
+                self.lowpass_rule,
+                &plan,
+                &mut self.fuse_map,
+                &mut self.fuse_bufs,
+                &mut self.outcomes,
+                fused,
+            ) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.out_pool.release(image);
+                    return Err(e.into());
+                }
+            }
+        };
         let t2 = std::time::Instant::now();
+        let fslot = &mut self.slots[si];
         if let Err(e) = self.dtcwt.inverse_pooled_submit(
             &pool,
             kslot,
@@ -882,6 +970,7 @@ impl FusionEngine {
             wall_fusion_s: (t2 - t1).as_secs_f64(),
             wall_inverse_s: 0.0,
             pl_busy_s: 0.0,
+            fusion_strips,
         })
     }
 
@@ -905,6 +994,7 @@ impl FusionEngine {
             wall_fusion_s,
             mut wall_inverse_s,
             pl_busy_s,
+            fusion_strips,
         } = pending;
         if inverse_in_flight {
             let si = slot.expect("pooled frames carry their ring slot");
@@ -960,6 +1050,7 @@ impl FusionEngine {
 
         let plan = self.cached_plan(w, h);
         let timing = PhaseTiming {
+            capture_s: self.cost.capture_seconds(plan),
             forward_s,
             fusion_s: self.cost.fusion_seconds(plan, self.rule),
             inverse_s,
@@ -970,7 +1061,7 @@ impl FusionEngine {
             .power
             .energy_mj(backend.execution_mode(), timing.total_seconds());
         if let Some(tel) = &self.telemetry {
-            // Lay the four phases out sequentially on the modeled clock
+            // Lay the five phases out sequentially on the modeled clock
             // (they are sequential on the platform: Fig. 2), then advance
             // it by the frame total — so phase spans tile the enclosing
             // frame span exactly and their durations sum to PhaseTiming.
@@ -1070,6 +1161,7 @@ impl FusionEngine {
             energy_mj,
             pl_busy_s,
             predicted_s,
+            fusion_strips,
         })
     }
 
@@ -1151,8 +1243,9 @@ impl FusionEngine {
     /// and backends. Unlike [`PhaseTiming`] results from
     /// [`FusionEngine::fuse`] — which model the paper's platform — these are
     /// host times, so they reflect worker-pool parallelism and overlap; the
-    /// bench harness reports their per-run deltas. `overhead_s` is always
-    /// zero (capture/render happen outside the engine).
+    /// bench harness reports their per-run deltas. `capture_s` and
+    /// `overhead_s` are always zero (capture/render happen outside the
+    /// engine).
     pub fn wall_phase_totals(&self) -> PhaseTiming {
         self.wall
     }
@@ -1207,25 +1300,60 @@ impl FusionEngine {
                         slot,
                         &self.img_a,
                         &mut self.combos,
-                        &mut self.pyr_a,
+                        exclusive_pyramid(&mut self.pyr_a),
                         &self.img_b,
                         &mut self.combos_b,
-                        &mut self.pyr_b,
+                        exclusive_pyramid(&mut self.pyr_b),
                         &mut self.outcomes,
                     )?;
                     let t1 = std::time::Instant::now();
                     let si = self.next_slot;
-                    let fslot = &mut self.slots[si];
-                    let fused = exclusive_pyramid(&mut fslot.fused);
-                    fuse_pyramids_into(
-                        &self.pyr_a,
-                        &self.pyr_b,
-                        self.rule,
-                        self.lowpass_rule,
-                        &mut self.fusion_scratch,
-                        fused,
-                    );
+                    let plan = self.cached_plan_arc(w, h);
+                    if self.pool_shared {
+                        // Strip jobs would drain other streams' jobs on a
+                        // fleet-shared ring; fuse on the dispatcher with
+                        // the backend's vectorized kernel instead
+                        // (bit-identical by the fold-order contract).
+                        let fslot = &mut self.slots[si];
+                        let fused = exclusive_pyramid(&mut fslot.fused);
+                        let kernel: &mut dyn FilterKernel = match backend {
+                            Backend::Arm => &mut self.scalar,
+                            _ => &mut self.simd,
+                        };
+                        fuse_pyramids_with_kernel(
+                            kernel,
+                            &self.pyr_a,
+                            &self.pyr_b,
+                            self.rule,
+                            self.lowpass_rule,
+                            &mut self.fusion_scratch,
+                            fused,
+                        );
+                    } else {
+                        // Private pool: the stash loop and the full-batch
+                        // forward drain above left the ring empty, so fan
+                        // the fusion out as row-strip jobs — the lowpass
+                        // fuses serially on this thread while the workers
+                        // chew the detail strips.
+                        let fslot = &mut self.slots[si];
+                        let fused = exclusive_pyramid(&mut fslot.fused);
+                        split.fusion_strips = fuse_strips_pooled(
+                            pool,
+                            slot,
+                            si as u32,
+                            &self.pyr_a,
+                            &self.pyr_b,
+                            self.rule.to_op(),
+                            self.lowpass_rule,
+                            &plan,
+                            &mut self.fuse_map,
+                            &mut self.fuse_bufs,
+                            &mut self.outcomes,
+                            fused,
+                        )?;
+                    }
                     let t2 = std::time::Instant::now();
+                    let fslot = &mut self.slots[si];
                     // Leave the inverse running on the workers; the caller
                     // overlaps capture/render with it until `fuse_finish`.
                     self.dtcwt.inverse_pooled_submit(
@@ -1254,18 +1382,23 @@ impl FusionEngine {
                         a,
                         &mut self.combos,
                         &mut self.scratch,
-                        &mut self.pyr_a,
+                        exclusive_pyramid(&mut self.pyr_a),
                     )?;
                     self.dtcwt.forward_into(
                         kernel,
                         b,
                         &mut self.combos,
                         &mut self.scratch,
-                        &mut self.pyr_b,
+                        exclusive_pyramid(&mut self.pyr_b),
                     )?;
                     let t1 = std::time::Instant::now();
                     let fused = &mut self.fused_serial;
-                    fuse_pyramids_into(
+                    // The kernel path vectorizes fusion on the NEON
+                    // backend (separable sliding-window energies, 8-lane
+                    // compare/select) and falls back to the scalar
+                    // reference on ARM — bit-identical either way.
+                    fuse_pyramids_with_kernel(
+                        kernel,
                         &self.pyr_a,
                         &self.pyr_b,
                         self.rule,
@@ -1298,14 +1431,14 @@ impl FusionEngine {
                     a,
                     &mut self.combos,
                     &mut self.scratch,
-                    &mut self.pyr_a,
+                    exclusive_pyramid(&mut self.pyr_a),
                 )?;
                 self.dtcwt.forward_into(
                     &mut self.fpga,
                     b,
                     &mut self.combos,
                     &mut self.scratch,
-                    &mut self.pyr_b,
+                    exclusive_pyramid(&mut self.pyr_b),
                 )?;
                 let t1 = std::time::Instant::now();
                 split.forward_s = self.fpga.ledger().elapsed_seconds;
@@ -1341,14 +1474,14 @@ impl FusionEngine {
                     a,
                     &mut self.combos,
                     &mut self.scratch,
-                    &mut self.pyr_a,
+                    exclusive_pyramid(&mut self.pyr_a),
                 )?;
                 self.dtcwt.forward_into(
                     &mut self.hybrid,
                     b,
                     &mut self.combos,
                     &mut self.scratch,
-                    &mut self.pyr_b,
+                    exclusive_pyramid(&mut self.pyr_b),
                 )?;
                 let t1 = std::time::Instant::now();
                 split.forward_s = self.hybrid.elapsed_seconds();
@@ -1421,6 +1554,7 @@ impl FusionEngine {
             }
         };
         PhaseTiming {
+            capture_s: self.cost.capture_seconds(plan),
             forward_s: 2.0 * fwd1,
             fusion_s: self.cost.fusion_seconds(plan, self.rule),
             inverse_s: inv1,
@@ -1490,6 +1624,141 @@ fn exclusive_pyramid(slot: &mut Arc<CwtPyramid>) -> &mut CwtPyramid {
         *slot = Arc::new(CwtPyramid::empty());
     }
     Arc::get_mut(slot).expect("freshly created Arc is unique")
+}
+
+/// Fans one frame's coefficient fusion out across the worker pool as
+/// row-strip [`Job::FuseStrip`] jobs, reassembling the fused subbands into
+/// `fused`. Strips are sized by the plan's cache-budget heuristic
+/// ([`TransformPlan::fuse_strip_rows`]) and submitted in waves of at most
+/// [`BATCH_SLOTS`]; the lowpass residual fuses serially on this thread
+/// while the first wave runs, so the dispatcher is never idle. Requires an
+/// empty ring (the pooled submit paths guarantee it) and is bit-identical
+/// to the serial reference by the fold-order contract — each strip job
+/// reads the shared source pyramids and computes exactly the scalar
+/// expression tree for its rows.
+///
+/// Returns the number of strip jobs dispatched. On a worker error the
+/// earliest error is returned after the whole wave has been harvested
+/// (buffers recycled), leaving the ring empty.
+#[allow(clippy::too_many_arguments)]
+fn fuse_strips_pooled(
+    pool: &WorkerPool,
+    kslot: usize,
+    tag: u32,
+    a: &Arc<CwtPyramid>,
+    b: &Arc<CwtPyramid>,
+    op: FuseOp,
+    lowpass_rule: LowpassRule,
+    plan: &TransformPlan,
+    map: &mut Vec<(u32, u32)>,
+    bufs: &mut Vec<(Image, Image)>,
+    outcomes: &mut Vec<JobOutcome>,
+    fused: &mut CwtPyramid,
+) -> Result<usize, wavefuse_dtcwt::DtcwtError> {
+    fused.reshape_like(a);
+    let mut total = 0usize;
+    let mut inflight = 0usize;
+    let mut lowpass_done = false;
+    map.clear();
+    for level in 0..a.levels() {
+        let rows = plan.fuse_strip_rows(level);
+        for band in 0..a.subbands(level).len() {
+            let h = a.subbands(level)[band].re.height();
+            let mut y0 = 0;
+            while y0 < h {
+                let y1 = (y0 + rows).min(h);
+                if inflight == BATCH_SLOTS {
+                    // Ring full: overlap the serial lowpass with the wave
+                    // in flight, then harvest it to free the slots.
+                    if !lowpass_done {
+                        for (o, (la, lb)) in fused
+                            .lowpass_mut()
+                            .iter_mut()
+                            .zip(a.lowpass().iter().zip(b.lowpass()))
+                        {
+                            fuse_lowpass_into(la, lb, lowpass_rule, o);
+                        }
+                        lowpass_done = true;
+                    }
+                    harvest_fuse_wave(pool, inflight, outcomes, map, fused, bufs)?;
+                    inflight = 0;
+                    map.clear();
+                }
+                let (re, im) = bufs
+                    .pop()
+                    .unwrap_or_else(|| (Image::zeros(0, 0), Image::zeros(0, 0)));
+                pool.submit(Job::FuseStrip {
+                    a: Arc::clone(a),
+                    b: Arc::clone(b),
+                    tag,
+                    strip: map.len(),
+                    level,
+                    band,
+                    kernel: kslot,
+                    y0,
+                    y1,
+                    op,
+                    re,
+                    im,
+                });
+                map.push((level as u32, band as u32));
+                inflight += 1;
+                total += 1;
+                y0 = y1;
+            }
+        }
+    }
+    if !lowpass_done {
+        for (o, (la, lb)) in fused
+            .lowpass_mut()
+            .iter_mut()
+            .zip(a.lowpass().iter().zip(b.lowpass()))
+        {
+            fuse_lowpass_into(la, lb, lowpass_rule, o);
+        }
+    }
+    if inflight > 0 {
+        harvest_fuse_wave(pool, inflight, outcomes, map, fused, bufs)?;
+    }
+    Ok(total)
+}
+
+/// Drains one wave of strip fusion jobs, copies each strip's rows into its
+/// subband slot in `fused`, and recycles the output buffers. Failed jobs'
+/// buffers are recycled without copying; the earliest error (in submission
+/// order, as reported by [`WorkerPool::drain`]) is returned after the
+/// whole wave is accounted for.
+fn harvest_fuse_wave(
+    pool: &WorkerPool,
+    n: usize,
+    outcomes: &mut Vec<JobOutcome>,
+    map: &[(u32, u32)],
+    fused: &mut CwtPyramid,
+    bufs: &mut Vec<(Image, Image)>,
+) -> Result<(), wavefuse_dtcwt::DtcwtError> {
+    outcomes.clear();
+    let err_at = pool.drain(n, outcomes);
+    let mut first_err = err_at.and_then(|i| outcomes[i].error.take());
+    for (j, o) in outcomes.drain(..).enumerate() {
+        let JobPayload::FuseStrip { y0, re, im } = o.payload else {
+            continue;
+        };
+        if o.error.is_none() && err_at != Some(j) {
+            let (level, band) = map[o.combo];
+            let sb = &mut fused.subbands_mut(level as usize)[band as usize];
+            for yy in 0..re.height() {
+                sb.re.row_mut(y0 + yy).copy_from_slice(re.row(yy));
+                sb.im.row_mut(y0 + yy).copy_from_slice(im.row(yy));
+            }
+        } else if first_err.is_none() {
+            first_err = o.error;
+        }
+        bufs.push((re, im));
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,11 @@ pub struct VideoFusionPipeline {
     flight: FlightRecorder,
     /// Host wall-clock origin for flight-record timestamps.
     wall_origin: Instant,
+    /// Cumulative wall-clock seconds spent capturing/scaling frame pairs
+    /// (webcam + thermal capture and gating), across all steps — the
+    /// capture-side companion of the engine's `wall_phase_totals`; the
+    /// bench harness reports per-run deltas.
+    wall_capture_s: f64,
     /// Engine scheduler totals already charged to flight records.
     last_sched: WorkerSchedStats,
     /// Buffer-pool counters already charged to flight records.
@@ -152,7 +157,7 @@ pub struct VideoFusionPipeline {
     hist_energy_mj: LogHistogram,
     /// Per-phase latency histograms, index-aligned with
     /// [`PHASE_NAMES`](crate::engine::PHASE_NAMES).
-    hist_phase_s: [LogHistogram; 4],
+    hist_phase_s: [LogHistogram; 5],
 }
 
 impl VideoFusionPipeline {
@@ -196,11 +201,13 @@ impl VideoFusionPipeline {
             in_flight: VecDeque::with_capacity(depth),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
             wall_origin: Instant::now(),
+            wall_capture_s: 0.0,
             last_sched: WorkerSchedStats::default(),
             last_pool: PoolStats::default(),
             hist_frame_s: LogHistogram::with_defaults(),
             hist_energy_mj: LogHistogram::with_defaults(),
             hist_phase_s: [
+                LogHistogram::with_defaults(),
                 LogHistogram::with_defaults(),
                 LogHistogram::with_defaults(),
                 LogHistogram::with_defaults(),
@@ -304,6 +311,7 @@ impl VideoFusionPipeline {
         let wall_start = self.wall_origin.elapsed();
         // One thermal field and the visible frame may already be captured,
         // overlapped with the previous step's in-flight inverse.
+        let t_cap = Instant::now();
         let prefetched = std::mem::take(&mut self.prefetched);
         for _ in 0..burst.max(1) - usize::from(prefetched) {
             self.capture_thermal_field()?;
@@ -312,6 +320,7 @@ impl VideoFusionPipeline {
         if !prefetched {
             self.web.capture_into(&mut self.visible);
         }
+        self.wall_capture_s += t_cap.elapsed().as_secs_f64();
 
         let (w, h) = self.visible.image().dims();
         let backend = match &mut self.backend {
@@ -340,6 +349,7 @@ impl VideoFusionPipeline {
                 // recovers the stray batch on its next submission.)
                 // Inlined thermal capture: the open telemetry span borrows
                 // `self.telemetry`, so only disjoint fields are touched.
+                let t_cap = Instant::now();
                 let mut field = self
                     .thermal_free
                     .pop()
@@ -350,6 +360,7 @@ impl VideoFusionPipeline {
                 }
                 self.web.capture_into(&mut self.visible);
                 self.prefetched = true;
+                self.wall_capture_s += t_cap.elapsed().as_secs_f64();
             }
             let slot = pending.slot();
             (self.engine.fuse_finish(pending)?, slot)
@@ -384,11 +395,13 @@ impl VideoFusionPipeline {
     /// onto the in-flight ring. Depth-k path only.
     fn capture_and_submit(&mut self, burst: usize) -> Result<(), FusionError> {
         let wall_start = self.wall_origin.elapsed();
+        let t_cap = Instant::now();
         for _ in 0..burst.max(1) {
             self.capture_thermal_field()?;
         }
         let thermal = self.gate.take().expect("gate holds at least one field");
         self.web.capture_into(&mut self.visible);
+        self.wall_capture_s += t_cap.elapsed().as_secs_f64();
         let backend = match &self.backend {
             BackendChoice::Fixed(b) => *b,
             // The constructor degrades adaptive configurations to depth 1.
@@ -432,8 +445,8 @@ impl VideoFusionPipeline {
         self.hist_frame_s.observe(model_dur_s);
         self.hist_energy_mj.observe(out.energy_mj);
         let power_w = self.engine.power_model().power_w(backend.execution_mode());
-        let mut phase_s = [0.0; 4];
-        let mut phase_mj = [0.0; 4];
+        let mut phase_s = [0.0; 5];
+        let mut phase_mj = [0.0; 5];
         for (i, (_, dur)) in out.timing.phases().iter().enumerate() {
             phase_s[i] = *dur;
             phase_mj[i] = power_w * dur * 1e3;
@@ -491,6 +504,7 @@ impl VideoFusionPipeline {
             pl_mj,
             pl_busy_s: out.pl_busy_s,
             predicted_s: out.predicted_s,
+            fusion_strips: out.fusion_strips as u64,
             deadline_s: 1.0 / self.web.fps(),
             pool_hit,
             gate_drops: self.stats.gate_drops - drops_before,
@@ -573,6 +587,15 @@ impl VideoFusionPipeline {
     /// Accumulated statistics.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// Cumulative measured wall-clock seconds spent capturing/scaling
+    /// frame pairs (webcam + thermal capture and gating) — the
+    /// capture-side companion of
+    /// [`FusionEngine::wall_phase_totals`]; the bench harness reports
+    /// per-run deltas.
+    pub fn wall_capture_seconds(&self) -> f64 {
+        self.wall_capture_s
     }
 
     /// Effective pipelining depth: the configured

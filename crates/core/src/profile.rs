@@ -63,11 +63,11 @@ pub fn profile_fusion(
     let t = out.timing;
     Ok(ProfileReport {
         phases: vec![
-            ("capture & decode", t.overhead_s * 0.6),
+            ("capture & decode", t.capture_s),
             ("forward dt-cwt", t.forward_s),
             ("fusion rule", t.fusion_s),
             ("inverse dt-cwt", t.inverse_s),
-            ("display & misc", t.overhead_s * 0.4),
+            ("display & misc", t.overhead_s),
         ],
     })
 }

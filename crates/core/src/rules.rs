@@ -16,8 +16,17 @@
 //!
 //! The lowpass residuals are fused separately ([`LowpassRule`]), averaging
 //! by default as is standard for DT-CWT fusion.
+//!
+//! Since the fusion phase became a first-class parallel stage, the actual
+//! per-coefficient arithmetic lives in [`wavefuse_dtcwt::fuse`] (the scalar
+//! strip reference with its separable O(r) window sums and fold-order
+//! contract); this module maps [`FusionRule`] onto [`FuseOp`] and fuses
+//! whole pyramids — serially here, or vectorized via
+//! [`fuse_pyramids_with_kernel`], or strip-parallel through the worker ring
+//! in the engine. All paths are bit-identical.
 
-use wavefuse_dtcwt::{ComplexImage, CwtPyramid, Image};
+use wavefuse_dtcwt::fuse::{fuse_strip_scalar, FuseOp, FuseScratch};
+use wavefuse_dtcwt::{ComplexImage, CwtPyramid, FilterKernel, Image};
 
 /// Rule for combining oriented complex detail coefficients.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +56,25 @@ pub enum FusionRule {
     },
 }
 
+impl FusionRule {
+    /// The plain-data operator this rule maps to in the dtcwt fusion layer
+    /// (what worker strip jobs carry by value).
+    pub fn to_op(self) -> FuseOp {
+        match self {
+            FusionRule::MaxMagnitude => FuseOp::MaxMagnitude,
+            FusionRule::WindowEnergy { radius } => FuseOp::WindowEnergy { radius },
+            FusionRule::Weighted { alpha } => FuseOp::Weighted { alpha },
+            FusionRule::ActivityGuided {
+                radius,
+                match_threshold,
+            } => FuseOp::ActivityGuided {
+                radius,
+                match_threshold,
+            },
+        }
+    }
+}
+
 /// Rule for combining the lowpass residuals.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LowpassRule {
@@ -62,13 +90,12 @@ pub enum LowpassRule {
 }
 
 /// Reusable window-energy intermediates for [`fuse_subband_into`]. One
-/// instance per engine; its images retain capacity across frames so
-/// steady-state fusion performs no heap allocation.
+/// instance per engine; its buffers retain capacity across frames so
+/// steady-state fusion performs no heap allocation. (Worker strip jobs use
+/// the [`FuseScratch`] inside each worker's transform scratch instead.)
 #[derive(Debug, Clone, Default)]
 pub struct FusionScratch {
-    ea: Image,
-    eb: Image,
-    cross: Image,
+    pub(crate) fuse: FuseScratch,
 }
 
 impl FusionScratch {
@@ -143,7 +170,8 @@ pub fn fuse_subband(a: &ComplexImage, b: &ComplexImage, rule: FusionRule) -> Com
 }
 
 /// Allocation-free variant of [`fuse_subband`]: writes into `out`
-/// (reshaped), using `scratch` for local-energy maps.
+/// (reshaped), using `scratch` for the window-energy maps. Delegates to
+/// the scalar strip reference [`wavefuse_dtcwt::fuse`] at full height.
 pub fn fuse_subband_into(
     a: &ComplexImage,
     b: &ComplexImage,
@@ -154,91 +182,73 @@ pub fn fuse_subband_into(
     assert_eq!(a.dims(), b.dims(), "subband shapes differ");
     let (w, h) = a.dims();
     out.reshape(w, h);
-    match rule {
-        FusionRule::MaxMagnitude => {
-            for y in 0..h {
-                for x in 0..w {
-                    let (src_re, src_im) = if a.magnitude_at(x, y) >= b.magnitude_at(x, y) {
-                        (a.re.get(x, y), a.im.get(x, y))
-                    } else {
-                        (b.re.get(x, y), b.im.get(x, y))
-                    };
-                    out.re.set(x, y, src_re);
-                    out.im.set(x, y, src_im);
-                }
+    if h == 0 {
+        return;
+    }
+    fuse_strip_scalar(
+        a,
+        b,
+        0,
+        h,
+        rule.to_op(),
+        &mut scratch.fuse,
+        &mut out.re,
+        &mut out.im,
+    )
+    .expect("equal-shaped subbands and full-height strip are always valid");
+}
+
+/// As [`fuse_pyramids_into`], but routing every subband through a
+/// [`FilterKernel`]'s [`FilterKernel::fuse_strip`] at full height — the
+/// dispatcher-side vectorized path (SIMD kernels override `fuse_strip`;
+/// the scalar kernel's default is exactly [`fuse_pyramids_into`]). Bit-
+/// identical to the scalar reference by the dtcwt fold-order contract.
+///
+/// # Panics
+///
+/// As [`fuse_pyramids`].
+pub fn fuse_pyramids_with_kernel(
+    kernel: &mut dyn FilterKernel,
+    a: &CwtPyramid,
+    b: &CwtPyramid,
+    rule: FusionRule,
+    lowpass: LowpassRule,
+    scratch: &mut FusionScratch,
+    out: &mut CwtPyramid,
+) {
+    assert_eq!(a.levels(), b.levels(), "pyramid depths differ");
+    out.reshape_like(a);
+    let op = rule.to_op();
+    for level in 0..a.levels() {
+        let sa = a.subbands(level);
+        let sb = b.subbands(level);
+        for (band, o) in out.subbands_mut(level).iter_mut().enumerate() {
+            let (w, h) = sa[band].dims();
+            assert_eq!(sa[band].dims(), sb[band].dims(), "subband shapes differ");
+            o.reshape(w, h);
+            if h == 0 {
+                continue;
             }
+            kernel
+                .fuse_strip(
+                    &sa[band],
+                    &sb[band],
+                    0,
+                    h,
+                    op,
+                    &mut scratch.fuse,
+                    &mut o.re,
+                    &mut o.im,
+                )
+                .expect("equal-shaped subbands and full-height strip are always valid");
         }
-        FusionRule::WindowEnergy { radius } => {
-            local_energy_into(a, radius, &mut scratch.ea);
-            local_energy_into(b, radius, &mut scratch.eb);
-            let (ea, eb) = (&scratch.ea, &scratch.eb);
-            for y in 0..h {
-                for x in 0..w {
-                    let pick_a = ea.get(x, y) >= eb.get(x, y);
-                    let (src_re, src_im) = if pick_a {
-                        (a.re.get(x, y), a.im.get(x, y))
-                    } else {
-                        (b.re.get(x, y), b.im.get(x, y))
-                    };
-                    out.re.set(x, y, src_re);
-                    out.im.set(x, y, src_im);
-                }
-            }
-        }
-        FusionRule::Weighted { alpha } => {
-            let beta = 1.0 - alpha;
-            for y in 0..h {
-                for x in 0..w {
-                    out.re
-                        .set(x, y, alpha * a.re.get(x, y) + beta * b.re.get(x, y));
-                    out.im
-                        .set(x, y, alpha * a.im.get(x, y) + beta * b.im.get(x, y));
-                }
-            }
-        }
-        FusionRule::ActivityGuided {
-            radius,
-            match_threshold,
-        } => {
-            local_energy_into(a, radius, &mut scratch.ea);
-            local_energy_into(b, radius, &mut scratch.eb);
-            local_cross_energy_into(a, b, radius, &mut scratch.cross);
-            let (sa, sb, cross) = (&scratch.ea, &scratch.eb, &scratch.cross);
-            for y in 0..h {
-                for x in 0..w {
-                    let (ea, eb) = (sa.get(x, y), sb.get(x, y));
-                    let denom = ea + eb;
-                    // Match measure in [-1, 1]; 1 = locally identical.
-                    let m = if denom > 1e-20 {
-                        2.0 * cross.get(x, y) / denom
-                    } else {
-                        1.0
-                    };
-                    let a_stronger = ea >= eb;
-                    let (w_a, w_b) = if m < match_threshold {
-                        // Sources disagree: pure selection of the stronger.
-                        if a_stronger {
-                            (1.0, 0.0)
-                        } else {
-                            (0.0, 1.0)
-                        }
-                    } else {
-                        // Sources agree: salience-weighted blend.
-                        let w_max = 0.5 + 0.5 * (1.0 - m) / (1.0 - match_threshold).max(1e-6);
-                        let w_min = 1.0 - w_max;
-                        if a_stronger {
-                            (w_max, w_min)
-                        } else {
-                            (w_min, w_max)
-                        }
-                    };
-                    out.re
-                        .set(x, y, w_a * a.re.get(x, y) + w_b * b.re.get(x, y));
-                    out.im
-                        .set(x, y, w_a * a.im.get(x, y) + w_b * b.im.get(x, y));
-                }
-            }
-        }
+    }
+    for (o, (la, lb)) in out
+        .lowpass_mut()
+        .iter_mut()
+        .zip(a.lowpass().iter().zip(b.lowpass()))
+    {
+        fuse_lowpass_into(la, lb, lowpass, o);
     }
 }
 
@@ -274,65 +284,20 @@ pub fn fuse_lowpass_into(a: &Image, b: &Image, rule: LowpassRule, out: &mut Imag
     }
 }
 
-/// Clamped local cross-energy `Σ (a·b̄).re` over a `(2r+1)²` window — the
-/// numerator of the Burt–Kolczynski match measure.
-fn local_cross_energy_into(a: &ComplexImage, b: &ComplexImage, radius: usize, out: &mut Image) {
-    let (w, h) = a.dims();
-    let r = radius as isize;
-    out.reshape(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0f32;
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
-                    let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                    acc +=
-                        a.re.get(sx, sy) * b.re.get(sx, sy) + a.im.get(sx, sy) * b.im.get(sx, sy);
-                }
-            }
-            out.set(x, y, acc);
-        }
-    }
-}
-
-/// Clamped local energy sum over a `(2r+1)²` window.
-fn local_energy_into(c: &ComplexImage, radius: usize, out: &mut Image) {
-    let (w, h) = c.dims();
-    let r = radius as isize;
-    out.reshape(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0f32;
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
-                    let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                    let re = c.re.get(sx, sy);
-                    let im = c.im.get(sx, sy);
-                    acc += re * re + im * im;
-                }
-            }
-            out.set(x, y, acc);
-        }
-    }
-}
-
 /// Approximate size-proportional work of applying a rule to one coefficient
-/// (used by the cost model; MAC-equivalent units).
+/// (used by the cost model; MAC-equivalent units). Calibrated to the
+/// **separable** window implementation in [`wavefuse_dtcwt::fuse`]: each
+/// window map costs 2 MACs of raw energy plus `2r` horizontal and `2r`
+/// vertical adds per pixel — O(r), not O((2r+1)²).
 pub fn rule_macs_per_coefficient(rule: FusionRule) -> u64 {
     match rule {
+        // Two squared magnitudes plus the compare/select.
         FusionRule::MaxMagnitude => 4,
-        FusionRule::WindowEnergy { radius } => {
-            let side = 2 * radius as u64 + 1;
-            2 * side * side + 2
-        }
+        // Two separable window maps plus the compare/select.
+        FusionRule::WindowEnergy { radius } => 8 * radius as u64 + 6,
         FusionRule::Weighted { .. } => 4,
-        FusionRule::ActivityGuided { radius, .. } => {
-            let side = 2 * radius as u64 + 1;
-            // Two salience windows plus the cross-energy window.
-            3 * side * side + 6
-        }
+        // Two salience maps plus the cross map, plus the match/blend math.
+        FusionRule::ActivityGuided { radius, .. } => 12 * radius as u64 + 14,
     }
 }
 
@@ -376,6 +341,62 @@ mod tests {
                     }
                 }
                 assert_eq!(want.lowpass(), out.lowpass());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_fusion_matches_scalar_reference_exactly() {
+        // The dispatcher-side kernel path — scalar default and both SIMD
+        // overrides — must reproduce fuse_pyramids_into bit for bit for
+        // every rule (the fold-order contract, exercised at the pyramid
+        // level).
+        use wavefuse_dtcwt::ScalarKernel;
+        use wavefuse_simd::{AutoVecKernel, SimdKernel};
+        let (pa, pb) = pyramids();
+        let mut scratch = FusionScratch::new();
+        let mut want = CwtPyramid::empty();
+        let mut got = CwtPyramid::empty();
+        for rule in [
+            FusionRule::MaxMagnitude,
+            FusionRule::WindowEnergy { radius: 1 },
+            FusionRule::WindowEnergy { radius: 3 },
+            FusionRule::Weighted { alpha: 0.25 },
+            FusionRule::ActivityGuided {
+                radius: 2,
+                match_threshold: 0.75,
+            },
+        ] {
+            fuse_pyramids_into(
+                &pa,
+                &pb,
+                rule,
+                LowpassRule::Average,
+                &mut scratch,
+                &mut want,
+            );
+            let mut kernels: [&mut dyn FilterKernel; 3] = [
+                &mut ScalarKernel::new(),
+                &mut SimdKernel::new(),
+                &mut AutoVecKernel::new(),
+            ];
+            for k in kernels.iter_mut() {
+                fuse_pyramids_with_kernel(
+                    *k,
+                    &pa,
+                    &pb,
+                    rule,
+                    LowpassRule::Average,
+                    &mut scratch,
+                    &mut got,
+                );
+                for level in 0..want.levels() {
+                    for (w, g) in want.subbands(level).iter().zip(got.subbands(level)) {
+                        assert_eq!(w.re, g.re, "{rule:?} {}", k.name());
+                        assert_eq!(w.im, g.im, "{rule:?} {}", k.name());
+                    }
+                }
+                assert_eq!(want.lowpass(), got.lowpass(), "{rule:?} {}", k.name());
             }
         }
     }

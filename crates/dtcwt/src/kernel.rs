@@ -165,6 +165,34 @@ pub trait FilterKernel {
     ) -> Result<(), DtcwtError> {
         fallback_synthesize_cols(self, taps, phase, lo, hi, out, cs, s1)
     }
+
+    /// Fuses rows `[y0, y1)` of one oriented complex subband pair into
+    /// `out_re`/`out_im` (reshaped to `w × (y1 − y0)`; output row `t` is
+    /// source row `y0 + t`).
+    ///
+    /// The default delegates to the scalar reference
+    /// [`crate::fuse::fuse_strip_scalar`]; vectorized kernels override it
+    /// but must honor the fold-order contract in [`crate::fuse`] so every
+    /// implementation is bit-identical for any strip decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtcwtError::MalformedPyramid`] if the subband shapes
+    /// differ or the strip rows fall outside the subband.
+    #[allow(clippy::too_many_arguments)]
+    fn fuse_strip(
+        &mut self,
+        a: &crate::image::ComplexImage,
+        b: &crate::image::ComplexImage,
+        y0: usize,
+        y1: usize,
+        op: crate::fuse::FuseOp,
+        fs: &mut crate::fuse::FuseScratch,
+        out_re: &mut Image,
+        out_im: &mut Image,
+    ) -> Result<(), DtcwtError> {
+        crate::fuse::fuse_strip_scalar(a, b, y0, y1, op, fs, out_re, out_im)
+    }
 }
 
 /// Transpose-based column analysis: the behavior every kernel had before the

@@ -37,6 +37,7 @@ pub mod dtcwt;
 pub mod dwt1d;
 pub mod dwt2d;
 pub mod filters;
+pub mod fuse;
 pub mod image;
 pub mod kernel;
 pub mod scratch;
@@ -49,6 +50,7 @@ pub use dtcwt::{CwtPyramid, Dtcwt, Orientation};
 pub use dwt2d::{Dwt2d, DwtPyramid};
 pub use error::DtcwtError;
 pub use filters::FilterBank;
+pub use fuse::{fuse_strip_scalar, FuseOp, FuseScratch};
 pub use image::{transpose_bytes_total, ComplexImage, Image};
 pub use kernel::{FilterKernel, ScalarKernel};
 pub use scratch::{ColScratch, ComboSlot, ComboStore, PoolHandle, PoolStats, Scratch};

@@ -1,0 +1,409 @@
+//! Vectorized strip fusion — the NEON-style implementation of the
+//! [`wavefuse_dtcwt::fuse`] fold-order contract.
+//!
+//! The interior of each row is processed in [`F32x8`] blocks (two modeled
+//! quad registers, matching the columnar transform path); borders and
+//! ragged tails fall back to the scalar per-pixel expressions. Bit-identity
+//! with [`wavefuse_dtcwt::fuse_strip_scalar`] holds by construction:
+//!
+//! * every vector op is a lane loop with no FMA, so lane `x` evaluates
+//!   exactly the scalar expression tree for column `x`;
+//! * the windowed sums fold in the same ascending order, seeded with the
+//!   first window element — never a zero accumulator;
+//! * the choose rules compare with [`F32x8::ge`] and copy one source's
+//!   lanes verbatim with [`crate::vector::Mask8::select`] (the NEON
+//!   `vcgeq_f32`/`vbslq_f32` pair), so selection is exact;
+//! * the Burt–Kolczynski match/blend arithmetic reuses the scalar
+//!   [`fuse::activity_weights`] per lane after the vectorized window sums.
+
+use crate::vector::F32x8;
+use wavefuse_dtcwt::fuse::{self, FuseOp, FuseScratch};
+use wavefuse_dtcwt::{ComplexImage, DtcwtError, Image};
+
+const W8: usize = 8;
+
+/// Vectorized twin of [`wavefuse_dtcwt::fuse_strip_scalar`]: fuses rows
+/// `[y0, y1)` of one subband pair into `out_re`/`out_im`, bit-identical to
+/// the scalar reference for every rule.
+///
+/// # Errors
+///
+/// Returns [`DtcwtError::MalformedPyramid`] if the subband shapes differ or
+/// the strip rows fall outside the subband.
+#[allow(clippy::too_many_arguments)]
+pub fn fuse_strip_simd(
+    a: &ComplexImage,
+    b: &ComplexImage,
+    y0: usize,
+    y1: usize,
+    op: FuseOp,
+    fs: &mut FuseScratch,
+    out_re: &mut Image,
+    out_im: &mut Image,
+) -> Result<(), DtcwtError> {
+    let (w, h) = fuse::check_strip(a, b, y0, y1)?;
+    out_re.reshape(w, y1 - y0);
+    out_im.reshape(w, y1 - y0);
+    match op {
+        FuseOp::MaxMagnitude => {
+            for y in y0..y1 {
+                let (ar, ai) = (a.re.row(y), a.im.row(y));
+                let (br, bi) = (b.re.row(y), b.im.row(y));
+                let ore = out_re.row_mut(y - y0);
+                let oim = out_im.row_mut(y - y0);
+                let mut x = 0;
+                while x + W8 <= w {
+                    let var = F32x8::load(&ar[x..]);
+                    let vai = F32x8::load(&ai[x..]);
+                    let vbr = F32x8::load(&br[x..]);
+                    let vbi = F32x8::load(&bi[x..]);
+                    let ma = var * var + vai * vai;
+                    let mb = vbr * vbr + vbi * vbi;
+                    let pick = ma.ge(mb);
+                    pick.select(var, vbr).store(&mut ore[x..]);
+                    pick.select(vai, vbi).store(&mut oim[x..]);
+                    x += W8;
+                }
+                for x in x..w {
+                    let ma = ar[x] * ar[x] + ai[x] * ai[x];
+                    let mb = br[x] * br[x] + bi[x] * bi[x];
+                    let pick_a = ma >= mb;
+                    ore[x] = if pick_a { ar[x] } else { br[x] };
+                    oim[x] = if pick_a { ai[x] } else { bi[x] };
+                }
+            }
+        }
+        FuseOp::Weighted { alpha } => {
+            let beta = 1.0 - alpha;
+            let va = F32x8::splat(alpha);
+            let vb = F32x8::splat(beta);
+            for y in y0..y1 {
+                let (ar, ai) = (a.re.row(y), a.im.row(y));
+                let (br, bi) = (b.re.row(y), b.im.row(y));
+                let ore = out_re.row_mut(y - y0);
+                let oim = out_im.row_mut(y - y0);
+                let mut x = 0;
+                while x + W8 <= w {
+                    (va * F32x8::load(&ar[x..]) + vb * F32x8::load(&br[x..])).store(&mut ore[x..]);
+                    (va * F32x8::load(&ai[x..]) + vb * F32x8::load(&bi[x..])).store(&mut oim[x..]);
+                    x += W8;
+                }
+                for x in x..w {
+                    ore[x] = alpha * ar[x] + beta * br[x];
+                    oim[x] = alpha * ai[x] + beta * bi[x];
+                }
+            }
+        }
+        FuseOp::WindowEnergy { radius } => {
+            let (lo, _hi) = fuse::strip_source_span(y0, y1, h, radius);
+            horizontal_energy_simd(a, y0, y1, h, radius, &mut fs.erow, &mut fs.ha);
+            horizontal_energy_simd(b, y0, y1, h, radius, &mut fs.erow, &mut fs.hb);
+            let r = radius as isize;
+            for y in y0..y1 {
+                let (ar, ai) = (a.re.row(y), a.im.row(y));
+                let (br, bi) = (b.re.row(y), b.im.row(y));
+                let ore = out_re.row_mut(y - y0);
+                let oim = out_im.row_mut(y - y0);
+                let mut x = 0;
+                while x + W8 <= w {
+                    let ea = vertical_sum_v(&fs.ha, x, y, h, r, lo);
+                    let eb = vertical_sum_v(&fs.hb, x, y, h, r, lo);
+                    let pick = ea.ge(eb);
+                    pick.select(F32x8::load(&ar[x..]), F32x8::load(&br[x..]))
+                        .store(&mut ore[x..]);
+                    pick.select(F32x8::load(&ai[x..]), F32x8::load(&bi[x..]))
+                        .store(&mut oim[x..]);
+                    x += W8;
+                }
+                for x in x..w {
+                    let ea = fuse::vertical_sum(&fs.ha, x, y, h, r, lo);
+                    let eb = fuse::vertical_sum(&fs.hb, x, y, h, r, lo);
+                    let pick_a = ea >= eb;
+                    ore[x] = if pick_a { ar[x] } else { br[x] };
+                    oim[x] = if pick_a { ai[x] } else { bi[x] };
+                }
+            }
+        }
+        FuseOp::ActivityGuided {
+            radius,
+            match_threshold,
+        } => {
+            let (lo, _hi) = fuse::strip_source_span(y0, y1, h, radius);
+            horizontal_energy_simd(a, y0, y1, h, radius, &mut fs.erow, &mut fs.ha);
+            horizontal_energy_simd(b, y0, y1, h, radius, &mut fs.erow, &mut fs.hb);
+            horizontal_cross_simd(a, b, y0, y1, h, radius, &mut fs.erow, &mut fs.hx);
+            let r = radius as isize;
+            for y in y0..y1 {
+                let (ar, ai) = (a.re.row(y), a.im.row(y));
+                let (br, bi) = (b.re.row(y), b.im.row(y));
+                let ore = out_re.row_mut(y - y0);
+                let oim = out_im.row_mut(y - y0);
+                let mut x = 0;
+                while x + W8 <= w {
+                    // Window sums vectorize; the branchy match/blend math
+                    // runs the scalar expression per lane.
+                    let ea = vertical_sum_v(&fs.ha, x, y, h, r, lo);
+                    let eb = vertical_sum_v(&fs.hb, x, y, h, r, lo);
+                    let cx = vertical_sum_v(&fs.hx, x, y, h, r, lo);
+                    for i in 0..W8 {
+                        let (w_a, w_b) = fuse::activity_weights(
+                            ea.lanes()[i],
+                            eb.lanes()[i],
+                            cx.lanes()[i],
+                            match_threshold,
+                        );
+                        ore[x + i] = w_a * ar[x + i] + w_b * br[x + i];
+                        oim[x + i] = w_a * ai[x + i] + w_b * bi[x + i];
+                    }
+                    x += W8;
+                }
+                for x in x..w {
+                    let ea = fuse::vertical_sum(&fs.ha, x, y, h, r, lo);
+                    let eb = fuse::vertical_sum(&fs.hb, x, y, h, r, lo);
+                    let cx = fuse::vertical_sum(&fs.hx, x, y, h, r, lo);
+                    let (w_a, w_b) = fuse::activity_weights(ea, eb, cx, match_threshold);
+                    ore[x] = w_a * ar[x] + w_b * br[x];
+                    oim[x] = w_a * ai[x] + w_b * bi[x];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Vertical clamped window fold of one 8-column block — the vector twin of
+/// [`fuse::vertical_sum`] (ascending `dy`, seeded with the first window
+/// row; no clamping needed in `x` since callers keep blocks in-bounds).
+#[inline(always)]
+fn vertical_sum_v(hmap: &Image, x: usize, y: usize, h: usize, r: isize, lo: usize) -> F32x8 {
+    let yy = |dy: isize| ((y as isize + dy).clamp(0, h as isize - 1) as usize) - lo;
+    let mut acc = F32x8::load(&hmap.row(yy(-r))[x..]);
+    let mut dy = -r + 1;
+    while dy <= r {
+        acc += F32x8::load(&hmap.row(yy(dy))[x..]);
+        dy += 1;
+    }
+    acc
+}
+
+/// Vectorized twin of [`fuse::horizontal_energy`]: stages each source
+/// row's `re² + im²` in 8-lane blocks, then applies the horizontal window.
+fn horizontal_energy_simd(
+    c: &ComplexImage,
+    y0: usize,
+    y1: usize,
+    h: usize,
+    radius: usize,
+    erow: &mut Vec<f32>,
+    hmap: &mut Image,
+) {
+    let (w, _) = c.dims();
+    let (lo, hi) = fuse::strip_source_span(y0, y1, h, radius);
+    hmap.reshape(w, hi - lo);
+    if erow.len() != w {
+        erow.resize(w, 0.0);
+    }
+    for yy in lo..hi {
+        let (re, im) = (c.re.row(yy), c.im.row(yy));
+        let mut x = 0;
+        while x + W8 <= w {
+            let vr = F32x8::load(&re[x..]);
+            let vi = F32x8::load(&im[x..]);
+            (vr * vr + vi * vi).store(&mut erow[x..]);
+            x += W8;
+        }
+        for x in x..w {
+            erow[x] = re[x] * re[x] + im[x] * im[x];
+        }
+        horizontal_window_simd(erow, radius, hmap.row_mut(yy - lo));
+    }
+}
+
+/// Vectorized twin of [`fuse::horizontal_cross`].
+#[allow(clippy::too_many_arguments)]
+fn horizontal_cross_simd(
+    a: &ComplexImage,
+    b: &ComplexImage,
+    y0: usize,
+    y1: usize,
+    h: usize,
+    radius: usize,
+    erow: &mut Vec<f32>,
+    hmap: &mut Image,
+) {
+    let (w, _) = a.dims();
+    let (lo, hi) = fuse::strip_source_span(y0, y1, h, radius);
+    hmap.reshape(w, hi - lo);
+    if erow.len() != w {
+        erow.resize(w, 0.0);
+    }
+    for yy in lo..hi {
+        let (ar, ai) = (a.re.row(yy), a.im.row(yy));
+        let (br, bi) = (b.re.row(yy), b.im.row(yy));
+        let mut x = 0;
+        while x + W8 <= w {
+            let v = F32x8::load(&ar[x..]) * F32x8::load(&br[x..])
+                + F32x8::load(&ai[x..]) * F32x8::load(&bi[x..]);
+            v.store(&mut erow[x..]);
+            x += W8;
+        }
+        for x in x..w {
+            erow[x] = ar[x] * br[x] + ai[x] * bi[x];
+        }
+        horizontal_window_simd(erow, radius, hmap.row_mut(yy - lo));
+    }
+}
+
+/// Vectorized twin of [`fuse::horizontal_window`]: clamped borders run the
+/// scalar fold; the interior (where the whole window is in-bounds) folds
+/// shifted 8-lane loads in the same ascending `dx` order.
+fn horizontal_window_simd(erow: &[f32], radius: usize, out: &mut [f32]) {
+    let w = erow.len();
+    let r = radius as isize;
+    let scalar_at = |x: usize| {
+        let idx = |dx: isize| (x as isize + dx).clamp(0, w as isize - 1) as usize;
+        let mut acc = erow[idx(-r)];
+        let mut dx = -r + 1;
+        while dx <= r {
+            acc += erow[idx(dx)];
+            dx += 1;
+        }
+        acc
+    };
+    // Left border: the window clamps at 0.
+    let left_end = radius.min(w);
+    for (x, o) in out.iter_mut().enumerate().take(left_end) {
+        *o = scalar_at(x);
+    }
+    // Interior: x ≥ r and x + 7 + r ≤ w − 1.
+    let mut x = left_end;
+    while x >= radius && x + W8 + radius <= w {
+        let mut acc = F32x8::load(&erow[x - radius..]);
+        let mut dx = 1;
+        while dx <= 2 * radius {
+            acc += F32x8::load(&erow[x - radius + dx..]);
+            dx += 1;
+        }
+        acc.store(&mut out[x..]);
+        x += W8;
+    }
+    // Right border + ragged tail.
+    for (x, o) in out.iter_mut().enumerate().take(w).skip(x) {
+        *o = scalar_at(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefuse_dtcwt::fuse_strip_scalar;
+
+    fn pair(w: usize, h: usize) -> (ComplexImage, ComplexImage) {
+        let mut a = ComplexImage::zeros(w, h);
+        let mut b = ComplexImage::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                a.re.set(x, y, ((x * 3 + y * 7) % 13) as f32 * 0.31 - 1.9);
+                a.im.set(x, y, ((x + y * 5) % 11) as f32 * 0.27 - 1.3);
+                b.re.set(x, y, ((x * 5 + y) % 17) as f32 * 0.21 - 1.7);
+                b.im.set(x, y, ((x * 2 + y * 3) % 7) as f32 * 0.41 - 1.2);
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn simd_strip_fusion_matches_scalar_bit_for_bit() {
+        // Every rule × radius × odd/even widths (vector blocks + ragged
+        // tails) × strip decompositions must reproduce the scalar
+        // reference exactly.
+        let ops = [
+            FuseOp::MaxMagnitude,
+            FuseOp::Weighted { alpha: 0.3 },
+            FuseOp::WindowEnergy { radius: 1 },
+            FuseOp::WindowEnergy { radius: 2 },
+            FuseOp::WindowEnergy { radius: 4 },
+            FuseOp::ActivityGuided {
+                radius: 1,
+                match_threshold: 0.75,
+            },
+            FuseOp::ActivityGuided {
+                radius: 3,
+                match_threshold: 0.5,
+            },
+        ];
+        for (w, h) in [(5usize, 4usize), (8, 8), (23, 11), (32, 16), (45, 13)] {
+            let (a, b) = pair(w, h);
+            for op in ops {
+                let mut fs = FuseScratch::new();
+                let (mut want_re, mut want_im) = (Image::zeros(0, 0), Image::zeros(0, 0));
+                fuse_strip_scalar(&a, &b, 0, h, op, &mut fs, &mut want_re, &mut want_im).unwrap();
+                for rows in [1usize, 2, 5, h] {
+                    let (mut sre, mut sim) = (Image::zeros(0, 0), Image::zeros(0, 0));
+                    let mut y0 = 0;
+                    while y0 < h {
+                        let y1 = (y0 + rows).min(h);
+                        fuse_strip_simd(&a, &b, y0, y1, op, &mut fs, &mut sre, &mut sim).unwrap();
+                        for y in y0..y1 {
+                            assert_eq!(
+                                sre.row(y - y0),
+                                want_re.row(y),
+                                "{op:?} {w}x{h} rows={rows} y={y} re"
+                            );
+                            assert_eq!(
+                                sim.row(y - y0),
+                                want_im.row(y),
+                                "{op:?} {w}x{h} rows={rows} y={y} im"
+                            );
+                        }
+                        y0 = y1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_strip_fusion_rejects_bad_strips() {
+        let (a, b) = pair(8, 8);
+        let mut fs = FuseScratch::new();
+        let (mut re, mut im) = (Image::zeros(0, 0), Image::zeros(0, 0));
+        assert!(fuse_strip_simd(
+            &a,
+            &b,
+            4,
+            4,
+            FuseOp::MaxMagnitude,
+            &mut fs,
+            &mut re,
+            &mut im
+        )
+        .is_err());
+        assert!(fuse_strip_simd(
+            &a,
+            &b,
+            0,
+            9,
+            FuseOp::MaxMagnitude,
+            &mut fs,
+            &mut re,
+            &mut im
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn window_wider_than_the_subband_stays_exact() {
+        // Radius larger than either dimension: everything clamps, borders
+        // dominate, and the SIMD interior never runs — still identical.
+        let (a, b) = pair(6, 3);
+        let op = FuseOp::WindowEnergy { radius: 7 };
+        let mut fs = FuseScratch::new();
+        let (mut want_re, mut want_im) = (Image::zeros(0, 0), Image::zeros(0, 0));
+        fuse_strip_scalar(&a, &b, 0, 3, op, &mut fs, &mut want_re, &mut want_im).unwrap();
+        let (mut got_re, mut got_im) = (Image::zeros(0, 0), Image::zeros(0, 0));
+        fuse_strip_simd(&a, &b, 0, 3, op, &mut fs, &mut got_re, &mut got_im).unwrap();
+        assert_eq!(got_re, want_re);
+        assert_eq!(got_im, want_im);
+    }
+}

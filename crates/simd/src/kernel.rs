@@ -684,6 +684,20 @@ impl FilterKernel for SimdKernel {
         );
         Ok(())
     }
+
+    fn fuse_strip(
+        &mut self,
+        a: &wavefuse_dtcwt::ComplexImage,
+        b: &wavefuse_dtcwt::ComplexImage,
+        y0: usize,
+        y1: usize,
+        op: wavefuse_dtcwt::FuseOp,
+        fs: &mut wavefuse_dtcwt::FuseScratch,
+        out_re: &mut Image,
+        out_im: &mut Image,
+    ) -> Result<(), DtcwtError> {
+        crate::fuse::fuse_strip_simd(a, b, y0, y1, op, fs, out_re, out_im)
+    }
 }
 
 /// Compiler-auto-vectorization flavor: plain loops with four independent
@@ -914,6 +928,20 @@ impl FilterKernel for AutoVecKernel {
             cs,
         );
         Ok(())
+    }
+
+    fn fuse_strip(
+        &mut self,
+        a: &wavefuse_dtcwt::ComplexImage,
+        b: &wavefuse_dtcwt::ComplexImage,
+        y0: usize,
+        y1: usize,
+        op: wavefuse_dtcwt::FuseOp,
+        fs: &mut wavefuse_dtcwt::FuseScratch,
+        out_re: &mut Image,
+        out_im: &mut Image,
+    ) -> Result<(), DtcwtError> {
+        crate::fuse::fuse_strip_simd(a, b, y0, y1, op, fs, out_re, out_im)
     }
 }
 

@@ -39,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuse;
 pub mod kernel;
 pub mod vector;
 
+pub use fuse::fuse_strip_simd;
 pub use kernel::{AutoVecKernel, SimdKernel};
-pub use vector::{F32x4, F32x8};
+pub use vector::{F32x4, F32x8, Mask8};
 
 /// Number of `f32` lanes in the modeled NEON quad register.
 ///

@@ -204,6 +204,50 @@ impl F32x8 {
     pub fn lanes(&self) -> &[f32; 8] {
         &self.0
     }
+
+    /// Lane-wise `self >= rhs`, the NEON `vcgeq_f32` analogue. Combined
+    /// with [`Mask8::select`] this models the compare/bit-select pair the
+    /// choose-style fusion rules vectorize with; each lane's comparison is
+    /// exactly the scalar `>=` on the same two values.
+    #[inline(always)]
+    pub fn ge(self, rhs: F32x8) -> Mask8 {
+        let mut out = [false; 8];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a >= b;
+        }
+        Mask8(out)
+    }
+}
+
+/// Lane-wise boolean mask produced by [`F32x8::ge`], the software analogue
+/// of a NEON `uint32x4_t` compare result feeding `vbslq_f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask8([bool; 8]);
+
+impl Mask8 {
+    /// Creates a mask from eight lane booleans.
+    #[inline(always)]
+    pub const fn new(lanes: [bool; 8]) -> Self {
+        Mask8(lanes)
+    }
+
+    /// Borrows the lanes.
+    #[inline(always)]
+    pub fn lanes(&self) -> &[bool; 8] {
+        &self.0
+    }
+
+    /// Lane-wise select: `t` where the mask is set, `f` elsewhere (the NEON
+    /// `vbslq_f32` analogue). Copies one source lane's bits verbatim, so
+    /// selection is exact — never an arithmetic approximation.
+    #[inline(always)]
+    pub fn select(self, t: F32x8, f: F32x8) -> F32x8 {
+        let mut out = [0.0f32; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if self.0[i] { t.0[i] } else { f.0[i] };
+        }
+        F32x8(out)
+    }
 }
 
 impl From<[f32; 8]> for F32x8 {
@@ -340,6 +384,26 @@ mod tests {
         let r = acc.mul_add(a, b);
         for i in 0..8 {
             assert_eq!(r.lanes()[i], 1.0 + a.lanes()[i] * 0.25);
+        }
+    }
+
+    #[test]
+    fn ge_select_is_lane_exact() {
+        let a = F32x8::new([1.0, 2.0, 2.0, -1.0, 0.0, -0.0, f32::MIN, 5.0]);
+        let b = F32x8::new([2.0, 2.0, 1.0, -2.0, -0.0, 0.0, f32::MAX, 5.0]);
+        let m = a.ge(b);
+        assert_eq!(
+            m.lanes(),
+            &[false, true, true, true, true, true, false, true]
+        );
+        let s = m.select(a, b);
+        for i in 0..8 {
+            let want = if a.lanes()[i] >= b.lanes()[i] {
+                a.lanes()[i]
+            } else {
+                b.lanes()[i]
+            };
+            assert_eq!(s.lanes()[i].to_bits(), want.to_bits(), "lane {i}");
         }
     }
 }

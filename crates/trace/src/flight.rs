@@ -18,7 +18,7 @@ use crate::json::JsonValue;
 
 /// Phase labels, index-aligned with [`FrameRecord::phase_s`] and
 /// [`FrameRecord::phase_mj`] (and with the engine's phase ordering).
-pub const PHASES: [&str; 4] = ["forward", "fusion", "inverse", "overhead"];
+pub const PHASES: [&str; 5] = ["capture", "forward", "fusion", "inverse", "overhead"];
 
 /// Everything the pipeline knows about one fused frame, captured at
 /// `fuse_finish` time. All fields are plain `Copy` data so the record can
@@ -56,9 +56,9 @@ pub struct FrameRecord {
     /// Modeled frame duration in seconds (sum of `phase_s`).
     pub model_dur_s: f64,
     /// Modeled per-phase seconds, ordered as [`PHASES`].
-    pub phase_s: [f64; 4],
+    pub phase_s: [f64; 5],
     /// Modeled per-phase energy in mJ, ordered as [`PHASES`].
-    pub phase_mj: [f64; 4],
+    pub phase_mj: [f64; 5],
     /// Modeled total frame energy in mJ (exactly what the pipeline's
     /// `PipelineStats.energy_mj` accumulated for this frame).
     pub energy_mj: f64,
@@ -71,6 +71,9 @@ pub struct FrameRecord {
     pub pl_busy_s: f64,
     /// Cost model's predicted frame seconds for this backend/geometry.
     pub predicted_s: f64,
+    /// Row-strip fusion jobs fanned out across the worker pool for this
+    /// frame (0 = fusion ran serially on the dispatcher thread).
+    pub fusion_strips: u64,
     /// Real-time budget the governor works against (camera frame period).
     pub deadline_s: f64,
     /// Whether the output buffer came from the pool (vs a fresh allocation).
@@ -101,13 +104,14 @@ impl Default for FrameRecord {
             wall_dur_us: 0.0,
             model_start_s: 0.0,
             model_dur_s: 0.0,
-            phase_s: [0.0; 4],
-            phase_mj: [0.0; 4],
+            phase_s: [0.0; 5],
+            phase_mj: [0.0; 5],
             energy_mj: 0.0,
             ps_mj: 0.0,
             pl_mj: 0.0,
             pl_busy_s: 0.0,
             predicted_s: 0.0,
+            fusion_strips: 0,
             deadline_s: 0.0,
             pool_hit: false,
             gate_drops: 0,
@@ -148,6 +152,10 @@ impl FrameRecord {
             ("pl_mj".into(), JsonValue::Num(self.pl_mj)),
             ("pl_busy_s".into(), JsonValue::Num(self.pl_busy_s)),
             ("predicted_s".into(), JsonValue::Num(self.predicted_s)),
+            (
+                "fusion_strips".into(),
+                JsonValue::Num(self.fusion_strips as f64),
+            ),
             ("deadline_s".into(), JsonValue::Num(self.deadline_s)),
             ("pool_hit".into(), JsonValue::Bool(self.pool_hit)),
             ("gate_drops".into(), JsonValue::Num(self.gate_drops as f64)),
@@ -347,8 +355,8 @@ mod tests {
             kernel: "neon-simd",
             decision: "fixed",
             energy_mj: frame as f64 * 0.5,
-            phase_s: [1e-3, 2e-3, 3e-3, 4e-4],
-            model_dur_s: 6.4e-3,
+            phase_s: [5e-4, 1e-3, 2e-3, 3e-3, 4e-4],
+            model_dur_s: 6.9e-3,
             ..FrameRecord::default()
         }
     }
@@ -422,8 +430,8 @@ mod tests {
             .get("traceEvents")
             .and_then(JsonValue::as_arr)
             .expect("traceEvents array");
-        // 1 metadata + 1 frame span + 4 phase spans.
-        assert_eq!(events.len(), 6);
+        // 1 metadata + 1 frame span + 5 phase spans.
+        assert_eq!(events.len(), 7);
         let names: Vec<&str> = events
             .iter()
             .filter_map(|e| e.get("name").and_then(JsonValue::as_str))

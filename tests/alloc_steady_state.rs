@@ -134,6 +134,54 @@ fn steady_state_pipeline_steps_do_not_allocate() {
     }
 }
 
+// Strip-parallel fusion pops pooled `(re, im)` strip buffers on submit and
+// pushes them back on harvest, and the strip map is a reused Vec, so once a
+// warm-up frame has sized one buffer pair per ring wave the pooled fusion
+// path must stay off the allocator on the dispatcher thread — while still
+// actually fanning fusion out as strips (`fusion_strips > 0` in the flight
+// recorder proves the fast path ran, not the serial fallback).
+#[test]
+fn steady_state_strip_fusion_does_not_allocate_on_the_dispatcher() {
+    let _gate = transpose_gate();
+    let mut pipe = VideoFusionPipeline::new(PipelineConfig {
+        frame_size: (88, 72),
+        levels: 3,
+        backend: BackendChoice::Fixed(Backend::Neon),
+        scene_seed: 2016,
+        threads: 2,
+        depth: 1,
+    })
+    .expect("default geometry supports three levels");
+    for _ in 0..3 {
+        let out = pipe.step().expect("warm-up step");
+        pipe.recycle(out);
+    }
+    for frame in 3..7 {
+        let (allocs, bytes, out) = counted(|| pipe.step().expect("steady step"));
+        let (rallocs, rbytes, ()) = counted(|| pipe.recycle(out));
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "frame {frame}: strip-fused step() allocated {allocs} times ({bytes} bytes)"
+        );
+        assert_eq!(
+            (rallocs, rbytes),
+            (0, 0),
+            "frame {frame}: recycle() allocated {rallocs} times ({rbytes} bytes)"
+        );
+    }
+    let strip_frames = pipe
+        .flight_recorder()
+        .iter()
+        .filter(|r| r.fusion_strips > 0)
+        .count();
+    assert_eq!(
+        strip_frames,
+        pipe.stats().frames as usize,
+        "every pooled frame should fuse via row strips"
+    );
+}
+
 // Depth-k software pipelining keeps several frames in flight across the
 // worker pool; the dispatcher thread (the one calling `step()`) must stay
 // allocation-free once the prologue has filled the ring and sized every
